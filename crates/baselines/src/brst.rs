@@ -1,0 +1,303 @@
+//! BRST-style variational Bayesian robust streaming factorization
+//! (Zhang & Hawkins, "Variational Bayesian inference for robust streaming
+//! tensor factorization and completion", ICDM 2018).
+//!
+//! BRST places ARD (automatic relevance determination) priors on the CP
+//! components — a per-component precision `γ_r` learned from the data —
+//! plus a sparse outlier term, and tracks the posterior online. The ARD
+//! mechanism prunes components whose posterior mass collapses, performing
+//! automatic rank determination.
+//!
+//! This reproduction implements a streamlined mean-field version:
+//! per-slice posterior weight solve with ARD ridge, forgetting-factor
+//! factor updates, per-entry outlier gating against the posterior noise
+//! level, and ARD precision re-estimation with component pruning.
+//!
+//! **Why it is here:** the paper *evaluated* BRST and reported that it
+//! "wrongly estimated that the rank is 0 in all the tensor streams"
+//! (§VI-C), excluding its results. The tests below reproduce exactly that
+//! failure mode on corrupted seasonal streams — ARD over-prunes when heavy
+//! outliers inflate the noise estimate — while showing the method is
+//! functional on clean data.
+
+use crate::common::{reconstruct_slice, warm_start};
+use sofia_core::traits::{StepOutput, StreamingFactorizer};
+use sofia_tensor::linalg::solve_spd_ridge;
+use sofia_tensor::{DenseTensor, Matrix, ObservedTensor};
+
+/// Streaming variational-Bayes robust CP factorization with ARD rank
+/// determination.
+#[derive(Debug, Clone)]
+pub struct Brst {
+    factors: Vec<Matrix>,
+    /// ARD precision per component; a pruned component has `active = false`.
+    gamma: Vec<f64>,
+    active: Vec<bool>,
+    /// Posterior noise variance estimate.
+    noise_var: f64,
+    /// Forgetting factor for the factor updates.
+    forgetting: f64,
+    /// Components are pruned when their expected power falls below this
+    /// fraction of the noise level.
+    prune_threshold: f64,
+    steps: usize,
+}
+
+impl Brst {
+    /// Creates a model from starting factors.
+    pub fn new(factors: Vec<Matrix>, forgetting: f64) -> Self {
+        assert!(!factors.is_empty());
+        let rank = factors[0].cols();
+        Self {
+            factors,
+            gamma: vec![1.0; rank],
+            active: vec![true; rank],
+            noise_var: 0.01,
+            forgetting,
+            prune_threshold: 0.05,
+            steps: 0,
+        }
+    }
+
+    /// Warm-starts from a start-up window.
+    pub fn init(startup: &[ObservedTensor], rank: usize, forgetting: f64, seed: u64) -> Self {
+        let (factors, _) = warm_start(startup, rank, 100, seed);
+        Self::new(factors, forgetting)
+    }
+
+    /// Number of components still active (the estimated rank).
+    pub fn estimated_rank(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Posterior weight solve with ARD ridge over observed entries.
+    fn solve_weights(&self, slice: &ObservedTensor) -> Vec<f64> {
+        let rank = self.gamma.len();
+        let shape = slice.shape();
+        let mut b = Matrix::zeros(rank, rank);
+        let mut c = vec![0.0f64; rank];
+        let mut idx = vec![0usize; shape.order()];
+        let mut h = vec![0.0f64; rank];
+        for &off in slice.mask().observed_offsets() {
+            shape.unravel_into(off, &mut idx);
+            for k in 0..rank {
+                h[k] = if self.active[k] {
+                    let mut p = 1.0;
+                    for (l, f) in self.factors.iter().enumerate() {
+                        p *= f.row(idx[l])[k];
+                    }
+                    p
+                } else {
+                    0.0
+                };
+            }
+            let y = slice.values().get_flat(off);
+            for a in 0..rank {
+                c[a] += y * h[a];
+                for q in 0..rank {
+                    let v = b.get(a, q) + h[a] * h[q];
+                    b.set(a, q, v);
+                }
+            }
+        }
+        // ARD prior contributes γ_r·σ² to the ridge of component r.
+        for k in 0..rank {
+            let v = b.get(k, k) + self.gamma[k] * self.noise_var + 1e-9;
+            b.set(k, k, v);
+        }
+        solve_spd_ridge(&b, &c, 1e-9).unwrap_or_else(|_| vec![0.0; rank])
+    }
+
+    /// One VB-style pass: posterior weights → outlier gating → factor and
+    /// hyper-parameter updates with forgetting → ARD pruning.
+    fn vb_step(&mut self, slice: &ObservedTensor) -> (Vec<f64>, DenseTensor) {
+        let rank = self.gamma.len();
+        let shape = slice.shape().clone();
+        let w = self.solve_weights(slice);
+
+        // Outlier gating: entries whose residual exceeds 3 posterior
+        // standard deviations are explained by the sparse term.
+        let noise_sd = self.noise_var.sqrt();
+        let mut outliers = DenseTensor::zeros(shape.clone());
+        let mut resid_acc = 0.0;
+        let mut n_inlier = 0usize;
+        let mut idx = vec![0usize; shape.order()];
+        for &off in slice.mask().observed_offsets() {
+            shape.unravel_into(off, &mut idx);
+            let mut pred = 0.0;
+            for k in 0..rank {
+                if self.active[k] {
+                    let mut p = w[k];
+                    for (l, f) in self.factors.iter().enumerate() {
+                        p *= f.row(idx[l])[k];
+                    }
+                    pred += p;
+                }
+            }
+            let r = slice.values().get_flat(off) - pred;
+            if r.abs() > 3.0 * noise_sd {
+                outliers.set_flat(off, r);
+            } else {
+                resid_acc += r * r;
+                n_inlier += 1;
+            }
+        }
+
+        // Posterior noise variance (inlier residual power), smoothed.
+        if n_inlier > 0 {
+            let inst = resid_acc / n_inlier as f64;
+            self.noise_var = 0.9 * self.noise_var + 0.1 * inst.max(1e-12);
+        }
+
+        // Factor update on the outlier-removed slice (damped SGD stands in
+        // for the natural-gradient posterior-mean update).
+        let cleaned_vals = slice.values() - &outliers;
+        let cleaned = ObservedTensor::new(cleaned_vals, slice.mask().clone());
+        crate::common::damped_sgd_step(&mut self.factors, &cleaned, &w, 0.5 * self.forgetting);
+
+        // ARD hyper-parameter update: γ_r ∝ 1 / E[component power]; prune
+        // components whose expected contribution sinks below the noise.
+        for k in 0..rank {
+            if !self.active[k] {
+                continue;
+            }
+            let mut power = w[k] * w[k];
+            for f in &self.factors {
+                power *= f.col_norm(k).powi(2) / f.rows() as f64;
+            }
+            self.gamma[k] = 1.0 / (power + 1e-9);
+            if power < self.prune_threshold * self.noise_var {
+                self.active[k] = false;
+            }
+        }
+
+        (w, outliers)
+    }
+}
+
+impl StreamingFactorizer for Brst {
+    fn name(&self) -> &'static str {
+        "BRST"
+    }
+
+    fn step(&mut self, slice: &ObservedTensor) -> StepOutput {
+        let (mut w, outliers) = self.vb_step(slice);
+        for (k, wk) in w.iter_mut().enumerate() {
+            if !self.active[k] {
+                *wk = 0.0;
+            }
+        }
+        let completed = reconstruct_slice(&self.factors, &w);
+        self.steps += 1;
+        StepOutput {
+            completed,
+            outliers: Some(outliers),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use sofia_tensor::random::random_factors;
+
+    fn slice_at(truth: &[Matrix], t: usize) -> DenseTensor {
+        let w = vec![
+            2.0 + (t as f64 * 0.3).sin(),
+            -1.0 + 0.6 * (t as f64 * 0.2).cos(),
+        ];
+        reconstruct_slice(truth, &w)
+    }
+
+    fn startup(truth: &[Matrix]) -> Vec<ObservedTensor> {
+        (0..12)
+            .map(|t| ObservedTensor::fully_observed(slice_at(truth, t)))
+            .collect()
+    }
+
+    #[test]
+    fn works_on_clean_streams() {
+        let mut rng = SmallRng::seed_from_u64(51);
+        let truth = random_factors(&[5, 5], 2, &mut rng);
+        let mut model = Brst::init(&startup(&truth), 2, 0.5, 3);
+        let mut total = 0.0;
+        for t in 12..36 {
+            let slice = slice_at(&truth, t);
+            let out = model.step(&ObservedTensor::fully_observed(slice.clone()));
+            total += (&out.completed - &slice).frobenius_norm() / slice.frobenius_norm();
+        }
+        let avg = total / 24.0;
+        assert!(avg < 0.2, "clean-stream avg NRE {avg}");
+        assert_eq!(model.estimated_rank(), 2, "no pruning on clean data");
+    }
+
+    #[test]
+    fn ard_collapses_rank_under_heavy_corruption() {
+        // The paper's §VI-C finding: on the corrupted streams, BRST's rank
+        // determination degenerates (components pruned to nothing), which
+        // is why its results are excluded from Fig. 3.
+        let mut rng = SmallRng::seed_from_u64(52);
+        let truth = random_factors(&[5, 5], 2, &mut rng);
+        // Corrupted startup AND stream: (70, 20, 5)-style corruption.
+        let corrupt = |t: usize, rng: &mut SmallRng| {
+            let mut vals = slice_at(&truth, t);
+            for off in 0..vals.len() {
+                if rng.gen::<f64>() < 0.2 {
+                    let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+                    vals.set_flat(off, sign * 60.0);
+                }
+            }
+            let mask = sofia_tensor::Mask::random(vals.shape().clone(), 0.7, rng);
+            ObservedTensor::new(vals, mask)
+        };
+        let startup: Vec<ObservedTensor> = (0..12).map(|t| corrupt(t, &mut rng)).collect();
+        let mut model = Brst::init(&startup, 2, 0.5, 7);
+        for t in 12..60 {
+            let slice = corrupt(t, &mut rng);
+            model.step(&slice);
+        }
+        assert!(
+            model.estimated_rank() < 2,
+            "expected ARD rank collapse under heavy corruption, rank = {}",
+            model.estimated_rank()
+        );
+    }
+
+    #[test]
+    fn pruned_components_do_not_contribute() {
+        let mut rng = SmallRng::seed_from_u64(53);
+        let truth = random_factors(&[4, 4], 2, &mut rng);
+        let mut model = Brst::init(&startup(&truth), 2, 0.5, 9);
+        // Force-prune component 1.
+        model.active[1] = false;
+        let slice = ObservedTensor::fully_observed(slice_at(&truth, 12));
+        let out = model.step(&slice);
+        // Reconstruction must equal the rank-1 part only: check it differs
+        // from the full rank-2 reconstruction.
+        let w_full = vec![1.0, 1.0];
+        let full = reconstruct_slice(model.factors.as_slice(), &w_full);
+        assert!(
+            (&out.completed - &full).frobenius_norm() > 1e-6,
+            "pruned component leaked into the reconstruction"
+        );
+        assert_eq!(model.estimated_rank(), 1);
+    }
+
+    #[test]
+    fn flags_outliers_against_posterior_noise() {
+        let mut rng = SmallRng::seed_from_u64(54);
+        let truth = random_factors(&[5, 5], 2, &mut rng);
+        let mut model = Brst::init(&startup(&truth), 2, 0.5, 11);
+        // Tighten the noise estimate on clean slices.
+        for t in 12..24 {
+            model.step(&ObservedTensor::fully_observed(slice_at(&truth, t)));
+        }
+        let mut vals = slice_at(&truth, 24);
+        vals.set(&[0, 0], 100.0);
+        let out = model.step(&ObservedTensor::fully_observed(vals));
+        let o = out.outliers.expect("BRST reports outliers");
+        assert!(o.get(&[0, 0]).abs() > 50.0, "spike not flagged");
+    }
+}

@@ -1,0 +1,73 @@
+//! Criterion bench: cost of one SOFIA_ALS sweep (Algorithm 2) versus
+//! tensor size and rank — the per-outer-iteration cost of Algorithm 1
+//! (Lemma 1: O(|Ω|·N·R·(N+R)) plus R³ per row).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sofia_core::als::{sofia_als, AlsOptions};
+use sofia_tensor::random::random_factors;
+use sofia_tensor::{kruskal, Mask, Matrix, ObservedTensor};
+
+fn make_batch(dim: usize, len: usize, rank: usize, missing: f64) -> ObservedTensor {
+    let mut rng = SmallRng::seed_from_u64(11);
+    let factors = random_factors(&[dim, dim, len], rank, &mut rng);
+    let refs: Vec<&Matrix> = factors.iter().collect();
+    let truth = kruskal::kruskal(&refs);
+    let mask = Mask::random(truth.shape().clone(), missing, &mut rng);
+    ObservedTensor::new(truth, mask)
+}
+
+fn bench_sweep_vs_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("als_sweep_vs_size");
+    group.sample_size(10);
+    for dim in [10usize, 20, 30] {
+        let data = make_batch(dim, 30, 5, 0.3);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let start = random_factors(&[dim, dim, 30], 5, &mut rng);
+        let opts = AlsOptions {
+            lambda1: 0.01,
+            lambda2: 0.01,
+            period: 10,
+            tol: 0.0,
+            max_iters: 1,
+        };
+        group.throughput(Throughput::Elements(data.count_observed() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            b.iter_batched(
+                || start.clone(),
+                |mut factors| sofia_als(&data, data.values(), &mut factors, &opts),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_sweep_vs_rank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("als_sweep_vs_rank");
+    group.sample_size(10);
+    for rank in [2usize, 5, 10] {
+        let data = make_batch(20, 30, rank, 0.3);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let start = random_factors(&[20, 20, 30], rank, &mut rng);
+        let opts = AlsOptions {
+            lambda1: 0.01,
+            lambda2: 0.01,
+            period: 10,
+            tol: 0.0,
+            max_iters: 1,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(rank), &rank, |b, _| {
+            b.iter_batched(
+                || start.clone(),
+                |mut factors| sofia_als(&data, data.values(), &mut factors, &opts),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_vs_size, bench_sweep_vs_rank);
+criterion_main!(benches);

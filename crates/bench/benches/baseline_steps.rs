@@ -1,0 +1,41 @@
+//! Criterion bench: per-step cost of every streaming method (the data
+//! behind Fig. 5's ART comparison) on an identical corrupted slice.
+//!
+//! The method object lives across iterations (state mutates, as in a real
+//! stream); initialization is excluded from the timing, matching the
+//! paper's ART protocol (§VI-D).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sofia_bench::suite::{build_method, MethodKind};
+use sofia_datagen::corrupt::{CorruptionConfig, Corruptor};
+use sofia_datagen::datasets::Dataset;
+use sofia_datagen::stream::TensorStream;
+use sofia_tensor::ObservedTensor;
+
+fn bench_method_steps(c: &mut Criterion) {
+    let dataset = Dataset::NetworkTraffic;
+    let stream = dataset.scaled_stream(0.5, 3);
+    let m = stream.period();
+    let corruptor = Corruptor::new(
+        CorruptionConfig::from_percents(30, 15, 3.0),
+        stream.max_abs_over_season(),
+        3,
+    );
+    let startup: Vec<ObservedTensor> = (0..3 * m)
+        .map(|t| corruptor.corrupt(&stream.clean_slice(t), t))
+        .collect();
+    let slice = corruptor.corrupt(&stream.clean_slice(3 * m), 3 * m);
+
+    let mut group = c.benchmark_group("baseline_step");
+    group.sample_size(20);
+    for kind in MethodKind::imputation_suite() {
+        let mut method = build_method(kind, &startup, dataset.paper_rank(), m, 120, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, _| {
+            b.iter(|| method.step(&slice))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_method_steps);
+criterion_main!(benches);

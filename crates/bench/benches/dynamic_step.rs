@@ -1,0 +1,106 @@
+//! Criterion bench: SOFIA's dynamic update cost (Lemma 2 / Fig. 7).
+//!
+//! Measures `DynamicState::update_only` — the `O(|Ω_t|·N·R)` model update —
+//! across slice sizes, observation fractions, and ranks. Linear growth in
+//! `|Ω_t|` and in `R` corroborates Lemma 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sofia_core::dynamic::DynamicState;
+use sofia_core::hw::HwBank;
+use sofia_core::SofiaConfig;
+use sofia_datagen::seasonal::{SeasonalComponent, SeasonalStream};
+use sofia_datagen::stream::TensorStream;
+use sofia_tensor::{Mask, Matrix, ObservedTensor};
+use sofia_timeseries::holt_winters::{HoltWinters, HwParams, HwState};
+
+fn make_state(dim: usize, rank: usize, m: usize) -> (SeasonalStream, DynamicState) {
+    let factors: Vec<Matrix> = (0..2)
+        .map(|n| Matrix::from_fn(dim, rank, |i, k| 0.1 + ((i + k + n) % 7) as f64 * 0.05))
+        .collect();
+    let components: Vec<SeasonalComponent> = (0..rank)
+        .map(|r| SeasonalComponent::simple(1.0, r as f64 * 0.7, 2.0, 0.0))
+        .collect();
+    let stream = SeasonalStream::new(factors.clone(), components, m);
+    let history: Vec<Vec<f64>> = (0..m).map(|t| stream.temporal_at(t)).collect();
+    let models: Vec<HoltWinters> = (0..rank)
+        .map(|r| {
+            let series: Vec<f64> = (0..m).map(|t| stream.temporal_at(t)[r]).collect();
+            let mean = series.iter().sum::<f64>() / m as f64;
+            let seasonal: Vec<f64> = series.iter().map(|v| v - mean).collect();
+            HoltWinters::new(
+                HwParams::new(0.2, 0.05, 0.1),
+                HwState::new(mean, 0.0, seasonal, 0),
+            )
+        })
+        .collect();
+    let config = SofiaConfig::new(rank, m);
+    let state = DynamicState::new(config, factors, history, HwBank::from_models(models));
+    (stream, state)
+}
+
+fn bench_vs_entries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic_step_vs_entries");
+    for dim in [20usize, 40, 80, 160] {
+        let (stream, state) = make_state(dim, 5, 10);
+        let slice = ObservedTensor::fully_observed(stream.clean_slice(3));
+        group.throughput(Throughput::Elements((dim * dim) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(dim * dim), &dim, |b, _| {
+            b.iter_batched(
+                || state.clone(),
+                |mut st| st.update_only(&slice),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_vs_rank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic_step_vs_rank");
+    for rank in [2usize, 5, 10, 20] {
+        let (stream, state) = make_state(60, rank, 10);
+        let slice = ObservedTensor::fully_observed(stream.clean_slice(3));
+        group.bench_with_input(BenchmarkId::from_parameter(rank), &rank, |b, _| {
+            b.iter_batched(
+                || state.clone(),
+                |mut st| st.update_only(&slice),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_vs_missingness(c: &mut Criterion) {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let mut group = c.benchmark_group("dynamic_step_vs_observed_fraction");
+    for missing_pct in [0u32, 50, 90] {
+        let (stream, state) = make_state(80, 5, 10);
+        let clean = stream.clean_slice(3);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mask = Mask::random(clean.shape().clone(), missing_pct as f64 / 100.0, &mut rng);
+        let slice = ObservedTensor::new(clean, mask);
+        group.throughput(Throughput::Elements(slice.count_observed() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("missing_{missing_pct}pct")),
+            &missing_pct,
+            |b, _| {
+                b.iter_batched(
+                    || state.clone(),
+                    |mut st| st.update_only(&slice),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_vs_entries,
+    bench_vs_rank,
+    bench_vs_missingness
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion bench: Holt-Winters substrate costs — per-observation update,
+//! h-step forecast, and full SSE fitting (the per-component work of SOFIA's
+//! §V-B phase).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sofia_timeseries::fit::fit_holt_winters;
+use sofia_timeseries::holt_winters::{HoltWinters, HwParams, HwState};
+
+fn seasonal_series(len: usize, m: usize) -> Vec<f64> {
+    (0..len)
+        .map(|t| {
+            5.0 + 0.01 * t as f64
+                + 2.0 * (2.0 * std::f64::consts::PI * (t % m) as f64 / m as f64).sin()
+        })
+        .collect()
+}
+
+fn bench_update(c: &mut Criterion) {
+    let series = seasonal_series(1000, 24);
+    c.bench_function("hw_update_1000_obs", |b| {
+        b.iter_batched(
+            || {
+                HoltWinters::new(
+                    HwParams::new(0.3, 0.1, 0.1),
+                    HwState::new(5.0, 0.0, vec![0.0; 24], 0),
+                )
+            },
+            |mut hw| {
+                for &y in &series {
+                    hw.update(y);
+                }
+                hw
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_forecast(c: &mut Criterion) {
+    let hw = HoltWinters::new(
+        HwParams::new(0.3, 0.1, 0.1),
+        HwState::new(5.0, 0.1, (0..168).map(|i| (i % 7) as f64).collect(), 0),
+    );
+    c.bench_function("hw_forecast_h200", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for h in 1..=200 {
+                acc += hw.forecast(h);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hw_fit");
+    group.sample_size(10);
+    for (len, m) in [(72usize, 24usize), (504, 168)] {
+        let series = seasonal_series(len, m);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("len{len}_m{m}")),
+            &series,
+            |b, s| b.iter(|| fit_holt_winters(s, m).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update, bench_forecast, bench_fit);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion bench: Algorithm 1 initialization cost (Lemma 1) and the
+//! serial-vs-threaded ALS accumulation speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sofia_core::als::{sofia_als_threaded, AlsOptions};
+use sofia_core::config::SofiaConfig;
+use sofia_core::init::initialize;
+use sofia_tensor::random::random_factors;
+use sofia_tensor::{kruskal, Mask, Matrix, ObservedTensor};
+
+fn batch(dim: usize, len: usize, rank: usize) -> ObservedTensor {
+    let mut rng = SmallRng::seed_from_u64(17);
+    let factors = random_factors(&[dim, dim, len], rank, &mut rng);
+    let refs: Vec<&Matrix> = factors.iter().collect();
+    let truth = kruskal::kruskal(&refs);
+    let mask = Mask::random(truth.shape().clone(), 0.3, &mut rng);
+    ObservedTensor::new(truth, mask)
+}
+
+fn bench_initialize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_initialize");
+    group.sample_size(10);
+    for outer in [20usize, 60] {
+        let data = batch(15, 36, 4);
+        let config = SofiaConfig::new(4, 12)
+            .with_lambdas(0.01, 0.01, 10.0)
+            .with_als_limits(1e-4, 1, outer);
+        group.bench_with_input(BenchmarkId::from_parameter(outer), &outer, |b, _| {
+            b.iter(|| initialize(&data, &config, 3))
+        });
+    }
+    group.finish();
+}
+
+fn bench_threaded_als(c: &mut Criterion) {
+    let mut group = c.benchmark_group("als_sweep_threads");
+    group.sample_size(10);
+    let data = batch(40, 60, 8);
+    let mut rng = SmallRng::seed_from_u64(5);
+    let start = random_factors(&[40, 40, 60], 8, &mut rng);
+    let opts = AlsOptions {
+        lambda1: 0.01,
+        lambda2: 0.01,
+        period: 12,
+        tol: 0.0,
+        max_iters: 1,
+    };
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter_batched(
+                || start.clone(),
+                |mut factors| sofia_als_threaded(&data, data.values(), &mut factors, &opts, t),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_initialize, bench_threaded_als);
+criterion_main!(benches);

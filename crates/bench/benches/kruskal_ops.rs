@@ -1,0 +1,63 @@
+//! Criterion bench: tensor substrate kernels — Kruskal reconstruction,
+//! Khatri-Rao products, masked fitness, and mode-n unfolding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sofia_tensor::random::random_factors;
+use sofia_tensor::{kruskal, unfold, Matrix};
+
+fn bench_kruskal_slice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kruskal_slice");
+    for dim in [50usize, 100, 200] {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let factors = random_factors(&[dim, dim], 10, &mut rng);
+        let w = vec![1.0; 10];
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            b.iter(|| kruskal::kruskal_slice(&refs, &w))
+        });
+    }
+    group.finish();
+}
+
+fn bench_khatri_rao(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let a = Matrix::from_fn(200, 10, |_, _| rand::Rng::gen(&mut rng));
+    let b = Matrix::from_fn(200, 10, |_, _| rand::Rng::gen(&mut rng));
+    c.bench_function("khatri_rao_200x200_r10", |bch| {
+        bch.iter(|| kruskal::khatri_rao(&a, &b))
+    });
+}
+
+fn bench_unfold(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let factors = random_factors(&[40, 40, 40], 5, &mut rng);
+    let refs: Vec<&Matrix> = factors.iter().collect();
+    let x = kruskal::kruskal(&refs);
+    let mut group = c.benchmark_group("unfold_40cubed");
+    for mode in 0..3 {
+        group.bench_with_input(BenchmarkId::from_parameter(mode), &mode, |b, &m| {
+            b.iter(|| unfold::unfold(&x, m))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gram_hadamard(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(4);
+    let factors = random_factors(&[300, 300, 300], 10, &mut rng);
+    let refs: Vec<&Matrix> = factors.iter().collect();
+    c.bench_function("gram_hadamard_300_r10", |b| {
+        b.iter(|| kruskal::gram_hadamard_excluding(&refs, 0))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_kruskal_slice,
+    bench_khatri_rao,
+    bench_unfold,
+    bench_gram_hadamard
+);
+criterion_main!(benches);

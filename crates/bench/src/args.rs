@@ -1,0 +1,142 @@
+//! Minimal CLI argument handling shared by the experiment binaries.
+//!
+//! Supported flags (all optional):
+//!
+//! * `--scale <f64>`   — spatial scale factor in (0, 1]; default 0.3 for
+//!   quick runs. `--full` sets it to 1.0 and removes stream shortening.
+//! * `--steps <usize>` — cap on evaluated stream steps after init.
+//! * `--out <dir>`     — output directory for CSVs (default `results`).
+//! * `--seed <u64>`    — base RNG seed (default 2021).
+
+use std::path::PathBuf;
+
+/// Parsed experiment options.
+#[derive(Debug, Clone)]
+pub struct ExpArgs {
+    /// Spatial scale in (0, 1].
+    pub scale: f64,
+    /// Cap on evaluated steps after initialization (`None` = dataset
+    /// stream length).
+    pub steps: Option<usize>,
+    /// Output directory for CSV series.
+    pub out: PathBuf,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Full-fidelity run (paper-size dimensions and stream lengths).
+    pub full: bool,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        Self {
+            scale: 0.3,
+            steps: None,
+            out: PathBuf::from("results"),
+            seed: 2021,
+            full: false,
+        }
+    }
+}
+
+impl ExpArgs {
+    /// Parses `std::env::args()`-style strings (the first element is the
+    /// program name and is skipped).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = Self::default();
+        let mut it = args.into_iter().skip(1);
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--scale" => {
+                    let v = it.next().ok_or("--scale needs a value")?;
+                    out.scale = v.parse().map_err(|_| format!("bad --scale {v}"))?;
+                    if !(out.scale > 0.0 && out.scale <= 1.0) {
+                        return Err(format!("--scale must be in (0,1], got {}", out.scale));
+                    }
+                }
+                "--steps" => {
+                    let v = it.next().ok_or("--steps needs a value")?;
+                    out.steps = Some(v.parse().map_err(|_| format!("bad --steps {v}"))?);
+                }
+                "--out" => {
+                    let v = it.next().ok_or("--out needs a value")?;
+                    out.out = PathBuf::from(v);
+                }
+                "--seed" => {
+                    let v = it.next().ok_or("--seed needs a value")?;
+                    out.seed = v.parse().map_err(|_| format!("bad --seed {v}"))?;
+                }
+                "--full" => {
+                    out.full = true;
+                    out.scale = 1.0;
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses the real process arguments, exiting with a message on error.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args()) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("argument error: {e}");
+                eprintln!(
+                    "usage: [--scale f] [--steps n] [--out dir] [--seed n] [--full]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ExpArgs, String> {
+        let mut v = vec!["prog".to_string()];
+        v.extend(args.iter().map(|s| s.to_string()));
+        ExpArgs::parse(v)
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.scale, 0.3);
+        assert_eq!(a.steps, None);
+        assert_eq!(a.seed, 2021);
+        assert!(!a.full);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = parse(&[
+            "--scale", "0.5", "--steps", "100", "--out", "/tmp/x", "--seed", "7",
+        ])
+        .unwrap();
+        assert_eq!(a.scale, 0.5);
+        assert_eq!(a.steps, Some(100));
+        assert_eq!(a.out, PathBuf::from("/tmp/x"));
+        assert_eq!(a.seed, 7);
+    }
+
+    #[test]
+    fn full_sets_scale_one() {
+        let a = parse(&["--full"]).unwrap();
+        assert!(a.full);
+        assert_eq!(a.scale, 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_scale() {
+        assert!(parse(&["--scale", "0"]).is_err());
+        assert!(parse(&["--scale", "1.5"]).is_err());
+        assert!(parse(&["--scale", "abc"]).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flag() {
+        assert!(parse(&["--bogus"]).is_err());
+    }
+}

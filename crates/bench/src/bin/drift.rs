@@ -1,0 +1,101 @@
+//! Concept-drift experiment (extension): how do the streaming methods
+//! recover after an abrupt subspace switch?
+//!
+//! The related work (§II) credits OLSTEC with faster adaptation than
+//! OnlineSGD "when subspaces change dramatically"; SOFIA's Holt-Winters
+//! components must relearn the new temporal patterns. This binary streams
+//! a [`RegimeSwitchStream`] (clean, fully observed — drift is the only
+//! difficulty), reports each method's error right after the switch, its
+//! recovery time back under a threshold, and its steady-state error.
+
+use sofia_bench::args::ExpArgs;
+use sofia_bench::suite::{build_method, MethodKind};
+use sofia_datagen::corrupt::{CorruptionConfig, Corruptor};
+use sofia_datagen::drift::RegimeSwitchStream;
+use sofia_datagen::seasonal::SeasonalStream;
+use sofia_eval::report::{text_table, write_report};
+use sofia_eval::runner::{run_stream, startup_window, StreamConfig};
+use sofia_eval::stats::recovery_time;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let m = 12;
+    let dim = (20.0 * args.scale.max(0.2) * 5.0) as usize; // 20 at default
+    let regime = |seed: u64| SeasonalStream::paper_fig2(&[dim, dim], 3, m, seed);
+    let t_init = 3 * m;
+    let switch_at = t_init + 4 * m;
+    let t_end = switch_at + 8 * m;
+    let stream = RegimeSwitchStream::new(
+        vec![regime(args.seed), regime(args.seed ^ 0xdeadbeef)],
+        vec![switch_at],
+    );
+    // Clean and fully observed: drift is the only challenge.
+    let corruptor = Corruptor::new(CorruptionConfig::from_percents(0, 0, 0.0), 1.0, 0);
+    let startup = startup_window(&stream, &corruptor, t_init);
+    let window = StreamConfig {
+        start: t_init,
+        end: t_end,
+    };
+
+    println!(
+        "Concept drift: {dim}x{dim} rank-3 stream, subspace switch at t = {switch_at}"
+    );
+    println!();
+
+    let methods = MethodKind::imputation_suite();
+    let mut rows = Vec::new();
+    let mut csv = String::from("method,pre_switch_rae,at_switch_nre,recovery_steps,post_rae\n");
+    for kind in methods {
+        let mut method = build_method(kind, &startup, 3, m, 150, args.seed);
+        let summary = run_stream(method.as_mut(), &stream, &corruptor, window);
+        let pre: Vec<f64> = summary
+            .steps
+            .iter()
+            .filter(|s| s.t < switch_at)
+            .map(|s| s.nre)
+            .collect();
+        let pre_rae = pre.iter().sum::<f64>() / pre.len() as f64;
+        let at_switch = summary
+            .steps
+            .iter()
+            .find(|s| s.t == switch_at)
+            .map(|s| s.nre)
+            .unwrap_or(f64::NAN);
+        // Recovery: first step after the switch back under 2× the
+        // pre-switch average (floored at 0.05).
+        let threshold = (2.0 * pre_rae).max(0.05);
+        let rec = recovery_time(&summary, switch_at, threshold);
+        let post: Vec<f64> = summary
+            .steps
+            .iter()
+            .filter(|s| s.t >= switch_at + 4 * m)
+            .map(|s| s.nre)
+            .collect();
+        let post_rae = post.iter().sum::<f64>() / post.len() as f64;
+        rows.push(vec![
+            kind.name().to_string(),
+            format!("{pre_rae:.3}"),
+            format!("{at_switch:.3}"),
+            rec.map(|r| r.to_string()).unwrap_or_else(|| "never".into()),
+            format!("{post_rae:.3}"),
+        ]);
+        csv.push_str(&format!(
+            "{},{:.6},{:.6},{},{:.6}\n",
+            kind.name(),
+            pre_rae,
+            at_switch,
+            rec.map(|r| r.to_string()).unwrap_or_else(|| "-1".into()),
+            post_rae
+        ));
+    }
+    print!(
+        "{}",
+        text_table(
+            &["method", "pre-switch RAE", "NRE at switch", "recovery (steps)", "post RAE"],
+            &rows
+        )
+    );
+    write_report(&args.out.join("drift.csv"), &csv).expect("write csv");
+    println!();
+    println!("CSV written to {}", args.out.join("drift.csv").display());
+}

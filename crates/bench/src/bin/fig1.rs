@@ -1,0 +1,165 @@
+//! Figure 1 — headline summary.
+//!
+//! (a) outlier-robust imputation: NRE over the stream on the Chicago Taxi
+//!     proxy at (70, 20, 5), R = 10;
+//! (b) fast and accurate: ART vs RAE per method on that cell;
+//! (c) accurate forecasting: AFE of SOFIA vs SMF vs CPHW on the Intel Lab
+//!     proxy with 20% outliers of magnitude ±5·max;
+//! (d) linear scalability: total dynamic-update time vs entries per step.
+//!
+//! Each panel is a reduced rendering of the corresponding full experiment
+//! (Figs. 3, 5, 6, 7) — run those binaries for the complete grids.
+
+use sofia_baselines::{CpHw, Smf};
+use sofia_bench::args::ExpArgs;
+use sofia_bench::experiments::{run_imputation_cell, CellOptions};
+use sofia_bench::suite::{sofia_config, MethodKind};
+use sofia_core::model::Sofia;
+use sofia_core::traits::StreamingFactorizer;
+use sofia_datagen::corrupt::{CorruptionConfig, Corruptor};
+use sofia_datagen::datasets::Dataset;
+use sofia_datagen::stream::TensorStream;
+use sofia_eval::metrics::afe;
+use sofia_eval::report::{multi_series_csv, text_table, write_report};
+use sofia_tensor::{DenseTensor, ObservedTensor};
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let opts = CellOptions {
+        scale: args.scale,
+        steps: args.steps.unwrap_or(if args.full { 1500 } else { 170 }),
+        max_outer: if args.full { 300 } else { 150 },
+        seed: args.seed,
+    };
+
+    // ---------------- (a) + (b): Chicago Taxi, (70,20,5), R = 10.
+    println!("Fig. 1(a): Chicago Taxi proxy, (70,20,5), NRE over the stream");
+    let cell = run_imputation_cell(
+        Dataset::ChicagoTaxi,
+        CorruptionConfig::from_percents(70, 20, 5.0),
+        &MethodKind::imputation_suite(),
+        opts,
+    );
+    let summaries: Vec<&sofia_eval::metrics::StreamSummary> = cell.summaries.iter().collect();
+    write_report(
+        &args.out.join("fig1a_chicago_nre.csv"),
+        &multi_series_csv(&summaries),
+    )
+    .expect("write csv");
+    for s in &cell.summaries {
+        println!("  {:10} RAE {:.3}", s.method, s.rae());
+    }
+    println!();
+
+    println!("Fig. 1(b): ART vs RAE (same cell)");
+    let rows: Vec<Vec<String>> = cell
+        .summaries
+        .iter()
+        .map(|s| {
+            vec![
+                s.method.clone(),
+                format!("{:.2e}", s.art_seconds()),
+                format!("{:.3}", s.rae()),
+            ]
+        })
+        .collect();
+    print!("{}", text_table(&["method", "ART (s)", "RAE"], &rows));
+    let sofia = cell
+        .summaries
+        .iter()
+        .find(|s| s.method == "SOFIA")
+        .expect("sofia present");
+    let mut by_rae: Vec<_> = cell.summaries.iter().collect();
+    by_rae.sort_by(|a, b| a.rae().partial_cmp(&b.rae()).unwrap());
+    if let Some(second) = by_rae.iter().find(|s| s.method != "SOFIA") {
+        println!(
+            "  SOFIA vs second-most-accurate ({}): {:+.0}% RAE, {:.0}x faster",
+            second.method,
+            100.0 * (1.0 - sofia.rae() / second.rae()),
+            second.art_seconds() / sofia.art_seconds()
+        );
+    }
+    println!();
+
+    // ---------------- (c): forecasting on the Intel Lab proxy.
+    println!("Fig. 1(c): forecasting AFE on the Intel Lab proxy, outliers (·,20,5)");
+    let dataset = Dataset::IntelLab;
+    let stream = dataset.scaled_stream(args.scale, args.seed);
+    let m = stream.period();
+    let t_hist = 6 * m;
+    let t_f = args.steps.unwrap_or(m).min(2 * m);
+    let corrupted = |missing: u32| {
+        Corruptor::new(
+            CorruptionConfig::from_percents(missing, 20, 5.0),
+            stream.max_abs_over_season(),
+            args.seed ^ 0xf00d,
+        )
+    };
+
+    // SOFIA at 70% missing (harshest headline setting).
+    let corr = corrupted(70);
+    let startup: Vec<ObservedTensor> = (0..3 * m)
+        .map(|t| corr.corrupt(&stream.clean_slice(t), t))
+        .collect();
+    let config = sofia_config(dataset.paper_rank(), m, opts.max_outer);
+    let mut sofia_model = Sofia::init(&config, &startup, args.seed).expect("init");
+    for t in 3 * m..t_hist {
+        sofia_model.update_only(&corr.corrupt(&stream.clean_slice(t), t));
+    }
+    let sofia_pairs: Vec<(DenseTensor, DenseTensor)> = (1..=t_f)
+        .map(|h| {
+            (
+                sofia_model.forecast_slice(h),
+                stream.clean_slice(t_hist + h - 1),
+            )
+        })
+        .collect();
+    let sofia_afe = afe(&sofia_pairs);
+
+    // SMF / CPHW fully observed.
+    let corr0 = corrupted(0);
+    let startup0: Vec<ObservedTensor> = (0..3 * m)
+        .map(|t| corr0.corrupt(&stream.clean_slice(t), t))
+        .collect();
+    let mut smf = Smf::init(&startup0, dataset.paper_rank(), m, 0.1, args.seed);
+    for t in 3 * m..t_hist {
+        smf.step(&corr0.corrupt(&stream.clean_slice(t), t));
+    }
+    let smf_pairs: Vec<(DenseTensor, DenseTensor)> = (1..=t_f)
+        .map(|h| {
+            (
+                smf.forecast(h).expect("smf forecasts"),
+                stream.clean_slice(t_hist + h - 1),
+            )
+        })
+        .collect();
+    let smf_afe = afe(&smf_pairs);
+
+    let history: Vec<ObservedTensor> = (0..t_hist)
+        .map(|t| corr0.corrupt(&stream.clean_slice(t), t))
+        .collect();
+    let cphw = CpHw::fit(&history, dataset.paper_rank(), m, 100, args.seed).expect("fit");
+    let cphw_pairs: Vec<(DenseTensor, DenseTensor)> = (1..=t_f)
+        .map(|h| (cphw.forecast(h), stream.clean_slice(t_hist + h - 1)))
+        .collect();
+    let cphw_afe = afe(&cphw_pairs);
+
+    let rows = vec![
+        vec!["SOFIA (70,20,5)".to_string(), format!("{sofia_afe:.3}")],
+        vec!["SMF (0,20,5)".to_string(), format!("{smf_afe:.3}")],
+        vec!["CPHW (0,20,5)".to_string(), format!("{cphw_afe:.3}")],
+    ];
+    print!("{}", text_table(&["algorithm", "AFE"], &rows));
+    let best_comp = smf_afe.min(cphw_afe);
+    println!(
+        "  SOFIA vs best competitor: {:+.0}%",
+        100.0 * (1.0 - sofia_afe / best_comp)
+    );
+    println!();
+
+    // ---------------- (d): pointer to fig7.
+    println!("Fig. 1(d): run `cargo run --release -p sofia-bench --bin fig7` for the");
+    println!("scalability panel (total dynamic-update time vs entries per step).");
+    println!();
+    println!("CSV written to {}", args.out.display());
+}

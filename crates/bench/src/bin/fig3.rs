@@ -1,0 +1,60 @@
+//! Figure 3 — imputation accuracy: NRE vs stream index, 4 datasets × 4
+//! corruption settings × 5 methods.
+//!
+//! Writes one CSV per (dataset, setting) cell with aligned NRE series for
+//! every method, and prints the per-cell RAE summary (which is exactly the
+//! Figure 4 data — run `fig4` for the bar-chart view).
+
+use sofia_bench::args::ExpArgs;
+use sofia_bench::experiments::{run_imputation_cell, CellOptions};
+use sofia_bench::suite::MethodKind;
+use sofia_datagen::corrupt::CorruptionConfig;
+use sofia_datagen::datasets::Dataset;
+use sofia_eval::report::{multi_series_csv, write_report};
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let opts = CellOptions {
+        scale: args.scale,
+        steps: args.steps.unwrap_or(if args.full { 1500 } else { 170 }),
+        max_outer: if args.full { 300 } else { 150 },
+        seed: args.seed,
+    };
+    let methods = MethodKind::imputation_suite();
+
+    println!("Figure 3: NRE over the stream, per dataset and corruption setting");
+    println!(
+        "(spatial scale {}, {} steps; RAE per cell below — Fig. 4 view)",
+        opts.scale, opts.steps
+    );
+    println!();
+
+    for dataset in Dataset::all() {
+        for setting in CorruptionConfig::paper_settings() {
+            let cell = run_imputation_cell(dataset, setting, &methods, opts);
+            let summaries: Vec<&sofia_eval::metrics::StreamSummary> =
+                cell.summaries.iter().collect();
+            let csv = multi_series_csv(&summaries);
+            let fname = format!(
+                "fig3_{}_{}.csv",
+                dataset.name().replace(' ', "_").to_lowercase(),
+                setting.label().replace(['(', ')'], "").replace(',', "-"),
+            );
+            write_report(&args.out.join(&fname), &csv).expect("write csv");
+
+            let raes: Vec<String> = cell
+                .summaries
+                .iter()
+                .map(|s| format!("{}={:.3}", s.method, s.rae()))
+                .collect();
+            println!(
+                "{:18} {:10}  RAE: {}",
+                dataset.name(),
+                setting.label(),
+                raes.join("  ")
+            );
+        }
+        println!();
+    }
+    println!("per-cell NRE series written to {}", args.out.display());
+}

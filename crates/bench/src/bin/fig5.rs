@@ -1,0 +1,75 @@
+//! Figure 5 — average running time (ART) per subtensor, per dataset and
+//! corruption setting, with the speedup of SOFIA over the second-most
+//! accurate method (the multipliers annotated in the paper).
+
+use sofia_bench::args::ExpArgs;
+use sofia_bench::experiments::{run_imputation_cell, CellOptions};
+use sofia_bench::suite::MethodKind;
+use sofia_datagen::corrupt::CorruptionConfig;
+use sofia_datagen::datasets::Dataset;
+use sofia_eval::report::{text_table, write_report};
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let opts = CellOptions {
+        scale: args.scale,
+        steps: args.steps.unwrap_or(if args.full { 1500 } else { 170 }),
+        max_outer: if args.full { 300 } else { 150 },
+        seed: args.seed,
+    };
+    let methods = MethodKind::imputation_suite();
+
+    println!("Figure 5: average running time per subtensor (seconds)");
+    println!("speedup column: SOFIA's ART vs the second-most-accurate method's ART");
+    println!();
+
+    let mut csv = String::from("dataset,setting,method,art_seconds,rae\n");
+    for dataset in Dataset::all() {
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for setting in CorruptionConfig::paper_settings() {
+            let cell = run_imputation_cell(dataset, setting, &methods, opts);
+            let stats: Vec<(String, f64, f64)> = cell
+                .summaries
+                .iter()
+                .map(|s| (s.method.clone(), s.art_seconds(), s.rae()))
+                .collect();
+            for (name, art, rae) in &stats {
+                csv.push_str(&format!(
+                    "{},{},{},{:.6e},{:.6}\n",
+                    dataset.name(),
+                    setting.label(),
+                    name,
+                    art,
+                    rae
+                ));
+            }
+            // The paper's annotation: SOFIA's speed vs the *second-most
+            // accurate* method.
+            let sofia_art = stats
+                .iter()
+                .find(|(n, _, _)| n == "SOFIA")
+                .map(|(_, a, _)| *a)
+                .unwrap_or(f64::NAN);
+            let mut by_rae = stats.clone();
+            by_rae.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+            let second_best = by_rae
+                .iter()
+                .find(|(n, _, _)| n != "SOFIA")
+                .map(|(_, a, _)| *a)
+                .unwrap_or(f64::NAN);
+            let speedup = second_best / sofia_art;
+            let mut row = vec![setting.label()];
+            row.extend(stats.iter().map(|(_, a, _)| format!("{a:.2e}")));
+            row.push(format!("{speedup:.1}x"));
+            rows.push(row);
+        }
+        let mut header = vec!["setting"];
+        header.extend(methods.iter().map(|m| m.name()));
+        header.push("speedup");
+        println!("--- {}", dataset.name());
+        print!("{}", text_table(&header, &rows));
+        println!();
+    }
+    write_report(&args.out.join("fig5_art.csv"), &csv).expect("write csv");
+    println!("CSV written to {}", args.out.join("fig5_art.csv").display());
+}

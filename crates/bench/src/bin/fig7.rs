@@ -1,0 +1,149 @@
+//! Figure 7 — scalability of SOFIA's dynamic updates.
+//!
+//! The paper's setup: a synthetic stream of 500×500 subtensors for 5000
+//! steps, seasonal period 10, fully observed, no outliers. (a) total
+//! running time vs the number of entries per subtensor (sampled first-mode
+//! sizes 50…500); (b) cumulative running time vs stream index (linearity ⇒
+//! constant per-step cost). Quick runs scale both down via `--scale` /
+//! `--steps`.
+
+use sofia_bench::args::ExpArgs;
+use sofia_core::dynamic::DynamicState;
+use sofia_core::hw::HwBank;
+use sofia_core::SofiaConfig;
+use sofia_datagen::seasonal::{SeasonalComponent, SeasonalStream};
+use sofia_datagen::stream::TensorStream;
+use sofia_eval::report::{series_csv, write_report};
+use sofia_tensor::{Matrix, ObservedTensor};
+use sofia_timeseries::holt_winters::{HoltWinters, HwParams, HwState};
+use std::time::Instant;
+
+/// Builds a SOFIA dynamic state directly from the generator's ground truth
+/// (initialization is excluded from Fig. 7's timing, per §VI-F).
+fn exact_state(stream: &SeasonalStream, config: &SofiaConfig) -> DynamicState {
+    let m = config.period;
+    let rank = config.rank;
+    let history: Vec<Vec<f64>> = (0..m).map(|t| stream.temporal_at(t)).collect();
+    let models: Vec<HoltWinters> = (0..rank)
+        .map(|r| {
+            let series: Vec<f64> = (0..3 * m).map(|t| stream.temporal_at(t)[r]).collect();
+            let mean = series.iter().sum::<f64>() / series.len() as f64;
+            let seasonal: Vec<f64> = (0..m).map(|p| series[p] - mean).collect();
+            HoltWinters::new(
+                HwParams::new(0.2, 0.05, 0.1),
+                HwState::new(mean, 0.0, seasonal, 0),
+            )
+        })
+        .collect();
+    DynamicState::new(
+        config.clone(),
+        stream.factors().to_vec(),
+        history,
+        HwBank::from_models(models),
+    )
+}
+
+fn stream_of(rows: usize, cols: usize, rank: usize, m: usize, seed: u64) -> SeasonalStream {
+    let mut factors = Vec::new();
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
+    for &d in &[rows, cols] {
+        factors.push(Matrix::from_fn(d, rank, |_, _| {
+            0.2 + 0.8 * rand::Rng::gen::<f64>(&mut rng) / (d as f64).sqrt()
+        }));
+    }
+    let components: Vec<SeasonalComponent> = (0..rank)
+        .map(|r| SeasonalComponent::simple(1.0, r as f64, 2.0, 0.0))
+        .collect();
+    SeasonalStream::new(factors, components, m)
+}
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let full_dim = (500.0 * args.scale).round().max(50.0) as usize;
+    let steps = args.steps.unwrap_or(if args.full { 5000 } else { 600 });
+    let rank = 5;
+    let m = 10;
+
+    println!("Figure 7: scalability (fully observed, no outliers, m = {m}, R = {rank})");
+    println!();
+
+    // --- (a) total time vs entries per subtensor.
+    println!("(a) total running time vs entries per subtensor ({steps} steps)");
+    let mut series_a = Vec::new();
+    let samples = 10;
+    for i in 1..=samples {
+        let rows = (full_dim * i).div_ceil(samples).max(2);
+        let stream = stream_of(rows, full_dim, rank, m, args.seed);
+        let config = SofiaConfig::new(rank, m);
+        let mut state = exact_state(&stream, &config);
+        let started = Instant::now();
+        for t in 0..steps {
+            let slice = ObservedTensor::fully_observed(stream.clean_slice(t));
+            state.update_only(&slice);
+        }
+        let total = started.elapsed().as_secs_f64();
+        let entries = rows * full_dim;
+        println!("  {entries:>9} entries/step: {total:.3} s total");
+        series_a.push((entries, total));
+    }
+    write_report(
+        &args.out.join("fig7a_entries.csv"),
+        &series_csv(("entries_per_step", "total_seconds"), &series_a),
+    )
+    .expect("write csv");
+
+    // Linearity check: time per entry should be ~constant.
+    let per_entry: Vec<f64> = series_a
+        .iter()
+        .map(|&(e, t)| t / e as f64)
+        .collect();
+    let min = per_entry.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_entry.iter().cloned().fold(0.0, f64::max);
+    println!(
+        "  per-entry cost spread max/min = {:.2} (≈1 ⇒ linear in |Ω_t|)",
+        max / min
+    );
+    println!();
+
+    // --- (b) cumulative time vs stream index.
+    println!("(b) cumulative running time vs stream index");
+    let stream = stream_of(full_dim, full_dim, rank, m, args.seed);
+    let config = SofiaConfig::new(rank, m);
+    let mut state = exact_state(&stream, &config);
+    let mut series_b = Vec::new();
+    let mut cumulative = 0.0;
+    let checkpoint = (steps / 10).max(1);
+    for t in 0..steps {
+        let slice = ObservedTensor::fully_observed(stream.clean_slice(t));
+        let started = Instant::now();
+        state.update_only(&slice);
+        cumulative += started.elapsed().as_secs_f64();
+        if (t + 1) % checkpoint == 0 {
+            series_b.push((t + 1, cumulative));
+        }
+    }
+    for &(t, c) in &series_b {
+        println!("  step {t:>6}: cumulative {c:.3} s");
+    }
+    write_report(
+        &args.out.join("fig7b_steps.csv"),
+        &series_csv(("step", "cumulative_seconds"), &series_b),
+    )
+    .expect("write csv");
+
+    // Constant per-step cost: compare first and last decile rates.
+    if series_b.len() >= 2 {
+        let (t1, c1) = series_b[0];
+        let (tn, cn) = *series_b.last().unwrap();
+        let early_rate = c1 / t1 as f64;
+        let late_rate = (cn - c1) / (tn - t1) as f64;
+        println!(
+            "  per-step cost early {:.2e}s vs late {:.2e}s (ratio {:.2} ≈ 1 ⇒ constant)",
+            early_rate,
+            late_rate,
+            late_rate / early_rate
+        );
+    }
+    println!();
+    println!("CSV written to {}", args.out.display());
+}

@@ -1,0 +1,271 @@
+//! The CLI subcommands: `generate`, `run`, and `resume`.
+
+use crate::format::{dense_to_csv, load_dir, slices_to_csv, Meta};
+use sofia_core::checkpoint;
+use sofia_core::model::Sofia;
+use sofia_core::SofiaConfig;
+use sofia_datagen::corrupt::{CorruptionConfig, Corruptor};
+use sofia_datagen::datasets::Dataset;
+use sofia_datagen::stream::TensorStream;
+use sofia_tensor::{DenseTensor, ObservedTensor};
+use std::fs;
+use std::path::Path;
+
+/// Boxed error for command results.
+pub type CmdResult = Result<(), Box<dyn std::error::Error>>;
+
+/// `generate`: writes a corrupted synthetic stream (one of the dataset
+/// proxies) into `dir` as `meta.txt`, `observed.csv`, and `clean.csv`.
+pub fn generate(
+    dir: &Path,
+    dataset_name: &str,
+    scale: f64,
+    steps: usize,
+    setting: (u32, u32, f64),
+    seed: u64,
+) -> CmdResult {
+    let dataset = match dataset_name.to_lowercase().as_str() {
+        "intel" | "intel-lab" => Dataset::IntelLab,
+        "traffic" | "network-traffic" => Dataset::NetworkTraffic,
+        "chicago" | "chicago-taxi" => Dataset::ChicagoTaxi,
+        "nyc" | "nyc-taxi" => Dataset::NycTaxi,
+        other => return Err(format!("unknown dataset `{other}` (intel|traffic|chicago|nyc)").into()),
+    };
+    let stream = dataset.scaled_stream(scale, seed);
+    let meta = Meta {
+        dims: stream.slice_shape().dims().to_vec(),
+        period: stream.period(),
+    };
+    let config = CorruptionConfig::from_percents(setting.0, setting.1, setting.2);
+    let corruptor = Corruptor::new(config, stream.max_abs_over_season(), seed ^ 0x9e37);
+
+    let clean: Vec<DenseTensor> = stream.clean_range(0, steps);
+    let observed: Vec<ObservedTensor> = clean
+        .iter()
+        .enumerate()
+        .map(|(t, s)| corruptor.corrupt(s, t))
+        .collect();
+
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join("meta.txt"), meta.to_text())?;
+    let obs_refs: Vec<(usize, &ObservedTensor)> =
+        observed.iter().enumerate().collect();
+    fs::write(dir.join("observed.csv"), slices_to_csv(&obs_refs))?;
+    let clean_refs: Vec<(usize, &DenseTensor)> = clean.iter().enumerate().collect();
+    fs::write(dir.join("clean.csv"), dense_to_csv(&clean_refs))?;
+
+    println!(
+        "generated {} steps of the {} proxy ({} slice, period {}) at {} into {}",
+        steps,
+        dataset.name(),
+        stream.slice_shape(),
+        stream.period(),
+        config.label(),
+        dir.display()
+    );
+    Ok(())
+}
+
+/// `run`: streams SOFIA over a stream directory, writing `imputed.csv`,
+/// `outliers.csv`, and optional forecasts/checkpoint; prints NRE metrics
+/// when `clean.csv` is available.
+pub fn run(
+    dir: &Path,
+    rank: usize,
+    forecast_horizon: usize,
+    checkpoint_path: Option<&Path>,
+    seed: u64,
+) -> CmdResult {
+    let (meta, observed, clean) = load_dir(dir)?;
+    let m = meta.period;
+    let t_init = 3 * m;
+    if observed.len() <= t_init {
+        return Err(format!(
+            "stream too short: need more than 3 seasons ({} slices), got {}",
+            t_init,
+            observed.len()
+        )
+        .into());
+    }
+    let config = SofiaConfig::new(rank, m)
+        .with_lambdas(0.01, 0.01, 10.0)
+        .with_als_limits(1e-4, 1, 200);
+    let mut model = Sofia::init(&config, &observed[..t_init], seed)?;
+    println!("initialized on the first {t_init} slices (3 seasons of period {m})");
+
+    let mut imputed_rows: Vec<(usize, ObservedTensor)> = Vec::new();
+    let mut outlier_rows: Vec<(usize, ObservedTensor)> = Vec::new();
+    let mut nre_sum = 0.0;
+    let mut nre_count = 0usize;
+    for (t, slice) in observed.iter().enumerate().skip(t_init) {
+        let out = model.step(slice);
+        if let Some(clean_slices) = &clean {
+            if let Some(truth) = clean_slices.get(t) {
+                let nre = (&out.completed - truth).frobenius_norm() / truth.frobenius_norm();
+                nre_sum += nre;
+                nre_count += 1;
+            }
+        }
+        imputed_rows.push((t, ObservedTensor::fully_observed(out.completed)));
+        outlier_rows.push((t, ObservedTensor::fully_observed(out.outliers)));
+    }
+    let imp_refs: Vec<(usize, &ObservedTensor)> =
+        imputed_rows.iter().map(|(t, s)| (*t, s)).collect();
+    fs::write(dir.join("imputed.csv"), slices_to_csv(&imp_refs))?;
+    let out_refs: Vec<(usize, &ObservedTensor)> =
+        outlier_rows.iter().map(|(t, s)| (*t, s)).collect();
+    fs::write(dir.join("outliers.csv"), slices_to_csv(&out_refs))?;
+    println!(
+        "streamed {} slices → {} and {}",
+        imputed_rows.len(),
+        dir.join("imputed.csv").display(),
+        dir.join("outliers.csv").display()
+    );
+    if nre_count > 0 {
+        println!(
+            "running average imputation error vs clean.csv: {:.4}",
+            nre_sum / nre_count as f64
+        );
+    }
+
+    if forecast_horizon > 0 {
+        let t_end = observed.len();
+        let forecasts: Vec<(usize, DenseTensor)> = (1..=forecast_horizon)
+            .map(|h| (t_end + h - 1, model.forecast_slice(h)))
+            .collect();
+        let fc_refs: Vec<(usize, &DenseTensor)> =
+            forecasts.iter().map(|(t, s)| (*t, s)).collect();
+        fs::write(dir.join("forecast.csv"), dense_to_csv(&fc_refs))?;
+        println!(
+            "forecast {} steps → {}",
+            forecast_horizon,
+            dir.join("forecast.csv").display()
+        );
+    }
+
+    if let Some(path) = checkpoint_path {
+        fs::write(path, checkpoint::save(&model))?;
+        println!("checkpoint written to {}", path.display());
+    }
+    Ok(())
+}
+
+/// `resume`: restores a checkpoint and continues over a new stream
+/// directory (whose `observed.csv` holds the *next* slices, starting at
+/// t = 0 in file order).
+pub fn resume(
+    checkpoint_path: &Path,
+    dir: &Path,
+    forecast_horizon: usize,
+    out_checkpoint: Option<&Path>,
+) -> CmdResult {
+    let text = fs::read_to_string(checkpoint_path)?;
+    let mut model = checkpoint::load(&text)?;
+    let (_meta, observed, clean) = load_dir(dir)?;
+
+    let mut nre_sum = 0.0;
+    let mut nre_count = 0usize;
+    let mut imputed_rows: Vec<(usize, ObservedTensor)> = Vec::new();
+    for (t, slice) in observed.iter().enumerate() {
+        let out = model.step(slice);
+        if let Some(clean_slices) = &clean {
+            if let Some(truth) = clean_slices.get(t) {
+                nre_sum += (&out.completed - truth).frobenius_norm() / truth.frobenius_norm();
+                nre_count += 1;
+            }
+        }
+        imputed_rows.push((t, ObservedTensor::fully_observed(out.completed)));
+    }
+    let imp_refs: Vec<(usize, &ObservedTensor)> =
+        imputed_rows.iter().map(|(t, s)| (*t, s)).collect();
+    fs::write(dir.join("imputed.csv"), slices_to_csv(&imp_refs))?;
+    println!(
+        "resumed from {} over {} slices",
+        checkpoint_path.display(),
+        imputed_rows.len()
+    );
+    if nre_count > 0 {
+        println!(
+            "running average imputation error vs clean.csv: {:.4}",
+            nre_sum / nre_count as f64
+        );
+    }
+    if forecast_horizon > 0 {
+        let t_end = observed.len();
+        let forecasts: Vec<(usize, DenseTensor)> = (1..=forecast_horizon)
+            .map(|h| (t_end + h - 1, model.forecast_slice(h)))
+            .collect();
+        let fc_refs: Vec<(usize, &DenseTensor)> =
+            forecasts.iter().map(|(t, s)| (*t, s)).collect();
+        fs::write(dir.join("forecast.csv"), dense_to_csv(&fc_refs))?;
+    }
+    if let Some(path) = out_checkpoint {
+        fs::write(path, checkpoint::save(&model))?;
+        println!("updated checkpoint written to {}", path.display());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("sofia_cli_{name}"));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn generate_then_run_end_to_end() {
+        let dir = tmpdir("e2e");
+        // NYC proxy has period 7 → fast.
+        generate(&dir, "nyc", 0.05, 7 * 5, (30, 10, 3.0), 11).unwrap();
+        assert!(dir.join("observed.csv").exists());
+        assert!(dir.join("clean.csv").exists());
+
+        let ckpt = dir.join("model.ckpt");
+        run(&dir, 3, 7, Some(&ckpt), 1).unwrap();
+        assert!(dir.join("imputed.csv").exists());
+        assert!(dir.join("outliers.csv").exists());
+        assert!(dir.join("forecast.csv").exists());
+        assert!(ckpt.exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_continues_from_checkpoint() {
+        let dir = tmpdir("resume");
+        generate(&dir, "nyc", 0.05, 7 * 5, (20, 10, 2.0), 5).unwrap();
+        let ckpt = dir.join("model.ckpt");
+        run(&dir, 3, 0, Some(&ckpt), 1).unwrap();
+
+        // New continuation data in a second dir.
+        let dir2 = tmpdir("resume2");
+        generate(&dir2, "nyc", 0.05, 7, (20, 10, 2.0), 6).unwrap();
+        let ckpt2 = dir2.join("model2.ckpt");
+        resume(&ckpt, &dir2, 3, Some(&ckpt2)).unwrap();
+        assert!(dir2.join("imputed.csv").exists());
+        assert!(dir2.join("forecast.csv").exists());
+        assert!(ckpt2.exists());
+        let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn generate_rejects_unknown_dataset() {
+        let dir = tmpdir("unknown");
+        assert!(generate(&dir, "mars-rover", 0.1, 10, (0, 0, 0.0), 1).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_rejects_short_stream() {
+        let dir = tmpdir("short");
+        generate(&dir, "nyc", 0.05, 5, (0, 0, 0.0), 1).unwrap();
+        let e = run(&dir, 2, 0, None, 1).unwrap_err();
+        assert!(e.to_string().contains("too short"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

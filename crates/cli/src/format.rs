@@ -1,0 +1,314 @@
+//! The CLI's on-disk stream format.
+//!
+//! A stream lives in a directory with two files:
+//!
+//! * `meta.txt` — `dims d1 d2 …` and `period m` lines;
+//! * `observed.csv` — long format `t,i1,i2,…,value`, one row per observed
+//!   entry (missing entries are simply absent). An optional `clean.csv`
+//!   with the same layout carries ground truth for scoring.
+//!
+//! The format is deliberately trivial so users can produce it with any
+//! tool; the parser is strict and reports line numbers on errors.
+
+use sofia_tensor::{DenseTensor, Mask, ObservedTensor, Shape};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// Stream metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Meta {
+    /// Slice dimensions (non-temporal modes).
+    pub dims: Vec<usize>,
+    /// Seasonal period.
+    pub period: usize,
+}
+
+/// Errors raised by the format parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FormatError {
+    /// Human-readable description with location.
+    pub message: String,
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+fn err(message: impl Into<String>) -> FormatError {
+    FormatError {
+        message: message.into(),
+    }
+}
+
+impl Meta {
+    /// Serializes to `meta.txt` content.
+    pub fn to_text(&self) -> String {
+        let dims: Vec<String> = self.dims.iter().map(|d| d.to_string()).collect();
+        format!("dims {}\nperiod {}\n", dims.join(" "), self.period)
+    }
+
+    /// Parses `meta.txt` content.
+    pub fn parse(text: &str) -> Result<Self, FormatError> {
+        let mut dims = None;
+        let mut period = None;
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("dims ") {
+                let parsed: Result<Vec<usize>, _> =
+                    rest.split_whitespace().map(|t| t.parse()).collect();
+                dims = Some(parsed.map_err(|_| err(format!("meta.txt:{}: bad dims", lineno + 1)))?);
+            } else if let Some(rest) = line.strip_prefix("period ") {
+                period = Some(
+                    rest.trim()
+                        .parse()
+                        .map_err(|_| err(format!("meta.txt:{}: bad period", lineno + 1)))?,
+                );
+            } else {
+                return Err(err(format!("meta.txt:{}: unknown line `{line}`", lineno + 1)));
+            }
+        }
+        let dims = dims.ok_or_else(|| err("meta.txt: missing `dims` line"))?;
+        let period = period.ok_or_else(|| err("meta.txt: missing `period` line"))?;
+        if dims.is_empty() || dims.contains(&0) {
+            return Err(err("meta.txt: dims must be positive"));
+        }
+        if period == 0 {
+            return Err(err("meta.txt: period must be positive"));
+        }
+        Ok(Meta { dims, period })
+    }
+}
+
+/// Serializes slices (observed entries only) to the long CSV format.
+pub fn slices_to_csv(slices: &[(usize, &ObservedTensor)]) -> String {
+    let mut out = String::new();
+    if let Some((_, first)) = slices.first() {
+        let order = first.shape().order();
+        let _ = write!(out, "t");
+        for n in 0..order {
+            let _ = write!(out, ",i{n}");
+        }
+        let _ = writeln!(out, ",value");
+    }
+    for &(t, slice) in slices {
+        let shape = slice.shape();
+        let mut idx = vec![0usize; shape.order()];
+        for (off, v) in slice.observed_entries() {
+            shape.unravel_into(off, &mut idx);
+            let _ = write!(out, "{t}");
+            for &i in &idx {
+                let _ = write!(out, ",{i}");
+            }
+            let _ = writeln!(out, ",{v}");
+        }
+    }
+    out
+}
+
+/// Parses the long CSV format into per-timestep observed slices
+/// (t → slice), using `meta` for the slice shape. Timesteps with no rows
+/// are returned as fully missing slices up to the maximum seen `t`.
+pub fn csv_to_slices(text: &str, meta: &Meta) -> Result<Vec<ObservedTensor>, FormatError> {
+    let shape = Shape::new(&meta.dims);
+    let order = shape.order();
+    let mut per_t: BTreeMap<usize, Vec<(usize, f64)>> = BTreeMap::new();
+    let mut max_t = None;
+
+    for (lineno, line) in text.lines().enumerate() {
+        if lineno == 0 && line.starts_with('t') {
+            continue; // header
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != order + 2 {
+            return Err(err(format!(
+                "line {}: expected {} fields, got {}",
+                lineno + 1,
+                order + 2,
+                fields.len()
+            )));
+        }
+        let t: usize = fields[0]
+            .parse()
+            .map_err(|_| err(format!("line {}: bad t", lineno + 1)))?;
+        let mut idx = vec![0usize; order];
+        for (n, f) in fields[1..1 + order].iter().enumerate() {
+            idx[n] = f
+                .parse()
+                .map_err(|_| err(format!("line {}: bad index", lineno + 1)))?;
+            if idx[n] >= meta.dims[n] {
+                return Err(err(format!(
+                    "line {}: index {} out of bounds for mode {n} (dim {})",
+                    lineno + 1,
+                    idx[n],
+                    meta.dims[n]
+                )));
+            }
+        }
+        let value: f64 = fields[order + 1]
+            .parse()
+            .map_err(|_| err(format!("line {}: bad value", lineno + 1)))?;
+        per_t.entry(t).or_default().push((shape.offset(&idx), value));
+        max_t = Some(max_t.map_or(t, |m: usize| m.max(t)));
+    }
+
+    let Some(max_t) = max_t else {
+        return Ok(Vec::new());
+    };
+    let mut slices = Vec::with_capacity(max_t + 1);
+    for t in 0..=max_t {
+        let mut values = DenseTensor::zeros(shape.clone());
+        let mut observed = vec![false; shape.len()];
+        if let Some(entries) = per_t.get(&t) {
+            for &(off, v) in entries {
+                values.set_flat(off, v);
+                observed[off] = true;
+            }
+        }
+        slices.push(ObservedTensor::new(
+            values,
+            Mask::from_vec(shape.clone(), observed),
+        ));
+    }
+    Ok(slices)
+}
+
+/// Serializes dense (fully observed) slices to the same CSV layout.
+pub fn dense_to_csv(slices: &[(usize, &DenseTensor)]) -> String {
+    let observed: Vec<(usize, ObservedTensor)> = slices
+        .iter()
+        .map(|&(t, d)| (t, ObservedTensor::fully_observed(d.clone())))
+        .collect();
+    let refs: Vec<(usize, &ObservedTensor)> =
+        observed.iter().map(|(t, o)| (*t, o)).collect();
+    slices_to_csv(&refs)
+}
+
+/// A loaded stream directory: metadata, observed slices, and optional
+/// clean ground truth.
+pub type LoadedStream = (Meta, Vec<ObservedTensor>, Option<Vec<DenseTensor>>);
+
+/// Loads a stream directory: `meta.txt` + `observed.csv`
+/// (+ optional `clean.csv`).
+pub fn load_dir(dir: &Path) -> Result<LoadedStream, FormatError> {
+    let meta_text = fs::read_to_string(dir.join("meta.txt"))
+        .map_err(|e| err(format!("reading meta.txt: {e}")))?;
+    let meta = Meta::parse(&meta_text)?;
+    let obs_text = fs::read_to_string(dir.join("observed.csv"))
+        .map_err(|e| err(format!("reading observed.csv: {e}")))?;
+    let observed = csv_to_slices(&obs_text, &meta)?;
+    let clean = match fs::read_to_string(dir.join("clean.csv")) {
+        Ok(text) => Some(
+            csv_to_slices(&text, &meta)?
+                .into_iter()
+                .map(|o| o.values().clone())
+                .collect(),
+        ),
+        Err(_) => None,
+    };
+    Ok((meta, observed, clean))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta23() -> Meta {
+        Meta {
+            dims: vec![2, 3],
+            period: 4,
+        }
+    }
+
+    #[test]
+    fn meta_roundtrip() {
+        let m = meta23();
+        assert_eq!(Meta::parse(&m.to_text()).unwrap(), m);
+    }
+
+    #[test]
+    fn meta_rejects_garbage() {
+        assert!(Meta::parse("dims 2 0\nperiod 3\n").is_err());
+        assert!(Meta::parse("period 3\n").is_err());
+        assert!(Meta::parse("dims 2 2\n").is_err());
+        assert!(Meta::parse("dims 2 2\nperiod 3\nwhat 1\n").is_err());
+    }
+
+    #[test]
+    fn csv_roundtrip_with_missing() {
+        let meta = meta23();
+        let shape = Shape::new(&meta.dims);
+        let values = DenseTensor::from_fn(shape.clone(), |idx| (idx[0] * 3 + idx[1]) as f64);
+        let mask = Mask::from_vec(shape, vec![true, false, true, true, false, true]);
+        let slice = ObservedTensor::new(values, mask);
+        let csv = slices_to_csv(&[(0, &slice), (1, &slice)]);
+        let back = csv_to_slices(&csv, &meta).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0], slice);
+        assert_eq!(back[1], slice);
+    }
+
+    #[test]
+    fn csv_fills_gap_timesteps_as_missing() {
+        let meta = meta23();
+        let csv = "t,i0,i1,value\n0,0,0,1.5\n2,1,2,-3.0\n";
+        let slices = csv_to_slices(csv, &meta).unwrap();
+        assert_eq!(slices.len(), 3);
+        assert_eq!(slices[0].count_observed(), 1);
+        assert_eq!(slices[1].count_observed(), 0);
+        assert_eq!(slices[2].count_observed(), 1);
+        assert_eq!(slices[2].values().get(&[1, 2]), -3.0);
+    }
+
+    #[test]
+    fn csv_reports_bad_lines() {
+        let meta = meta23();
+        assert!(csv_to_slices("t,i0,i1,value\n0,0,0\n", &meta)
+            .unwrap_err()
+            .message
+            .contains("expected 4 fields"));
+        assert!(csv_to_slices("t,i0,i1,value\n0,9,0,1.0\n", &meta)
+            .unwrap_err()
+            .message
+            .contains("out of bounds"));
+        assert!(csv_to_slices("t,i0,i1,value\n0,0,0,abc\n", &meta)
+            .unwrap_err()
+            .message
+            .contains("bad value"));
+    }
+
+    #[test]
+    fn empty_csv_gives_no_slices() {
+        let meta = meta23();
+        assert!(csv_to_slices("t,i0,i1,value\n", &meta).unwrap().is_empty());
+    }
+
+    #[test]
+    fn load_dir_roundtrip() {
+        let dir = std::env::temp_dir().join("sofia_cli_format_test");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let meta = meta23();
+        fs::write(dir.join("meta.txt"), meta.to_text()).unwrap();
+        let shape = Shape::new(&meta.dims);
+        let slice = ObservedTensor::fully_observed(DenseTensor::full(shape, 2.0));
+        fs::write(dir.join("observed.csv"), slices_to_csv(&[(0, &slice)])).unwrap();
+        let (m2, obs, clean) = load_dir(&dir).unwrap();
+        assert_eq!(m2, meta);
+        assert_eq!(obs.len(), 1);
+        assert!(clean.is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,140 @@
+//! `sofia-cli` — stream SOFIA over CSV tensor streams from the shell.
+//!
+//! ```text
+//! sofia-cli generate --dir data/ --dataset chicago [--scale 0.25]
+//!                    [--steps 600] [--setting 50,20,4] [--seed 7]
+//! sofia-cli run      --dir data/ --rank 10 [--forecast 24]
+//!                    [--checkpoint model.ckpt] [--seed 7]
+//! sofia-cli resume   --checkpoint model.ckpt --dir more/ [--forecast 24]
+//!                    [--save-checkpoint model2.ckpt]
+//! ```
+//!
+//! The stream directory format is documented in [`format`].
+
+mod commands;
+mod format;
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage:\n  sofia-cli generate --dir DIR --dataset intel|traffic|chicago|nyc \
+     [--scale F] [--steps N] [--setting X,Y,Z] [--seed N]\n  \
+     sofia-cli run --dir DIR --rank R [--forecast H] [--checkpoint FILE] [--seed N]\n  \
+     sofia-cli resume --checkpoint FILE --dir DIR [--forecast H] [--save-checkpoint FILE]"
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut map = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let key = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got `{flag}`"))?;
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        map.insert(key.to_string(), value.clone());
+    }
+    Ok(map)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let get = |k: &str| flags.get(k).cloned();
+    let parse_setting = |s: &str| -> Result<(u32, u32, f64), String> {
+        let parts: Vec<&str> = s.split(',').collect();
+        if parts.len() != 3 {
+            return Err(format!("bad --setting `{s}`, expected X,Y,Z"));
+        }
+        Ok((
+            parts[0].parse().map_err(|_| "bad X".to_string())?,
+            parts[1].parse().map_err(|_| "bad Y".to_string())?,
+            parts[2].parse().map_err(|_| "bad Z".to_string())?,
+        ))
+    };
+
+    let result = match cmd.as_str() {
+        "generate" => {
+            let dir = get("dir").map(PathBuf::from);
+            let dataset = get("dataset");
+            match (dir, dataset) {
+                (Some(dir), Some(dataset)) => {
+                    let scale = get("scale").and_then(|v| v.parse().ok()).unwrap_or(0.2);
+                    let steps = get("steps").and_then(|v| v.parse().ok()).unwrap_or(400);
+                    let seed = get("seed").and_then(|v| v.parse().ok()).unwrap_or(2021);
+                    let setting = match get("setting") {
+                        Some(s) => match parse_setting(&s) {
+                            Ok(v) => v,
+                            Err(e) => {
+                                eprintln!("error: {e}");
+                                return ExitCode::from(2);
+                            }
+                        },
+                        None => (30, 15, 3.0),
+                    };
+                    commands::generate(&dir, &dataset, scale, steps, setting, seed)
+                }
+                _ => {
+                    eprintln!("generate needs --dir and --dataset\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        "run" => {
+            let dir = get("dir").map(PathBuf::from);
+            let rank = get("rank").and_then(|v| v.parse().ok());
+            match (dir, rank) {
+                (Some(dir), Some(rank)) => {
+                    let horizon = get("forecast").and_then(|v| v.parse().ok()).unwrap_or(0);
+                    let seed = get("seed").and_then(|v| v.parse().ok()).unwrap_or(2021);
+                    let ckpt = get("checkpoint").map(PathBuf::from);
+                    commands::run(&dir, rank, horizon, ckpt.as_deref(), seed)
+                }
+                _ => {
+                    eprintln!("run needs --dir and --rank\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        "resume" => {
+            let ckpt = get("checkpoint").map(PathBuf::from);
+            let dir = get("dir").map(PathBuf::from);
+            match (ckpt, dir) {
+                (Some(ckpt), Some(dir)) => {
+                    let horizon = get("forecast").and_then(|v| v.parse().ok()).unwrap_or(0);
+                    let out = get("save-checkpoint").map(PathBuf::from);
+                    commands::resume(&ckpt, &dir, horizon, out.as_deref())
+                }
+                _ => {
+                    eprintln!("resume needs --checkpoint and --dir\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

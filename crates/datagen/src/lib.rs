@@ -1,0 +1,31 @@
+//! # sofia-datagen
+//!
+//! Synthetic tensor-stream workloads for the SOFIA reproduction.
+//!
+//! The paper evaluates on four real datasets (Intel Lab Sensor, Network
+//! Traffic, Chicago Taxi, NYC Taxi; Table III) that are not redistributable
+//! here. This crate provides **synthetic proxies** with the same
+//! dimensions, seasonal periods, and value-scale conventions
+//! (standardization / `log2(x+1)`), generated as low-rank seasonal CP
+//! structure plus noise — exactly the structure SOFIA and its competitors
+//! model — so every experiment exercises the same code paths as the
+//! originals (see DESIGN.md, substitutions).
+//!
+//! * [`seasonal`] — low-rank seasonal stream generators, including the
+//!   sinusoidal ground truth of the paper's Figure 2;
+//! * [`corrupt`] — the `(X, Y, Z)` missing/outlier corruption protocol of
+//!   §VI-A;
+//! * [`datasets`] — the four dataset proxies of Table III;
+//! * [`stream`] — the slice-at-a-time [`stream::TensorStream`] abstraction
+//!   used by the evaluation harness.
+
+pub mod anomalies;
+pub mod corrupt;
+pub mod datasets;
+pub mod drift;
+pub mod seasonal;
+pub mod stream;
+
+pub use corrupt::{CorruptionConfig, Corruptor};
+pub use seasonal::SeasonalStream;
+pub use stream::TensorStream;

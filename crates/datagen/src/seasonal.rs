@@ -1,0 +1,263 @@
+//! Low-rank seasonal stream generators.
+//!
+//! The workhorse is [`SeasonalStream`]: a rank-`R` CP stream whose temporal
+//! components are sinusoids with per-component amplitude, phase, offset,
+//! and optional linear trend — the construction used for the paper's
+//! synthetic experiments (Figure 2 uses
+//! `ũ⁽³⁾ᵣ = aᵣ·sin((2π/m)·i + bᵣ) + cᵣ` with `aᵣ, cᵣ ∈ U[−2,2]`,
+//! `bᵣ ∈ U[0,2π]`).
+
+use crate::stream::TensorStream;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sofia_tensor::{kruskal, DenseTensor, Matrix, Shape};
+
+/// Parameters of one sinusoidal temporal component:
+/// `u_r(t) = amplitude·sin((2π·harmonic/m)·t + phase) + offset + trend·t`.
+///
+/// `harmonic = 1` gives one cycle per season; higher integers model
+/// sub-seasonal structure (e.g., a daily cycle inside a weekly period with
+/// `harmonic = 7`) while keeping the overall period `m`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeasonalComponent {
+    /// Sinusoid amplitude `aᵣ`.
+    pub amplitude: f64,
+    /// Phase shift `bᵣ` (radians).
+    pub phase: f64,
+    /// Constant offset `cᵣ`.
+    pub offset: f64,
+    /// Linear trend per time step (0 in the paper's Fig. 2 construction).
+    pub trend: f64,
+    /// Frequency multiplier (cycles per season).
+    pub harmonic: f64,
+}
+
+impl SeasonalComponent {
+    /// A plain one-cycle-per-season component.
+    pub fn simple(amplitude: f64, phase: f64, offset: f64, trend: f64) -> Self {
+        Self {
+            amplitude,
+            phase,
+            offset,
+            trend,
+            harmonic: 1.0,
+        }
+    }
+}
+
+/// A rank-`R` seasonal CP tensor stream with fixed non-temporal factors
+/// and sinusoidal temporal components.
+#[derive(Debug, Clone)]
+pub struct SeasonalStream {
+    factors: Vec<Matrix>,
+    components: Vec<SeasonalComponent>,
+    period: usize,
+    shape: Shape,
+    /// Optional i.i.d. Gaussian observation noise added to each entry,
+    /// deterministic in `(t, entry)` so slices are reproducible.
+    noise_sigma: f64,
+    noise_seed: u64,
+}
+
+impl SeasonalStream {
+    /// Builds a stream from explicit non-temporal factors and components.
+    pub fn new(
+        factors: Vec<Matrix>,
+        components: Vec<SeasonalComponent>,
+        period: usize,
+    ) -> Self {
+        assert!(!factors.is_empty(), "need at least one non-temporal mode");
+        assert!(period >= 1);
+        let rank = factors[0].cols();
+        assert!(
+            factors.iter().all(|f| f.cols() == rank),
+            "factor rank mismatch"
+        );
+        assert_eq!(components.len(), rank, "one component per rank required");
+        let dims: Vec<usize> = factors.iter().map(|f| f.rows()).collect();
+        Self {
+            factors,
+            components,
+            period,
+            shape: Shape::new(&dims),
+            noise_sigma: 0.0,
+            noise_seed: 0,
+        }
+    }
+
+    /// The paper's Figure 2 construction: random non-temporal factors and
+    /// random sinusoids (`aᵣ, cᵣ ∈ U[−2,2]`, `bᵣ ∈ U[0,2π]`, no trend).
+    pub fn paper_fig2(dims: &[usize], rank: usize, period: usize, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let factors: Vec<Matrix> = dims
+            .iter()
+            .map(|&d| {
+                Matrix::from_fn(d, rank, |_, _| {
+                    sofia_tensor::random::sample_standard_normal(&mut rng)
+                })
+            })
+            .collect();
+        let components: Vec<SeasonalComponent> = (0..rank)
+            .map(|_| SeasonalComponent {
+                amplitude: rng.gen_range(-2.0..2.0),
+                phase: rng.gen_range(0.0..2.0 * std::f64::consts::PI),
+                offset: rng.gen_range(-2.0..2.0),
+                trend: 0.0,
+                harmonic: 1.0,
+            })
+            .collect();
+        Self::new(factors, components, period)
+    }
+
+    /// Adds i.i.d. Gaussian observation noise (deterministic per `(t, i)`).
+    pub fn with_noise(mut self, sigma: f64, seed: u64) -> Self {
+        assert!(sigma >= 0.0);
+        self.noise_sigma = sigma;
+        self.noise_seed = seed;
+        self
+    }
+
+    /// The temporal vector `u(t)` of all components.
+    pub fn temporal_at(&self, t: usize) -> Vec<f64> {
+        let w = 2.0 * std::f64::consts::PI / self.period as f64;
+        self.components
+            .iter()
+            .map(|c| {
+                c.amplitude * (w * c.harmonic * t as f64 + c.phase).sin()
+                    + c.offset
+                    + c.trend * t as f64
+            })
+            .collect()
+    }
+
+    /// The non-temporal factors.
+    pub fn factors(&self) -> &[Matrix] {
+        &self.factors
+    }
+
+    /// The ground-truth temporal factor matrix for `t ∈ [0, len)` — what
+    /// Figure 2 compares recovered factors against.
+    pub fn temporal_matrix(&self, len: usize) -> Matrix {
+        let rank = self.components.len();
+        Matrix::from_fn(len, rank, |t, r| self.temporal_at(t)[r])
+    }
+
+    /// Maximum absolute entry over one full season (used to size outlier
+    /// magnitudes as `Z · max(X)` per §VI-A).
+    pub fn max_abs_over_season(&self) -> f64 {
+        (0..self.period)
+            .map(|t| self.clean_slice(t).max_abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl TensorStream for SeasonalStream {
+    fn slice_shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    fn period(&self) -> usize {
+        self.period
+    }
+
+    fn clean_slice(&self, t: usize) -> DenseTensor {
+        let u = self.temporal_at(t);
+        let refs: Vec<&Matrix> = self.factors.iter().collect();
+        let mut slice = kruskal::kruskal_slice(&refs, &u);
+        if self.noise_sigma > 0.0 {
+            // Deterministic per-(t, entry) noise: re-seed per slice.
+            let mut rng =
+                SmallRng::seed_from_u64(self.noise_seed ^ (t as u64).wrapping_mul(0x9e3779b97f4a7c15));
+            for v in slice.data_mut() {
+                *v += self.noise_sigma * sofia_tensor::random::sample_standard_normal(&mut rng);
+            }
+        }
+        slice
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SeasonalStream {
+        let factors = vec![
+            Matrix::from_rows(&[&[1.0, 0.5], &[2.0, -0.5]]),
+            Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 2.0], &[1.0, -1.0]]),
+        ];
+        let components = vec![
+            SeasonalComponent::simple(1.0, 0.0, 2.0, 0.0),
+            SeasonalComponent::simple(0.5, 1.0, -1.0, 0.1),
+        ];
+        SeasonalStream::new(factors, components, 6)
+    }
+
+    #[test]
+    fn temporal_is_periodic_without_trend() {
+        let s = tiny();
+        let u0 = s.temporal_at(0);
+        let u6 = s.temporal_at(6);
+        // Component 0 has no trend: exactly periodic.
+        assert!((u0[0] - u6[0]).abs() < 1e-12);
+        // Component 1 has trend 0.1: differs by 0.6 over one season.
+        assert!((u6[1] - u0[1] - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clean_slice_matches_kruskal() {
+        let s = tiny();
+        let slice = s.clean_slice(3);
+        let u = s.temporal_at(3);
+        let refs: Vec<&Matrix> = s.factors().iter().collect();
+        let expected = kruskal::kruskal_slice(&refs, &u);
+        assert_eq!(slice.data(), expected.data());
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_slice() {
+        let s = tiny().with_noise(0.5, 42);
+        let a = s.clean_slice(5);
+        let b = s.clean_slice(5);
+        assert_eq!(a.data(), b.data());
+        // And differs across t beyond the clean difference.
+        let c = s.clean_slice(11); // same phase as 5 plus trend
+        assert_ne!(a.data(), c.data());
+    }
+
+    #[test]
+    fn paper_fig2_dimensions() {
+        let s = SeasonalStream::paper_fig2(&[30, 30], 3, 30, 7);
+        assert_eq!(s.slice_shape().dims(), &[30, 30]);
+        assert_eq!(s.period(), 30);
+        let temporal = s.temporal_matrix(90);
+        assert_eq!(temporal.rows(), 90);
+        assert_eq!(temporal.cols(), 3);
+        // Amplitudes/offsets bounded by the U[−2,2] construction:
+        // |u| ≤ |a| + |c| ≤ 4.
+        for t in 0..90 {
+            for r in 0..3 {
+                assert!(temporal.get(t, r).abs() <= 4.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn max_abs_over_season_bounds_slices() {
+        let s = tiny();
+        let max = s.max_abs_over_season();
+        for t in 0..6 {
+            assert!(s.clean_slice(t).max_abs() <= max + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one component per rank")]
+    fn component_count_must_match_rank() {
+        let factors = vec![Matrix::identity(2), Matrix::identity(2)];
+        SeasonalStream::new(
+            factors,
+            vec![SeasonalComponent::simple(1.0, 0.0, 0.0, 0.0)],
+            4,
+        );
+    }
+}

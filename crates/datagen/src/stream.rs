@@ -1,0 +1,51 @@
+//! The slice-at-a-time tensor-stream abstraction.
+
+use sofia_tensor::{DenseTensor, Shape};
+
+/// A source of ground-truth tensor slices indexed by time.
+///
+/// Implementors generate the *clean* slice `X_t`; corruption (missing
+/// entries, outliers) is layered on top by [`crate::corrupt::Corruptor`],
+/// so every experiment can evaluate errors against the uncorrupted truth.
+pub trait TensorStream {
+    /// Shape of each slice (the non-temporal modes).
+    fn slice_shape(&self) -> &Shape;
+
+    /// Seasonal period `m` of the stream.
+    fn period(&self) -> usize;
+
+    /// The clean ground-truth slice at time `t`.
+    fn clean_slice(&self, t: usize) -> DenseTensor;
+
+    /// Convenience: materializes clean slices for `t ∈ [start, end)`.
+    fn clean_range(&self, start: usize, end: usize) -> Vec<DenseTensor> {
+        (start..end).map(|t| self.clean_slice(t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Constant(Shape);
+    impl TensorStream for Constant {
+        fn slice_shape(&self) -> &Shape {
+            &self.0
+        }
+        fn period(&self) -> usize {
+            4
+        }
+        fn clean_slice(&self, t: usize) -> DenseTensor {
+            DenseTensor::full(self.0.clone(), t as f64)
+        }
+    }
+
+    #[test]
+    fn clean_range_materializes() {
+        let s = Constant(Shape::new(&[2, 2]));
+        let r = s.clean_range(3, 6);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0].get(&[0, 0]), 3.0);
+        assert_eq!(r[2].get(&[1, 1]), 5.0);
+    }
+}

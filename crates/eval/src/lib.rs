@@ -1,0 +1,16 @@
+//! # sofia-eval
+//!
+//! Evaluation harness for the SOFIA reproduction: the paper's four metrics
+//! (§VI-A), a streaming runner that drives any
+//! [`sofia_core::traits::StreamingFactorizer`] over a corrupted stream
+//! while recording per-step error and wall time, and simple tabular/CSV
+//! reporting used by the figure binaries.
+
+pub mod detection;
+pub mod metrics;
+pub mod report;
+pub mod stats;
+pub mod runner;
+
+pub use metrics::{StepRecord, StreamSummary};
+pub use runner::{run_stream, ForecastResult, StreamConfig};

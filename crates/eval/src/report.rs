@@ -1,0 +1,160 @@
+//! Tabular and CSV reporting for the figure binaries.
+
+use crate::metrics::StreamSummary;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Renders a series of `(x, y)` points as CSV with a header.
+pub fn series_csv(header: (&str, &str), points: &[(usize, f64)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{},{}", header.0, header.1);
+    for (x, y) in points {
+        let _ = writeln!(out, "{x},{y:.6e}");
+    }
+    out
+}
+
+/// Renders several methods' NRE series side by side (Fig. 3-style):
+/// `t,method1,method2,…` with one row per time step. All series must
+/// cover identical time indices.
+pub fn multi_series_csv(summaries: &[&StreamSummary]) -> String {
+    assert!(!summaries.is_empty());
+    let mut out = String::new();
+    let _ = write!(out, "t");
+    for s in summaries {
+        let _ = write!(out, ",{}", s.method);
+    }
+    let _ = writeln!(out);
+    let len = summaries[0].steps.len();
+    for s in summaries {
+        assert_eq!(s.steps.len(), len, "series length mismatch");
+    }
+    for i in 0..len {
+        let _ = write!(out, "{}", summaries[0].steps[i].t);
+        for s in summaries {
+            debug_assert_eq!(s.steps[i].t, summaries[0].steps[i].t);
+            let _ = write!(out, ",{:.6e}", s.steps[i].nre);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Writes `content` to `path`, creating parent directories.
+pub fn write_report(path: &Path, content: &str) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, content)
+}
+
+/// Formats a fixed-width text table from a header and rows.
+pub fn text_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+        for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{cell:<w$}");
+        }
+        out.push('\n');
+    };
+    fmt_row(
+        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &widths,
+        &mut out,
+    );
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        fmt_row(row, &widths, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::StepRecord;
+    use std::time::Duration;
+
+    fn summary(name: &str, nres: &[f64]) -> StreamSummary {
+        StreamSummary {
+            method: name.into(),
+            steps: nres
+                .iter()
+                .enumerate()
+                .map(|(t, &nre)| StepRecord {
+                    t: t + 10,
+                    nre,
+                    elapsed: Duration::ZERO,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn series_csv_format() {
+        let csv = series_csv(("t", "nre"), &[(1, 0.5), (2, 0.25)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "t,nre");
+        assert!(lines[1].starts_with("1,5.0"));
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn multi_series_aligns_methods() {
+        let a = summary("A", &[0.1, 0.2]);
+        let b = summary("B", &[0.3, 0.4]);
+        let csv = multi_series_csv(&[&a, &b]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "t,A,B");
+        assert!(lines[1].starts_with("10,1.0"));
+        assert!(lines[2].starts_with("11,2.0"));
+    }
+
+    #[test]
+    fn text_table_pads_columns() {
+        let table = text_table(
+            &["method", "rae"],
+            &[
+                vec!["SOFIA".into(), "0.1".into()],
+                vec!["OnlineSGD".into(), "0.25".into()],
+            ],
+        );
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[0].starts_with("method"));
+        assert!(lines[2].starts_with("SOFIA"));
+        assert!(lines[3].starts_with("OnlineSGD"));
+    }
+
+    #[test]
+    fn write_report_creates_dirs() {
+        let dir = std::env::temp_dir().join("sofia_eval_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/report.csv");
+        write_report(&path, "x,y\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "x,y\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn multi_series_rejects_ragged() {
+        let a = summary("A", &[0.1]);
+        let b = summary("B", &[0.3, 0.4]);
+        multi_series_csv(&[&a, &b]);
+    }
+}

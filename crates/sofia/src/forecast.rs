@@ -1,0 +1,90 @@
+//! Multi-horizon forecasting (paper §V-D, Eq. (28)).
+//!
+//! Given the state at the end of a stream (`t_end`), SOFIA forecasts the
+//! subtensor at `t_end + h` by Holt-Winters-extrapolating each component of
+//! the temporal factor and reconstructing with the latest non-temporal
+//! factors. This module adds batch helpers over [`crate::dynamic`].
+
+use crate::dynamic::DynamicState;
+use sofia_tensor::DenseTensor;
+
+/// Forecasts the next `horizon` subtensors `Ŷ_{t_end+1}, …, Ŷ_{t_end+h}`.
+pub fn forecast_horizon(state: &DynamicState, horizon: usize) -> Vec<DenseTensor> {
+    (1..=horizon).map(|h| state.forecast_slice(h)).collect()
+}
+
+/// Forecasts only the temporal vectors for the next `horizon` steps —
+/// useful for inspecting the discovered temporal patterns without paying
+/// for dense reconstruction.
+pub fn forecast_temporal(state: &DynamicState, horizon: usize) -> Vec<Vec<f64>> {
+    (1..=horizon).map(|h| state.hw().forecast(h)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SofiaConfig;
+    use crate::dynamic::DynamicState;
+    use crate::hw::HwBank;
+    use sofia_timeseries::holt_winters::{HoltWinters, HwParams, HwState};
+    use sofia_tensor::{Matrix, ObservedTensor};
+
+    fn linear_state() -> DynamicState {
+        // Rank-1, trend-only temporal model: u(t) grows by 1 per step.
+        let config = SofiaConfig::new(1, 2);
+        let factors = vec![
+            Matrix::from_fn(2, 1, |i, _| (i + 1) as f64),
+            Matrix::from_fn(2, 1, |i, _| 1.0 - i as f64 * 0.5),
+        ];
+        let history = vec![vec![9.0], vec![10.0]];
+        let hw = HwBank::from_models(vec![HoltWinters::new(
+            HwParams::new(0.5, 0.5, 0.0),
+            HwState::new(10.0, 1.0, vec![0.0, 0.0], 0),
+        )]);
+        DynamicState::new(config, factors, history, hw)
+    }
+
+    #[test]
+    fn horizon_forecasts_extend_linearly() {
+        let st = linear_state();
+        let fcs = forecast_horizon(&st, 3);
+        assert_eq!(fcs.len(), 3);
+        // u(h) = 10 + h; entry (0,0) = 1·1·u.
+        for (h, fc) in fcs.iter().enumerate() {
+            let expected = 10.0 + (h + 1) as f64;
+            assert!((fc.get(&[0, 0]) - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn temporal_forecasts_match_slices() {
+        // DynamicState normalizes factor columns at construction, so the
+        // identity must be checked against the *current* factors.
+        let st = linear_state();
+        let ts = forecast_temporal(&st, 4);
+        let fs = forecast_horizon(&st, 4);
+        let coeff = st.factors()[0].get(1, 0) * st.factors()[1].get(0, 0);
+        for (u, f) in ts.iter().zip(&fs) {
+            assert!((f.get(&[1, 0]) - coeff * u[0]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn forecast_consistent_after_steps() {
+        let mut st = linear_state();
+        // Feed two slices consistent with the trend, built from the
+        // ORIGINAL (pre-normalization) factor convention — reconstructions
+        // are scale-invariant, so the linear u(t) = 10 + (t − t₀) series
+        // continues as u = 11, 12 in that convention.
+        let a = Matrix::from_fn(2, 1, |i, _| (i + 1) as f64);
+        let b = Matrix::from_fn(2, 1, |i, _| 1.0 - i as f64 * 0.5);
+        for t in 0..2 {
+            let u = 11.0 + t as f64;
+            let truth = sofia_tensor::kruskal::kruskal_slice(&[&a, &b], &[u]);
+            st.step(&ObservedTensor::fully_observed(truth));
+        }
+        // Next forecast: entry (0,0) = a₀·b₀·u = 1·1·13 in that convention.
+        let fc = forecast_horizon(&st, 1);
+        assert!((fc[0].get(&[0, 0]) - 13.0).abs() < 0.1, "{}", fc[0].get(&[0, 0]));
+    }
+}

@@ -1,0 +1,35 @@
+//! The streaming-factorizer interface shared by SOFIA and every baseline.
+
+use sofia_tensor::{DenseTensor, ObservedTensor};
+
+/// Output of processing one streaming subtensor.
+#[derive(Debug, Clone)]
+pub struct StepOutput {
+    /// The completed (imputed) reconstruction `X̂_t` — dense, covering both
+    /// observed and missing positions.
+    pub completed: DenseTensor,
+    /// The estimated outlier subtensor `O_t` if the method models outliers
+    /// (dense, zero at inlier positions); `None` for non-robust methods.
+    pub outliers: Option<DenseTensor>,
+}
+
+/// A streaming tensor factorization/completion algorithm.
+///
+/// The protocol mirrors the paper's experimental setup: the algorithm is
+/// constructed and (optionally) warm-started on a start-up window, then
+/// receives one partially observed subtensor per time step and must return
+/// its completed reconstruction before seeing the next one.
+pub trait StreamingFactorizer {
+    /// Human-readable method name (used in reports and figures).
+    fn name(&self) -> &'static str;
+
+    /// Processes the subtensor at the next time step and returns the
+    /// completed reconstruction.
+    fn step(&mut self, slice: &ObservedTensor) -> StepOutput;
+
+    /// Forecasts the subtensor `h` steps past the last processed one, if
+    /// the method supports forecasting.
+    fn forecast(&self, _h: usize) -> Option<DenseTensor> {
+        None
+    }
+}

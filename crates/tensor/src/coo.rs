@@ -1,0 +1,241 @@
+//! Sparse COO (coordinate) tensors.
+//!
+//! Streaming sources often deliver slices as `(index, value)` event lists —
+//! e.g., taxi trips aggregated per (origin, destination) — where most cells
+//! are zero or unobserved. `CooTensor` stores exactly the observed
+//! coordinates, converts losslessly to/from the dense
+//! [`crate::observed::ObservedTensor`] representation the factorization
+//! kernels consume, and supports the same masked-norm primitives. The CLI's
+//! long-CSV format is precisely a serialized `CooTensor`.
+
+use crate::dense::DenseTensor;
+use crate::mask::Mask;
+use crate::observed::ObservedTensor;
+use crate::shape::Shape;
+
+/// A sparse tensor stored as sorted, deduplicated `(offset, value)` pairs.
+///
+/// "Present" entries are *observed* (they may hold zero values); absent
+/// coordinates are *missing*, matching the semantics of
+/// [`ObservedTensor`].
+///
+/// ```
+/// use sofia_tensor::{CooTensor, Shape};
+///
+/// let coo = CooTensor::from_entries(
+///     Shape::new(&[2, 3]),
+///     &[(vec![0, 1], 2.0), (vec![1, 2], -1.0)],
+/// );
+/// assert_eq!(coo.nnz(), 2);
+/// assert_eq!(coo.get(&[0, 1]), Some(2.0));
+/// assert_eq!(coo.get(&[0, 0]), None); // missing, not zero
+/// let dense = coo.to_observed();
+/// assert_eq!(dense.count_observed(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct CooTensor {
+    shape: Shape,
+    /// Sorted flat offsets of observed entries.
+    offsets: Vec<usize>,
+    /// Values aligned with `offsets`.
+    values: Vec<f64>,
+}
+
+impl CooTensor {
+    /// Builds from `(multi-index, value)` pairs.
+    ///
+    /// Duplicate coordinates are rejected (an event source should aggregate
+    /// before constructing the tensor).
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds indices or duplicates.
+    pub fn from_entries(shape: Shape, entries: &[(Vec<usize>, f64)]) -> Self {
+        let mut pairs: Vec<(usize, f64)> = entries
+            .iter()
+            .map(|(idx, v)| (shape.offset(idx), *v))
+            .collect();
+        pairs.sort_by_key(|&(off, _)| off);
+        for w in pairs.windows(2) {
+            assert_ne!(w[0].0, w[1].0, "duplicate coordinate in COO entries");
+        }
+        let (offsets, values) = pairs.into_iter().unzip();
+        Self {
+            shape,
+            offsets,
+            values,
+        }
+    }
+
+    /// Builds from parallel `(offset, value)` arrays (must be strictly
+    /// ascending offsets).
+    pub fn from_sorted(shape: Shape, offsets: Vec<usize>, values: Vec<f64>) -> Self {
+        assert_eq!(offsets.len(), values.len(), "offset/value length mismatch");
+        assert!(
+            offsets.windows(2).all(|w| w[0] < w[1]),
+            "offsets must be strictly ascending"
+        );
+        if let Some(&last) = offsets.last() {
+            assert!(last < shape.len(), "offset out of bounds");
+        }
+        Self {
+            shape,
+            offsets,
+            values,
+        }
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of observed entries.
+    pub fn nnz(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Density = observed / total.
+    pub fn density(&self) -> f64 {
+        self.nnz() as f64 / self.shape.len() as f64
+    }
+
+    /// Iterates `(flat offset, value)` in ascending offset order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.offsets.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Value at a multi-index, `None` when missing.
+    pub fn get(&self, index: &[usize]) -> Option<f64> {
+        let off = self.shape.offset(index);
+        self.offsets
+            .binary_search(&off)
+            .ok()
+            .map(|pos| self.values[pos])
+    }
+
+    /// Converts to the dense masked representation.
+    pub fn to_observed(&self) -> ObservedTensor {
+        let mut dense = DenseTensor::zeros(self.shape.clone());
+        let mut observed = vec![false; self.shape.len()];
+        for (off, v) in self.iter() {
+            dense.set_flat(off, v);
+            observed[off] = true;
+        }
+        ObservedTensor::new(dense, Mask::from_vec(self.shape.clone(), observed))
+    }
+
+    /// Builds from an [`ObservedTensor`] (inverse of
+    /// [`CooTensor::to_observed`]).
+    pub fn from_observed(obs: &ObservedTensor) -> Self {
+        let (offsets, values): (Vec<usize>, Vec<f64>) = obs.observed_entries().unzip();
+        Self {
+            shape: obs.shape().clone(),
+            offsets,
+            values,
+        }
+    }
+
+    /// Frobenius norm over observed entries.
+    pub fn norm(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Applies `f` to every stored value in place.
+    pub fn map_values(&mut self, mut f: impl FnMut(f64) -> f64) {
+        for v in &mut self.values {
+            *v = f(*v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn sample() -> CooTensor {
+        CooTensor::from_entries(
+            Shape::new(&[3, 4]),
+            &[
+                (vec![0, 1], 2.0),
+                (vec![2, 3], -1.5),
+                (vec![1, 0], 0.0), // observed zero
+            ],
+        )
+    }
+
+    #[test]
+    fn construction_sorts_and_counts() {
+        let t = sample();
+        assert_eq!(t.nnz(), 3);
+        assert!((t.density() - 0.25).abs() < 1e-12);
+        let offs: Vec<usize> = t.iter().map(|(o, _)| o).collect();
+        assert!(offs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn get_distinguishes_observed_zero_from_missing() {
+        let t = sample();
+        assert_eq!(t.get(&[1, 0]), Some(0.0));
+        assert_eq!(t.get(&[0, 0]), None);
+        assert_eq!(t.get(&[2, 3]), Some(-1.5));
+    }
+
+    #[test]
+    fn observed_roundtrip() {
+        let t = sample();
+        let obs = t.to_observed();
+        assert_eq!(obs.count_observed(), 3);
+        assert_eq!(obs.values().get(&[0, 1]), 2.0);
+        let back = CooTensor::from_observed(&obs);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn roundtrip_random_masks() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let shape = Shape::new(&[6, 5]);
+        let dense = crate::random::gaussian_tensor(shape.clone(), 1.0, &mut rng);
+        let mask = Mask::random(shape, 0.6, &mut rng);
+        let obs = ObservedTensor::new(dense, mask);
+        let coo = CooTensor::from_observed(&obs);
+        assert_eq!(coo.nnz(), obs.count_observed());
+        assert_eq!(coo.to_observed(), obs);
+    }
+
+    #[test]
+    fn norm_matches_observed_norm() {
+        let t = sample();
+        let obs = t.to_observed();
+        assert!((t.norm() - obs.values().frobenius_norm()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_values_in_place() {
+        let mut t = sample();
+        t.map_values(|v| v * 2.0);
+        assert_eq!(t.get(&[0, 1]), Some(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicates_rejected() {
+        CooTensor::from_entries(
+            Shape::new(&[2, 2]),
+            &[(vec![0, 0], 1.0), (vec![0, 0], 2.0)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_offsets_rejected() {
+        CooTensor::from_sorted(Shape::new(&[2, 2]), vec![2, 1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_offset_rejected() {
+        CooTensor::from_sorted(Shape::new(&[2, 2]), vec![7], vec![1.0]);
+    }
+}

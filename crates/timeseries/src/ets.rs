@@ -1,0 +1,143 @@
+//! Simple and double exponential smoothing.
+//!
+//! These are the non-seasonal members of the exponential-smoothing family
+//! (Gardner 1985, cited by the paper as background). They are used by the
+//! baseline methods (e.g., SMF's drift tracking) and serve as degenerate
+//! references in tests: additive Holt-Winters with `γ = 0` and zero
+//! seasonal state must coincide with double exponential smoothing.
+
+/// Simple exponential smoothing: `l_t = α·y_t + (1−α)·l_{t−1}`.
+///
+/// Forecasts are flat: `ŷ_{t+h|t} = l_t`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimpleSmoothing {
+    /// Smoothing parameter `α ∈ [0,1]`.
+    pub alpha: f64,
+    /// Current level.
+    pub level: f64,
+}
+
+impl SimpleSmoothing {
+    /// Creates a smoother with an initial level.
+    pub fn new(alpha: f64, initial_level: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha out of [0,1]");
+        Self {
+            alpha,
+            level: initial_level,
+        }
+    }
+
+    /// Observes `y`, returns the one-step-ahead error.
+    pub fn update(&mut self, y: f64) -> f64 {
+        let err = y - self.level;
+        self.level += self.alpha * err;
+        err
+    }
+
+    /// Flat h-step forecast.
+    pub fn forecast(&self) -> f64 {
+        self.level
+    }
+}
+
+/// Double exponential smoothing (Holt's linear trend):
+///
+/// ```text
+/// l_t = α·y_t + (1−α)(l_{t−1} + b_{t−1})
+/// b_t = β(l_t − l_{t−1}) + (1−β)·b_{t−1}
+/// ŷ_{t+h|t} = l_t + h·b_t
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DoubleSmoothing {
+    /// Level smoothing parameter `α ∈ [0,1]`.
+    pub alpha: f64,
+    /// Trend smoothing parameter `β ∈ [0,1]`.
+    pub beta: f64,
+    /// Current level.
+    pub level: f64,
+    /// Current trend.
+    pub trend: f64,
+}
+
+impl DoubleSmoothing {
+    /// Creates a smoother from initial level and trend.
+    pub fn new(alpha: f64, beta: f64, initial_level: f64, initial_trend: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha out of [0,1]");
+        assert!((0.0..=1.0).contains(&beta), "beta out of [0,1]");
+        Self {
+            alpha,
+            beta,
+            level: initial_level,
+            trend: initial_trend,
+        }
+    }
+
+    /// Observes `y`, returns the one-step-ahead error.
+    pub fn update(&mut self, y: f64) -> f64 {
+        let prev_level = self.level;
+        let err = y - (self.level + self.trend);
+        self.level = self.alpha * y + (1.0 - self.alpha) * (self.level + self.trend);
+        self.trend = self.beta * (self.level - prev_level) + (1.0 - self.beta) * self.trend;
+        err
+    }
+
+    /// h-step-ahead forecast `l_t + h·b_t`.
+    pub fn forecast(&self, h: usize) -> f64 {
+        self.level + h as f64 * self.trend
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::holt_winters::{HoltWinters, HwParams, HwState};
+
+    #[test]
+    fn simple_converges_to_constant() {
+        let mut s = SimpleSmoothing::new(0.5, 0.0);
+        for _ in 0..50 {
+            s.update(10.0);
+        }
+        assert!((s.forecast() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn simple_alpha_one_tracks_exactly() {
+        let mut s = SimpleSmoothing::new(1.0, 0.0);
+        s.update(7.5);
+        assert_eq!(s.forecast(), 7.5);
+    }
+
+    #[test]
+    fn double_tracks_linear_exactly_with_exact_init() {
+        let mut d = DoubleSmoothing::new(0.4, 0.3, 5.0, 2.0);
+        for t in 1..=30 {
+            let e = d.update(5.0 + 2.0 * t as f64);
+            assert!(e.abs() < 1e-9);
+        }
+        assert!((d.forecast(3) - (5.0 + 2.0 * 33.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hw_with_zero_gamma_equals_double_smoothing() {
+        // HW with γ=0 and zero seasonal state degenerates to Holt's method.
+        let series: Vec<f64> = (0..20).map(|t| (t as f64).sqrt() * 4.0 + 1.0).collect();
+        let mut hw = HoltWinters::new(
+            HwParams::new(0.35, 0.15, 0.0),
+            HwState::new(1.0, 0.5, vec![0.0; 5], 0),
+        );
+        let mut ds = DoubleSmoothing::new(0.35, 0.15, 1.0, 0.5);
+        for &y in &series {
+            let e1 = hw.update(y);
+            let e2 = ds.update(y);
+            assert!((e1 - e2).abs() < 1e-12);
+        }
+        assert!((hw.forecast(2) - ds.forecast(2)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha out of")]
+    fn simple_rejects_bad_alpha() {
+        SimpleSmoothing::new(1.2, 0.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Conventional initialization of Holt-Winters components from the first
+//! seasons of a series (Hyndman & Athanasopoulos, "Forecasting: principles
+//! and practice", the reference the paper follows for HW conventions).
+//!
+//! Given at least two full seasons of data:
+//! * the initial **level** is the mean of the first season;
+//! * the initial **trend** is the average per-step change between the first
+//!   and second season means;
+//! * the initial **seasonal components** are the average deviations of each
+//!   phase from its season's (detrended) mean, normalized to sum to zero.
+
+use crate::holt_winters::HwState;
+
+/// Error returned when a series is too short to initialize from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TooShort {
+    /// Number of observations required.
+    pub needed: usize,
+    /// Number of observations given.
+    pub got: usize,
+}
+
+impl std::fmt::Display for TooShort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "series too short for Holt-Winters initialization: need {} observations, got {}",
+            self.needed, self.got
+        )
+    }
+}
+
+impl std::error::Error for TooShort {}
+
+/// Estimates initial `(level, trend, seasonal)` components from the first
+/// `k ≥ 2` full seasons of `series` with period `m`.
+///
+/// Returns an [`HwState`] positioned at phase 0 — i.e., representing the
+/// state *before* the first observation, ready to be run forward over the
+/// series.
+pub fn initial_state(series: &[f64], m: usize) -> Result<HwState, TooShort> {
+    assert!(m >= 1, "seasonal period must be positive");
+    let needed = 2 * m;
+    if series.len() < needed {
+        return Err(TooShort {
+            needed,
+            got: series.len(),
+        });
+    }
+    let k = series.len() / m; // number of complete seasons available
+    let season_means: Vec<f64> = (0..k)
+        .map(|s| series[s * m..(s + 1) * m].iter().sum::<f64>() / m as f64)
+        .collect();
+
+    let level = season_means[0];
+    // Average per-step trend across consecutive season means.
+    let trend = (season_means[k - 1] - season_means[0]) / (((k - 1) * m) as f64);
+
+    // Seasonal components: average deviation of each phase from its
+    // season's mean, across all complete seasons.
+    let mut seasonal = vec![0.0; m];
+    for (phase, s_val) in seasonal.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for s in 0..k {
+            acc += series[s * m + phase] - season_means[s];
+        }
+        *s_val = acc / k as f64;
+    }
+    // Normalize to zero sum (the additive-seasonality identifiability
+    // convention).
+    let mean_s = seasonal.iter().sum::<f64>() / m as f64;
+    for s in &mut seasonal {
+        *s -= mean_s;
+    }
+
+    // The state represents time "just before" observation 0: back the level
+    // up by one trend step so that the first forecast l + b + s_0 targets
+    // the first observation's season mean + seasonal offset.
+    Ok(HwState::new(level - trend, trend, seasonal, 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::holt_winters::{HoltWinters, HwParams};
+
+    #[test]
+    fn too_short_is_reported() {
+        let err = initial_state(&[1.0, 2.0, 3.0], 4).unwrap_err();
+        assert_eq!(err.needed, 8);
+        assert_eq!(err.got, 3);
+        assert!(err.to_string().contains("too short"));
+    }
+
+    #[test]
+    fn pure_seasonal_series_recovers_components() {
+        let pattern = [2.0, -1.0, 0.5, -1.5];
+        let series: Vec<f64> = (0..12).map(|t| pattern[t % 4]).collect();
+        let st = initial_state(&series, 4).unwrap();
+        assert!(st.level.abs() < 1e-9, "level {}", st.level);
+        assert!(st.trend.abs() < 1e-9, "trend {}", st.trend);
+        for (p, &expect) in pattern.iter().enumerate() {
+            assert!((st.seasonal[p] - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn linear_trend_series_recovers_trend() {
+        let series: Vec<f64> = (0..20).map(|t| 3.0 + 0.5 * t as f64).collect();
+        let st = initial_state(&series, 5).unwrap();
+        assert!((st.trend - 0.5).abs() < 1e-9, "trend {}", st.trend);
+        // Seasonal components ≈ 0 except for the in-season ramp which
+        // deviates symmetrically; their sum must be ~0.
+        let sum: f64 = st.seasonal.iter().sum();
+        assert!(sum.abs() < 1e-9);
+    }
+
+    #[test]
+    fn seasonal_components_sum_to_zero() {
+        let series: Vec<f64> = (0..24)
+            .map(|t| 10.0 + 0.3 * t as f64 + [4.0, 0.0, -4.0][t % 3])
+            .collect();
+        let st = initial_state(&series, 3).unwrap();
+        let sum: f64 = st.seasonal.iter().sum();
+        assert!(sum.abs() < 1e-9);
+    }
+
+    #[test]
+    fn initialized_model_forecasts_trend_plus_season_well() {
+        // Full pipeline: init from 3 seasons, run model, check errors shrink.
+        let pattern = [1.0, -2.0, 3.0, -2.0];
+        let series: Vec<f64> = (0..32)
+            .map(|t| 5.0 + 0.25 * t as f64 + pattern[t % 4])
+            .collect();
+        let st = initial_state(&series[..12], 4).unwrap();
+        let mut hw = HoltWinters::new(HwParams::new(0.2, 0.05, 0.1), st);
+        let errs = hw.run(&series);
+        // Late errors should be small.
+        let late_rmse = (errs[20..].iter().map(|e| e * e).sum::<f64>() / 12.0).sqrt();
+        assert!(late_rmse < 0.2, "late rmse {late_rmse}");
+    }
+}

@@ -1,0 +1,200 @@
+//! Prediction intervals for additive Holt-Winters forecasts.
+//!
+//! For the additive ETS(A,A,A) class, the h-step-ahead forecast error
+//! variance under i.i.d. one-step errors `ε ~ (0, σ²)` is (Hyndman &
+//! Athanasopoulos, §7.7):
+//!
+//! ```text
+//! Var(h) = σ² · [ 1 + Σ_{j=1}^{h−1} c_j² ],
+//! c_j = α + α·β·j + γ·𝟙{j ≡ 0 (mod m)}
+//! ```
+//!
+//! This module tracks the one-step residual variance with an EWMA and
+//! turns point forecasts into `point ± z·√Var(h)` intervals — which give
+//! calibrated anomaly thresholds ("flag observations outside the 99%
+//! interval") instead of ad-hoc constants.
+
+use crate::holt_winters::HoltWinters;
+
+/// Tracks the one-step forecast-error variance of a [`HoltWinters`] model
+/// and derives multi-step prediction intervals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalTracker {
+    /// EWMA weight for the residual variance.
+    ewma: f64,
+    /// Current residual variance estimate σ̂².
+    variance: f64,
+    /// Number of updates seen.
+    count: usize,
+}
+
+impl IntervalTracker {
+    /// Creates a tracker; `initial_variance` seeds σ̂², `ewma ∈ (0, 1]`
+    /// weights new squared residuals.
+    pub fn new(initial_variance: f64, ewma: f64) -> Self {
+        assert!(initial_variance > 0.0, "variance must be positive");
+        assert!(ewma > 0.0 && ewma <= 1.0, "ewma weight out of (0,1]");
+        Self {
+            ewma,
+            variance: initial_variance,
+            count: 0,
+        }
+    }
+
+    /// Records a one-step forecast error.
+    pub fn observe(&mut self, error: f64) {
+        self.variance = self.ewma * error * error + (1.0 - self.ewma) * self.variance;
+        self.count += 1;
+    }
+
+    /// Current one-step residual standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// h-step-ahead forecast variance for the given model (depends on the
+    /// model's smoothing parameters and period).
+    pub fn forecast_variance(&self, model: &HoltWinters, h: usize) -> f64 {
+        assert!(h >= 1, "horizon must be at least 1");
+        let p = model.params();
+        let m = model.period();
+        let mut acc = 1.0;
+        for j in 1..h {
+            let seasonal_kick = if j % m == 0 { p.gamma } else { 0.0 };
+            let c = p.alpha + p.alpha * p.beta * j as f64 + seasonal_kick;
+            acc += c * c;
+        }
+        self.variance * acc
+    }
+
+    /// `point ± z·σ(h)` interval around the model's h-step forecast.
+    pub fn interval(&self, model: &HoltWinters, h: usize, z: f64) -> (f64, f64) {
+        let point = model.forecast(h);
+        let sd = self.forecast_variance(model, h).sqrt();
+        (point - z * sd, point + z * sd)
+    }
+
+    /// Whether `observation` falls outside the z-interval at horizon 1 —
+    /// the interval-based anomaly test.
+    pub fn is_anomalous(&self, model: &HoltWinters, observation: f64, z: f64) -> bool {
+        let (lo, hi) = self.interval(model, 1, z);
+        observation < lo || observation > hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::holt_winters::{HwParams, HwState};
+    use sofia_pseudo_rng::NormalSource;
+
+    /// Tiny deterministic normal source so this module needs no rand dep
+    /// in tests beyond the workspace's.
+    mod sofia_pseudo_rng {
+        pub struct NormalSource {
+            state: u64,
+        }
+        impl NormalSource {
+            pub fn new(seed: u64) -> Self {
+                Self { state: seed.max(1) }
+            }
+            fn next_u64(&mut self) -> u64 {
+                // xorshift64*
+                let mut x = self.state;
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                self.state = x;
+                x.wrapping_mul(0x2545F4914F6CDD1D)
+            }
+            pub fn sample(&mut self) -> f64 {
+                let u1 = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let u2 = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                (-2.0 * u1.max(1e-300).ln()).sqrt()
+                    * (2.0 * std::f64::consts::PI * u2).cos()
+            }
+        }
+    }
+
+    fn model() -> HoltWinters {
+        HoltWinters::new(
+            HwParams::new(0.3, 0.1, 0.1),
+            HwState::new(10.0, 0.0, vec![2.0, -2.0, 0.0, 0.0], 0),
+        )
+    }
+
+    #[test]
+    fn variance_grows_with_horizon() {
+        let t = IntervalTracker::new(1.0, 0.1);
+        let m = model();
+        let mut prev = 0.0;
+        for h in 1..20 {
+            let v = t.forecast_variance(&m, h);
+            assert!(v >= prev, "variance not monotone at h={h}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn one_step_variance_is_sigma_squared() {
+        let mut t = IntervalTracker::new(1.0, 0.5);
+        t.observe(2.0);
+        let m = model();
+        assert!((t.forecast_variance(&m, 1) - t.sigma().powi(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_is_symmetric_about_forecast() {
+        let t = IntervalTracker::new(4.0, 0.1);
+        let m = model();
+        let (lo, hi) = t.interval(&m, 3, 2.0);
+        let point = m.forecast(3);
+        assert!((point - lo - (hi - point)).abs() < 1e-12);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn interval_coverage_on_gaussian_noise() {
+        // Feed the tracker Gaussian one-step errors; ~95% of observations
+        // should fall inside the z=1.96 interval.
+        let mut hw = model();
+        let mut tracker = IntervalTracker::new(1.0, 0.05);
+        let mut noise = NormalSource::new(42);
+        let pattern = [2.0, -2.0, 0.0, 0.0];
+        let mut inside = 0;
+        let n = 2000;
+        for t in 0..n {
+            let y = 10.0 + pattern[t % 4] + noise.sample();
+            let anomalous = tracker.is_anomalous(&hw, y, 1.96);
+            if !anomalous {
+                inside += 1;
+            }
+            let e = hw.update(y);
+            tracker.observe(e);
+        }
+        let coverage = inside as f64 / n as f64;
+        assert!(
+            (0.90..=0.99).contains(&coverage),
+            "coverage {coverage} outside expected band"
+        );
+    }
+
+    #[test]
+    fn flags_large_deviations() {
+        let mut t = IntervalTracker::new(1.0, 0.1);
+        for _ in 0..10 {
+            t.observe(1.0);
+        }
+        let m = model();
+        // Forecast at phase 0 is 10 + 2 = 12; 12 + 10σ is anomalous.
+        assert!(t.is_anomalous(&m, 12.0 + 10.0 * t.sigma(), 3.0));
+        assert!(!t.is_anomalous(&m, 12.0, 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon")]
+    fn zero_horizon_panics() {
+        let t = IntervalTracker::new(1.0, 0.1);
+        t.forecast_variance(&model(), 0);
+    }
+}

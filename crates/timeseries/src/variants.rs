@@ -1,0 +1,344 @@
+//! Holt-Winters variants beyond the additive model SOFIA uses.
+//!
+//! §III-C of the paper notes the two classic variations (Hyndman &
+//! Athanasopoulos): the **multiplicative** method, preferred when seasonal
+//! variation scales with the level, and the additive method SOFIA adopts.
+//! This module provides the multiplicative model plus the **damped-trend**
+//! extension of the additive model (Gardner), so downstream users can pick
+//! the family that fits their streams; both interoperate with
+//! [`crate::fit::nelder_mead_box`] for parameter estimation.
+
+use crate::fit::nelder_mead_box;
+use crate::holt_winters::HwParams;
+
+/// Multiplicative Holt-Winters:
+///
+/// ```text
+/// l_t = α·(y_t / s_{t−m}) + (1 − α)(l_{t−1} + b_{t−1})
+/// b_t = β·(l_t − l_{t−1}) + (1 − β)·b_{t−1}
+/// s_t = γ·(y_t / (l_{t−1} + b_{t−1})) + (1 − γ)·s_{t−m}
+/// ŷ_{t+h|t} = (l_t + h·b_t) · s_{t+h−m(⌊(h−1)/m⌋+1)}
+/// ```
+///
+/// Seasonal components are ratios (≈ 1), so the model requires positive
+/// levels; constructors validate this.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiplicativeHw {
+    params: HwParams,
+    level: f64,
+    trend: f64,
+    seasonal: Vec<f64>,
+    phase: usize,
+}
+
+impl MultiplicativeHw {
+    /// Creates a model from initial components. `seasonal` are the per-phase
+    /// ratios; `phase` indexes the next observation's phase.
+    pub fn new(params: HwParams, level: f64, trend: f64, seasonal: Vec<f64>, phase: usize) -> Self {
+        assert!(level > 0.0, "multiplicative HW needs a positive level");
+        assert!(!seasonal.is_empty() && phase < seasonal.len());
+        assert!(
+            seasonal.iter().all(|&s| s > 0.0),
+            "seasonal ratios must be positive"
+        );
+        Self {
+            params,
+            level,
+            trend,
+            seasonal,
+            phase,
+        }
+    }
+
+    /// Initializes from at least two full seasons: the level is the first
+    /// season's mean, the trend the season-over-season mean change, and the
+    /// seasonal ratios each phase's average ratio to its season mean.
+    pub fn from_series(series: &[f64], m: usize, params: HwParams) -> Option<Self> {
+        if series.len() < 2 * m || m == 0 {
+            return None;
+        }
+        let k = series.len() / m;
+        let means: Vec<f64> = (0..k)
+            .map(|s| series[s * m..(s + 1) * m].iter().sum::<f64>() / m as f64)
+            .collect();
+        if means.iter().any(|&v| v <= 0.0) {
+            return None;
+        }
+        let level = means[0];
+        let trend = (means[k - 1] - means[0]) / ((k - 1) * m) as f64;
+        let mut seasonal = vec![0.0; m];
+        for (phase, s_val) in seasonal.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for s in 0..k {
+                acc += series[s * m + phase] / means[s];
+            }
+            *s_val = acc / k as f64;
+        }
+        // Normalize ratios to average 1.
+        let mean_ratio = seasonal.iter().sum::<f64>() / m as f64;
+        for s in &mut seasonal {
+            *s /= mean_ratio;
+            if *s <= 0.0 {
+                return None;
+            }
+        }
+        Some(Self::new(params, level - trend, trend, seasonal, 0))
+    }
+
+    /// Seasonal period `m`.
+    pub fn period(&self) -> usize {
+        self.seasonal.len()
+    }
+
+    /// One-step-ahead forecast.
+    pub fn forecast_one(&self) -> f64 {
+        (self.level + self.trend) * self.seasonal[self.phase]
+    }
+
+    /// h-step-ahead forecast.
+    pub fn forecast(&self, h: usize) -> f64 {
+        assert!(h >= 1);
+        let m = self.period();
+        (self.level + h as f64 * self.trend) * self.seasonal[(self.phase + h - 1) % m]
+    }
+
+    /// Observes `y_t`; returns the one-step-ahead error.
+    pub fn update(&mut self, y: f64) -> f64 {
+        let HwParams { alpha, beta, gamma } = self.params;
+        let prev_level = self.level;
+        let prev_trend = self.trend;
+        let s_prev = self.seasonal[self.phase];
+        let err = y - (prev_level + prev_trend) * s_prev;
+
+        self.level = alpha * (y / s_prev) + (1.0 - alpha) * (prev_level + prev_trend);
+        self.trend = beta * (self.level - prev_level) + (1.0 - beta) * prev_trend;
+        let base = prev_level + prev_trend;
+        if base > 0.0 {
+            self.seasonal[self.phase] = gamma * (y / base) + (1.0 - gamma) * s_prev;
+        }
+        self.phase = (self.phase + 1) % self.period();
+        err
+    }
+
+    /// Sum of squared one-step errors over a series (non-mutating).
+    pub fn sse(&self, series: &[f64]) -> f64 {
+        let mut model = self.clone();
+        series
+            .iter()
+            .map(|&y| {
+                let e = model.update(y);
+                e * e
+            })
+            .sum()
+    }
+
+    /// Fits `(α, β, γ)` by SSE over the box `[0,1]³`, then advances the
+    /// state through the series. Returns `None` when the series is too
+    /// short or non-positive.
+    pub fn fit(series: &[f64], m: usize) -> Option<Self> {
+        let init = Self::from_series(series, m, HwParams::default())?;
+        let mut objective = |p: &[f64]| -> f64 {
+            let params = HwParams::clamped(p[0], p[1], p[2]);
+            let model = Self {
+                params,
+                ..init.clone()
+            };
+            model.sse(series)
+        };
+        let (x, _) = nelder_mead_box(
+            &mut objective,
+            &[0.3, 0.1, 0.1],
+            &[0.0; 3],
+            &[1.0; 3],
+            0.15,
+            200,
+            1e-10,
+        );
+        let mut fitted = Self {
+            params: HwParams::clamped(x[0], x[1], x[2]),
+            ..init
+        };
+        for &y in series {
+            fitted.update(y);
+        }
+        Some(fitted)
+    }
+}
+
+/// Damped-trend additive Holt-Winters (Gardner & McKenzie): the trend is
+/// multiplied by `φ_d ∈ (0, 1]` each step, so long-horizon forecasts
+/// flatten instead of extrapolating linearly:
+///
+/// ```text
+/// l_t = α(y_t − s_{t−m}) + (1 − α)(l_{t−1} + φ_d·b_{t−1})
+/// b_t = β(l_t − l_{t−1}) + (1 − β)·φ_d·b_{t−1}
+/// s_t = γ(y_t − l_{t−1} − φ_d·b_{t−1}) + (1 − γ)s_{t−m}
+/// ŷ_{t+h|t} = l_t + (φ_d + φ_d² + ⋯ + φ_d^h)·b_t + s_{…}
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DampedHw {
+    params: HwParams,
+    /// Trend damping `φ_d ∈ (0, 1]` (1 recovers the plain additive model).
+    pub damping: f64,
+    level: f64,
+    trend: f64,
+    seasonal: Vec<f64>,
+    phase: usize,
+}
+
+impl DampedHw {
+    /// Creates a damped-trend model.
+    pub fn new(
+        params: HwParams,
+        damping: f64,
+        level: f64,
+        trend: f64,
+        seasonal: Vec<f64>,
+        phase: usize,
+    ) -> Self {
+        assert!(
+            damping > 0.0 && damping <= 1.0,
+            "damping must be in (0, 1]"
+        );
+        assert!(!seasonal.is_empty() && phase < seasonal.len());
+        Self {
+            params,
+            damping,
+            level,
+            trend,
+            seasonal,
+            phase,
+        }
+    }
+
+    /// Seasonal period `m`.
+    pub fn period(&self) -> usize {
+        self.seasonal.len()
+    }
+
+    /// Geometric damping sum `φ_d + φ_d² + ⋯ + φ_d^h`.
+    fn damp_sum(&self, h: usize) -> f64 {
+        if (self.damping - 1.0).abs() < 1e-12 {
+            h as f64
+        } else {
+            self.damping * (1.0 - self.damping.powi(h as i32)) / (1.0 - self.damping)
+        }
+    }
+
+    /// h-step-ahead forecast.
+    pub fn forecast(&self, h: usize) -> f64 {
+        assert!(h >= 1);
+        let m = self.period();
+        self.level + self.damp_sum(h) * self.trend + self.seasonal[(self.phase + h - 1) % m]
+    }
+
+    /// Observes `y_t`; returns the one-step-ahead error.
+    pub fn update(&mut self, y: f64) -> f64 {
+        let HwParams { alpha, beta, gamma } = self.params;
+        let phi = self.damping;
+        let prev_level = self.level;
+        let damped_trend = phi * self.trend;
+        let s_prev = self.seasonal[self.phase];
+        let err = y - (prev_level + damped_trend + s_prev);
+
+        self.level = alpha * (y - s_prev) + (1.0 - alpha) * (prev_level + damped_trend);
+        self.trend = beta * (self.level - prev_level) + (1.0 - beta) * damped_trend;
+        self.seasonal[self.phase] =
+            gamma * (y - prev_level - damped_trend) + (1.0 - gamma) * s_prev;
+        self.phase = (self.phase + 1) % self.period();
+        err
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::holt_winters::{HoltWinters, HwState};
+
+    #[test]
+    fn multiplicative_tracks_proportional_seasonality() {
+        // y_t = level(t) · ratio(t mod m) with growing level.
+        let ratios = [1.5, 0.5, 1.0, 1.0];
+        let series: Vec<f64> = (0..40)
+            .map(|t| (10.0 + 0.5 * t as f64) * ratios[t % 4])
+            .collect();
+        let model = MultiplicativeHw::fit(&series, 4).expect("fit");
+        for h in 1..=4 {
+            let t = 40 + h - 1;
+            let truth = (10.0 + 0.5 * t as f64) * ratios[t % 4];
+            let fc = model.forecast(h);
+            assert!(
+                (fc - truth).abs() / truth < 0.1,
+                "h={h}: {fc} vs {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn multiplicative_beats_additive_on_proportional_series() {
+        let ratios = [1.8, 0.4, 0.8, 1.0];
+        let series: Vec<f64> = (0..48)
+            .map(|t| (5.0 + 0.8 * t as f64) * ratios[t % 4])
+            .collect();
+        let mult = MultiplicativeHw::fit(&series, 4).expect("fit");
+        let add = crate::fit::fit_holt_winters(&series, 4).expect("fit");
+        let mut mult_err = 0.0;
+        let mut add_err = 0.0;
+        for h in 1..=8 {
+            let t = 48 + h - 1;
+            let truth = (5.0 + 0.8 * t as f64) * ratios[t % 4];
+            mult_err += (mult.forecast(h) - truth).abs();
+            add_err += (add.model.forecast(h) - truth).abs();
+        }
+        assert!(
+            mult_err < add_err,
+            "multiplicative {mult_err} should beat additive {add_err}"
+        );
+    }
+
+    #[test]
+    fn multiplicative_rejects_nonpositive_series() {
+        let series = vec![-1.0; 20];
+        assert!(MultiplicativeHw::fit(&series, 4).is_none());
+    }
+
+    #[test]
+    fn multiplicative_from_series_too_short() {
+        assert!(MultiplicativeHw::from_series(&[1.0; 5], 4, HwParams::default()).is_none());
+    }
+
+    #[test]
+    fn damped_with_phi_one_equals_plain_additive() {
+        let params = HwParams::new(0.4, 0.2, 0.1);
+        let seasonal = vec![1.0, -1.0, 0.5, -0.5];
+        let mut damped = DampedHw::new(params, 1.0, 3.0, 0.2, seasonal.clone(), 0);
+        let mut plain = HoltWinters::new(params, HwState::new(3.0, 0.2, seasonal, 0));
+        for t in 0..20 {
+            let y = 3.0 + 0.3 * t as f64 + [1.0, -1.0, 0.5, -0.5][t % 4];
+            let e1 = damped.update(y);
+            let e2 = plain.update(y);
+            assert!((e1 - e2).abs() < 1e-12);
+        }
+        for h in 1..=6 {
+            assert!((damped.forecast(h) - plain.forecast(h)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn damped_forecasts_flatten_at_long_horizons() {
+        let params = HwParams::new(0.3, 0.1, 0.1);
+        let damped = DampedHw::new(params, 0.8, 10.0, 2.0, vec![0.0; 4], 0);
+        // Infinite-horizon limit: level + trend·φ/(1−φ) = 10 + 2·4 = 18.
+        let far = damped.forecast(200);
+        assert!((far - 18.0).abs() < 1e-6, "far forecast {far}");
+        // Short horizon stays below the limit and is increasing.
+        assert!(damped.forecast(1) < damped.forecast(5));
+        assert!(damped.forecast(5) < far + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "damping")]
+    fn damped_rejects_bad_phi() {
+        DampedHw::new(HwParams::default(), 1.5, 0.0, 0.0, vec![0.0; 2], 0);
+    }
+}

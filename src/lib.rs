@@ -1,0 +1,26 @@
+//! # sofia
+//!
+//! Umbrella crate for the SOFIA reproduction — re-exports the workspace
+//! crates under one roof so applications can depend on a single crate:
+//!
+//! * [`tensor`] — dense N-way tensor algebra ([`sofia_tensor`]);
+//! * [`timeseries`] — Holt-Winters forecasting substrate
+//!   ([`sofia_timeseries`]);
+//! * [`core`] — the SOFIA algorithm itself ([`sofia_core`]);
+//! * [`baselines`] — the competitor methods ([`sofia_baselines`]);
+//! * [`datagen`] — synthetic workloads and dataset proxies
+//!   ([`sofia_datagen`]);
+//! * [`eval`] — metrics and streaming evaluation ([`sofia_eval`]).
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and the repository
+//! README for the experiment harnesses.
+
+pub use sofia_baselines as baselines;
+pub use sofia_core as core;
+pub use sofia_datagen as datagen;
+pub use sofia_eval as eval;
+pub use sofia_tensor as tensor;
+pub use sofia_timeseries as timeseries;
+
+pub use sofia_core::{Sofia, SofiaConfig, StepOutput, StreamingFactorizer};
+pub use sofia_tensor::{DenseTensor, Mask, Matrix, ObservedTensor, Shape};

@@ -1,0 +1,165 @@
+//! N-way generality: the paper states SOFIA for general N-way tensors
+//! (all derivations in §IV-V are for arbitrary N); the experiments use
+//! 3-way streams. These tests exercise the full pipeline on **4-way**
+//! streams (3 non-temporal modes) and on degenerate inputs.
+
+use sofia::core::model::Sofia;
+use sofia::tensor::{kruskal, DenseTensor, Mask, Matrix, ObservedTensor, Shape};
+use sofia::SofiaConfig;
+
+/// Rank-2 4-way stream: slices are 3-way tensors (4 × 3 × 2).
+struct FourWay {
+    factors: Vec<Matrix>,
+    m: usize,
+}
+
+impl FourWay {
+    fn new(m: usize) -> Self {
+        let factors = vec![
+            Matrix::from_fn(4, 2, |i, j| 0.7 + ((i + j) % 3) as f64 * 0.3),
+            Matrix::from_fn(3, 2, |i, j| 1.1 - ((2 * i + j) % 4) as f64 * 0.25),
+            Matrix::from_fn(2, 2, |i, j| 0.9 + ((i * 2 + j) % 2) as f64 * 0.4),
+        ];
+        Self { factors, m }
+    }
+
+    fn temporal(&self, t: usize) -> Vec<f64> {
+        let phase = 2.0 * std::f64::consts::PI * (t % self.m) as f64 / self.m as f64;
+        vec![2.0 + phase.sin(), -0.8 + 0.5 * phase.cos()]
+    }
+
+    fn clean(&self, t: usize) -> DenseTensor {
+        let refs: Vec<&Matrix> = self.factors.iter().collect();
+        kruskal::kruskal_slice(&refs, &self.temporal(t))
+    }
+}
+
+fn config(m: usize) -> SofiaConfig {
+    SofiaConfig::new(2, m)
+        .with_lambdas(0.01, 0.01, 10.0)
+        .with_als_limits(1e-4, 1, 150)
+}
+
+#[test]
+fn four_way_clean_stream_tracks() {
+    let m = 6;
+    let gen = FourWay::new(m);
+    let startup: Vec<ObservedTensor> = (0..3 * m)
+        .map(|t| ObservedTensor::fully_observed(gen.clean(t)))
+        .collect();
+    let mut sofia = Sofia::init(&config(m), &startup, 5).expect("init");
+    assert_eq!(sofia.factors().len(), 3, "three non-temporal modes");
+
+    let mut total = 0.0;
+    for t in 3 * m..5 * m {
+        let truth = gen.clean(t);
+        let out = sofia.step(&ObservedTensor::fully_observed(truth.clone()));
+        assert_eq!(out.completed.shape().dims(), &[4, 3, 2]);
+        total += (&out.completed - &truth).frobenius_norm() / truth.frobenius_norm();
+    }
+    let avg = total / (2 * m) as f64;
+    assert!(avg < 0.15, "4-way clean stream NRE {avg}");
+}
+
+#[test]
+fn four_way_with_missing_and_outliers() {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let m = 6;
+    let gen = FourWay::new(m);
+    let mut rng = SmallRng::seed_from_u64(33);
+    let corrupt = |t: usize, rng: &mut SmallRng| {
+        let mut vals = gen.clean(t);
+        for off in 0..vals.len() {
+            if rng.gen::<f64>() < 0.1 {
+                let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+                vals.set_flat(off, sign * 15.0);
+            }
+        }
+        let mask = Mask::random(vals.shape().clone(), 0.3, rng);
+        ObservedTensor::new(vals, mask)
+    };
+    let startup: Vec<ObservedTensor> = (0..3 * m).map(|t| corrupt(t, &mut rng)).collect();
+    let mut sofia = Sofia::init(&config(m), &startup, 9).expect("init");
+    let mut total = 0.0;
+    for t in 3 * m..6 * m {
+        let truth = gen.clean(t);
+        let out = sofia.step(&corrupt(t, &mut rng));
+        total += (&out.completed - &truth).frobenius_norm() / truth.frobenius_norm();
+    }
+    let avg = total / (3 * m) as f64;
+    // Tiny slices (24 entries) with 30% missing and ±5·max spikes are
+    // high-variance; the bound checks corruption is survived, not won.
+    assert!(avg < 0.8, "4-way corrupted stream NRE {avg}");
+}
+
+#[test]
+fn four_way_forecasting() {
+    let m = 6;
+    let gen = FourWay::new(m);
+    let startup: Vec<ObservedTensor> = (0..3 * m)
+        .map(|t| ObservedTensor::fully_observed(gen.clean(t)))
+        .collect();
+    let mut sofia = Sofia::init(&config(m), &startup, 3).expect("init");
+    let t_end = 5 * m;
+    for t in 3 * m..t_end {
+        sofia.step(&ObservedTensor::fully_observed(gen.clean(t)));
+    }
+    let mut total = 0.0;
+    for h in 1..=m {
+        let fc = sofia.forecast_slice(h);
+        let truth = gen.clean(t_end + h - 1);
+        total += (&fc - &truth).frobenius_norm() / truth.frobenius_norm();
+    }
+    let afe = total / m as f64;
+    assert!(afe < 0.3, "4-way AFE {afe}");
+}
+
+#[test]
+fn fully_missing_slice_is_survived() {
+    // A completely unobserved slice mid-stream: SOFIA should coast on its
+    // forecast and keep going.
+    let m = 6;
+    let gen = FourWay::new(m);
+    let startup: Vec<ObservedTensor> = (0..3 * m)
+        .map(|t| ObservedTensor::fully_observed(gen.clean(t)))
+        .collect();
+    let mut sofia = Sofia::init(&config(m), &startup, 7).expect("init");
+    for t in 3 * m..4 * m {
+        sofia.step(&ObservedTensor::fully_observed(gen.clean(t)));
+    }
+    // Blackout slice.
+    let blank = ObservedTensor::new(
+        DenseTensor::zeros(Shape::new(&[4, 3, 2])),
+        Mask::all_missing(Shape::new(&[4, 3, 2])),
+    );
+    let t_blank = 4 * m;
+    let out = sofia.step(&blank);
+    let truth = gen.clean(t_blank);
+    let rel = (&out.completed - &truth).frobenius_norm() / truth.frobenius_norm();
+    assert!(rel < 0.2, "blackout-slice imputation NRE {rel}");
+    // Next observed slice is handled normally.
+    let truth_next = gen.clean(t_blank + 1);
+    let out2 = sofia.step(&ObservedTensor::fully_observed(truth_next.clone()));
+    let rel2 = (&out2.completed - &truth_next).frobenius_norm() / truth_next.frobenius_norm();
+    assert!(rel2 < 0.2, "post-blackout NRE {rel2}");
+}
+
+#[test]
+fn checkpoint_roundtrip_four_way() {
+    let m = 6;
+    let gen = FourWay::new(m);
+    let startup: Vec<ObservedTensor> = (0..3 * m)
+        .map(|t| ObservedTensor::fully_observed(gen.clean(t)))
+        .collect();
+    let mut sofia = Sofia::init(&config(m), &startup, 11).expect("init");
+    for t in 3 * m..4 * m {
+        sofia.step(&ObservedTensor::fully_observed(gen.clean(t)));
+    }
+    let text = sofia::core::checkpoint::save(&sofia);
+    let mut restored = sofia::core::checkpoint::load(&text).expect("load");
+    let slice = ObservedTensor::fully_observed(gen.clean(4 * m));
+    let a = sofia.step(&slice);
+    let b = restored.step(&slice);
+    assert_eq!(a.completed.data(), b.completed.data());
+}

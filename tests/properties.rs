@@ -1,0 +1,178 @@
+//! Cross-crate property-based tests (proptest) on the core invariants.
+
+use proptest::prelude::*;
+use sofia::tensor::kruskal::{khatri_rao, khatri_rao_seq, kruskal, kruskal_at};
+use sofia::tensor::linalg::{solve_cholesky, solve_lu};
+use sofia::tensor::norms::{soft_threshold_scalar, relative_error};
+use sofia::tensor::unfold::{fold, unfold};
+use sofia::tensor::{DenseTensor, Mask, Matrix, Shape};
+use sofia::timeseries::holt_winters::{HoltWinters, HwParams, HwState};
+use sofia::timeseries::robust::{biweight_rho, huber_psi};
+
+fn small_dims() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..5, 2..4)
+}
+
+proptest! {
+    #[test]
+    fn unfold_fold_roundtrip(dims in small_dims(), seed in 0u64..1000) {
+        let shape = Shape::new(&dims);
+        let t = {
+            let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
+            sofia::tensor::random::gaussian_tensor(shape, 1.0, &mut rng)
+        };
+        for n in 0..dims.len() {
+            let m = unfold(&t, n);
+            let back = fold(&m, n, t.shape());
+            prop_assert!((&back - &t).frobenius_norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unfold_preserves_frobenius_norm(dims in small_dims(), seed in 0u64..1000) {
+        let shape = Shape::new(&dims);
+        let t = {
+            let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
+            sofia::tensor::random::gaussian_tensor(shape, 2.0, &mut rng)
+        };
+        for n in 0..dims.len() {
+            prop_assert!((unfold(&t, n).frobenius_norm() - t.frobenius_norm()).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn kruskal_at_agrees_with_dense(seed in 0u64..500, r in 1usize..4) {
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
+        let factors = sofia::tensor::random::random_factors(&[3, 4, 2], r, &mut rng);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let dense = kruskal(&refs);
+        for idx in dense.shape().indices() {
+            prop_assert!((kruskal_at(&refs, &idx) - dense.get(&idx)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn khatri_rao_is_associative(seed in 0u64..500) {
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
+        let f = sofia::tensor::random::random_factors(&[2, 3, 2], 2, &mut rng);
+        let left = khatri_rao(&khatri_rao(&f[0], &f[1]), &f[2]);
+        let seq = khatri_rao_seq(&[&f[0], &f[1], &f[2]]);
+        prop_assert!(left.diff_norm(&seq) < 1e-12);
+    }
+
+    #[test]
+    fn soft_threshold_is_shrinkage(x in -100.0f64..100.0, lambda in 0.0f64..50.0) {
+        let s = soft_threshold_scalar(x, lambda);
+        prop_assert!(s.abs() <= x.abs() + 1e-15);
+        if s != 0.0 {
+            prop_assert_eq!(s.signum(), x.signum());
+            prop_assert!((x - s).abs() <= lambda + 1e-12);
+        } else {
+            prop_assert!(x.abs() <= lambda + 1e-12);
+        }
+    }
+
+    #[test]
+    fn huber_is_odd_bounded_identity_inside(x in -50.0f64..50.0, k in 0.1f64..5.0) {
+        let v = huber_psi(x, k);
+        prop_assert!((huber_psi(-x, k) + v).abs() < 1e-12);
+        prop_assert!(v.abs() <= k + 1e-12);
+        if x.abs() < k {
+            prop_assert_eq!(v, x);
+        }
+    }
+
+    #[test]
+    fn biweight_bounded_and_even(x in -50.0f64..50.0, k in 0.5f64..4.0) {
+        let ck = 2.52;
+        let v = biweight_rho(x, k, ck);
+        prop_assert!((0.0..=ck + 1e-12).contains(&v));
+        prop_assert!((biweight_rho(-x, k, ck) - v).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hw_forecast_is_linear_in_level_and_trend(
+        l in -5.0f64..5.0, b in -1.0f64..1.0, h in 1usize..20
+    ) {
+        let state = HwState::new(l, b, vec![0.0; 4], 0);
+        let hw = HoltWinters::new(HwParams::default(), state);
+        prop_assert!((hw.forecast(h) - (l + h as f64 * b)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn lu_and_cholesky_agree_on_spd(seed in 0u64..300, n in 1usize..6) {
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
+        let g = Matrix::random_uniform(n, n, -1.0, 1.0, &mut rng);
+        let mut a = g.gram();
+        for i in 0..n {
+            a.set(i, i, a.get(i, i) + 1.0);
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64) - 1.5).collect();
+        let x1 = solve_lu(&a, &b).unwrap();
+        let x2 = solve_cholesky(&a, &b).unwrap();
+        for (p, q) in x1.iter().zip(&x2) {
+            prop_assert!((p - q).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn masked_norm_equals_apply_then_norm(seed in 0u64..300, missing in 0.0f64..1.0) {
+        let shape = Shape::new(&[4, 5]);
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
+        let t = sofia::tensor::random::gaussian_tensor(shape.clone(), 1.0, &mut rng);
+        let mask = Mask::random(shape, missing, &mut rng);
+        prop_assert!((mask.masked_norm(&t) - mask.apply(&t).frobenius_norm()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_triangle_like(seed in 0u64..300) {
+        // relative_error(a, b) = 0 iff a == b; symmetry in the numerator.
+        let shape = Shape::new(&[3, 3]);
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
+        let a = sofia::tensor::random::gaussian_tensor(shape.clone(), 1.0, &mut rng);
+        let b = sofia::tensor::random::gaussian_tensor(shape, 1.0, &mut rng);
+        prop_assert!(relative_error(&a, &a) < 1e-15);
+        let e1 = relative_error(&a, &b) * b.frobenius_norm();
+        let e2 = relative_error(&b, &a) * a.frobenius_norm();
+        prop_assert!((e1 - e2).abs() < 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn als_never_increases_masked_residual(seed in 0u64..50) {
+        use sofia::core::als::{masked_residual_sq, sofia_als, AlsOptions};
+        use sofia::tensor::ObservedTensor;
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
+        let truth_f = sofia::tensor::random::random_factors(&[4, 4, 6], 2, &mut rng);
+        let refs: Vec<&Matrix> = truth_f.iter().collect();
+        let truth = kruskal(&refs);
+        let mask = Mask::random(truth.shape().clone(), 0.2, &mut rng);
+        let data = ObservedTensor::new(truth, mask);
+        let mut factors = sofia::tensor::random::random_factors(&[4, 4, 6], 2, &mut rng);
+        let opts = AlsOptions::vanilla(0.0, 1);
+        let mut prev = masked_residual_sq(&data, data.values(), &factors);
+        for _ in 0..5 {
+            sofia_als(&data, data.values(), &mut factors, &opts);
+            let cur = masked_residual_sq(&data, data.values(), &factors);
+            prop_assert!(cur <= prev * (1.0 + 1e-9) + 1e-9);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn dense_tensor_dims_arbitrary(dims in small_dims(), seed in 0u64..100) {
+        // Stack/slice roundtrip across arbitrary shapes.
+        let shape = Shape::new(&dims);
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
+        let a = sofia::tensor::random::gaussian_tensor(shape.clone(), 1.0, &mut rng);
+        let b = sofia::tensor::random::gaussian_tensor(shape, 1.0, &mut rng);
+        let stacked = DenseTensor::stack(&[&a, &b]);
+        let s0 = stacked.slice_last_mode(0);
+        let s1 = stacked.slice_last_mode(1);
+        prop_assert_eq!(s0.data(), a.data());
+        prop_assert_eq!(s1.data(), b.data());
+    }
+}
