@@ -202,11 +202,9 @@ mod tests {
                 *v += 0.1;
             }
         }
-        let err_before =
-            (&reconstruct_slice(&factors, &w) - slice.values()).frobenius_norm();
+        let err_before = (&reconstruct_slice(&factors, &w) - slice.values()).frobenius_norm();
         damped_sgd_step(&mut factors, &slice, &w, 0.2);
-        let err_after =
-            (&reconstruct_slice(&factors, &w) - slice.values()).frobenius_norm();
+        let err_after = (&reconstruct_slice(&factors, &w) - slice.values()).frobenius_norm();
         assert!(err_after < err_before, "{err_after} !< {err_before}");
     }
 
@@ -225,8 +223,8 @@ mod tests {
         assert_eq!(temporal.rows(), 10);
         // Reconstruction of slice 0 from learned factors + temporal row.
         let rec = reconstruct_slice(&factors, temporal.row(0));
-        let rel = (&rec - slices[0].values()).frobenius_norm()
-            / slices[0].values().frobenius_norm();
+        let rel =
+            (&rec - slices[0].values()).frobenius_norm() / slices[0].values().frobenius_norm();
         assert!(rel < 0.05, "warm start rel {rel}");
     }
 }

@@ -146,8 +146,7 @@ mod tests {
         let history: Vec<ObservedTensor> = (0..4 * m)
             .map(|t| {
                 let vals = seasonal_slice(&truth, t, m);
-                let mask =
-                    sofia_tensor::Mask::random(vals.shape().clone(), 0.2, &mut rng);
+                let mask = sofia_tensor::Mask::random(vals.shape().clone(), 0.2, &mut rng);
                 ObservedTensor::new(vals, mask)
             })
             .collect();

@@ -45,3 +45,21 @@ pub use online_sgd::OnlineSgd;
 pub use or_mstc::OrMstc;
 pub use smf::Smf;
 pub use vanilla_als::VanillaAls;
+
+// Compile-time audit for the serving layer (`sofia-fleet`): every
+// baseline must be movable onto a shard worker thread as
+// `Box<dyn StreamingFactorizer + Send>`.
+const _: fn() = || {
+    fn assert_send_factorizer<T: Send + sofia_core::traits::StreamingFactorizer>() {}
+    fn assert_send<T: Send>() {}
+    assert_send_factorizer::<Brst>();
+    assert_send_factorizer::<Mast>();
+    assert_send_factorizer::<Olstec>();
+    assert_send_factorizer::<OnlineSgd>();
+    assert_send_factorizer::<OrMstc>();
+    assert_send_factorizer::<Smf>();
+    // CPHW and vanilla ALS are batch methods (no streaming interface) but
+    // must still be movable across threads by experiment harnesses.
+    assert_send::<CpHw>();
+    assert_send::<VanillaAls>();
+};

@@ -72,10 +72,7 @@ mod tests {
     use sofia_tensor::random::random_factors;
     use sofia_tensor::Mask;
 
-    fn stream(
-        truth: &[Matrix],
-        t: usize,
-    ) -> (Vec<f64>, sofia_tensor::DenseTensor) {
+    fn stream(truth: &[Matrix], t: usize) -> (Vec<f64>, sofia_tensor::DenseTensor) {
         let w = vec![
             2.0 + (t as f64 * 0.35).sin(),
             -1.0 + 0.5 * (t as f64 * 0.2).cos(),
@@ -145,8 +142,7 @@ mod tests {
                     }
                 }
                 let out = model.step(&ObservedTensor::fully_observed(vals));
-                total +=
-                    (&out.completed - &clean).frobenius_norm() / clean.frobenius_norm();
+                total += (&out.completed - &clean).frobenius_norm() / clean.frobenius_norm();
             }
             total / 28.0
         };

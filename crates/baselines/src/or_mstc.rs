@@ -96,17 +96,21 @@ impl StreamingFactorizer for OrMstc {
     }
 
     fn step(&mut self, slice: &ObservedTensor) -> StepOutput {
-        // 1. Windowed refit on the raw slice (as in MAST).
-        let base = self.inner.step(slice);
-        // 2. Slab outlier separation against the completion.
-        let outliers = self.slab_outliers(slice, &base.completed);
-        // 3. Re-project the cleaned slice for the final completion.
+        // 1. Slab outlier separation against the *pre-update* completion.
+        //    The outliers must be estimated before the windowed refit sees
+        //    the slice: refitting on the raw slice first lets the newest
+        //    window entry absorb a corrupted fiber into the factors, which
+        //    drives the residual — and the detected slab — toward zero.
+        let w0 = solve_temporal_weights(self.inner.factors(), slice);
+        let xhat0 = reconstruct_slice(self.inner.factors(), &w0);
+        let outliers = self.slab_outliers(slice, &xhat0);
+        // 2. Windowed refit (as in MAST) on the cleaned slice, so the
+        //    window never accumulates slab corruption.
         let cleaned_vals = slice.values() - &outliers;
         let cleaned = ObservedTensor::new(cleaned_vals, slice.mask().clone());
-        let w = solve_temporal_weights(self.inner.factors(), &cleaned);
-        let completed = reconstruct_slice(self.inner.factors(), &w);
+        let base = self.inner.step(&cleaned);
         StepOutput {
-            completed,
+            completed: base.completed,
             outliers: Some(outliers),
         }
     }

@@ -54,8 +54,7 @@ impl Smf {
         let drift = if rows >= 2 * period {
             (0..rank)
                 .map(|k| {
-                    (temporal.get(rows - 1, k) - temporal.get(rows - 1 - period, k))
-                        / period as f64
+                    (temporal.get(rows - 1, k) - temporal.get(rows - 1 - period, k)) / period as f64
                 })
                 .collect()
         } else {
@@ -83,9 +82,7 @@ impl Smf {
         let base = &self.seasonal[(h - 1) % m];
         // ...advanced by the drift estimate.
         let steps = h as f64;
-        (0..rank)
-            .map(|k| base[k] + self.drift[k] * steps)
-            .collect()
+        (0..rank).map(|k| base[k] + self.drift[k] * steps).collect()
     }
 }
 
@@ -102,8 +99,7 @@ impl StreamingFactorizer for Smf {
         let z_season = self.seasonal.front().expect("season ring non-empty");
         for k in 0..z.len() {
             let inst = (z[k] - z_season[k]) / m as f64;
-            self.drift[k] =
-                self.drift_alpha * inst + (1.0 - self.drift_alpha) * self.drift[k];
+            self.drift[k] = self.drift_alpha * inst + (1.0 - self.drift_alpha) * self.drift[k];
         }
         // Basis SGD step.
         crate::common::damped_sgd_step(&mut self.factors, slice, &z, self.mu);
@@ -147,7 +143,9 @@ mod tests {
             .collect();
         let mut model = Smf::init(&startup, 2, m, 0.1, 3);
         for t in 2 * m..5 * m {
-            model.step(&ObservedTensor::fully_observed(seasonal_slice(&truth, t, m)));
+            model.step(&ObservedTensor::fully_observed(seasonal_slice(
+                &truth, t, m,
+            )));
         }
         let t_end = 5 * m;
         let mut total = 0.0;
@@ -224,10 +222,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "full season")]
     fn init_requires_one_season() {
-        let slices =
-            vec![ObservedTensor::fully_observed(DenseTensor::zeros(
-                sofia_tensor::Shape::new(&[2, 2]),
-            ))];
+        let slices = vec![ObservedTensor::fully_observed(DenseTensor::zeros(
+            sofia_tensor::Shape::new(&[2, 2]),
+        ))];
         Smf::init(&slices, 1, 4, 0.1, 1);
     }
 }

@@ -100,15 +100,13 @@ mod tests {
         let data = ObservedTensor::new(corrupted, Mask::all_observed(truth.shape().clone()));
 
         let vanilla = VanillaAls::fit(&data, 2, 200, 21);
-        let rel_vanilla =
-            (&vanilla.completed - &truth).frobenius_norm() / truth.frobenius_norm();
+        let rel_vanilla = (&vanilla.completed - &truth).frobenius_norm() / truth.frobenius_norm();
 
         let config = sofia_core::SofiaConfig::new(2, 3)
             .with_lambdas(0.01, 0.01, 10.0 * max / 4.5)
             .with_als_limits(1e-6, 1, 300);
         let robust = sofia_core::init::initialize(&data, &config, 21);
-        let rel_robust =
-            (&robust.completed - &truth).frobenius_norm() / truth.frobenius_norm();
+        let rel_robust = (&robust.completed - &truth).frobenius_norm() / truth.frobenius_norm();
 
         assert!(
             rel_robust < rel_vanilla * 0.5,

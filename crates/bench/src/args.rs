@@ -81,9 +81,7 @@ impl ExpArgs {
             Ok(a) => a,
             Err(e) => {
                 eprintln!("argument error: {e}");
-                eprintln!(
-                    "usage: [--scale f] [--steps n] [--out dir] [--seed n] [--full]"
-                );
+                eprintln!("usage: [--scale f] [--steps n] [--out dir] [--seed n] [--full]");
                 std::process::exit(2);
             }
         }

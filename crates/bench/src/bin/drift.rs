@@ -37,9 +37,7 @@ fn main() {
         end: t_end,
     };
 
-    println!(
-        "Concept drift: {dim}x{dim} rank-3 stream, subspace switch at t = {switch_at}"
-    );
+    println!("Concept drift: {dim}x{dim} rank-3 stream, subspace switch at t = {switch_at}");
     println!();
 
     let methods = MethodKind::imputation_suite();
@@ -91,7 +89,13 @@ fn main() {
     print!(
         "{}",
         text_table(
-            &["method", "pre-switch RAE", "NRE at switch", "recovery (steps)", "post RAE"],
+            &[
+                "method",
+                "pre-switch RAE",
+                "NRE at switch",
+                "recovery (steps)",
+                "post RAE"
+            ],
             &rows
         )
     );

@@ -56,11 +56,7 @@ fn main() {
                 .unwrap_or(f64::NAN);
             let improvement = 100.0 * (1.0 - sofia / best_other);
             let mut row = vec![setting.label()];
-            row.extend(
-                cell.summaries
-                    .iter()
-                    .map(|s| format!("{:.3}", s.rae())),
-            );
+            row.extend(cell.summaries.iter().map(|s| format!("{:.3}", s.rae())));
             row.push(format!("{improvement:+.0}%"));
             rows.push(row);
         }

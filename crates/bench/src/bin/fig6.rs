@@ -51,13 +51,7 @@ fn sofia_afe(
     afe(&pairs)
 }
 
-fn smf_afe(
-    dataset: Dataset,
-    scale: f64,
-    t_hist: usize,
-    t_f: usize,
-    seed: u64,
-) -> f64 {
+fn smf_afe(dataset: Dataset, scale: f64, t_hist: usize, t_f: usize, seed: u64) -> f64 {
     let stream = dataset.scaled_stream(scale, seed);
     let m = stream.period();
     let setting = CorruptionConfig::from_percents(0, 20, 5.0);
@@ -113,7 +107,11 @@ fn main() {
         let m = dataset.period();
         // The paper uses t_f = 200 (100 for NYC); quick runs shrink with m.
         let (t_hist, t_f, max_outer, max_als) = if args.full {
-            let t_f = if dataset == Dataset::NycTaxi { 100 } else { 200 };
+            let t_f = if dataset == Dataset::NycTaxi {
+                100
+            } else {
+                200
+            };
             (dataset.stream_len() - t_f, t_f, 300, 300)
         } else {
             (6 * m, args.steps.unwrap_or(2 * m).min(2 * m), 150, 100)
@@ -157,12 +155,7 @@ fn main() {
         println!("SOFIA (best) vs best competitor: {improvement:+.0}%");
         println!();
         for r in &rows {
-            csv.push_str(&format!(
-                "{},{},{:.6}\n",
-                dataset.name(),
-                r.label,
-                r.afe
-            ));
+            csv.push_str(&format!("{},{},{:.6}\n", dataset.name(), r.label, r.afe));
         }
     }
     write_report(&args.out.join("fig6_afe.csv"), &csv).expect("write csv");

@@ -93,10 +93,7 @@ fn main() {
     .expect("write csv");
 
     // Linearity check: time per entry should be ~constant.
-    let per_entry: Vec<f64> = series_a
-        .iter()
-        .map(|&(e, t)| t / e as f64)
-        .collect();
+    let per_entry: Vec<f64> = series_a.iter().map(|&(e, t)| t / e as f64).collect();
     let min = per_entry.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = per_entry.iter().cloned().fold(0.0, f64::max);
     println!(

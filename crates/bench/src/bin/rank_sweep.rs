@@ -67,5 +67,8 @@ fn main() {
         dataset.paper_rank()
     );
     write_report(&args.out.join("rank_sweep.csv"), &csv).expect("write csv");
-    println!("CSV written to {}", args.out.join("rank_sweep.csv").display());
+    println!(
+        "CSV written to {}",
+        args.out.join("rank_sweep.csv").display()
+    );
 }

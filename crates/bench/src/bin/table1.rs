@@ -22,14 +22,20 @@ fn main() {
     let no = "";
     // (name, imputation, forecasting, missing, outliers, online, seasonal, trend)
     let methods: [(&str, [bool; 7]); 8] = [
-        ("CP-WOPT (vanilla ALS)", [true, false, true, false, false, false, false]),
+        (
+            "CP-WOPT (vanilla ALS)",
+            [true, false, true, false, false, false, false],
+        ),
         ("OnlineSGD", [true, false, true, false, true, false, false]),
         ("OLSTEC", [true, false, true, false, true, false, false]),
         ("MAST", [true, false, true, false, true, false, false]),
         ("OR-MSTC", [true, false, true, true, true, false, false]),
         ("SMF", [false, true, false, false, true, true, true]),
         ("CPHW", [false, true, true, false, false, true, true]),
-        ("SOFIA (proposed)", [true, true, true, true, true, true, true]),
+        (
+            "SOFIA (proposed)",
+            [true, true, true, true, true, true, true],
+        ),
     ];
     let rows: Vec<Vec<String>> = methods
         .iter()

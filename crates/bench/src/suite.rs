@@ -69,8 +69,7 @@ pub fn build_method(
     match kind {
         MethodKind::Sofia => {
             let config = sofia_config(rank, period, max_outer);
-            let model =
-                Sofia::init(&config, startup, seed).expect("startup window long enough");
+            let model = Sofia::init(&config, startup, seed).expect("startup window long enough");
             Box::new(model)
         }
         MethodKind::OnlineSgd => Box::new(OnlineSgd::init(startup, rank, 0.1, seed)),

@@ -29,7 +29,9 @@ pub fn generate(
         "traffic" | "network-traffic" => Dataset::NetworkTraffic,
         "chicago" | "chicago-taxi" => Dataset::ChicagoTaxi,
         "nyc" | "nyc-taxi" => Dataset::NycTaxi,
-        other => return Err(format!("unknown dataset `{other}` (intel|traffic|chicago|nyc)").into()),
+        other => {
+            return Err(format!("unknown dataset `{other}` (intel|traffic|chicago|nyc)").into())
+        }
     };
     let stream = dataset.scaled_stream(scale, seed);
     let meta = Meta {
@@ -48,8 +50,7 @@ pub fn generate(
 
     fs::create_dir_all(dir)?;
     fs::write(dir.join("meta.txt"), meta.to_text())?;
-    let obs_refs: Vec<(usize, &ObservedTensor)> =
-        observed.iter().enumerate().collect();
+    let obs_refs: Vec<(usize, &ObservedTensor)> = observed.iter().enumerate().collect();
     fs::write(dir.join("observed.csv"), slices_to_csv(&obs_refs))?;
     let clean_refs: Vec<(usize, &DenseTensor)> = clean.iter().enumerate().collect();
     fs::write(dir.join("clean.csv"), dense_to_csv(&clean_refs))?;
@@ -133,8 +134,7 @@ pub fn run(
         let forecasts: Vec<(usize, DenseTensor)> = (1..=forecast_horizon)
             .map(|h| (t_end + h - 1, model.forecast_slice(h)))
             .collect();
-        let fc_refs: Vec<(usize, &DenseTensor)> =
-            forecasts.iter().map(|(t, s)| (*t, s)).collect();
+        let fc_refs: Vec<(usize, &DenseTensor)> = forecasts.iter().map(|(t, s)| (*t, s)).collect();
         fs::write(dir.join("forecast.csv"), dense_to_csv(&fc_refs))?;
         println!(
             "forecast {} steps → {}",
@@ -195,8 +195,7 @@ pub fn resume(
         let forecasts: Vec<(usize, DenseTensor)> = (1..=forecast_horizon)
             .map(|h| (t_end + h - 1, model.forecast_slice(h)))
             .collect();
-        let fc_refs: Vec<(usize, &DenseTensor)> =
-            forecasts.iter().map(|(t, s)| (*t, s)).collect();
+        let fc_refs: Vec<(usize, &DenseTensor)> = forecasts.iter().map(|(t, s)| (*t, s)).collect();
         fs::write(dir.join("forecast.csv"), dense_to_csv(&fc_refs))?;
     }
     if let Some(path) = out_checkpoint {

@@ -1,0 +1,279 @@
+//! The `fleet` subcommand: serve many synthetic SOFIA streams through the
+//! sharded engine and report throughput, latency, and shard scaling.
+
+use crate::commands::CmdResult;
+use sofia_core::model::Sofia;
+use sofia_core::SofiaConfig;
+use sofia_datagen::seasonal::SeasonalStream;
+use sofia_datagen::stream::TensorStream;
+use sofia_fleet::{CheckpointPolicy, Fleet, FleetConfig, StreamKey};
+use sofia_tensor::ObservedTensor;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Parameters of one `fleet` invocation.
+pub struct FleetOpts {
+    /// Number of concurrent synthetic streams.
+    pub streams: usize,
+    /// Shard (worker-thread) count for the main run.
+    pub shards: usize,
+    /// Slices streamed per stream after warm-up.
+    pub steps: usize,
+    /// CP rank of the synthetic streams and the models.
+    pub rank: usize,
+    /// Seasonal period of the synthetic streams.
+    pub period: usize,
+    /// Non-temporal slice dimensions.
+    pub dims: Vec<usize>,
+    /// Per-shard ingest queue bound.
+    pub queue: usize,
+    /// Base RNG seed (stream `i` uses `seed + i`).
+    pub seed: u64,
+    /// Optional durability directory; enables periodic checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Periodic checkpoint interval in steps per stream.
+    pub checkpoint_every: u64,
+    /// Additional shard counts to benchmark on the same workload (e.g.
+    /// `[1]` to demonstrate 1-shard vs `shards`-shard scaling).
+    pub compare_shards: Vec<usize>,
+}
+
+impl Default for FleetOpts {
+    fn default() -> Self {
+        FleetOpts {
+            streams: 100,
+            shards: 4,
+            steps: 40,
+            rank: 4,
+            period: 8,
+            dims: vec![12, 10],
+            queue: 256,
+            seed: 2021,
+            checkpoint_dir: None,
+            checkpoint_every: 25,
+            compare_shards: Vec::new(),
+        }
+    }
+}
+
+struct RunOutcome {
+    shards: usize,
+    wall_secs: f64,
+    slices: u64,
+    backpressure_retries: u64,
+    mean_latency_us: Option<f64>,
+    max_batch: usize,
+    checkpoints: usize,
+}
+
+/// Entry point of `sofia-cli fleet`.
+pub fn fleet(opts: &FleetOpts) -> CmdResult {
+    if opts.streams == 0 || opts.steps == 0 {
+        return Err("need at least one stream and one step".into());
+    }
+    if opts.shards == 0
+        || opts.queue == 0
+        || opts.checkpoint_every == 0
+        || opts.compare_shards.contains(&0)
+    {
+        return Err("shards, queue, and checkpoint-every must be positive".into());
+    }
+    if opts.rank == 0 || opts.period < 2 || opts.dims.contains(&0) {
+        return Err("rank and dims must be positive; period must be at least 2".into());
+    }
+    let model_config = SofiaConfig::new(opts.rank, opts.period)
+        .with_lambdas(0.01, 0.01, 10.0)
+        .with_als_limits(1e-3, 1, 40);
+    let startup_len = model_config.startup_len().max(2 * opts.period);
+
+    println!(
+        "fleet: {} streams x {} slices of {:?} (rank {}, period {}), queue bound {}",
+        opts.streams, opts.steps, opts.dims, opts.rank, opts.period, opts.queue
+    );
+
+    // --- Synthetic workload: one seasonal CP stream per served stream.
+    let streams: Vec<SeasonalStream> = (0..opts.streams)
+        .map(|i| {
+            SeasonalStream::paper_fig2(&opts.dims, opts.rank, opts.period, opts.seed + i as u64)
+        })
+        .collect();
+
+    // --- Warm-start one SOFIA model per stream, fanned out over the
+    // available cores (initialization is the expensive phase).
+    let init_start = Instant::now();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(opts.streams);
+    let chunk = opts.streams.div_ceil(workers);
+    let models: Vec<Sofia> = std::thread::scope(|scope| {
+        let handles: Vec<_> = streams
+            .chunks(chunk)
+            .enumerate()
+            .map(|(c, part)| {
+                let model_config = model_config.clone();
+                scope.spawn(move || {
+                    part.iter()
+                        .enumerate()
+                        .map(|(j, s)| {
+                            let i = c * chunk + j;
+                            let startup: Vec<ObservedTensor> = (0..startup_len)
+                                .map(|t| ObservedTensor::fully_observed(s.clean_slice(t)))
+                                .collect();
+                            Sofia::init(&model_config, &startup, opts.seed + i as u64)
+                                .expect("synthetic startup window is well-formed")
+                        })
+                        .collect::<Vec<Sofia>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("init worker"))
+            .collect()
+    });
+    println!(
+        "init: built {} models in {:.2}s ({} startup slices each, {} init threads)",
+        models.len(),
+        init_start.elapsed().as_secs_f64(),
+        startup_len,
+        workers
+    );
+
+    // --- Pre-materialize the streamed slices so the serving measurement
+    // isn't dominated by workload generation on the ingest thread.
+    let slices: Vec<Vec<ObservedTensor>> = streams
+        .iter()
+        .map(|s| {
+            (startup_len..startup_len + opts.steps)
+                .map(|t| ObservedTensor::fully_observed(s.clean_slice(t)))
+                .collect()
+        })
+        .collect();
+
+    // --- Run once per requested shard count on identical initial models.
+    let mut shard_counts = opts.compare_shards.clone();
+    shard_counts.push(opts.shards);
+    shard_counts.sort_unstable();
+    shard_counts.dedup();
+
+    let mut outcomes = Vec::new();
+    for &shards in &shard_counts {
+        outcomes.push(run_once(opts, shards, &models, &slices)?);
+    }
+
+    println!(
+        "\n{:>6}  {:>8}  {:>10}  {:>16}  {:>12}  {:>9}  {:>11}",
+        "shards",
+        "wall(s)",
+        "slices/s",
+        "latency-ewma(us)",
+        "backpressure",
+        "max-batch",
+        "checkpoints"
+    );
+    for o in &outcomes {
+        println!(
+            "{:>6}  {:>8.3}  {:>10.0}  {:>16}  {:>12}  {:>9}  {:>11}",
+            o.shards,
+            o.wall_secs,
+            o.slices as f64 / o.wall_secs,
+            o.mean_latency_us
+                .map(|l| format!("{l:.1}"))
+                .unwrap_or_else(|| "-".into()),
+            o.backpressure_retries,
+            o.max_batch,
+            o.checkpoints
+        );
+    }
+    if outcomes.len() > 1 {
+        let slowest = outcomes
+            .iter()
+            .max_by(|a, b| a.wall_secs.total_cmp(&b.wall_secs))
+            .expect("nonempty");
+        let fastest = outcomes
+            .iter()
+            .min_by(|a, b| a.wall_secs.total_cmp(&b.wall_secs))
+            .expect("nonempty");
+        println!(
+            "\nscaling: {} shards vs {} shards -> {:.2}x wall-clock speedup \
+             (expect ~1x on single-core machines)",
+            fastest.shards,
+            slowest.shards,
+            slowest.wall_secs / fastest.wall_secs
+        );
+    }
+    Ok(())
+}
+
+fn run_once(
+    opts: &FleetOpts,
+    shards: usize,
+    models: &[Sofia],
+    slices: &[Vec<ObservedTensor>],
+) -> Result<RunOutcome, Box<dyn std::error::Error>> {
+    let checkpoint = opts.checkpoint_dir.as_ref().map(|dir| {
+        // Each shard count gets its own subdirectory so comparison runs
+        // never mix durable state.
+        CheckpointPolicy::new(dir.join(format!("shards-{shards}")), opts.checkpoint_every)
+    });
+    let fleet = Fleet::new(FleetConfig {
+        shards,
+        queue_capacity: opts.queue,
+        checkpoint,
+    })?;
+
+    let keys: Vec<StreamKey> = models
+        .iter()
+        .enumerate()
+        .map(|(i, m)| fleet.register_sofia(&format!("stream-{i:04}"), m.clone()))
+        .collect::<Result<_, _>>()?;
+
+    // Ingest slice-major (t over all streams) — the arrival order of a
+    // tick-synchronized deployment — with yield-and-retry on
+    // backpressure.
+    let start = Instant::now();
+    let mut retries = 0u64;
+    for t in 0..opts.steps {
+        for (key, stream_slices) in keys.iter().zip(slices.iter()) {
+            retries += fleet.ingest_blocking(key, stream_slices[t].clone())?;
+        }
+    }
+    fleet.flush()?;
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    let stats = fleet.fleet_stats()?;
+    let slices_done = stats.steps();
+    let mean_latency_us = stats.mean_step_latency_us();
+    let max_batch = stats.shards.iter().map(|s| s.max_batch).max().unwrap_or(0);
+
+    // Exercise the query plane once per run on a sample stream.
+    let sample = "stream-0000";
+    let forecast = fleet
+        .forecast(sample, opts.period / 2)?
+        .expect("SOFIA forecasts");
+    let sample_stats = fleet.stream_stats(sample)?;
+    println!(
+        "[{shards} shard(s)] {sample}: {} steps on shard {}, \
+         forecast(h={}) |x| = {:.3}, latency ewma {}",
+        sample_stats.steps,
+        sample_stats.shard,
+        opts.period / 2,
+        forecast.frobenius_norm(),
+        sample_stats
+            .step_latency_ewma_us
+            .map(|l| format!("{l:.1}us"))
+            .unwrap_or_else(|| "-".into()),
+    );
+
+    let checkpoints = fleet.shutdown()?;
+    Ok(RunOutcome {
+        shards,
+        wall_secs,
+        slices: slices_done,
+        backpressure_retries: retries,
+        mean_latency_us,
+        max_batch,
+        checkpoints,
+    })
+}

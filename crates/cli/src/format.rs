@@ -73,7 +73,10 @@ impl Meta {
                         .map_err(|_| err(format!("meta.txt:{}: bad period", lineno + 1)))?,
                 );
             } else {
-                return Err(err(format!("meta.txt:{}: unknown line `{line}`", lineno + 1)));
+                return Err(err(format!(
+                    "meta.txt:{}: unknown line `{line}`",
+                    lineno + 1
+                )));
             }
         }
         let dims = dims.ok_or_else(|| err("meta.txt: missing `dims` line"))?;
@@ -160,7 +163,10 @@ pub fn csv_to_slices(text: &str, meta: &Meta) -> Result<Vec<ObservedTensor>, For
         let value: f64 = fields[order + 1]
             .parse()
             .map_err(|_| err(format!("line {}: bad value", lineno + 1)))?;
-        per_t.entry(t).or_default().push((shape.offset(&idx), value));
+        per_t
+            .entry(t)
+            .or_default()
+            .push((shape.offset(&idx), value));
         max_t = Some(max_t.map_or(t, |m: usize| m.max(t)));
     }
 
@@ -191,8 +197,7 @@ pub fn dense_to_csv(slices: &[(usize, &DenseTensor)]) -> String {
         .iter()
         .map(|&(t, d)| (t, ObservedTensor::fully_observed(d.clone())))
         .collect();
-    let refs: Vec<(usize, &ObservedTensor)> =
-        observed.iter().map(|(t, o)| (*t, o)).collect();
+    let refs: Vec<(usize, &ObservedTensor)> = observed.iter().map(|(t, o)| (*t, o)).collect();
     slices_to_csv(&refs)
 }
 

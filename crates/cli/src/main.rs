@@ -7,11 +7,19 @@
 //!                    [--checkpoint model.ckpt] [--seed 7]
 //! sofia-cli resume   --checkpoint model.ckpt --dir more/ [--forecast 24]
 //!                    [--save-checkpoint model2.ckpt]
+//! sofia-cli fleet    [--streams 100] [--shards 4] [--steps 40]
+//!                    [--rank 4] [--period 8] [--dims 12,10]
+//!                    [--queue 256] [--seed 2021]
+//!                    [--checkpoint-dir DIR] [--checkpoint-every 25]
+//!                    [--compare-shards 1,2]
 //! ```
 //!
-//! The stream directory format is documented in [`format`].
+//! The stream directory format is documented in [`format`]; `fleet` serves
+//! many synthetic streams through the sharded `sofia-fleet` engine and
+//! reports throughput, per-step latency, and shard scaling.
 
 mod commands;
+mod fleet_cmd;
 mod format;
 
 use std::collections::HashMap;
@@ -22,7 +30,15 @@ fn usage() -> &'static str {
     "usage:\n  sofia-cli generate --dir DIR --dataset intel|traffic|chicago|nyc \
      [--scale F] [--steps N] [--setting X,Y,Z] [--seed N]\n  \
      sofia-cli run --dir DIR --rank R [--forecast H] [--checkpoint FILE] [--seed N]\n  \
-     sofia-cli resume --checkpoint FILE --dir DIR [--forecast H] [--save-checkpoint FILE]"
+     sofia-cli resume --checkpoint FILE --dir DIR [--forecast H] [--save-checkpoint FILE]\n  \
+     sofia-cli fleet [--streams N] [--shards N] [--steps N] [--rank R] [--period M] \
+     [--dims X,Y] [--queue N] [--seed N] [--checkpoint-dir DIR] [--checkpoint-every N] \
+     [--compare-shards A,B]"
+}
+
+fn bad_flag(flag: &str, value: &str) -> ExitCode {
+    eprintln!("error: bad value `{value}` for --{flag}\n{}", usage());
+    ExitCode::from(2)
 }
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -32,9 +48,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let key = flag
             .strip_prefix("--")
             .ok_or_else(|| format!("expected a --flag, got `{flag}`"))?;
-        let value = it
-            .next()
-            .ok_or_else(|| format!("--{key} needs a value"))?;
+        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
         map.insert(key.to_string(), value.clone());
     }
     Ok(map)
@@ -123,6 +137,66 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             }
+        }
+        "fleet" => {
+            let mut opts = fleet_cmd::FleetOpts::default();
+            // Overwrites `target` with the parsed flag value when the
+            // flag is present; reports the malformed value otherwise.
+            fn set_parsed<T: std::str::FromStr>(
+                value: Option<String>,
+                flag: &str,
+                target: &mut T,
+            ) -> Result<(), ExitCode> {
+                if let Some(v) = value {
+                    match v.parse() {
+                        Ok(n) => *target = n,
+                        Err(_) => return Err(bad_flag(flag, &v)),
+                    }
+                }
+                Ok(())
+            }
+            let parse_usize_list = |s: &str| -> Result<Vec<usize>, String> {
+                s.split(',')
+                    .map(|p| p.trim().parse().map_err(|_| format!("bad number `{p}`")))
+                    .collect()
+            };
+            let scalar_flags = [
+                ("streams", &mut opts.streams as &mut usize),
+                ("shards", &mut opts.shards),
+                ("steps", &mut opts.steps),
+                ("rank", &mut opts.rank),
+                ("period", &mut opts.period),
+                ("queue", &mut opts.queue),
+            ];
+            for (flag, target) in scalar_flags {
+                if let Err(code) = set_parsed(get(flag), flag, target) {
+                    return code;
+                }
+            }
+            if let Err(code) = set_parsed(get("seed"), "seed", &mut opts.seed) {
+                return code;
+            }
+            if let Err(code) = set_parsed(
+                get("checkpoint-every"),
+                "checkpoint-every",
+                &mut opts.checkpoint_every,
+            ) {
+                return code;
+            }
+            if let Some(v) = get("dims") {
+                opts.dims = match parse_usize_list(&v) {
+                    Ok(d) if !d.is_empty() => d,
+                    _ => return bad_flag("dims", &v),
+                };
+            }
+            if let Some(v) = get("compare-shards") {
+                opts.compare_shards = match parse_usize_list(&v) {
+                    Ok(s) => s,
+                    Err(_) => return bad_flag("compare-shards", &v),
+                };
+            }
+            opts.checkpoint_dir = get("checkpoint-dir").map(PathBuf::from);
+            fleet_cmd::fleet(&opts)
         }
         other => {
             eprintln!("unknown command `{other}`\n{}", usage());

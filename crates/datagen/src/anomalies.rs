@@ -88,10 +88,7 @@ impl Anomaly {
     pub fn affected_cells(&self, shape: &Shape) -> Vec<Vec<usize>> {
         match self {
             Anomaly::Point { index, .. } => vec![index.clone()],
-            Anomaly::Slab { slab, .. } => shape
-                .indices()
-                .filter(|idx| idx[0] == *slab)
-                .collect(),
+            Anomaly::Slab { slab, .. } => shape.indices().filter(|idx| idx[0] == *slab).collect(),
             Anomaly::Burst { .. } => shape.indices().collect(),
         }
     }

@@ -95,9 +95,8 @@ impl Corruptor {
     /// outliers are unknowable to any method, so they are excluded from
     /// detection scoring).
     pub fn corrupt_labeled(&self, clean: &DenseTensor, t: usize) -> (ObservedTensor, Vec<usize>) {
-        let mut rng = SmallRng::seed_from_u64(
-            self.seed ^ (t as u64).wrapping_mul(0xd129_0d3b_3f2d_a37b),
-        );
+        let mut rng =
+            SmallRng::seed_from_u64(self.seed ^ (t as u64).wrapping_mul(0xd129_0d3b_3f2d_a37b));
         let mut values = clean.clone();
         let mut injected = Vec::new();
         if self.config.outlier > 0.0 && self.config.magnitude > 0.0 {

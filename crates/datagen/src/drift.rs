@@ -84,10 +84,7 @@ mod tests {
 
     #[test]
     fn regime_schedule() {
-        let s = RegimeSwitchStream::new(
-            vec![regime(1), regime(2), regime(3)],
-            vec![10, 20],
-        );
+        let s = RegimeSwitchStream::new(vec![regime(1), regime(2), regime(3)], vec![10, 20]);
         assert_eq!(s.regime_at(0), 0);
         assert_eq!(s.regime_at(9), 0);
         assert_eq!(s.regime_at(10), 1);

@@ -61,11 +61,7 @@ pub struct SeasonalStream {
 
 impl SeasonalStream {
     /// Builds a stream from explicit non-temporal factors and components.
-    pub fn new(
-        factors: Vec<Matrix>,
-        components: Vec<SeasonalComponent>,
-        period: usize,
-    ) -> Self {
+    pub fn new(factors: Vec<Matrix>, components: Vec<SeasonalComponent>, period: usize) -> Self {
         assert!(!factors.is_empty(), "need at least one non-temporal mode");
         assert!(period >= 1);
         let rank = factors[0].cols();
@@ -166,8 +162,9 @@ impl TensorStream for SeasonalStream {
         let mut slice = kruskal::kruskal_slice(&refs, &u);
         if self.noise_sigma > 0.0 {
             // Deterministic per-(t, entry) noise: re-seed per slice.
-            let mut rng =
-                SmallRng::seed_from_u64(self.noise_seed ^ (t as u64).wrapping_mul(0x9e3779b97f4a7c15));
+            let mut rng = SmallRng::seed_from_u64(
+                self.noise_seed ^ (t as u64).wrapping_mul(0x9e3779b97f4a7c15),
+            );
             for v in slice.data_mut() {
                 *v += self.noise_sigma * sofia_tensor::random::sample_standard_normal(&mut rng);
             }

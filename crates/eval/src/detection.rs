@@ -59,11 +59,7 @@ impl DetectionCounts {
 
 /// Scores one step: entries of `outliers` with `|o| > threshold` are the
 /// flags; `injected` are the ground-truth (observed) outlier offsets.
-pub fn score_step(
-    outliers: &DenseTensor,
-    injected: &[usize],
-    threshold: f64,
-) -> DetectionCounts {
+pub fn score_step(outliers: &DenseTensor, injected: &[usize], threshold: f64) -> DetectionCounts {
     let mut counts = DetectionCounts::default();
     let mut injected_sorted = injected.to_vec();
     injected_sorted.sort_unstable();

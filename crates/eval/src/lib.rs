@@ -9,8 +9,8 @@
 pub mod detection;
 pub mod metrics;
 pub mod report;
-pub mod stats;
 pub mod runner;
+pub mod stats;
 
 pub use metrics::{StepRecord, StreamSummary};
 pub use runner::{run_stream, ForecastResult, StreamConfig};

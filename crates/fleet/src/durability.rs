@@ -1,0 +1,237 @@
+//! Durable per-stream checkpoints: atomic rotation and crash recovery.
+//!
+//! Each checkpointable stream owns one file `<dir>/<encoded-id>.ckpt` in
+//! the bit-exact `sofia_core::checkpoint` v1 text format. Writes go
+//! through a temp file in the same directory followed by an atomic
+//! `rename`, so a crash mid-write never damages the previous good
+//! checkpoint — on restart every `.ckpt` file in the directory is either
+//! the old state or the new state, never a torn mix.
+
+use crate::error::FleetError;
+use sofia_core::checkpoint;
+use sofia_core::Sofia;
+use std::path::{Path, PathBuf};
+
+/// When and where the engine checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Directory holding one `.ckpt` file per stream (created on engine
+    /// start if absent).
+    pub dir: PathBuf,
+    /// Checkpoint a stream after this many steps since its last durable
+    /// checkpoint. `1` checkpoints every step; large values trade
+    /// durability lag for throughput.
+    pub every_steps: u64,
+}
+
+impl CheckpointPolicy {
+    /// Checkpoints into `dir` every `every_steps` steps per stream.
+    pub fn new(dir: impl Into<PathBuf>, every_steps: u64) -> Self {
+        assert!(every_steps > 0, "checkpoint interval must be positive");
+        CheckpointPolicy {
+            dir: dir.into(),
+            every_steps,
+        }
+    }
+}
+
+/// Percent-encodes a stream id into a filesystem-safe file stem.
+///
+/// Alphanumerics, `-`, `_`, and `.` pass through; everything else becomes
+/// `%XX` per byte. The encoding is injective, so distinct stream ids
+/// never collide on disk.
+pub fn encode_stream_id(id: &str) -> String {
+    let mut out = String::with_capacity(id.len());
+    for b in id.bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' | b'.' => out.push(b as char),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Inverse of [`encode_stream_id`]; `None` on malformed escapes.
+pub fn decode_stream_id(stem: &str) -> Option<String> {
+    let bytes = stem.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes.get(i + 1..i + 3)?;
+            let hex = std::str::from_utf8(hex).ok()?;
+            out.push(u8::from_str_radix(hex, 16).ok()?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// Path of a stream's checkpoint file under `dir`.
+pub fn checkpoint_path(dir: &Path, stream_id: &str) -> PathBuf {
+    dir.join(format!("{}.ckpt", encode_stream_id(stream_id)))
+}
+
+/// Writes `text` as `stream_id`'s checkpoint with atomic temp+rename
+/// rotation.
+pub fn write_checkpoint(dir: &Path, stream_id: &str, text: &str) -> Result<(), FleetError> {
+    use std::io::Write as _;
+    let final_path = checkpoint_path(dir, stream_id);
+    // The temp file lives in the same directory so the rename cannot
+    // cross a filesystem boundary (rename is only atomic within one).
+    let tmp_path = final_path.with_extension("ckpt.tmp");
+    let mut file = std::fs::File::create(&tmp_path)?;
+    file.write_all(text.as_bytes())?;
+    // Flush data blocks before the rename: without this, a power loss
+    // can journal the rename's metadata ahead of the data and replace
+    // the previous good checkpoint with an empty/torn file. (A paranoid
+    // implementation would also fsync the directory; per-stream loss on
+    // that window is bounded by the checkpoint interval, so we stop at
+    // the file.)
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp_path, &final_path)?;
+    Ok(())
+}
+
+/// One recovered stream: id plus its restored model.
+pub struct RecoveredStream {
+    /// Decoded stream id.
+    pub id: String,
+    /// Model restored bit-exactly from its checkpoint.
+    pub model: Sofia,
+}
+
+/// Loads every checkpoint under `dir`, sorted by stream id for
+/// deterministic registration order. Stale `.ckpt.tmp` files from a crash
+/// mid-write are removed; malformed `.ckpt` files are hard errors (a
+/// serving engine must not silently drop a stream's state).
+pub fn recover_all(dir: &Path) -> Result<Vec<RecoveredStream>, FleetError> {
+    let mut recovered = Vec::new();
+    if !dir.exists() {
+        return Ok(recovered);
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = match path.file_name().and_then(|n| n.to_str()) {
+            Some(n) => n,
+            None => continue,
+        };
+        if name.ends_with(".ckpt.tmp") {
+            // A crash between write and rename left a torn temp file; the
+            // previous good checkpoint (if any) is still intact.
+            let _ = std::fs::remove_file(&path);
+            continue;
+        }
+        let Some(stem) = name.strip_suffix(".ckpt") else {
+            continue;
+        };
+        let id = decode_stream_id(stem).ok_or_else(|| FleetError::Corrupt {
+            stream: stem.to_string(),
+            reason: "undecodable file name".to_string(),
+        })?;
+        let text = std::fs::read_to_string(&path)?;
+        let model = checkpoint::load(&text).map_err(|e| FleetError::Corrupt {
+            stream: id.clone(),
+            reason: e.to_string(),
+        })?;
+        recovered.push(RecoveredStream { id, model });
+    }
+    recovered.sort_by(|a, b| a.id.cmp(&b.id));
+    Ok(recovered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sofia-fleet-durability-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn id_encoding_roundtrips() {
+        for id in [
+            "plain",
+            "with/slash",
+            "dots.and-dashes_ok",
+            "spaces and % signs",
+            "unicode-ßµ",
+            "",
+        ] {
+            let enc = encode_stream_id(id);
+            assert!(
+                enc.bytes().all(|b| b.is_ascii_alphanumeric()
+                    || b == b'-'
+                    || b == b'_'
+                    || b == b'.'
+                    || b == b'%'),
+                "unsafe byte in {enc:?}"
+            );
+            assert_eq!(decode_stream_id(&enc).as_deref(), Some(id));
+        }
+    }
+
+    #[test]
+    fn distinct_ids_never_collide() {
+        let ids = ["a/b", "a%2Fb", "a_b", "a b", "a%b"];
+        let encs: Vec<String> = ids.iter().map(|i| encode_stream_id(i)).collect();
+        for i in 0..encs.len() {
+            for j in i + 1..encs.len() {
+                assert_ne!(encs[i], encs[j], "{} vs {}", ids[i], ids[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert_eq!(decode_stream_id("%zz"), None);
+        assert_eq!(decode_stream_id("%4"), None);
+        assert_eq!(decode_stream_id("ok%20fine"), Some("ok fine".into()));
+    }
+
+    #[test]
+    fn write_is_atomic_and_recoverable() {
+        let dir = tmpdir("atomic");
+        write_checkpoint(&dir, "s/1", "sofia-checkpoint v1\ngarbage-for-this-test\n").unwrap();
+        // The temp file must not linger.
+        assert!(std::fs::read_dir(&dir).unwrap().all(|e| !e
+            .unwrap()
+            .file_name()
+            .to_string_lossy()
+            .ends_with(".tmp")));
+        // Overwrite rotates atomically.
+        write_checkpoint(&dir, "s/1", "second\n").unwrap();
+        let text = std::fs::read_to_string(checkpoint_path(&dir, "s/1")).unwrap();
+        assert_eq!(text, "second\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_skips_temp_and_flags_corrupt() {
+        let dir = tmpdir("recover");
+        // A torn temp file from a crash mid-write: cleaned up, not loaded.
+        std::fs::write(dir.join("torn.ckpt.tmp"), "half a checkpo").unwrap();
+        assert!(recover_all(&dir).unwrap().is_empty());
+        assert!(!dir.join("torn.ckpt.tmp").exists());
+        // A malformed real checkpoint is a hard error.
+        std::fs::write(dir.join("bad.ckpt"), "not a checkpoint\n").unwrap();
+        assert!(matches!(recover_all(&dir), Err(FleetError::Corrupt { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_missing_dir_is_empty() {
+        let dir = std::env::temp_dir().join("sofia-fleet-never-created-dir");
+        assert!(recover_all(&dir).unwrap().is_empty());
+    }
+}

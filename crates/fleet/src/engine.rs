@@ -1,0 +1,709 @@
+//! The [`Fleet`] engine: registration, ingest, queries, durability,
+//! shutdown.
+
+use crate::durability::{recover_all, CheckpointPolicy};
+use crate::error::{FleetError, IngestError};
+use crate::model::ModelHandle;
+use crate::registry::{Registry, StreamKey};
+use crate::shard::{Command, QueryKind, QueryReply, ShardHandle};
+use crate::stats::{FleetStats, StreamStats};
+use sofia_core::traits::StepOutput;
+use sofia_core::Sofia;
+use sofia_tensor::{DenseTensor, Mask, ObservedTensor};
+use std::sync::mpsc;
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Worker threads / registry partitions. Streams are hash-partitioned
+    /// across shards; steps for streams on different shards run in
+    /// parallel.
+    pub shards: usize,
+    /// Bound of each shard's ingest queue, in commands. A full queue
+    /// surfaces as [`IngestError::Backpressure`] instead of blocking.
+    pub queue_capacity: usize,
+    /// Optional durability policy; `None` disables checkpointing.
+    pub checkpoint: Option<CheckpointPolicy>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            shards: 4,
+            queue_capacity: 1024,
+            checkpoint: None,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// A config with `shards` shards and defaults elsewhere.
+    pub fn with_shards(shards: usize) -> Self {
+        FleetConfig {
+            shards,
+            ..Default::default()
+        }
+    }
+}
+
+/// A sharded multi-stream serving engine.
+///
+/// `Fleet` manages many named model instances — SOFIA or any
+/// [`sofia_core::traits::StreamingFactorizer`] — behind one API:
+///
+/// * **registration** installs a model for a stream id on its
+///   hash-assigned shard;
+/// * **ingest** ([`Fleet::try_ingest`]) hands one observed slice to the
+///   owning shard's bounded queue without blocking and without locks;
+/// * **queries** ([`Fleet::latest`], [`Fleet::forecast`],
+///   [`Fleet::outlier_mask`], [`Fleet::stream_stats`]) read the serving
+///   state through the owning worker, so no torn reads are possible;
+/// * **durability** checkpoints SOFIA streams periodically (and on
+///   shutdown) in the bit-exact `sofia_core::checkpoint` format;
+///   [`Fleet::recover`] restores every stream from such a directory.
+///
+/// See `examples/fleet_serving.rs` for a walkthrough.
+pub struct Fleet {
+    registry: std::sync::Arc<Registry>,
+    shards: Vec<ShardHandle>,
+}
+
+impl Fleet {
+    /// Starts an engine with the given configuration. Creates the
+    /// checkpoint directory if durability is enabled.
+    pub fn new(config: FleetConfig) -> Result<Fleet, FleetError> {
+        assert!(config.shards > 0, "need at least one shard");
+        assert!(config.queue_capacity > 0, "need a positive queue bound");
+        if let Some(policy) = &config.checkpoint {
+            std::fs::create_dir_all(&policy.dir)?;
+        }
+        let registry = std::sync::Arc::new(Registry::new(config.shards));
+        let shards = (0..config.shards)
+            .map(|s| {
+                ShardHandle::spawn(
+                    s,
+                    config.queue_capacity,
+                    config.checkpoint.clone(),
+                    std::sync::Arc::clone(&registry),
+                )
+            })
+            .collect();
+        Ok(Fleet { registry, shards })
+    }
+
+    /// Starts an engine and restores every stream checkpointed in the
+    /// config's checkpoint directory. Returns the engine and the number
+    /// of streams recovered.
+    ///
+    /// Restored models are bit-exact: their subsequent [`StepOutput`]s
+    /// match an uninterrupted run. The latest completed slice is *not*
+    /// part of a checkpoint, so [`Fleet::latest`] returns `None` for a
+    /// recovered stream until its next step.
+    pub fn recover(config: FleetConfig) -> Result<(Fleet, usize), FleetError> {
+        let policy = config.checkpoint.clone().ok_or_else(|| {
+            FleetError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "recovery requires a checkpoint policy",
+            ))
+        })?;
+        let recovered = recover_all(&policy.dir)?;
+        let fleet = Fleet::new(config)?;
+        let n = recovered.len();
+        for stream in recovered {
+            fleet.register(&stream.id, ModelHandle::sofia(stream.model))?;
+        }
+        Ok((fleet, n))
+    }
+
+    /// Registers a model under `id` and returns the stream's routing key.
+    ///
+    /// The key ingests with zero registry involvement; id-based entry
+    /// points ([`Fleet::try_ingest_id`], the query methods) look the key
+    /// up per call.
+    pub fn register(&self, id: &str, model: ModelHandle) -> Result<StreamKey, FleetError> {
+        let key = self.registry.insert(id)?;
+        let (reply, ready) = mpsc::channel();
+        self.shards[key.shard()].send(Command::Register {
+            stream: key.interned(),
+            model,
+            reply,
+        })?;
+        ready.recv().map_err(|_| FleetError::ShuttingDown)?;
+        Ok(key)
+    }
+
+    /// Convenience: registers a SOFIA model.
+    pub fn register_sofia(&self, id: &str, model: Sofia) -> Result<StreamKey, FleetError> {
+        self.register(id, ModelHandle::sofia(model))
+    }
+
+    /// Routing key of a registered stream.
+    pub fn key(&self, id: &str) -> Option<StreamKey> {
+        self.registry.get(id)
+    }
+
+    /// Registered stream ids, sorted.
+    pub fn stream_ids(&self) -> Vec<String> {
+        self.registry.ids()
+    }
+
+    /// Number of registered streams.
+    pub fn streams(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// Data plane: hands `slice` to the owning shard without blocking.
+    ///
+    /// On a full queue the slice comes back inside
+    /// [`IngestError::Backpressure`] — nothing is dropped; the caller
+    /// decides whether to retry, shed, or spill. The path takes no lock:
+    /// the key carries the route and the bounded queue is the only
+    /// synchronization point.
+    pub fn try_ingest(&self, key: &StreamKey, slice: ObservedTensor) -> Result<(), IngestError> {
+        self.shards[key.shard()].try_ingest(key.interned(), slice)
+    }
+
+    /// Id-based [`Fleet::try_ingest`] (one registry lookup per call).
+    pub fn try_ingest_id(&self, id: &str, slice: ObservedTensor) -> Result<(), IngestError> {
+        match self.registry.get(id) {
+            Some(key) => self.try_ingest(&key, slice),
+            None => Err(IngestError::UnknownStream(id.to_string())),
+        }
+    }
+
+    /// Blocking convenience over [`Fleet::try_ingest`]: yields between
+    /// retries until the slice is accepted. Returns the number of
+    /// backpressure retries taken.
+    pub fn ingest_blocking(
+        &self,
+        key: &StreamKey,
+        mut slice: ObservedTensor,
+    ) -> Result<u64, IngestError> {
+        let mut retries = 0;
+        loop {
+            match self.try_ingest(key, slice) {
+                Ok(()) => return Ok(retries),
+                Err(IngestError::Backpressure(returned)) => {
+                    slice = *returned;
+                    retries += 1;
+                    std::thread::yield_now();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn query(&self, id: &str, kind: QueryKind) -> Result<QueryReply, FleetError> {
+        let key = self
+            .registry
+            .get(id)
+            .ok_or_else(|| FleetError::UnknownStream(id.to_string()))?;
+        let (reply, result) = mpsc::channel();
+        self.shards[key.shard()].send(Command::Query {
+            stream: key.interned(),
+            kind,
+            reply,
+        })?;
+        result.recv().map_err(|_| FleetError::ShuttingDown)?
+    }
+
+    /// Latest completed slice (and outliers) of a stream, or `None`
+    /// before its first step (including right after recovery).
+    pub fn latest(&self, id: &str) -> Result<Option<StepOutput>, FleetError> {
+        match self.query(id, QueryKind::Latest)? {
+            QueryReply::Latest(out) => Ok(out),
+            _ => unreachable!("shard answered with mismatched reply variant"),
+        }
+    }
+
+    /// `h`-step-ahead forecast of a stream, or `None` if its model does
+    /// not forecast.
+    pub fn forecast(&self, id: &str, h: usize) -> Result<Option<DenseTensor>, FleetError> {
+        match self.query(id, QueryKind::Forecast(h))? {
+            QueryReply::Forecast(f) => Ok(f),
+            _ => unreachable!("shard answered with mismatched reply variant"),
+        }
+    }
+
+    /// Boolean mask of entries flagged as outliers in the latest step, or
+    /// `None` before the first step / for models without outlier
+    /// estimates.
+    pub fn outlier_mask(&self, id: &str) -> Result<Option<Mask>, FleetError> {
+        match self.query(id, QueryKind::OutlierMask)? {
+            QueryReply::OutlierMask(m) => Ok(m),
+            _ => unreachable!("shard answered with mismatched reply variant"),
+        }
+    }
+
+    /// Serving statistics of one stream.
+    pub fn stream_stats(&self, id: &str) -> Result<StreamStats, FleetError> {
+        match self.query(id, QueryKind::Stats)? {
+            QueryReply::Stats(s) => Ok(s),
+            _ => unreachable!("shard answered with mismatched reply variant"),
+        }
+    }
+
+    /// Fleet-wide statistics snapshot (one barrier-free query per shard).
+    pub fn fleet_stats(&self) -> Result<FleetStats, FleetError> {
+        let mut pending = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let (reply, result) = mpsc::channel();
+            shard.send(Command::ShardStats { reply })?;
+            pending.push(result);
+        }
+        let mut shards = Vec::with_capacity(pending.len());
+        for result in pending {
+            shards.push(result.recv().map_err(|_| FleetError::ShuttingDown)?);
+        }
+        Ok(FleetStats { shards })
+    }
+
+    /// Barrier: returns once every slice ingested before this call has
+    /// been applied (queues are FIFO, so the flush marker drains last).
+    pub fn flush(&self) -> Result<(), FleetError> {
+        let mut pending = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let (reply, done) = mpsc::channel();
+            shard.send(Command::Flush { reply })?;
+            pending.push(done);
+        }
+        for done in pending {
+            done.recv().map_err(|_| FleetError::ShuttingDown)?;
+        }
+        Ok(())
+    }
+
+    /// Checkpoints every checkpointable stream now; returns how many
+    /// checkpoints were written. No-op (0) without a checkpoint policy.
+    pub fn checkpoint_now(&self) -> Result<usize, FleetError> {
+        let mut pending = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let (reply, result) = mpsc::channel();
+            shard.send(Command::Checkpoint { reply })?;
+            pending.push(result);
+        }
+        let mut written = 0;
+        for result in pending {
+            written += result.recv().map_err(|_| FleetError::ShuttingDown)??;
+        }
+        Ok(written)
+    }
+
+    /// Graceful shutdown: drains every queue, writes a final checkpoint
+    /// per checkpointable stream, and joins the workers. Returns the
+    /// number of final checkpoints written.
+    pub fn shutdown(mut self) -> Result<usize, FleetError> {
+        self.shutdown_inner()
+    }
+
+    /// Ungraceful exit: tears the engine down **without** draining queues
+    /// or writing final checkpoints, leaving only state already made
+    /// durable by the periodic policy — exactly the on-disk picture a
+    /// crash leaves behind. Exists so crash recovery can be tested
+    /// honestly; production callers want [`Fleet::shutdown`].
+    pub fn abort(mut self) {
+        for shard in std::mem::take(&mut self.shards) {
+            // Dropping the sender disconnects the worker, which exits
+            // without checkpointing (see the shard loop).
+            drop(shard.tx);
+            if let Some(join) = shard.join {
+                let _ = join.join();
+            }
+        }
+    }
+
+    fn shutdown_inner(&mut self) -> Result<usize, FleetError> {
+        let mut pending = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let (reply, result) = mpsc::channel();
+            // The Shutdown marker is FIFO-ordered behind queued slices,
+            // so the worker applies everything before exiting.
+            if shard.send(Command::Shutdown { reply }).is_ok() {
+                pending.push(Some(result));
+            } else {
+                pending.push(None);
+            }
+        }
+        let mut written = 0;
+        for result in pending.into_iter().flatten() {
+            if let Ok(count) = result.recv() {
+                written += count?;
+            }
+        }
+        for shard in &mut self.shards {
+            if let Some(join) = shard.join.take() {
+                let _ = join.join();
+            }
+        }
+        Ok(written)
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        // Best-effort graceful exit if the caller never called
+        // `shutdown()`; errors are unreportable here.
+        if self.shards.iter().any(|s| s.join.is_some()) {
+            let _ = self.shutdown_inner();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofia_core::traits::StreamingFactorizer;
+    use sofia_tensor::Shape;
+    use std::time::Duration;
+
+    /// Test model: completion counts the steps taken, so outputs encode
+    /// per-stream ordering; forecast reports the count too.
+    #[derive(Debug, Clone)]
+    struct Counter {
+        steps: u64,
+        sleep: Duration,
+    }
+
+    impl Counter {
+        fn new() -> Self {
+            Counter {
+                steps: 0,
+                sleep: Duration::ZERO,
+            }
+        }
+        fn slow(ms: u64) -> Self {
+            Counter {
+                steps: 0,
+                sleep: Duration::from_millis(ms),
+            }
+        }
+    }
+
+    impl StreamingFactorizer for Counter {
+        fn name(&self) -> &'static str {
+            "counter"
+        }
+        fn step(&mut self, slice: &ObservedTensor) -> StepOutput {
+            if !self.sleep.is_zero() {
+                std::thread::sleep(self.sleep);
+            }
+            self.steps += 1;
+            let mut completed = slice.values().clone();
+            for v in completed.data_mut() {
+                *v = self.steps as f64;
+            }
+            StepOutput {
+                completed,
+                outliers: None,
+            }
+        }
+        fn forecast(&self, _h: usize) -> Option<DenseTensor> {
+            Some(DenseTensor::full(Shape::new(&[1]), self.steps as f64))
+        }
+    }
+
+    fn slice(v: f64) -> ObservedTensor {
+        ObservedTensor::fully_observed(DenseTensor::full(Shape::new(&[2, 2]), v))
+    }
+
+    fn small_fleet(shards: usize) -> Fleet {
+        Fleet::new(FleetConfig {
+            shards,
+            queue_capacity: 64,
+            checkpoint: None,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn register_ingest_flush_query() {
+        let fleet = small_fleet(2);
+        let key = fleet
+            .register("s1", ModelHandle::boxed(Box::new(Counter::new())))
+            .unwrap();
+        for t in 0..5 {
+            fleet.try_ingest(&key, slice(t as f64)).unwrap();
+        }
+        fleet.flush().unwrap();
+        let last = fleet.latest("s1").unwrap().expect("has stepped");
+        assert_eq!(last.completed.get(&[0, 0]), 5.0);
+        let fc = fleet.forecast("s1", 1).unwrap().expect("forecasts");
+        assert_eq!(fc.get(&[0]), 5.0);
+        let stats = fleet.stream_stats("s1").unwrap();
+        assert_eq!(stats.steps, 5);
+        assert!(stats.step_latency_ewma_us.is_some());
+    }
+
+    #[test]
+    fn many_streams_keep_independent_state() {
+        let fleet = small_fleet(3);
+        let keys: Vec<StreamKey> = (0..12)
+            .map(|i| {
+                fleet
+                    .register(
+                        &format!("stream-{i}"),
+                        ModelHandle::boxed(Box::new(Counter::new())),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        // Stream i gets i+1 slices.
+        for (i, key) in keys.iter().enumerate() {
+            for _ in 0..=i {
+                fleet.try_ingest(key, slice(0.0)).unwrap();
+            }
+        }
+        fleet.flush().unwrap();
+        for (i, key) in keys.iter().enumerate() {
+            let last = fleet.latest(key.id()).unwrap().unwrap();
+            assert_eq!(last.completed.get(&[0, 0]), (i + 1) as f64, "stream {i}");
+        }
+        let stats = fleet.fleet_stats().unwrap();
+        assert_eq!(stats.streams(), 12);
+        assert_eq!(stats.steps(), (1..=12).sum::<usize>() as u64);
+        assert_eq!(stats.queue_depth(), 0);
+    }
+
+    #[test]
+    fn duplicate_and_unknown_streams_error() {
+        let fleet = small_fleet(1);
+        fleet
+            .register("s1", ModelHandle::boxed(Box::new(Counter::new())))
+            .unwrap();
+        assert!(matches!(
+            fleet.register("s1", ModelHandle::boxed(Box::new(Counter::new()))),
+            Err(FleetError::DuplicateStream(_))
+        ));
+        assert!(matches!(
+            fleet.latest("ghost"),
+            Err(FleetError::UnknownStream(_))
+        ));
+        assert!(matches!(
+            fleet.try_ingest_id("ghost", slice(0.0)),
+            Err(IngestError::UnknownStream(_))
+        ));
+    }
+
+    #[test]
+    fn backpressure_returns_the_slice() {
+        let fleet = Fleet::new(FleetConfig {
+            shards: 1,
+            queue_capacity: 1,
+            checkpoint: None,
+        })
+        .unwrap();
+        let key = fleet
+            .register("slow", ModelHandle::boxed(Box::new(Counter::slow(50))))
+            .unwrap();
+        // Fill until the bounded queue pushes back. The worker consumes
+        // one slice every 50 ms, so a tight loop must hit Backpressure.
+        let mut sent = 0u64;
+        let mut hit = None;
+        for t in 0..200 {
+            match fleet.try_ingest(&key, slice(t as f64)) {
+                Ok(()) => sent += 1,
+                Err(IngestError::Backpressure(returned)) => {
+                    hit = Some((t, returned));
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        let (t, returned) = hit.expect("tight loop should outrun a 50ms/step worker");
+        // The exact rejected slice came back — nothing was dropped.
+        assert_eq!(returned.values().get(&[0, 0]), t as f64);
+        // Everything accepted before the rejection is eventually applied.
+        fleet.flush().unwrap();
+        assert_eq!(fleet.stream_stats("slow").unwrap().steps, sent);
+    }
+
+    #[test]
+    fn ingest_blocking_retries_until_accepted() {
+        let fleet = Fleet::new(FleetConfig {
+            shards: 1,
+            queue_capacity: 1,
+            checkpoint: None,
+        })
+        .unwrap();
+        let key = fleet
+            .register("slow", ModelHandle::boxed(Box::new(Counter::slow(5))))
+            .unwrap();
+        let mut total_retries = 0;
+        for t in 0..20 {
+            total_retries += fleet.ingest_blocking(&key, slice(t as f64)).unwrap();
+        }
+        fleet.flush().unwrap();
+        assert_eq!(fleet.stream_stats("slow").unwrap().steps, 20);
+        assert!(total_retries > 0, "a 1-deep queue must push back");
+    }
+
+    #[test]
+    fn shards_process_in_parallel() {
+        // Two streams, 20 ms per step, 10 steps each. Serial would take
+        // ≥ 400 ms of step work; two shards overlap the sleeps (sleeping
+        // threads overlap even on one core), so the barrier returns in
+        // well under the serial total. The 320 ms bound leaves ~120 ms
+        // of scheduler slack over the 200 ms ideal so a loaded CI
+        // machine doesn't flake it, while staying 80 ms below serial.
+        let fleet = small_fleet(2);
+        let pick = |shard: usize| {
+            (0..100)
+                .map(|i| format!("s{i}"))
+                .find(|id| crate::registry::shard_of(id, 2) == shard)
+                .expect("some id routes to each shard")
+        };
+        let a = fleet
+            .register(&pick(0), ModelHandle::boxed(Box::new(Counter::slow(20))))
+            .unwrap();
+        let b = fleet
+            .register(&pick(1), ModelHandle::boxed(Box::new(Counter::slow(20))))
+            .unwrap();
+        assert_ne!(a.shard(), b.shard());
+        let start = std::time::Instant::now();
+        for _ in 0..10 {
+            fleet.try_ingest(&a, slice(0.0)).unwrap();
+            fleet.try_ingest(&b, slice(0.0)).unwrap();
+        }
+        fleet.flush().unwrap();
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(320),
+            "two shards should overlap sleeps: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn panicking_model_is_quarantined_not_the_shard() {
+        struct PanicAfter {
+            steps: u64,
+            after: u64,
+        }
+        impl StreamingFactorizer for PanicAfter {
+            fn name(&self) -> &'static str {
+                "panic-after"
+            }
+            fn step(&mut self, slice: &ObservedTensor) -> StepOutput {
+                self.steps += 1;
+                assert!(self.steps < self.after, "synthetic model failure");
+                StepOutput {
+                    completed: slice.values().clone(),
+                    outliers: None,
+                }
+            }
+        }
+
+        // One shard, so both streams share the worker the bad model
+        // panics on.
+        let fleet = small_fleet(1);
+        let bad = fleet
+            .register(
+                "bad",
+                ModelHandle::boxed(Box::new(PanicAfter { steps: 0, after: 2 })),
+            )
+            .unwrap();
+        let good = fleet
+            .register("good", ModelHandle::boxed(Box::new(Counter::new())))
+            .unwrap();
+        for t in 0..3 {
+            fleet.try_ingest(&bad, slice(t as f64)).unwrap();
+            fleet.try_ingest(&good, slice(t as f64)).unwrap();
+        }
+        fleet.flush().unwrap();
+        // The good stream kept serving through its neighbour's panic…
+        assert_eq!(fleet.stream_stats("good").unwrap().steps, 3);
+        // …and the bad stream is quarantined, not wedging the shard.
+        assert!(matches!(
+            fleet.latest("bad"),
+            Err(FleetError::UnknownStream(_))
+        ));
+        // Slices sent through the stale key are counted as drops (one of
+        // the three above raced the quarantine already).
+        fleet.try_ingest(&bad, slice(9.0)).unwrap();
+        fleet.flush().unwrap();
+        let stats = fleet.fleet_stats().unwrap();
+        assert_eq!(stats.dropped(), 2, "post-panic slices are counted");
+        // The id is freed, so a replacement model can take over.
+        let bad2 = fleet
+            .register("bad", ModelHandle::boxed(Box::new(Counter::new())))
+            .unwrap();
+        fleet.try_ingest(&bad2, slice(0.0)).unwrap();
+        fleet.flush().unwrap();
+        assert_eq!(fleet.stream_stats("bad").unwrap().steps, 1);
+    }
+
+    #[test]
+    fn query_panic_fails_the_query_not_the_shard() {
+        struct AssertingForecast;
+        impl StreamingFactorizer for AssertingForecast {
+            fn name(&self) -> &'static str {
+                "asserting-forecast"
+            }
+            fn step(&mut self, slice: &ObservedTensor) -> StepOutput {
+                StepOutput {
+                    completed: slice.values().clone(),
+                    outliers: None,
+                }
+            }
+            fn forecast(&self, h: usize) -> Option<DenseTensor> {
+                // Mirrors HoltWinters::forecast's `assert!(h >= 1)`.
+                assert!(h >= 1, "forecast horizon must be positive");
+                Some(DenseTensor::full(Shape::new(&[1]), h as f64))
+            }
+        }
+
+        let fleet = small_fleet(1);
+        let key = fleet
+            .register("s", ModelHandle::boxed(Box::new(AssertingForecast)))
+            .unwrap();
+        fleet.try_ingest(&key, slice(1.0)).unwrap();
+        fleet.flush().unwrap();
+        // The bad query fails with a typed error…
+        assert!(matches!(
+            fleet.forecast("s", 0),
+            Err(FleetError::ModelPanicked { .. })
+        ));
+        // …while the stream (and the shard) keep serving.
+        let fc = fleet.forecast("s", 2).unwrap().expect("forecasts");
+        assert_eq!(fc.get(&[0]), 2.0);
+        fleet.try_ingest(&key, slice(2.0)).unwrap();
+        fleet.flush().unwrap();
+        assert_eq!(fleet.stream_stats("s").unwrap().steps, 2);
+    }
+
+    #[test]
+    fn shutdown_is_clean_and_drop_safe() {
+        let fleet = small_fleet(2);
+        let key = fleet
+            .register("s", ModelHandle::boxed(Box::new(Counter::new())))
+            .unwrap();
+        fleet.try_ingest(&key, slice(1.0)).unwrap();
+        assert_eq!(fleet.shutdown().unwrap(), 0);
+        // Dropping without shutdown must also not hang or panic.
+        let fleet2 = small_fleet(1);
+        fleet2
+            .register("s", ModelHandle::boxed(Box::new(Counter::new())))
+            .unwrap();
+        drop(fleet2);
+    }
+
+    #[test]
+    fn stats_reflect_batching() {
+        let fleet = small_fleet(1);
+        let key = fleet
+            .register("s", ModelHandle::boxed(Box::new(Counter::slow(10))))
+            .unwrap();
+        // While the worker sleeps on the first slice, the rest pile up
+        // and must drain as one batch.
+        for t in 0..8 {
+            fleet.try_ingest(&key, slice(t as f64)).unwrap();
+        }
+        fleet.flush().unwrap();
+        let stats = fleet.fleet_stats().unwrap();
+        assert_eq!(stats.steps(), 8);
+        assert!(
+            stats.shards[0].max_batch >= 2,
+            "queued slices should drain in one wakeup: {:?}",
+            stats.shards[0]
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! # sofia-fleet
+//!
+//! A sharded multi-stream serving engine for the SOFIA reproduction.
+//!
+//! SOFIA is an *online* factorizer: it ingests one partially observed
+//! subtensor per tick and answers imputation/forecast queries between
+//! ticks. A production deployment serves **many** such streams at once —
+//! one model per sensor network, per tenant, per route matrix. This crate
+//! provides that serving substrate:
+//!
+//! * **Sharded registry** ([`registry`]) — stream id → model,
+//!   hash-partitioned over `N` shards with a stable FNV-based route, each
+//!   shard owned by one worker thread. Models never move between threads
+//!   and are touched only by their owner, so steps for streams on
+//!   different shards run in parallel with no hot-path locking.
+//! * **Bounded ingest with backpressure** ([`shard`]) — each shard has a
+//!   bounded queue; [`Fleet::try_ingest`] never blocks and hands the
+//!   slice back inside [`IngestError::Backpressure`] when the queue is
+//!   full. Workers drain their whole queue per wakeup and apply the batch
+//!   in arrival order.
+//! * **Query API** ([`engine`]) — latest completed slice, `h`-step
+//!   forecast, outlier mask of the latest step, per-stream and fleet-wide
+//!   serving stats (steps, queue depth, step-latency EWMA).
+//! * **Durability** ([`durability`]) — periodic per-stream checkpoints in
+//!   the bit-exact `sofia_core::checkpoint` text format, written with
+//!   atomic temp-file + rename rotation; [`Fleet::recover`] restores
+//!   every stream on startup and restored models produce outputs
+//!   identical to an uninterrupted run.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use sofia_fleet::{Fleet, FleetConfig, ModelHandle};
+//! use sofia_core::traits::{StepOutput, StreamingFactorizer};
+//! use sofia_tensor::{DenseTensor, ObservedTensor, Shape};
+//!
+//! // Any `StreamingFactorizer + Send` can be served; SOFIA models go in
+//! // through `Fleet::register_sofia` and additionally get checkpointed.
+//! struct Echo;
+//! impl StreamingFactorizer for Echo {
+//!     fn name(&self) -> &'static str { "echo" }
+//!     fn step(&mut self, s: &ObservedTensor) -> StepOutput {
+//!         StepOutput { completed: s.values().clone(), outliers: None }
+//!     }
+//! }
+//!
+//! let fleet = Fleet::new(FleetConfig::with_shards(2)).unwrap();
+//! let key = fleet.register("sensor-net-7", ModelHandle::boxed(Box::new(Echo))).unwrap();
+//! let slice = ObservedTensor::fully_observed(
+//!     DenseTensor::full(Shape::new(&[2, 3]), 1.5));
+//! fleet.try_ingest(&key, slice).unwrap();
+//! fleet.flush().unwrap();
+//! let latest = fleet.latest("sensor-net-7").unwrap().expect("stepped");
+//! assert_eq!(latest.completed.get(&[0, 0]), 1.5);
+//! assert_eq!(fleet.stream_stats("sensor-net-7").unwrap().steps, 1);
+//! ```
+
+pub mod durability;
+pub mod engine;
+pub mod error;
+pub mod model;
+pub mod registry;
+pub(crate) mod shard;
+pub mod stats;
+
+pub use durability::CheckpointPolicy;
+pub use engine::{Fleet, FleetConfig};
+pub use error::{FleetError, IngestError};
+pub use model::ModelHandle;
+pub use registry::{shard_of, StreamKey};
+pub use stats::{Ewma, FleetStats, ShardStats, StreamStats};

@@ -1,0 +1,128 @@
+//! The model slot held by a shard: any [`StreamingFactorizer`], with
+//! checkpoint support when the concrete type provides it.
+
+use sofia_core::checkpoint;
+use sofia_core::traits::{StepOutput, StreamingFactorizer};
+use sofia_core::Sofia;
+use sofia_tensor::{DenseTensor, ObservedTensor};
+
+/// A model instance owned by a shard worker.
+///
+/// The engine serves SOFIA models and arbitrary baselines through the
+/// same registry; the enum keeps the concrete [`Sofia`] type visible so
+/// durability can use the bit-exact `sofia_core::checkpoint` text format.
+/// Baselines are served but not checkpointed (the format is
+/// SOFIA-specific); [`ModelHandle::checkpoint_text`] returns `None` for
+/// them and the durability layer skips the stream.
+pub enum ModelHandle {
+    /// A SOFIA model — checkpointable.
+    Sofia(Box<Sofia>),
+    /// Any other streaming factorizer (baselines, mocks) — served, not
+    /// checkpointed.
+    Dyn(Box<dyn StreamingFactorizer + Send>),
+}
+
+impl ModelHandle {
+    /// Wraps a SOFIA model.
+    pub fn sofia(model: Sofia) -> Self {
+        ModelHandle::Sofia(Box::new(model))
+    }
+
+    /// Wraps any other factorizer.
+    pub fn boxed(model: Box<dyn StreamingFactorizer + Send>) -> Self {
+        ModelHandle::Dyn(model)
+    }
+
+    /// Method name, as reported by the underlying model.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelHandle::Sofia(m) => StreamingFactorizer::name(m.as_ref()),
+            ModelHandle::Dyn(m) => m.name(),
+        }
+    }
+
+    /// Applies one streaming step.
+    pub fn step(&mut self, slice: &ObservedTensor) -> StepOutput {
+        match self {
+            ModelHandle::Sofia(m) => StreamingFactorizer::step(m.as_mut(), slice),
+            ModelHandle::Dyn(m) => m.step(slice),
+        }
+    }
+
+    /// Forecasts `h` steps ahead, if the model supports forecasting.
+    pub fn forecast(&self, h: usize) -> Option<DenseTensor> {
+        match self {
+            ModelHandle::Sofia(m) => StreamingFactorizer::forecast(m.as_ref(), h),
+            ModelHandle::Dyn(m) => m.forecast(h),
+        }
+    }
+
+    /// Serializes the model in the bit-exact checkpoint format, or `None`
+    /// if the concrete type has no checkpoint support.
+    pub fn checkpoint_text(&self) -> Option<String> {
+        match self {
+            ModelHandle::Sofia(m) => Some(checkpoint::save(m)),
+            ModelHandle::Dyn(_) => None,
+        }
+    }
+
+    /// Steps already applied according to the model's own state (SOFIA
+    /// tracks this through checkpoints; other models report 0).
+    pub fn model_steps(&self) -> u64 {
+        match self {
+            ModelHandle::Sofia(m) => m.dynamic().steps() as u64,
+            ModelHandle::Dyn(_) => 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for ModelHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelHandle::Sofia(_) => write!(f, "ModelHandle::Sofia"),
+            ModelHandle::Dyn(m) => write!(f, "ModelHandle::Dyn({})", m.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofia_tensor::Shape;
+
+    /// Minimal non-SOFIA model for engine tests: echoes the observed
+    /// values as the completion.
+    #[derive(Debug, Clone, Default)]
+    pub struct Echo;
+
+    impl StreamingFactorizer for Echo {
+        fn name(&self) -> &'static str {
+            "echo"
+        }
+        fn step(&mut self, slice: &ObservedTensor) -> StepOutput {
+            StepOutput {
+                completed: slice.values().clone(),
+                outliers: None,
+            }
+        }
+    }
+
+    // The whole point of the enum: handles must be movable into shard
+    // worker threads.
+    const _: fn() = || {
+        fn assert_send<T: Send>() {}
+        assert_send::<ModelHandle>();
+    };
+
+    #[test]
+    fn dyn_handle_serves_but_does_not_checkpoint() {
+        let mut h = ModelHandle::boxed(Box::new(Echo));
+        assert_eq!(h.name(), "echo");
+        let slice = ObservedTensor::fully_observed(DenseTensor::full(Shape::new(&[2, 2]), 3.0));
+        let out = h.step(&slice);
+        assert_eq!(out.completed.data(), slice.values().data());
+        assert!(h.forecast(1).is_none());
+        assert!(h.checkpoint_text().is_none());
+        assert_eq!(h.model_steps(), 0);
+    }
+}

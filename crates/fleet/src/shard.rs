@@ -1,0 +1,429 @@
+//! Shard workers: one thread per shard owning its streams' models.
+//!
+//! Each shard has a **bounded** command queue. The data plane
+//! (`Ingest`) uses non-blocking `try_send` — a full queue surfaces as
+//! [`crate::IngestError::Backpressure`] with the slice handed back —
+//! while control-plane messages use blocking `send` (they are rare and
+//! may wait behind queued data). The worker drains the *entire* queue on
+//! every wakeup and applies the drained commands in arrival order, so a
+//! burst of slices for many streams is served in one batch without
+//! re-parking between items, and per-stream slice order is preserved
+//! (one stream always lives on exactly one shard).
+//!
+//! Models are owned exclusively by their worker thread: the hot path
+//! takes no lock anywhere — routing is hashing, the queue is the only
+//! synchronization point, and per-shard queue depth is a shared atomic
+//! counter maintained on both ends.
+
+use crate::durability::{write_checkpoint, CheckpointPolicy};
+use crate::error::FleetError;
+use crate::model::ModelHandle;
+use crate::registry::Registry;
+use crate::stats::{Ewma, ShardStats, StreamStats};
+use sofia_core::traits::StepOutput;
+use sofia_tensor::{DenseTensor, Mask, ObservedTensor};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Commands a shard worker processes.
+pub(crate) enum Command {
+    /// Data plane: apply one slice to a stream's model.
+    Ingest {
+        stream: Arc<str>,
+        slice: ObservedTensor,
+    },
+    /// Install a model for a (registry-vetted) stream id.
+    Register {
+        stream: Arc<str>,
+        model: ModelHandle,
+        reply: Sender<()>,
+    },
+    /// Read-only query against a stream's current state.
+    Query {
+        stream: Arc<str>,
+        kind: QueryKind,
+        reply: Sender<Result<QueryReply, FleetError>>,
+    },
+    /// Shard-wide statistics snapshot.
+    ShardStats { reply: Sender<ShardStats> },
+    /// Checkpoint every checkpointable stream now; replies with the
+    /// number of streams written.
+    Checkpoint {
+        reply: Sender<Result<usize, FleetError>>,
+    },
+    /// Barrier: processed strictly after everything enqueued before it
+    /// (the queue is FIFO), so a reply means the shard has applied all
+    /// previously ingested slices.
+    Flush { reply: Sender<()> },
+    /// Final checkpoint (if configured) and exit.
+    Shutdown {
+        reply: Sender<Result<usize, FleetError>>,
+    },
+}
+
+/// What a query asks for.
+pub(crate) enum QueryKind {
+    /// Latest completed slice (with outliers, if the model reports them).
+    Latest,
+    /// `h`-step-ahead forecast.
+    Forecast(usize),
+    /// Boolean mask of entries the model flagged as outliers in the
+    /// latest step.
+    OutlierMask,
+    /// Per-stream statistics.
+    Stats,
+}
+
+/// Query results (one variant per [`QueryKind`]).
+pub(crate) enum QueryReply {
+    Latest(Option<StepOutput>),
+    Forecast(Option<DenseTensor>),
+    OutlierMask(Option<Mask>),
+    Stats(StreamStats),
+}
+
+/// One stream's serving state inside a shard.
+struct StreamSlot {
+    model: ModelHandle,
+    steps: u64,
+    steps_since_checkpoint: u64,
+    latency: Ewma,
+    last: Option<StepOutput>,
+}
+
+/// The worker-side state of one shard.
+pub(crate) struct ShardWorker {
+    shard: usize,
+    rx: Receiver<Command>,
+    depth: Arc<AtomicUsize>,
+    policy: Option<CheckpointPolicy>,
+    /// Shared with the engine so a quarantine can free the stream id for
+    /// re-registration (control plane only — never touched on ingest).
+    registry: Arc<Registry>,
+    slots: HashMap<Arc<str>, StreamSlot>,
+    latency: Ewma,
+    steps: u64,
+    batches: u64,
+    max_batch: usize,
+    dropped: u64,
+}
+
+impl ShardWorker {
+    pub(crate) fn new(
+        shard: usize,
+        rx: Receiver<Command>,
+        depth: Arc<AtomicUsize>,
+        policy: Option<CheckpointPolicy>,
+        registry: Arc<Registry>,
+    ) -> Self {
+        ShardWorker {
+            shard,
+            rx,
+            depth,
+            policy,
+            registry,
+            slots: HashMap::new(),
+            latency: Ewma::default(),
+            steps: 0,
+            batches: 0,
+            max_batch: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The worker loop: park on the queue, drain it fully, apply the
+    /// batch, repeat until shutdown.
+    pub(crate) fn run(mut self) {
+        loop {
+            let Ok(first) = self.rx.recv() else {
+                // All senders dropped without an explicit Shutdown: the
+                // crash path (`Fleet::abort` models it). Write nothing —
+                // recovery must come from the last *durable* checkpoint,
+                // exactly as after a real crash.
+                return;
+            };
+            let mut batch = vec![first];
+            while let Ok(cmd) = self.rx.try_recv() {
+                batch.push(cmd);
+            }
+            self.batches += 1;
+            self.max_batch = self.max_batch.max(batch.len());
+            for cmd in batch {
+                if self.apply(cmd) {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Applies one command; returns `true` on shutdown.
+    fn apply(&mut self, cmd: Command) -> bool {
+        match cmd {
+            Command::Ingest { stream, slice } => {
+                self.depth.fetch_sub(1, Ordering::Release);
+                let mut quarantine = false;
+                match self.slots.get_mut(&stream) {
+                    None => {
+                        // The slice raced a quarantine (a StreamKey can
+                        // outlive its stream); count the drop so
+                        // producers can detect the loss through stats.
+                        self.dropped += 1;
+                    }
+                    Some(slot) => {
+                        let start = Instant::now();
+                        // A panicking model (e.g. a shape assert on a
+                        // malformed slice) must quarantine only its own
+                        // stream — never take down the shard and every
+                        // other stream hashed onto it. The model may be
+                        // mid-update when it panics, so the slot is
+                        // removed rather than kept in an unknown state;
+                        // its last durable checkpoint stays on disk.
+                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            slot.model.step(&slice)
+                        }));
+                        match out {
+                            Err(_) => {
+                                eprintln!(
+                                    "sofia-fleet: model for stream `{stream}` panicked \
+                                     on step {}; stream quarantined",
+                                    slot.steps + 1
+                                );
+                                quarantine = true;
+                            }
+                            Ok(out) => {
+                                let us = start.elapsed().as_secs_f64() * 1e6;
+                                slot.latency.observe(us);
+                                self.latency.observe(us);
+                                slot.steps += 1;
+                                slot.steps_since_checkpoint += 1;
+                                self.steps += 1;
+                                slot.last = Some(out);
+                                if let Some(policy) = &self.policy {
+                                    if slot.steps_since_checkpoint >= policy.every_steps {
+                                        let dir = policy.dir.clone();
+                                        // Periodic checkpoints are
+                                        // best-effort (I/O trouble must
+                                        // not take the shard down); an
+                                        // explicit Checkpoint command
+                                        // reports errors.
+                                        if Self::checkpoint_slot(&dir, &stream, slot).is_ok() {
+                                            slot.steps_since_checkpoint = 0;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                if quarantine {
+                    self.slots.remove(&stream);
+                    // Free the id so a fresh model can be registered in
+                    // its place.
+                    self.registry.remove(&stream);
+                }
+                false
+            }
+            Command::Register {
+                stream,
+                model,
+                reply,
+            } => {
+                self.slots.insert(
+                    stream,
+                    StreamSlot {
+                        steps: model.model_steps(),
+                        model,
+                        steps_since_checkpoint: 0,
+                        latency: Ewma::default(),
+                        last: None,
+                    },
+                );
+                let _ = reply.send(());
+                false
+            }
+            Command::Query {
+                stream,
+                kind,
+                reply,
+            } => {
+                let result = match self.slots.get(&stream) {
+                    None => Err(FleetError::UnknownStream(stream.to_string())),
+                    Some(slot) => Ok(match kind {
+                        QueryKind::Latest => QueryReply::Latest(slot.last.clone()),
+                        QueryKind::Forecast(h) => {
+                            // A bad query (e.g. a horizon the model
+                            // asserts on) must not kill the shard.
+                            // Forecasting takes `&self`, so the model's
+                            // state is untouched by the unwind and the
+                            // stream keeps serving; only this query
+                            // fails.
+                            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                slot.model.forecast(h)
+                            })) {
+                                Ok(f) => QueryReply::Forecast(f),
+                                Err(_) => {
+                                    let _ = reply.send(Err(FleetError::ModelPanicked {
+                                        stream: stream.to_string(),
+                                    }));
+                                    return false;
+                                }
+                            }
+                        }
+                        QueryKind::OutlierMask => {
+                            QueryReply::OutlierMask(slot.last.as_ref().and_then(|out| {
+                                out.outliers.as_ref().map(|o| {
+                                    Mask::from_vec(
+                                        o.shape().clone(),
+                                        o.data().iter().map(|&v| v != 0.0).collect(),
+                                    )
+                                })
+                            }))
+                        }
+                        QueryKind::Stats => QueryReply::Stats(StreamStats {
+                            stream: stream.to_string(),
+                            shard: self.shard,
+                            steps: slot.steps,
+                            queue_depth: self.depth.load(Ordering::Acquire),
+                            step_latency_ewma_us: slot.latency.value(),
+                            steps_since_checkpoint: slot.steps_since_checkpoint,
+                        }),
+                    }),
+                };
+                let _ = reply.send(result);
+                false
+            }
+            Command::ShardStats { reply } => {
+                let _ = reply.send(ShardStats {
+                    shard: self.shard,
+                    streams: self.slots.len(),
+                    steps: self.steps,
+                    queue_depth: self.depth.load(Ordering::Acquire),
+                    batches: self.batches,
+                    max_batch: self.max_batch,
+                    dropped: self.dropped,
+                    step_latency_ewma_us: self.latency.value(),
+                });
+                false
+            }
+            Command::Checkpoint { reply } => {
+                let _ = reply.send(self.checkpoint_all());
+                false
+            }
+            Command::Flush { reply } => {
+                let _ = reply.send(());
+                false
+            }
+            Command::Shutdown { reply } => {
+                let _ = reply.send(self.checkpoint_all());
+                true
+            }
+        }
+    }
+
+    fn checkpoint_slot(
+        dir: &std::path::Path,
+        stream: &str,
+        slot: &StreamSlot,
+    ) -> Result<bool, FleetError> {
+        match slot.model.checkpoint_text() {
+            Some(text) => {
+                write_checkpoint(dir, stream, &text)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Checkpoints every checkpointable stream; returns how many were
+    /// written. One stream's write failure must not cost its neighbours
+    /// their checkpoints, so every slot is attempted and the first error
+    /// is reported afterwards.
+    fn checkpoint_all(&mut self) -> Result<usize, FleetError> {
+        let Some(policy) = self.policy.clone() else {
+            return Ok(0);
+        };
+        let mut written = 0;
+        let mut first_error = None;
+        for (stream, slot) in self.slots.iter_mut() {
+            match Self::checkpoint_slot(&policy.dir, stream, slot) {
+                Ok(true) => {
+                    slot.steps_since_checkpoint = 0;
+                    written += 1;
+                }
+                Ok(false) => {}
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(written),
+        }
+    }
+}
+
+/// The engine-side handle of one shard: its queue sender, depth counter,
+/// and join handle.
+pub(crate) struct ShardHandle {
+    pub(crate) tx: SyncSender<Command>,
+    pub(crate) depth: Arc<AtomicUsize>,
+    pub(crate) join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ShardHandle {
+    /// Spawns a shard worker with a queue of `capacity` commands.
+    pub(crate) fn spawn(
+        shard: usize,
+        capacity: usize,
+        policy: Option<CheckpointPolicy>,
+        registry: Arc<Registry>,
+    ) -> ShardHandle {
+        let (tx, rx) = std::sync::mpsc::sync_channel(capacity);
+        let depth = Arc::new(AtomicUsize::new(0));
+        let worker = ShardWorker::new(shard, rx, Arc::clone(&depth), policy, registry);
+        let join = std::thread::Builder::new()
+            .name(format!("sofia-fleet-shard-{shard}"))
+            .spawn(move || worker.run())
+            .expect("spawn shard worker");
+        ShardHandle {
+            tx,
+            depth,
+            join: Some(join),
+        }
+    }
+
+    /// Non-blocking data-plane send with depth accounting.
+    pub(crate) fn try_ingest(
+        &self,
+        stream: Arc<str>,
+        slice: ObservedTensor,
+    ) -> Result<(), crate::error::IngestError> {
+        // Optimistically count, then undo on failure: counting after a
+        // successful send could transiently read a negative depth on the
+        // worker side.
+        self.depth.fetch_add(1, Ordering::Acquire);
+        match self.tx.try_send(Command::Ingest { stream, slice }) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(Command::Ingest { slice, .. })) => {
+                self.depth.fetch_sub(1, Ordering::Release);
+                Err(crate::error::IngestError::Backpressure(Box::new(slice)))
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.depth.fetch_sub(1, Ordering::Release);
+                Err(crate::error::IngestError::ShuttingDown)
+            }
+            Err(TrySendError::Full(_)) => unreachable!("sent command is Ingest"),
+        }
+    }
+
+    /// Blocking control-plane send.
+    pub(crate) fn send(&self, cmd: Command) -> Result<(), FleetError> {
+        self.tx.send(cmd).map_err(|_| FleetError::ShuttingDown)
+    }
+}

@@ -1,0 +1,205 @@
+//! Per-stream and fleet-wide serving statistics.
+
+/// Exponentially weighted moving average of step latency.
+///
+/// `ewma ← α·x + (1−α)·ewma`; the first observation seeds the average so
+/// early readings are not biased toward zero.
+#[derive(Debug, Clone, Copy)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// A new average with smoothing factor `alpha ∈ (0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha out of (0, 1]");
+        Ewma { alpha, value: None }
+    }
+
+    /// Folds in one observation.
+    pub fn observe(&mut self, x: f64) {
+        self.value = Some(match self.value {
+            None => x,
+            Some(v) => self.alpha * x + (1.0 - self.alpha) * v,
+        });
+    }
+
+    /// Current average, if any observation has been made.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+impl Default for Ewma {
+    /// The fleet's default smoothing (`α = 0.1`, ≈ last ~20 steps).
+    fn default() -> Self {
+        Ewma::new(0.1)
+    }
+}
+
+/// A snapshot of one stream's serving state.
+#[derive(Debug, Clone)]
+pub struct StreamStats {
+    /// Stream id.
+    pub stream: String,
+    /// Shard that owns the stream.
+    pub shard: usize,
+    /// Streaming steps applied since registration (or recovery; restored
+    /// models carry their pre-crash step count).
+    pub steps: u64,
+    /// Slices currently queued on the owning shard (shard-wide: the queue
+    /// is per shard, not per stream).
+    pub queue_depth: usize,
+    /// EWMA of per-step latency in microseconds, `None` before the first
+    /// step.
+    pub step_latency_ewma_us: Option<f64>,
+    /// Steps applied since the last durable checkpoint (0 right after one;
+    /// `u64::MAX` sentinel is never used — non-checkpointable models just
+    /// keep counting).
+    pub steps_since_checkpoint: u64,
+}
+
+/// A snapshot of one shard's serving state.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Streams owned by this shard.
+    pub streams: usize,
+    /// Total steps applied across the shard's streams.
+    pub steps: u64,
+    /// Slices currently queued.
+    pub queue_depth: usize,
+    /// Wakeups of the worker loop (each drains the whole queue).
+    pub batches: u64,
+    /// Largest number of commands drained in one wakeup.
+    pub max_batch: usize,
+    /// Slices dropped because their stream had been quarantined (a
+    /// `StreamKey` can outlive its stream); nonzero means a producer is
+    /// feeding a dead stream.
+    pub dropped: u64,
+    /// EWMA of per-step latency in microseconds across the shard's
+    /// streams.
+    pub step_latency_ewma_us: Option<f64>,
+}
+
+/// A snapshot of the whole fleet.
+#[derive(Debug, Clone)]
+pub struct FleetStats {
+    /// Per-shard snapshots, indexed by shard.
+    pub shards: Vec<ShardStats>,
+}
+
+impl FleetStats {
+    /// Total streams across shards.
+    pub fn streams(&self) -> usize {
+        self.shards.iter().map(|s| s.streams).sum()
+    }
+
+    /// Total steps across shards.
+    pub fn steps(&self) -> u64 {
+        self.shards.iter().map(|s| s.steps).sum()
+    }
+
+    /// Total queued slices across shards.
+    pub fn queue_depth(&self) -> usize {
+        self.shards.iter().map(|s| s.queue_depth).sum()
+    }
+
+    /// Total slices dropped against quarantined streams.
+    pub fn dropped(&self) -> u64 {
+        self.shards.iter().map(|s| s.dropped).sum()
+    }
+
+    /// Step-weighted mean of the shard latency EWMAs, in microseconds.
+    pub fn mean_step_latency_us(&self) -> Option<f64> {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for s in &self.shards {
+            if let Some(l) = s.step_latency_ewma_us {
+                num += l * s.steps as f64;
+                den += s.steps as f64;
+            }
+        }
+        (den > 0.0).then(|| num / den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_seeds_with_first_observation() {
+        let mut e = Ewma::new(0.1);
+        assert_eq!(e.value(), None);
+        e.observe(10.0);
+        assert_eq!(e.value(), Some(10.0));
+    }
+
+    #[test]
+    fn ewma_tracks_smoothly() {
+        let mut e = Ewma::new(0.5);
+        e.observe(10.0);
+        e.observe(20.0);
+        assert_eq!(e.value(), Some(15.0));
+        e.observe(15.0);
+        assert_eq!(e.value(), Some(15.0));
+    }
+
+    #[test]
+    fn ewma_converges_to_constant_input() {
+        let mut e = Ewma::new(0.2);
+        for _ in 0..200 {
+            e.observe(42.0);
+        }
+        assert!((e.value().unwrap() - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ewma_rejects_zero_alpha() {
+        Ewma::new(0.0);
+    }
+
+    #[test]
+    fn fleet_stats_aggregates() {
+        let stats = FleetStats {
+            shards: vec![
+                ShardStats {
+                    shard: 0,
+                    streams: 2,
+                    steps: 30,
+                    queue_depth: 1,
+                    batches: 10,
+                    max_batch: 4,
+                    dropped: 0,
+                    step_latency_ewma_us: Some(100.0),
+                },
+                ShardStats {
+                    shard: 1,
+                    streams: 1,
+                    steps: 10,
+                    queue_depth: 0,
+                    batches: 5,
+                    max_batch: 2,
+                    dropped: 1,
+                    step_latency_ewma_us: Some(200.0),
+                },
+            ],
+        };
+        assert_eq!(stats.streams(), 3);
+        assert_eq!(stats.steps(), 40);
+        assert_eq!(stats.queue_depth(), 1);
+        assert_eq!(stats.dropped(), 1);
+        let mean = stats.mean_step_latency_us().unwrap();
+        assert!((mean - 125.0).abs() < 1e-9, "step-weighted mean {mean}");
+    }
+
+    #[test]
+    fn fleet_stats_latency_none_when_no_steps() {
+        let stats = FleetStats { shards: vec![] };
+        assert_eq!(stats.mean_step_latency_us(), None);
+    }
+}

@@ -1,0 +1,235 @@
+//! Crash-recovery integration test: a multi-stream fleet is killed
+//! mid-stream and restored from its periodic checkpoints; every restored
+//! stream's subsequent `StepOutput`s must be **bit-exact** against an
+//! uninterrupted run (the checkpoint format guarantees byte-identical
+//! state, and shard workers apply each stream's slices in order).
+
+// The comparison loops index control/streamed tables by (stream, step)
+// on purpose; iterator rewrites would obscure the alignment being tested.
+#![allow(clippy::needless_range_loop)]
+
+use sofia_core::config::SofiaConfig;
+use sofia_core::traits::{StepOutput, StreamingFactorizer};
+use sofia_core::Sofia;
+use sofia_datagen::seasonal::SeasonalStream;
+use sofia_datagen::stream::TensorStream;
+use sofia_fleet::{CheckpointPolicy, Fleet, FleetConfig};
+use sofia_tensor::ObservedTensor;
+use std::path::PathBuf;
+
+const PERIOD: usize = 4;
+const STREAMS: usize = 4;
+/// Streaming steps ingested before the crash.
+const PRE_CRASH: usize = 5;
+/// Streaming steps replayed/continued after recovery.
+const TOTAL: usize = 9;
+/// Periodic checkpoint interval — deliberately *not* dividing PRE_CRASH,
+/// so the crash loses the steps after the last checkpoint boundary and
+/// recovery must replay them.
+const EVERY: u64 = 2;
+
+fn stream(i: usize) -> SeasonalStream {
+    SeasonalStream::paper_fig2(&[4, 3], 2, PERIOD, 100 + i as u64)
+}
+
+fn config() -> SofiaConfig {
+    SofiaConfig::new(2, PERIOD)
+        .with_lambdas(0.01, 0.01, 10.0)
+        .with_als_limits(1e-4, 2, 50)
+}
+
+/// Startup window plus the streamed slices of one synthetic stream.
+fn slices(i: usize) -> (Vec<ObservedTensor>, Vec<ObservedTensor>) {
+    let s = stream(i);
+    let t0 = 3 * PERIOD;
+    let startup = (0..t0)
+        .map(|t| ObservedTensor::fully_observed(s.clean_slice(t)))
+        .collect();
+    let streamed = (t0..t0 + TOTAL)
+        .map(|t| ObservedTensor::fully_observed(s.clean_slice(t)))
+        .collect();
+    (startup, streamed)
+}
+
+fn init_model(i: usize, startup: &[ObservedTensor]) -> Sofia {
+    Sofia::init(&config(), startup, 7 + i as u64).expect("init")
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("sofia-fleet-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn crash_recovery_is_bit_exact() {
+    let dir = tempdir("bit-exact");
+    let fleet_config = || FleetConfig {
+        shards: 2,
+        queue_capacity: 64,
+        checkpoint: Some(CheckpointPolicy::new(&dir, EVERY)),
+    };
+
+    // --- Uninterrupted control run: one Sofia per stream, stepped
+    // serially over every slice; outputs recorded per (stream, step).
+    let mut control_outputs: Vec<Vec<StepOutput>> = Vec::new();
+    let mut streamed_slices: Vec<Vec<ObservedTensor>> = Vec::new();
+    for i in 0..STREAMS {
+        let (startup, streamed) = slices(i);
+        let mut model = init_model(i, &startup);
+        let outputs = streamed
+            .iter()
+            .map(|s| StreamingFactorizer::step(&mut model, s))
+            .collect();
+        control_outputs.push(outputs);
+        streamed_slices.push(streamed);
+    }
+
+    // --- Fleet run up to the crash.
+    let fleet = Fleet::new(fleet_config()).expect("fleet");
+    let keys: Vec<_> = (0..STREAMS)
+        .map(|i| {
+            let (startup, _) = slices(i);
+            fleet
+                .register_sofia(&format!("stream-{i}"), init_model(i, &startup))
+                .expect("register")
+        })
+        .collect();
+    for t in 0..PRE_CRASH {
+        for (i, key) in keys.iter().enumerate() {
+            fleet
+                .try_ingest(key, streamed_slices[i][t].clone())
+                .expect("ingest");
+        }
+    }
+    fleet.flush().expect("flush");
+
+    // Pre-crash sanity: the fleet's live outputs already match control.
+    for i in 0..STREAMS {
+        let last = fleet
+            .latest(&format!("stream-{i}"))
+            .unwrap()
+            .expect("stepped");
+        let expect = &control_outputs[i][PRE_CRASH - 1];
+        assert_eq!(last.completed.data(), expect.completed.data());
+    }
+
+    // --- Crash: no drain, no final checkpoints. Only the periodic
+    // checkpoints (latest at step 4 = floor(5/2)·2) survive on disk.
+    fleet.abort();
+
+    // --- Recovery.
+    let (recovered, n) = Fleet::recover(fleet_config()).expect("recover");
+    assert_eq!(n, STREAMS, "every stream restored");
+    let mut resume_at = Vec::new();
+    for i in 0..STREAMS {
+        let id = format!("stream-{i}");
+        let stats = recovered.stream_stats(&id).expect("stats");
+        // The crash happened EVERY-aligned checkpoints ago: state resumes
+        // at the last boundary, not at the crash point…
+        assert_eq!(
+            stats.steps,
+            (PRE_CRASH as u64 / EVERY) * EVERY,
+            "restored step counter of {id}"
+        );
+        // …and the latest completed slice is not part of a checkpoint.
+        assert!(recovered.latest(&id).unwrap().is_none());
+        resume_at.push(stats.steps as usize);
+    }
+
+    // --- Replay the lost tail and continue past the crash point; every
+    // output must be byte-identical to the uninterrupted run.
+    for i in 0..STREAMS {
+        let id = format!("stream-{i}");
+        let key = recovered.key(&id).expect("registered");
+        for t in resume_at[i]..TOTAL {
+            recovered
+                .try_ingest(&key, streamed_slices[i][t].clone())
+                .expect("ingest");
+            recovered.flush().expect("flush");
+            let out = recovered.latest(&id).unwrap().expect("stepped");
+            let expect = &control_outputs[i][t];
+            assert_eq!(
+                out.completed.data(),
+                expect.completed.data(),
+                "stream {i} step {t}: completed diverged after recovery"
+            );
+            let (got_o, want_o) = (&out.outliers, &expect.outliers);
+            assert_eq!(got_o.is_some(), want_o.is_some());
+            if let (Some(g), Some(w)) = (got_o, want_o) {
+                assert_eq!(g.data(), w.data(), "stream {i} step {t}: outliers");
+            }
+        }
+        // Forecasts from the recovered model match the control model too.
+        let control_fc = {
+            let (startup, _) = slices(i);
+            let mut model = init_model(i, &startup);
+            for s in &streamed_slices[i] {
+                StreamingFactorizer::step(&mut model, s);
+            }
+            model.forecast_slice(3)
+        };
+        let fc = recovered
+            .forecast(&id, 3)
+            .unwrap()
+            .expect("SOFIA forecasts");
+        assert_eq!(fc.data(), control_fc.data(), "stream {i} forecast");
+    }
+
+    recovered.shutdown().expect("shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn graceful_shutdown_loses_nothing() {
+    let dir = tempdir("graceful");
+    let fleet_config = || FleetConfig {
+        shards: 2,
+        queue_capacity: 64,
+        // Huge interval: only the shutdown checkpoint makes state durable.
+        checkpoint: Some(CheckpointPolicy::new(&dir, 1_000_000)),
+    };
+
+    let fleet = Fleet::new(fleet_config()).expect("fleet");
+    let (startup, streamed) = slices(0);
+    let key = fleet
+        .register_sofia("solo", init_model(0, &startup))
+        .expect("register");
+    for s in streamed.iter().take(PRE_CRASH) {
+        fleet.try_ingest(&key, s.clone()).expect("ingest");
+    }
+    fleet.flush().expect("flush");
+    assert_eq!(fleet.shutdown().expect("shutdown"), 1);
+
+    let (recovered, n) = Fleet::recover(fleet_config()).expect("recover");
+    assert_eq!(n, 1);
+    // Graceful shutdown checkpoints the *post-drain* state: nothing to
+    // replay.
+    assert_eq!(
+        recovered.stream_stats("solo").unwrap().steps,
+        PRE_CRASH as u64
+    );
+
+    // Continuing from the shutdown checkpoint matches an uninterrupted
+    // control run exactly.
+    let key = recovered.key("solo").expect("registered");
+    for s in streamed.iter().skip(PRE_CRASH) {
+        recovered.try_ingest(&key, s.clone()).expect("ingest");
+    }
+    recovered.flush().expect("flush");
+    let last = recovered.latest("solo").unwrap().expect("stepped");
+    let mut control = init_model(0, &startup);
+    let mut want = None;
+    for s in &streamed {
+        want = Some(StreamingFactorizer::step(&mut control, s));
+    }
+    assert_eq!(
+        last.completed.data(),
+        want.unwrap().completed.data(),
+        "post-shutdown continuation diverged"
+    );
+
+    recovered.shutdown().expect("shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}

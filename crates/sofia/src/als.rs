@@ -158,7 +158,7 @@ fn accumulate_offsets(
 }
 
 /// Accumulates the per-row normal systems, optionally fanning the observed
-/// entries out over `threads` crossbeam-scoped workers with per-thread
+/// entries out over `threads` scoped worker threads with per-thread
 /// accumulators merged at the end. The result is numerically equal to the
 /// serial pass up to floating-point summation order.
 fn accumulate_mode_threaded(
@@ -173,19 +173,16 @@ fn accumulate_mode_threaded(
         return accumulate_offsets(data, values, factors, mode, offsets);
     }
     let chunk = offsets.len().div_ceil(threads);
-    let partials: Vec<RowSystems> = crossbeam::thread::scope(|scope| {
+    let partials: Vec<RowSystems> = std::thread::scope(|scope| {
         let handles: Vec<_> = offsets
             .chunks(chunk)
-            .map(|part| {
-                scope.spawn(move |_| accumulate_offsets(data, values, factors, mode, part))
-            })
+            .map(|part| scope.spawn(move || accumulate_offsets(data, values, factors, mode, part)))
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("accumulator thread panicked"))
             .collect()
-    })
-    .expect("crossbeam scope");
+    });
     let mut iter = partials.into_iter();
     let mut sys = iter.next().expect("at least one partial");
     for p in iter {
@@ -231,7 +228,7 @@ pub fn sofia_als(
 }
 
 /// [`sofia_als`] with the per-sweep accumulation passes fanned out over
-/// `threads` workers (crossbeam scoped threads). Useful for large
+/// `threads` workers (std scoped threads). Useful for large
 /// start-up tensors; results agree with the serial path up to
 /// floating-point summation order.
 pub fn sofia_als_threaded(
@@ -513,8 +510,8 @@ mod tests {
         sofia_als(&data, data.values(), &mut factors, &opts);
         let xhat = reconstruct(&factors);
         // Entry at hidden t=5 should match the periodic truth well.
-        let rel = (xhat.get(&[1, 1, 5]) - truth.get(&[1, 1, 5])).abs()
-            / truth.get(&[1, 1, 5]).abs();
+        let rel =
+            (xhat.get(&[1, 1, 5]) - truth.get(&[1, 1, 5])).abs() / truth.get(&[1, 1, 5]).abs();
         assert!(rel < 0.2, "seasonal completion rel err {rel}");
     }
 
@@ -527,10 +524,7 @@ mod tests {
         for n in 0..2 {
             for r in 0..3 {
                 let norm = factors[n].col_norm(r);
-                assert!(
-                    (norm - 1.0).abs() < 1e-9,
-                    "mode {n} column {r} norm {norm}"
-                );
+                assert!((norm - 1.0).abs() < 1e-9, "mode {n} column {r} norm {norm}");
             }
         }
     }

@@ -318,10 +318,7 @@ mod tests {
 
     #[test]
     fn bad_header_rejected() {
-        assert!(matches!(
-            load("garbage\n"),
-            Err(CheckpointError::BadHeader)
-        ));
+        assert!(matches!(load("garbage\n"), Err(CheckpointError::BadHeader)));
         assert!(load("").is_err()); // no panic on empty input
     }
 

@@ -21,8 +21,8 @@
 
 use crate::config::SofiaConfig;
 use crate::hw::HwBank;
-use sofia_timeseries::robust::{biweight_rho, huber_psi, DEFAULT_CK, DEFAULT_K};
 use sofia_tensor::{kruskal, DenseTensor, Matrix, ObservedTensor, Shape};
+use sofia_timeseries::robust::{biweight_rho, huber_psi, DEFAULT_CK, DEFAULT_K};
 use std::collections::VecDeque;
 
 /// Output of one dynamic step.
@@ -418,8 +418,8 @@ impl DynamicState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sofia_timeseries::holt_winters::{HoltWinters, HwParams, HwState};
     use sofia_tensor::Mask;
+    use sofia_timeseries::holt_winters::{HoltWinters, HwParams, HwState};
 
     /// Rank-1 toy: X_t[i,j] = a_i·b_j·s(t) with period-4 seasonal s.
     struct Toy {

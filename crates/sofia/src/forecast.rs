@@ -26,8 +26,8 @@ mod tests {
     use crate::config::SofiaConfig;
     use crate::dynamic::DynamicState;
     use crate::hw::HwBank;
-    use sofia_timeseries::holt_winters::{HoltWinters, HwParams, HwState};
     use sofia_tensor::{Matrix, ObservedTensor};
+    use sofia_timeseries::holt_winters::{HoltWinters, HwParams, HwState};
 
     fn linear_state() -> DynamicState {
         // Rank-1, trend-only temporal model: u(t) grows by 1 per step.
@@ -85,6 +85,10 @@ mod tests {
         }
         // Next forecast: entry (0,0) = a₀·b₀·u = 1·1·13 in that convention.
         let fc = forecast_horizon(&st, 1);
-        assert!((fc[0].get(&[0, 0]) - 13.0).abs() < 0.1, "{}", fc[0].get(&[0, 0]));
+        assert!(
+            (fc[0].get(&[0, 0]) - 13.0).abs() < 0.1,
+            "{}",
+            fc[0].get(&[0, 0])
+        );
     }
 }

@@ -64,13 +64,20 @@ impl HwBank {
 
     /// Vector h-step-ahead forecast (Eq. (6) applied per component).
     pub fn forecast(&self, h: usize) -> Vec<f64> {
-        self.models.iter().map(|h_model| h_model.forecast(h)).collect()
+        self.models
+            .iter()
+            .map(|h_model| h_model.forecast(h))
+            .collect()
     }
 
     /// Vector smoothing update (Eq. (26)) with the realized temporal vector
     /// `u⁽ᴺ⁾_t`. Returns the per-component one-step-ahead errors.
     pub fn update(&mut self, u: &[f64]) -> Vec<f64> {
-        assert_eq!(u.len(), self.models.len(), "temporal vector length mismatch");
+        assert_eq!(
+            u.len(),
+            self.models.len(),
+            "temporal vector length mismatch"
+        );
         self.models
             .iter_mut()
             .zip(u)
@@ -147,8 +154,14 @@ mod tests {
     #[test]
     fn update_advances_all_components() {
         let models = vec![
-            HoltWinters::new(HwParams::new(0.5, 0.1, 0.1), HwState::new(1.0, 0.0, vec![0.0; 3], 0)),
-            HoltWinters::new(HwParams::new(0.3, 0.2, 0.1), HwState::new(-1.0, 0.0, vec![0.0; 3], 0)),
+            HoltWinters::new(
+                HwParams::new(0.5, 0.1, 0.1),
+                HwState::new(1.0, 0.0, vec![0.0; 3], 0),
+            ),
+            HoltWinters::new(
+                HwParams::new(0.3, 0.2, 0.1),
+                HwState::new(-1.0, 0.0, vec![0.0; 3], 0),
+            ),
         ];
         let mut bank = HwBank::from_models(models);
         let errs = bank.update(&[2.0, 0.0]);

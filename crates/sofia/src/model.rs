@@ -125,8 +125,7 @@ impl Sofia {
     /// (checkpoint loading; see [`crate::checkpoint`]). The init-phase
     /// inspection tensors are empty placeholders.
     pub fn from_dynamic(config: &SofiaConfig, dynamic: DynamicState) -> Result<Self, SofiaError> {
-        let placeholder =
-            DenseTensor::zeros(dynamic.slice_shape().with_appended_mode(1).clone());
+        let placeholder = DenseTensor::zeros(dynamic.slice_shape().with_appended_mode(1).clone());
         Ok(Self {
             config: config.clone(),
             dynamic,
@@ -263,7 +262,10 @@ mod tests {
             .map(|t| ObservedTensor::fully_observed(gen.clean(t)))
             .collect();
         let err = Sofia::init(&config, &slices, 1).unwrap_err();
-        assert!(matches!(err, SofiaError::TooFewSlices { needed: 18, got: 5 }));
+        assert!(matches!(
+            err,
+            SofiaError::TooFewSlices { needed: 18, got: 5 }
+        ));
     }
 
     #[test]
@@ -273,8 +275,7 @@ mod tests {
         let mut slices: Vec<ObservedTensor> = (0..4)
             .map(|t| ObservedTensor::fully_observed(gen.clean(t)))
             .collect();
-        slices[2] =
-            ObservedTensor::fully_observed(DenseTensor::zeros(Shape::new(&[2, 2])));
+        slices[2] = ObservedTensor::fully_observed(DenseTensor::zeros(Shape::new(&[2, 2])));
         assert_eq!(
             Sofia::init(&config, &slices, 1).unwrap_err(),
             SofiaError::InconsistentShapes

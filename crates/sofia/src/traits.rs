@@ -19,6 +19,14 @@ pub struct StepOutput {
 /// constructed and (optionally) warm-started on a start-up window, then
 /// receives one partially observed subtensor per time step and must return
 /// its completed reconstruction before seeing the next one.
+///
+/// The trait is deliberately **object-safe** and carries no `Send` bound:
+/// serving layers (see `sofia-fleet`) box implementations as
+/// `Box<dyn StreamingFactorizer + Send>` and move them onto shard worker
+/// threads, while single-threaded analysis code is free to implement it
+/// on non-`Send` types. Every model in this workspace is plain owned data
+/// (`Vec<f64>`-backed tensors and scalars), so all of them are `Send`;
+/// compile-time assertions below and in `sofia-baselines` pin that down.
 pub trait StreamingFactorizer {
     /// Human-readable method name (used in reports and figures).
     fn name(&self) -> &'static str;
@@ -33,3 +41,14 @@ pub trait StreamingFactorizer {
         None
     }
 }
+
+// Compile-time audit for the serving layer: the trait must stay
+// object-safe, `Send`-boxable, and SOFIA itself must be `Send` (models
+// are moved onto shard worker threads).
+const _: fn() = || {
+    fn assert_send<T: Send + ?Sized>() {}
+    fn assert_object_safe(_: &dyn StreamingFactorizer) {}
+    assert_send::<crate::model::Sofia>();
+    assert_send::<Box<dyn StreamingFactorizer + Send>>();
+    let _ = assert_object_safe;
+};

@@ -101,7 +101,10 @@ impl CooTensor {
 
     /// Iterates `(flat offset, value)` in ascending offset order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
-        self.offsets.iter().copied().zip(self.values.iter().copied())
+        self.offsets
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
     }
 
     /// Value at a multi-index, `None` when missing.
@@ -221,10 +224,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate")]
     fn duplicates_rejected() {
-        CooTensor::from_entries(
-            Shape::new(&[2, 2]),
-            &[(vec![0, 0], 1.0), (vec![0, 0], 2.0)],
-        );
+        CooTensor::from_entries(Shape::new(&[2, 2]), &[(vec![0, 0], 1.0), (vec![0, 0], 2.0)]);
     }
 
     #[test]

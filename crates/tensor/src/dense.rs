@@ -196,10 +196,7 @@ impl DenseTensor {
 
     /// Maximum absolute entry value.
     pub fn max_abs(&self) -> f64 {
-        self.data
-            .iter()
-            .map(|v| v.abs())
-            .fold(0.0f64, f64::max)
+        self.data.iter().map(|v| v.abs()).fold(0.0f64, f64::max)
     }
 
     /// `self += alpha * other` (axpy), in place.
@@ -228,11 +225,7 @@ impl DenseTensor {
         assert!(!slices.is_empty(), "cannot stack zero slices");
         let base = slices[0].shape().clone();
         for s in slices {
-            assert_eq!(
-                s.shape(),
-                &base,
-                "all stacked slices must share a shape"
-            );
+            assert_eq!(s.shape(), &base, "all stacked slices must share a shape");
         }
         let out_shape = base.with_appended_mode(slices.len());
         let mut out = DenseTensor::zeros(out_shape);
@@ -353,10 +346,7 @@ mod tests {
     use super::*;
 
     fn t123() -> DenseTensor {
-        DenseTensor::from_vec(
-            Shape::new(&[2, 3]),
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
-        )
+        DenseTensor::from_vec(Shape::new(&[2, 3]), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
     }
 
     #[test]
@@ -377,9 +367,7 @@ mod tests {
 
     #[test]
     fn from_fn_matches_indices() {
-        let t = DenseTensor::from_fn(Shape::new(&[3, 4]), |idx| {
-            (idx[0] * 10 + idx[1]) as f64
-        });
+        let t = DenseTensor::from_fn(Shape::new(&[3, 4]), |idx| (idx[0] * 10 + idx[1]) as f64);
         assert_eq!(t.get(&[2, 3]), 23.0);
         assert_eq!(t.get(&[0, 1]), 1.0);
     }

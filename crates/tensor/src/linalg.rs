@@ -372,7 +372,10 @@ mod tests {
     #[test]
     fn dimension_mismatch_reported() {
         let a = Matrix::zeros(2, 3);
-        assert_eq!(solve_lu(&a, &[1.0, 2.0]), Err(LinalgError::DimensionMismatch));
+        assert_eq!(
+            solve_lu(&a, &[1.0, 2.0]),
+            Err(LinalgError::DimensionMismatch)
+        );
         assert_eq!(
             solve_cholesky(&a, &[1.0, 2.0]),
             Err(LinalgError::DimensionMismatch)

@@ -202,13 +202,7 @@ impl Matrix {
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
         (0..self.rows)
-            .map(|i| {
-                self.row(i)
-                    .iter()
-                    .zip(v)
-                    .map(|(&a, &b)| a * b)
-                    .sum::<f64>()
-            })
+            .map(|i| self.row(i).iter().zip(v).map(|(&a, &b)| a * b).sum::<f64>())
             .collect()
     }
 

@@ -21,11 +21,7 @@ impl ObservedTensor {
     /// # Panics
     /// Panics if shapes disagree.
     pub fn new(values: DenseTensor, mask: Mask) -> Self {
-        assert_eq!(
-            values.shape(),
-            mask.shape(),
-            "values/mask shape mismatch"
-        );
+        assert_eq!(values.shape(), mask.shape(), "values/mask shape mismatch");
         let values = mask.apply(&values);
         Self { values, mask }
     }

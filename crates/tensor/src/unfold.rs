@@ -133,7 +133,11 @@ mod tests {
         let x = kruskal(&factors);
         for n in 0..3 {
             // Reversed-order KR of all factors except n.
-            let others: Vec<&Matrix> = (0..3).rev().filter(|&k| k != n).map(|k| factors[k]).collect();
+            let others: Vec<&Matrix> = (0..3)
+                .rev()
+                .filter(|&k| k != n)
+                .map(|k| factors[k])
+                .collect();
             let kr = khatri_rao_seq(&others);
             let expected = factors[n].matmul(&kr.transpose());
             let actual = unfold(&x, n);

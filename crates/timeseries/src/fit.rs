@@ -135,8 +135,7 @@ pub fn nelder_mead_box(
                         continue;
                     }
                     for d in 0..n {
-                        simplex[i][d] =
-                            best_point[d] + SIGMA * (simplex[i][d] - best_point[d]);
+                        simplex[i][d] = best_point[d] + SIGMA * (simplex[i][d] - best_point[d]);
                     }
                     clamp(&mut simplex[i]);
                     values[i] = f(&simplex[i]);
@@ -194,7 +193,15 @@ mod tests {
     #[test]
     fn nelder_mead_minimizes_quadratic() {
         let mut f = |x: &[f64]| (x[0] - 0.3).powi(2) + (x[1] - 0.7).powi(2);
-        let (x, v) = nelder_mead_box(&mut f, &[0.5, 0.5], &[0.0, 0.0], &[1.0, 1.0], 0.2, 300, 1e-14);
+        let (x, v) = nelder_mead_box(
+            &mut f,
+            &[0.5, 0.5],
+            &[0.0, 0.0],
+            &[1.0, 1.0],
+            0.2,
+            300,
+            1e-14,
+        );
         assert!((x[0] - 0.3).abs() < 1e-4, "x0 {}", x[0]);
         assert!((x[1] - 0.7).abs() < 1e-4, "x1 {}", x[1]);
         assert!(v < 1e-7);
@@ -205,7 +212,15 @@ mod tests {
         // Unconstrained minimum at (2, 2) is outside the box: solution must
         // sit on the boundary (1, 1).
         let mut f = |x: &[f64]| (x[0] - 2.0).powi(2) + (x[1] - 2.0).powi(2);
-        let (x, _) = nelder_mead_box(&mut f, &[0.5, 0.5], &[0.0, 0.0], &[1.0, 1.0], 0.2, 300, 1e-14);
+        let (x, _) = nelder_mead_box(
+            &mut f,
+            &[0.5, 0.5],
+            &[0.0, 0.0],
+            &[1.0, 1.0],
+            0.2,
+            300,
+            1e-14,
+        );
         assert!(x[0] <= 1.0 + 1e-12 && x[1] <= 1.0 + 1e-12);
         assert!((x[0] - 1.0).abs() < 1e-3);
         assert!((x[1] - 1.0).abs() < 1e-3);
@@ -244,10 +259,8 @@ mod tests {
             .map(|t| 5.0 + pattern[t % 3] + 0.1 * ((t * 7 % 5) as f64 - 2.0))
             .collect();
         let fitted = fit_holt_winters(&series, 3).unwrap();
-        let default_model = HoltWinters::new(
-            HwParams::default(),
-            initial_state(&series, 3).unwrap(),
-        );
+        let default_model =
+            HoltWinters::new(HwParams::default(), initial_state(&series, 3).unwrap());
         assert!(fitted.sse <= default_model.sse(&series) + 1e-9);
     }
 
@@ -258,7 +271,9 @@ mod tests {
 
     #[test]
     fn fit_is_deterministic() {
-        let series: Vec<f64> = (0..24).map(|t| (t as f64 * 0.7).sin() * 3.0 + t as f64 * 0.1).collect();
+        let series: Vec<f64> = (0..24)
+            .map(|t| (t as f64 * 0.7).sin() * 3.0 + t as f64 * 0.1)
+            .collect();
         let a = fit_holt_winters(&series, 6).unwrap();
         let b = fit_holt_winters(&series, 6).unwrap();
         assert_eq!(a.params, b.params);

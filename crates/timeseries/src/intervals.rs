@@ -110,8 +110,7 @@ mod tests {
             pub fn sample(&mut self) -> f64 {
                 let u1 = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
                 let u2 = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
-                (-2.0 * u1.max(1e-300).ln()).sqrt()
-                    * (2.0 * std::f64::consts::PI * u2).cos()
+                (-2.0 * u1.max(1e-300).ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
             }
         }
     }

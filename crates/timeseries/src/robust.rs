@@ -81,8 +81,8 @@ impl RobustScale {
     pub fn update(&mut self, error: f64) -> f64 {
         let standardized = error / self.sigma;
         let rho = biweight_rho(standardized, self.k, self.ck);
-        let var = self.phi * rho * self.sigma * self.sigma
-            + (1.0 - self.phi) * self.sigma * self.sigma;
+        let var =
+            self.phi * rho * self.sigma * self.sigma + (1.0 - self.phi) * self.sigma * self.sigma;
         self.sigma = var.sqrt().max(f64::MIN_POSITIVE);
         self.sigma
     }

@@ -196,10 +196,7 @@ impl DampedHw {
         seasonal: Vec<f64>,
         phase: usize,
     ) -> Self {
-        assert!(
-            damping > 0.0 && damping <= 1.0,
-            "damping must be in (0, 1]"
-        );
+        assert!(damping > 0.0 && damping <= 1.0, "damping must be in (0, 1]");
         assert!(!seasonal.is_empty() && phase < seasonal.len());
         Self {
             params,
@@ -267,10 +264,7 @@ mod tests {
             let t = 40 + h - 1;
             let truth = (10.0 + 0.5 * t as f64) * ratios[t % 4];
             let fc = model.forecast(h);
-            assert!(
-                (fc - truth).abs() / truth < 0.1,
-                "h={h}: {fc} vs {truth}"
-            );
+            assert!((fc - truth).abs() / truth < 0.1, "h={h}: {fc} vs {truth}");
         }
     }
 

@@ -29,7 +29,10 @@ fn main() {
         .map(|t| corruptor.corrupt(&stream.clean_slice(t), t))
         .collect();
     let mut sofia = Sofia::init(&config, &startup, 2021).expect("startup window is 3 seasons");
-    println!("initialized on {t_init} slices ({} seasons)", config.init_seasons);
+    println!(
+        "initialized on {t_init} slices ({} seasons)",
+        config.init_seasons
+    );
 
     // --- 4. Stream two more seasons: impute each corrupted slice online.
     let t_end = t_init + 2 * period;

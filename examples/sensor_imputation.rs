@@ -29,7 +29,10 @@ fn main() {
 
     let setting = CorruptionConfig::from_percents(50, 20, 4.0);
     let corruptor = Corruptor::new(setting, stream.max_abs_over_season(), 17);
-    println!("corruption: {} (missing%, outlier%, magnitude)", setting.label());
+    println!(
+        "corruption: {} (missing%, outlier%, magnitude)",
+        setting.label()
+    );
 
     let rank = dataset.paper_rank();
     let startup: Vec<_> = (0..3 * m)
@@ -62,11 +65,7 @@ fn main() {
         println!("  {:10} RAE = {:.3}", method.name(), total / steps);
     }
     let sofia_rae = totals[0] / steps;
-    let best_other = totals[1..]
-        .iter()
-        .cloned()
-        .fold(f64::INFINITY, f64::min)
-        / steps;
+    let best_other = totals[1..].iter().cloned().fold(f64::INFINITY, f64::min) / steps;
     println!(
         "\nSOFIA vs best competitor: {:+.0}% error",
         100.0 * (1.0 - sofia_rae / best_other)

@@ -10,15 +10,19 @@
 //! * [`baselines`] — the competitor methods ([`sofia_baselines`]);
 //! * [`datagen`] — synthetic workloads and dataset proxies
 //!   ([`sofia_datagen`]);
-//! * [`eval`] — metrics and streaming evaluation ([`sofia_eval`]).
+//! * [`eval`] — metrics and streaming evaluation ([`sofia_eval`]);
+//! * [`fleet`] — the sharded multi-stream serving engine
+//!   ([`sofia_fleet`]).
 //!
-//! See `examples/quickstart.rs` for a five-minute tour and the repository
+//! See `examples/quickstart.rs` for a five-minute tour,
+//! `examples/fleet_serving.rs` for the serving engine, and the repository
 //! README for the experiment harnesses.
 
 pub use sofia_baselines as baselines;
 pub use sofia_core as core;
 pub use sofia_datagen as datagen;
 pub use sofia_eval as eval;
+pub use sofia_fleet as fleet;
 pub use sofia_tensor as tensor;
 pub use sofia_timeseries as timeseries;
 

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use sofia::tensor::kruskal::{khatri_rao, khatri_rao_seq, kruskal, kruskal_at};
 use sofia::tensor::linalg::{solve_cholesky, solve_lu};
-use sofia::tensor::norms::{soft_threshold_scalar, relative_error};
+use sofia::tensor::norms::{relative_error, soft_threshold_scalar};
 use sofia::tensor::unfold::{fold, unfold};
 use sofia::tensor::{DenseTensor, Mask, Matrix, Shape};
 use sofia::timeseries::holt_winters::{HoltWinters, HwParams, HwState};

@@ -1,0 +1,332 @@
+//! A self-contained, dependency-free stand-in for the [`criterion`]
+//! benchmark harness (the build environment has no crates.io access).
+//!
+//! It implements the subset of the API the workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BenchmarkId`],
+//! [`Throughput`], [`BatchSize`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — with a simple wall-clock measurement
+//! loop: warm-up, then timed batches until a time budget is spent, then a
+//! mean/min report per benchmark. No plotting, no statistics beyond the
+//! basics; enough to compare orders of magnitude and catch regressions by
+//! eye.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under the name benches expect.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The stand-in runs one setup
+/// per measured call regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch in real criterion.
+    SmallInput,
+    /// Large inputs: few per batch in real criterion.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Declared workload size, used to report throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id made of the parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Total time budget for the measured phase.
+    budget: Duration,
+    /// Mean time per iteration, filled in by `iter`/`iter_batched`.
+    mean: Duration,
+    /// Fastest single iteration observed.
+    min: Duration,
+    /// Number of measured iterations.
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            budget,
+            mean: Duration::ZERO,
+            min: Duration::MAX,
+            iters: 0,
+        }
+    }
+
+    /// Measures `routine` repeatedly until the time budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run a few unmeasured iterations.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < self.budget && iters < 1_000_000 {
+            let start = Instant::now();
+            black_box(routine());
+            let dt = start.elapsed();
+            total += dt;
+            if dt < self.min {
+                self.min = dt;
+            }
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.mean = total / self.iters as u32;
+    }
+
+    /// Measures `routine` over fresh inputs produced by `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < self.budget && iters < 1_000_000 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let dt = start.elapsed();
+            total += dt;
+            if dt < self.min {
+                self.min = dt;
+            }
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.mean = total / self.iters as u32;
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    if b.iters == 0 {
+        println!("{name:<50} (no measurement)");
+        return;
+    }
+    let mut line = format!(
+        "{name:<50} mean {:>10}   min {:>10}   ({} iters)",
+        fmt_duration(b.mean),
+        fmt_duration(b.min),
+        b.iters
+    );
+    if let Some(tp) = throughput {
+        let per_sec = |n: u64| n as f64 / b.mean.as_secs_f64();
+        match tp {
+            Throughput::Elements(n) => {
+                line.push_str(&format!("   {:.0} elem/s", per_sec(n)));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("   {:.0} B/s", per_sec(n)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep the per-benchmark budget small: the stand-in is for smoke
+        // comparisons, not publication-grade statistics.
+        Criterion {
+            budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.budget);
+        f(&mut b);
+        report(name, &b, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in is time-budgeted, not
+    /// sample-counted.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declares the per-iteration workload for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.criterion.budget);
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), &b, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group without an input.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.criterion.budget);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Bundles benchmark functions under one group function, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups, mirroring criterion's macro
+/// of the same name. Ignores CLI arguments (so `cargo bench -- <filter>`
+/// runs everything).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(Duration::from_millis(10));
+        b.iter(|| (0..1000u64).sum::<u64>());
+        assert!(b.iters > 0);
+        assert!(b.mean > Duration::ZERO);
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut b = Bencher::new(Duration::from_millis(10));
+        b.iter_batched(
+            || vec![1u64; 512],
+            |v| v.iter().sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        assert!(b.iters > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(1),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

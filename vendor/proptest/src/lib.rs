@@ -1,0 +1,269 @@
+//! A self-contained stand-in for the [`proptest`] property-testing crate
+//! (the build environment has no crates.io access).
+//!
+//! Supported surface — exactly what this workspace's tests use:
+//!
+//! * the [`proptest!`] macro with `arg in strategy` bindings and an
+//!   optional `#![proptest_config(...)]` inner attribute;
+//! * [`strategy::Strategy`] with numeric range strategies
+//!   (`0u64..1000`, `-5.0f64..5.0`, …) and
+//!   [`collection::vec`](crate::collection::vec);
+//! * [`prop_assert!`] / [`prop_assert_eq!`];
+//! * [`test_runner::ProptestConfig`] with
+//!   [`with_cases`](test_runner::ProptestConfig::with_cases).
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case panics
+//! with the generated inputs printed, which is enough to reproduce (all
+//! sampling is deterministic in the test name and case index).
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Real proptest separates strategies from value trees to support
+    /// shrinking; this stand-in samples directly.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: std::fmt::Debug;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// A strategy producing one fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A vector strategy: `len` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(!len.is_empty(), "empty length range");
+        VecStrategy { element, len }
+    }
+}
+
+pub mod test_runner {
+    //! Test-runner configuration.
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 64 keeps the full suite fast
+            // while still exercising a healthy spread of inputs.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+}
+
+/// Deterministic per-(test, case) RNG so failures reproduce exactly.
+#[doc(hidden)]
+pub fn __case_rng(test_name: &str, case: u32) -> rand::rngs::SmallRng {
+    use rand::SeedableRng;
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    rand::rngs::SmallRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+}
+
+/// Asserts a property holds; prints the message and panics otherwise.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts two expressions are not equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Defines property tests: each `#[test] fn name(arg in strategy, ...)`
+/// runs `cases` times over freshly sampled inputs, panicking (with the
+/// inputs printed) on the first failure.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            for case in 0..config.cases {
+                let mut rng = $crate::__case_rng(stringify!($name), case);
+                $(let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng);)*
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $body
+                }));
+                if let Err(panic) = result {
+                    eprintln!(
+                        concat!(
+                            "proptest case ", "{}", " of `", stringify!($name),
+                            "` failed with inputs:",
+                            $(" ", stringify!($arg), " = {:?}",)*
+                        ),
+                        case, $(&$arg,)*
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::__proptest_impl!(($config) $($rest)*);
+    };
+}
+
+pub mod prelude {
+    //! Glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace mirror of real proptest's `prop` module.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, f in -1.0f64..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(v in prop::collection::vec(0usize..5, 2..4)) {
+            prop_assert!(v.len() >= 2 && v.len() < 4);
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn config_form_parses(seed in 0u64..100) {
+            prop_assert!(seed < 100);
+        }
+    }
+
+    #[test]
+    fn case_rng_is_deterministic() {
+        use rand::Rng;
+        let a: f64 = crate::__case_rng("t", 3).gen();
+        let b: f64 = crate::__case_rng("t", 3).gen();
+        assert_eq!(a.to_bits(), b.to_bits());
+        let c: f64 = crate::__case_rng("t", 4).gen();
+        assert_ne!(a.to_bits(), c.to_bits());
+    }
+
+    #[test]
+    #[should_panic]
+    fn failing_property_panics() {
+        // No `#[test]` on the inner property: it is driven by hand here.
+        proptest! {
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100);
+            }
+        }
+        always_fails();
+    }
+}
