@@ -1,13 +1,16 @@
-//! The `fleet` subcommand: serve many synthetic SOFIA streams through the
-//! sharded engine and report throughput, latency, and shard scaling.
+//! The `fleet` subcommand: serve many synthetic streams through the
+//! sharded engine and report throughput, latency, shard scaling, stream
+//! lifecycle, and mixed-kind crash recovery.
 
 use crate::commands::CmdResult;
+use sofia_baselines::{OnlineSgd, Smf};
 use sofia_core::model::Sofia;
 use sofia_core::SofiaConfig;
 use sofia_datagen::seasonal::SeasonalStream;
 use sofia_datagen::stream::TensorStream;
-use sofia_fleet::{CheckpointPolicy, Fleet, FleetConfig, StreamKey};
+use sofia_fleet::{CheckpointPolicy, Fleet, FleetConfig, ModelHandle, StreamKey};
 use sofia_tensor::ObservedTensor;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -29,10 +32,18 @@ pub struct FleetOpts {
     pub queue: usize,
     /// Base RNG seed (stream `i` uses `seed + i`).
     pub seed: u64,
-    /// Optional durability directory; enables periodic checkpointing.
+    /// Optional durability directory; enables periodic checkpointing and
+    /// the post-run crash-recovery report.
     pub checkpoint_dir: Option<PathBuf>,
     /// Periodic checkpoint interval in steps per stream.
     pub checkpoint_every: u64,
+    /// Evict snapshot-capable streams idle for this many shard steps
+    /// (requires `--checkpoint-dir`).
+    pub evict_idle: Option<u64>,
+    /// Baseline model kinds (`smf`, `online-sgd`) cycled in among the
+    /// SOFIA streams: stream `i` serves kind `[sofia, ..mix][i % (1+n)]`.
+    /// Empty = all SOFIA.
+    pub mix: Vec<String>,
     /// Additional shard counts to benchmark on the same workload (e.g.
     /// `[1]` to demonstrate 1-shard vs `shards`-shard scaling).
     pub compare_shards: Vec<usize>,
@@ -51,7 +62,29 @@ impl Default for FleetOpts {
             seed: 2021,
             checkpoint_dir: None,
             checkpoint_every: 25,
+            evict_idle: None,
+            mix: Vec::new(),
             compare_shards: Vec::new(),
+        }
+    }
+}
+
+/// One warm-started serving model; concrete so comparison runs can clone
+/// identical initial states into each engine.
+enum MixModel {
+    // Boxed: a warm-started SOFIA is far larger than the baselines and
+    // these live in a Vec.
+    Sofia(Box<Sofia>),
+    Smf(Smf),
+    OnlineSgd(OnlineSgd),
+}
+
+impl MixModel {
+    fn handle(&self) -> ModelHandle {
+        match self {
+            MixModel::Sofia(m) => ModelHandle::sofia((**m).clone()),
+            MixModel::Smf(m) => ModelHandle::durable(m.clone()),
+            MixModel::OnlineSgd(m) => ModelHandle::durable(m.clone()),
         }
     }
 }
@@ -64,6 +97,8 @@ struct RunOutcome {
     mean_latency_us: Option<f64>,
     max_batch: usize,
     checkpoints: usize,
+    evictions: u64,
+    restores: u64,
 }
 
 /// Entry point of `sofia-cli fleet`.
@@ -74,21 +109,37 @@ pub fn fleet(opts: &FleetOpts) -> CmdResult {
     if opts.shards == 0
         || opts.queue == 0
         || opts.checkpoint_every == 0
+        || opts.evict_idle == Some(0)
         || opts.compare_shards.contains(&0)
     {
-        return Err("shards, queue, and checkpoint-every must be positive".into());
+        return Err("shards, queue, checkpoint-every, and evict-idle must be positive".into());
     }
     if opts.rank == 0 || opts.period < 2 || opts.dims.contains(&0) {
         return Err("rank and dims must be positive; period must be at least 2".into());
     }
+    if opts.evict_idle.is_some() && opts.checkpoint_dir.is_none() {
+        return Err(
+            "--evict-idle requires --checkpoint-dir (evicted streams restore from it)".into(),
+        );
+    }
+    for kind in &opts.mix {
+        if !matches!(kind.as_str(), "sofia" | "smf" | "online-sgd") {
+            return Err(format!("unknown --mix kind `{kind}` (use smf, online-sgd)").into());
+        }
+    }
+    // Stream i serves cycle[i % cycle.len()]; SOFIA always leads so the
+    // sample stream (stream-0000) forecasts.
+    let cycle: Vec<&str> = std::iter::once("sofia")
+        .chain(opts.mix.iter().map(String::as_str))
+        .collect();
     let model_config = SofiaConfig::new(opts.rank, opts.period)
         .with_lambdas(0.01, 0.01, 10.0)
         .with_als_limits(1e-3, 1, 40);
     let startup_len = model_config.startup_len().max(2 * opts.period);
 
     println!(
-        "fleet: {} streams x {} slices of {:?} (rank {}, period {}), queue bound {}",
-        opts.streams, opts.steps, opts.dims, opts.rank, opts.period, opts.queue
+        "fleet: {} streams x {} slices of {:?} (rank {}, period {}), queue bound {}, kinds {:?}",
+        opts.streams, opts.steps, opts.dims, opts.rank, opts.period, opts.queue, cycle
     );
 
     // --- Synthetic workload: one seasonal CP stream per served stream.
@@ -98,20 +149,22 @@ pub fn fleet(opts: &FleetOpts) -> CmdResult {
         })
         .collect();
 
-    // --- Warm-start one SOFIA model per stream, fanned out over the
-    // available cores (initialization is the expensive phase).
+    // --- Warm-start one model per stream (kind from the mix cycle),
+    // fanned out over the available cores (initialization is the
+    // expensive phase).
     let init_start = Instant::now();
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
         .min(opts.streams);
     let chunk = opts.streams.div_ceil(workers);
-    let models: Vec<Sofia> = std::thread::scope(|scope| {
+    let models: Vec<MixModel> = std::thread::scope(|scope| {
         let handles: Vec<_> = streams
             .chunks(chunk)
             .enumerate()
             .map(|(c, part)| {
                 let model_config = model_config.clone();
+                let cycle = &cycle;
                 scope.spawn(move || {
                     part.iter()
                         .enumerate()
@@ -120,10 +173,25 @@ pub fn fleet(opts: &FleetOpts) -> CmdResult {
                             let startup: Vec<ObservedTensor> = (0..startup_len)
                                 .map(|t| ObservedTensor::fully_observed(s.clean_slice(t)))
                                 .collect();
-                            Sofia::init(&model_config, &startup, opts.seed + i as u64)
-                                .expect("synthetic startup window is well-formed")
+                            let seed = opts.seed + i as u64;
+                            match cycle[i % cycle.len()] {
+                                "smf" => MixModel::Smf(Smf::init(
+                                    &startup,
+                                    opts.rank,
+                                    opts.period,
+                                    0.1,
+                                    seed,
+                                )),
+                                "online-sgd" => MixModel::OnlineSgd(OnlineSgd::init(
+                                    &startup, opts.rank, 0.1, seed,
+                                )),
+                                _ => MixModel::Sofia(Box::new(
+                                    Sofia::init(&model_config, &startup, seed)
+                                        .expect("synthetic startup window is well-formed"),
+                                )),
+                            }
                         })
-                        .collect::<Vec<Sofia>>()
+                        .collect::<Vec<MixModel>>()
                 })
             })
             .collect();
@@ -186,6 +254,14 @@ pub fn fleet(opts: &FleetOpts) -> CmdResult {
             o.checkpoints
         );
     }
+    if opts.evict_idle.is_some() {
+        for o in &outcomes {
+            println!(
+                "lifecycle [{} shard(s)]: {} evictions, {} lazy restores",
+                o.shards, o.evictions, o.restores
+            );
+        }
+    }
     if outcomes.len() > 1 {
         let slowest = outcomes
             .iter()
@@ -203,30 +279,42 @@ pub fn fleet(opts: &FleetOpts) -> CmdResult {
             slowest.wall_secs / fastest.wall_secs
         );
     }
+
+    // --- Crash-recovery report: restore the main run's checkpoint
+    // directory into a fresh engine and break the recovered streams down
+    // by model kind (the v2 envelope dispatch at work).
+    if opts.checkpoint_dir.is_some() {
+        recovery_report(opts)?;
+    }
     Ok(())
 }
 
-fn run_once(
-    opts: &FleetOpts,
-    shards: usize,
-    models: &[Sofia],
-    slices: &[Vec<ObservedTensor>],
-) -> Result<RunOutcome, Box<dyn std::error::Error>> {
+fn fleet_config(opts: &FleetOpts, shards: usize) -> FleetConfig {
     let checkpoint = opts.checkpoint_dir.as_ref().map(|dir| {
         // Each shard count gets its own subdirectory so comparison runs
         // never mix durable state.
         CheckpointPolicy::new(dir.join(format!("shards-{shards}")), opts.checkpoint_every)
     });
-    let fleet = Fleet::new(FleetConfig {
+    FleetConfig {
         shards,
         queue_capacity: opts.queue,
         checkpoint,
-    })?;
+        evict_idle_after: opts.evict_idle,
+    }
+}
+
+fn run_once(
+    opts: &FleetOpts,
+    shards: usize,
+    models: &[MixModel],
+    slices: &[Vec<ObservedTensor>],
+) -> Result<RunOutcome, Box<dyn std::error::Error>> {
+    let fleet = Fleet::new(fleet_config(opts, shards))?;
 
     let keys: Vec<StreamKey> = models
         .iter()
         .enumerate()
-        .map(|(i, m)| fleet.register_sofia(&format!("stream-{i:04}"), m.clone()))
+        .map(|(i, m)| fleet.register(&format!("stream-{i:04}"), m.handle()))
         .collect::<Result<_, _>>()?;
 
     // Ingest slice-major (t over all streams) — the arrival order of a
@@ -246,6 +334,8 @@ fn run_once(
     let slices_done = stats.steps();
     let mean_latency_us = stats.mean_step_latency_us();
     let max_batch = stats.shards.iter().map(|s| s.max_batch).max().unwrap_or(0);
+    let evictions = stats.evictions();
+    let restores = stats.restores();
 
     // Exercise the query plane once per run on a sample stream.
     let sample = "stream-0000";
@@ -254,8 +344,9 @@ fn run_once(
         .expect("SOFIA forecasts");
     let sample_stats = fleet.stream_stats(sample)?;
     println!(
-        "[{shards} shard(s)] {sample}: {} steps on shard {}, \
+        "[{shards} shard(s)] {sample} ({}): {} steps on shard {}, \
          forecast(h={}) |x| = {:.3}, latency ewma {}",
+        sample_stats.model,
         sample_stats.steps,
         sample_stats.shard,
         opts.period / 2,
@@ -275,5 +366,40 @@ fn run_once(
         mean_latency_us,
         max_batch,
         checkpoints,
+        evictions,
+        restores,
     })
+}
+
+/// Recovers the main run's checkpoints into a fresh engine and reports
+/// the restored streams per model kind.
+fn recovery_report(opts: &FleetOpts) -> CmdResult {
+    let (recovered, n) = Fleet::recover(fleet_config(opts, opts.shards))?;
+    let mut by_kind: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut steps_total = 0u64;
+    for id in recovered.stream_ids() {
+        let stats = recovered.stream_stats(&id)?;
+        *by_kind.entry(stats.model).or_default() += 1;
+        steps_total += stats.steps;
+    }
+    let breakdown = by_kind
+        .iter()
+        .map(|(kind, count)| format!("{count} {kind}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    println!(
+        "\nrecovery: {n} of {} streams restored from checkpoints ({breakdown}), \
+         {steps_total} total steps of state",
+        opts.streams
+    );
+    if n != opts.streams {
+        return Err(format!(
+            "recovery restored {n} of {} streams — non-durable kinds should not \
+             exist in this fleet",
+            opts.streams
+        )
+        .into());
+    }
+    recovered.shutdown()?;
+    Ok(())
 }

@@ -11,12 +11,15 @@
 //!                    [--rank 4] [--period 8] [--dims 12,10]
 //!                    [--queue 256] [--seed 2021]
 //!                    [--checkpoint-dir DIR] [--checkpoint-every 25]
+//!                    [--evict-idle N] [--mix smf,online-sgd]
 //!                    [--compare-shards 1,2]
 //! ```
 //!
 //! The stream directory format is documented in [`format`]; `fleet` serves
 //! many synthetic streams through the sharded `sofia-fleet` engine and
-//! reports throughput, per-step latency, and shard scaling.
+//! reports throughput, per-step latency, shard scaling, stream lifecycle
+//! (idle eviction + lazy restore), and — when a checkpoint directory is
+//! given — a mixed-kind crash-recovery breakdown.
 
 mod commands;
 mod fleet_cmd;
@@ -33,7 +36,7 @@ fn usage() -> &'static str {
      sofia-cli resume --checkpoint FILE --dir DIR [--forecast H] [--save-checkpoint FILE]\n  \
      sofia-cli fleet [--streams N] [--shards N] [--steps N] [--rank R] [--period M] \
      [--dims X,Y] [--queue N] [--seed N] [--checkpoint-dir DIR] [--checkpoint-every N] \
-     [--compare-shards A,B]"
+     [--evict-idle N] [--mix smf,online-sgd] [--compare-shards A,B]"
 }
 
 fn bad_flag(flag: &str, value: &str) -> ExitCode {
@@ -194,6 +197,15 @@ fn main() -> ExitCode {
                     Ok(s) => s,
                     Err(_) => return bad_flag("compare-shards", &v),
                 };
+            }
+            if let Some(v) = get("evict-idle") {
+                opts.evict_idle = match v.parse() {
+                    Ok(n) => Some(n),
+                    Err(_) => return bad_flag("evict-idle", &v),
+                };
+            }
+            if let Some(v) = get("mix") {
+                opts.mix = v.split(',').map(|k| k.trim().to_string()).collect();
             }
             opts.checkpoint_dir = get("checkpoint-dir").map(PathBuf::from);
             fleet_cmd::fleet(&opts)

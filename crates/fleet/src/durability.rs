@@ -1,14 +1,27 @@
-//! Durable per-stream checkpoints: atomic rotation and crash recovery.
+//! Durable per-stream checkpoints: the v2 envelope on disk, atomic
+//! rotation, restore dispatch by model kind, and crash recovery.
 //!
-//! Each checkpointable stream owns one file `<dir>/<encoded-id>.ckpt` in
-//! the bit-exact `sofia_core::checkpoint` v1 text format. Writes go
-//! through a temp file in the same directory followed by an atomic
-//! `rename`, so a crash mid-write never damages the previous good
+//! Each snapshot-capable stream owns one file `<dir>/<encoded-id>.ckpt`
+//! holding a tagged **v2 checkpoint envelope**
+//! (`sofia-checkpoint v2` / `model <kind>` / `steps <n>` / payload — see
+//! [`sofia_core::snapshot`]). Restore is dispatched on the `model` tag,
+//! so SOFIA streams and durable baselines recover through the same code
+//! path. Bare **v1** files (pre-envelope SOFIA checkpoints) still load
+//! bit-exactly: the envelope parser recognizes the v1 header and reports
+//! them as `kind = "sofia"`.
+//!
+//! Writes go through a temp file in the same directory followed by an
+//! atomic `rename`, so a crash mid-write never damages the previous good
 //! checkpoint — on restart every `.ckpt` file in the directory is either
-//! the old state or the new state, never a torn mix.
+//! the old state or the new state, never a torn mix. Stray `.ckpt.tmp`
+//! files left by such a crash are explicitly ignored (and cleaned up) by
+//! recovery; they can never shadow a good checkpoint because only exact
+//! `.ckpt` names are ever loaded.
 
 use crate::error::FleetError;
-use sofia_core::checkpoint;
+use crate::model::ModelHandle;
+use sofia_baselines::{OnlineSgd, Smf};
+use sofia_core::snapshot::{self, RestoreModel};
 use sofia_core::Sofia;
 use std::path::{Path, PathBuf};
 
@@ -39,7 +52,8 @@ impl CheckpointPolicy {
 ///
 /// Alphanumerics, `-`, `_`, and `.` pass through; everything else becomes
 /// `%XX` per byte. The encoding is injective, so distinct stream ids
-/// never collide on disk.
+/// never collide on disk, and the output contains no path separators, so
+/// ids like `../x` cannot escape the checkpoint directory.
 pub fn encode_stream_id(id: &str) -> String {
     let mut out = String::with_capacity(id.len());
     for b in id.bytes() {
@@ -75,6 +89,14 @@ pub fn checkpoint_path(dir: &Path, stream_id: &str) -> PathBuf {
     dir.join(format!("{}.ckpt", encode_stream_id(stream_id)))
 }
 
+/// Path of the temp file a checkpoint write rotates through. Derived by
+/// appending `.tmp` to the final name (never `Path::with_extension`,
+/// whose last-extension semantics get surprising for encoded ids
+/// containing dots).
+fn temp_path(dir: &Path, stream_id: &str) -> PathBuf {
+    dir.join(format!("{}.ckpt.tmp", encode_stream_id(stream_id)))
+}
+
 /// Writes `text` as `stream_id`'s checkpoint with atomic temp+rename
 /// rotation.
 pub fn write_checkpoint(dir: &Path, stream_id: &str, text: &str) -> Result<(), FleetError> {
@@ -82,7 +104,7 @@ pub fn write_checkpoint(dir: &Path, stream_id: &str, text: &str) -> Result<(), F
     let final_path = checkpoint_path(dir, stream_id);
     // The temp file lives in the same directory so the rename cannot
     // cross a filesystem boundary (rename is only atomic within one).
-    let tmp_path = final_path.with_extension("ckpt.tmp");
+    let tmp_path = temp_path(dir, stream_id);
     let mut file = std::fs::File::create(&tmp_path)?;
     file.write_all(text.as_bytes())?;
     // Flush data blocks before the rename: without this, a power loss
@@ -97,18 +119,57 @@ pub fn write_checkpoint(dir: &Path, stream_id: &str, text: &str) -> Result<(), F
     Ok(())
 }
 
-/// One recovered stream: id plus its restored model.
+/// Restores a model handle from raw checkpoint text (v2 envelope or bare
+/// v1 SOFIA), dispatching on the envelope's `model` kind tag.
+///
+/// This is the single place the workspace's durable model kinds are
+/// enumerated; adding a snapshot-capable model means adding one arm.
+fn restore_from_text(text: &str) -> Result<ModelHandle, String> {
+    let env = snapshot::parse(text).map_err(|e| e.to_string())?;
+    let handle = match env.kind.as_str() {
+        Sofia::KIND => {
+            ModelHandle::durable(Sofia::restore(&env.payload).map_err(|e| e.to_string())?)
+        }
+        Smf::KIND => ModelHandle::durable(Smf::restore(&env.payload).map_err(|e| e.to_string())?),
+        OnlineSgd::KIND => {
+            ModelHandle::durable(OnlineSgd::restore(&env.payload).map_err(|e| e.to_string())?)
+        }
+        other => return Err(format!("unknown model kind `{other}`")),
+    };
+    Ok(handle.with_steps(env.steps))
+}
+
+/// Loads one stream's checkpoint from `dir`, if present. Used by shard
+/// workers to lazily restore an evicted stream on its next ingest/query.
+pub fn load_stream(dir: &Path, stream_id: &str) -> Result<Option<ModelHandle>, FleetError> {
+    let path = checkpoint_path(dir, stream_id);
+    if !path.exists() {
+        return Ok(None);
+    }
+    let text = std::fs::read_to_string(&path)?;
+    restore_from_text(&text)
+        .map(Some)
+        .map_err(|reason| FleetError::Corrupt {
+            stream: stream_id.to_string(),
+            reason,
+        })
+}
+
+/// One recovered stream: id plus its restored model handle.
+#[derive(Debug)]
 pub struct RecoveredStream {
     /// Decoded stream id.
     pub id: String,
-    /// Model restored bit-exactly from its checkpoint.
-    pub model: Sofia,
+    /// Model restored bit-exactly from its checkpoint (any durable kind).
+    pub handle: ModelHandle,
 }
 
 /// Loads every checkpoint under `dir`, sorted by stream id for
 /// deterministic registration order. Stale `.ckpt.tmp` files from a crash
-/// mid-write are removed; malformed `.ckpt` files are hard errors (a
-/// serving engine must not silently drop a stream's state).
+/// mid-write are removed (they are possibly-torn staging files, never
+/// authoritative state, and must not shadow the good `.ckpt` next to
+/// them); malformed `.ckpt` files are hard errors (a serving engine must
+/// not silently drop a stream's state).
 pub fn recover_all(dir: &Path) -> Result<Vec<RecoveredStream>, FleetError> {
     let mut recovered = Vec::new();
     if !dir.exists() {
@@ -134,11 +195,11 @@ pub fn recover_all(dir: &Path) -> Result<Vec<RecoveredStream>, FleetError> {
             reason: "undecodable file name".to_string(),
         })?;
         let text = std::fs::read_to_string(&path)?;
-        let model = checkpoint::load(&text).map_err(|e| FleetError::Corrupt {
+        let handle = restore_from_text(&text).map_err(|reason| FleetError::Corrupt {
             stream: id.clone(),
-            reason: e.to_string(),
+            reason,
         })?;
-        recovered.push(RecoveredStream { id, model });
+        recovered.push(RecoveredStream { id, handle });
     }
     recovered.sort_by(|a, b| a.id.cmp(&b.id));
     Ok(recovered)
@@ -147,6 +208,8 @@ pub fn recover_all(dir: &Path) -> Result<Vec<RecoveredStream>, FleetError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
 
     fn tmpdir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
@@ -158,6 +221,14 @@ mod tests {
         dir
     }
 
+    /// A tiny durable model: OnlineSGD with fixed 2×2 factors.
+    fn small_sgd(seed: u64) -> OnlineSgd {
+        let f = |s: u64| {
+            sofia_tensor::Matrix::from_fn(2, 2, |i, j| 1.0 + (i + 2 * j) as f64 * 0.1 + s as f64)
+        };
+        OnlineSgd::new(vec![f(seed), f(seed + 1)], 0.1)
+    }
+
     #[test]
     fn id_encoding_roundtrips() {
         for id in [
@@ -166,6 +237,8 @@ mod tests {
             "dots.and-dashes_ok",
             "spaces and % signs",
             "unicode-ßµ",
+            "..",
+            "../escape",
             "",
         ] {
             let enc = encode_stream_id(id);
@@ -189,6 +262,51 @@ mod tests {
             for j in i + 1..encs.len() {
                 assert_ne!(encs[i], encs[j], "{} vs {}", ids[i], ids[j]);
             }
+        }
+    }
+
+    #[test]
+    fn tricky_ids_map_to_unique_in_dir_paths() {
+        // Ids with separators, traversal attempts, spaces, non-ASCII, and
+        // near-collisions must each get their own file *inside* dir.
+        let dir = PathBuf::from("/ckpt");
+        let ids = [
+            "a/b",
+            "a%2Fb",
+            "..",
+            "../a",
+            ". .",
+            "käse",
+            "a b",
+            "a.ckpt",
+            "a.ckpt.tmp",
+            "a",
+        ];
+        let mut seen = HashSet::new();
+        for id in ids {
+            let p = checkpoint_path(&dir, id);
+            assert_eq!(p.parent(), Some(dir.as_path()), "{id:?} escaped: {p:?}");
+            assert!(seen.insert(p.clone()), "collision on {p:?} for {id:?}");
+            // The temp file stays alongside and distinct too.
+            let t = temp_path(&dir, id);
+            assert_eq!(t.parent(), Some(dir.as_path()));
+            assert!(seen.insert(t), "temp collision for {id:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+        #[test]
+        fn encoding_roundtrips_arbitrary_ids(bytes in prop::collection::vec(0u8..128, 0..24)) {
+            // Drawn from the full ASCII range (so slashes, dots, controls,
+            // spaces, and '%' all appear), plus a non-ASCII suffix.
+            let id: String = bytes.iter().map(|&b| b as char).collect::<String>() + "µ";
+            let enc = encode_stream_id(&id);
+            prop_assert_eq!(decode_stream_id(&enc).as_deref(), Some(id.as_str()));
+            // No separators survive encoding: the file stays inside dir.
+            prop_assert!(!enc.contains('/'));
+            let p = checkpoint_path(Path::new("/d"), &id);
+            prop_assert_eq!(p.parent(), Some(Path::new("/d")));
         }
     }
 
@@ -226,6 +344,76 @@ mod tests {
         // A malformed real checkpoint is a hard error.
         std::fs::write(dir.join("bad.ckpt"), "not a checkpoint\n").unwrap();
         assert!(matches!(recover_all(&dir), Err(FleetError::Corrupt { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn leftover_temp_never_shadows_the_good_checkpoint() {
+        // The satellite case: a crash mid-rotation leaves BOTH the good
+        // `.ckpt` and a torn `.ckpt.tmp` for the *same* stream. Recovery
+        // must load the good state untouched and clean up the temp.
+        let dir = tmpdir("shadow");
+        let mut model = small_sgd(7);
+        let slice = sofia_tensor::ObservedTensor::fully_observed(sofia_tensor::DenseTensor::full(
+            sofia_tensor::Shape::new(&[2, 2]),
+            1.5,
+        ));
+        use sofia_core::traits::StreamingFactorizer as _;
+        model.step(&slice);
+        let handle = ModelHandle::durable(model.clone()).with_steps(1);
+        write_checkpoint(&dir, "s1", &handle.checkpoint_text().unwrap()).unwrap();
+        std::fs::write(temp_path(&dir, "s1"), "sofia-checkpoint v2\nmodel onl").unwrap();
+
+        let recovered = recover_all(&dir).unwrap();
+        assert_eq!(recovered.len(), 1, "exactly the good checkpoint loads");
+        assert_eq!(recovered[0].id, "s1");
+        assert_eq!(recovered[0].handle.model_steps(), 1);
+        assert!(!temp_path(&dir, "s1").exists(), "temp cleaned up");
+        // The restored model is bit-exact against the original.
+        let mut restored_inner = match load_stream(&dir, "s1").unwrap() {
+            Some(h) => h,
+            None => panic!("stream exists"),
+        };
+        let a = model.step(&slice);
+        let b = restored_inner.step(&slice);
+        assert_eq!(a.completed.data(), b.completed.data());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_dispatches_by_kind_and_rejects_unknown() {
+        let dir = tmpdir("dispatch");
+        write_checkpoint(
+            &dir,
+            "sgd",
+            &ModelHandle::durable(small_sgd(1))
+                .checkpoint_text()
+                .unwrap(),
+        )
+        .unwrap();
+        std::fs::write(
+            checkpoint_path(&dir, "alien"),
+            "sofia-checkpoint v2\nmodel from-the-future\nsteps 3\npayload\n",
+        )
+        .unwrap();
+        match recover_all(&dir) {
+            Err(FleetError::Corrupt { stream, reason }) => {
+                assert_eq!(stream, "alien");
+                assert!(reason.contains("unknown model kind"), "{reason}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_file(checkpoint_path(&dir, "alien")).unwrap();
+        let recovered = recover_all(&dir).unwrap();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].handle.name(), "OnlineSGD");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_stream_missing_is_none() {
+        let dir = tmpdir("lazy-missing");
+        assert!(load_stream(&dir, "nope").unwrap().is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

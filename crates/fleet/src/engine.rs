@@ -24,6 +24,12 @@ pub struct FleetConfig {
     pub queue_capacity: usize,
     /// Optional durability policy; `None` disables checkpointing.
     pub checkpoint: Option<CheckpointPolicy>,
+    /// Evict a snapshot-capable stream after this many shard steps
+    /// without an ingest (LRU by last-ingest step): the stream is
+    /// checkpointed, unloaded from memory, and lazily restored on its
+    /// next ingest or query. Requires a checkpoint policy; `None`
+    /// disables the lifecycle.
+    pub evict_idle_after: Option<u64>,
 }
 
 impl Default for FleetConfig {
@@ -32,6 +38,7 @@ impl Default for FleetConfig {
             shards: 4,
             queue_capacity: 1024,
             checkpoint: None,
+            evict_idle_after: None,
         }
     }
 }
@@ -58,9 +65,13 @@ impl FleetConfig {
 /// * **queries** ([`Fleet::latest`], [`Fleet::forecast`],
 ///   [`Fleet::outlier_mask`], [`Fleet::stream_stats`]) read the serving
 ///   state through the owning worker, so no torn reads are possible;
-/// * **durability** checkpoints SOFIA streams periodically (and on
-///   shutdown) in the bit-exact `sofia_core::checkpoint` format;
-///   [`Fleet::recover`] restores every stream from such a directory.
+/// * **durability** checkpoints every snapshot-capable stream (SOFIA and
+///   durable baselines alike) periodically and on shutdown, as tagged v2
+///   checkpoint envelopes; [`Fleet::recover`] restores every stream from
+///   such a directory, dispatching on the envelope's model kind;
+/// * **lifecycle** ([`FleetConfig::evict_idle_after`]) checkpoints and
+///   unloads idle streams, restoring them lazily on the next ingest or
+///   query.
 ///
 /// See `examples/fleet_serving.rs` for a walkthrough.
 pub struct Fleet {
@@ -74,6 +85,15 @@ impl Fleet {
     pub fn new(config: FleetConfig) -> Result<Fleet, FleetError> {
         assert!(config.shards > 0, "need at least one shard");
         assert!(config.queue_capacity > 0, "need a positive queue bound");
+        assert!(
+            config.evict_idle_after.is_none() || config.checkpoint.is_some(),
+            "eviction requires a checkpoint policy (an evicted stream is \
+             restored from its checkpoint file)"
+        );
+        assert!(
+            config.evict_idle_after != Some(0),
+            "evict_idle_after must be positive"
+        );
         if let Some(policy) = &config.checkpoint {
             std::fs::create_dir_all(&policy.dir)?;
         }
@@ -84,6 +104,7 @@ impl Fleet {
                     s,
                     config.queue_capacity,
                     config.checkpoint.clone(),
+                    config.evict_idle_after,
                     std::sync::Arc::clone(&registry),
                 )
             })
@@ -92,8 +113,10 @@ impl Fleet {
     }
 
     /// Starts an engine and restores every stream checkpointed in the
-    /// config's checkpoint directory. Returns the engine and the number
-    /// of streams recovered.
+    /// config's checkpoint directory — SOFIA streams and durable
+    /// baselines alike, dispatched on the checkpoint envelope's model
+    /// kind (bare pre-envelope v1 SOFIA files load too). Returns the
+    /// engine and the number of streams recovered.
     ///
     /// Restored models are bit-exact: their subsequent [`StepOutput`]s
     /// match an uninterrupted run. The latest completed slice is *not*
@@ -110,7 +133,7 @@ impl Fleet {
         let fleet = Fleet::new(config)?;
         let n = recovered.len();
         for stream in recovered {
-            fleet.register(&stream.id, ModelHandle::sofia(stream.model))?;
+            fleet.register(&stream.id, stream.handle)?;
         }
         Ok((fleet, n))
     }
@@ -411,6 +434,7 @@ mod tests {
             shards,
             queue_capacity: 64,
             checkpoint: None,
+            evict_idle_after: None,
         })
         .unwrap()
     }
@@ -490,6 +514,7 @@ mod tests {
             shards: 1,
             queue_capacity: 1,
             checkpoint: None,
+            evict_idle_after: None,
         })
         .unwrap();
         let key = fleet
@@ -523,6 +548,7 @@ mod tests {
             shards: 1,
             queue_capacity: 1,
             checkpoint: None,
+            evict_idle_after: None,
         })
         .unwrap();
         let key = fleet

@@ -21,11 +21,18 @@
 //! * **Query API** ([`engine`]) — latest completed slice, `h`-step
 //!   forecast, outlier mask of the latest step, per-stream and fleet-wide
 //!   serving stats (steps, queue depth, step-latency EWMA).
-//! * **Durability** ([`durability`]) — periodic per-stream checkpoints in
-//!   the bit-exact `sofia_core::checkpoint` text format, written with
-//!   atomic temp-file + rename rotation; [`Fleet::recover`] restores
-//!   every stream on startup and restored models produce outputs
-//!   identical to an uninterrupted run.
+//! * **Durability** ([`durability`]) — periodic per-stream checkpoints as
+//!   tagged **v2 checkpoint envelopes** (`sofia-checkpoint v2` +
+//!   `model <kind>`; see [`sofia_core::snapshot`]), written with atomic
+//!   temp-file + rename rotation. Every snapshot-capable model is
+//!   durable — SOFIA and baselines alike — and [`Fleet::recover`]
+//!   restores each stream by dispatching on its envelope's model kind;
+//!   restored models produce outputs identical to an uninterrupted run.
+//!   Bare pre-envelope v1 SOFIA files keep loading bit-exactly.
+//! * **Stream lifecycle** ([`FleetConfig::evict_idle_after`]) — idle
+//!   snapshot-capable streams (LRU by last-ingest step) are checkpointed
+//!   and unloaded from their shard, then lazily restored on the next
+//!   ingest or query; `ShardStats` counts evictions and restores.
 //!
 //! ## Quick example
 //!
@@ -34,8 +41,10 @@
 //! use sofia_core::traits::{StepOutput, StreamingFactorizer};
 //! use sofia_tensor::{DenseTensor, ObservedTensor, Shape};
 //!
-//! // Any `StreamingFactorizer + Send` can be served; SOFIA models go in
-//! // through `Fleet::register_sofia` and additionally get checkpointed.
+//! // Any `StreamingFactorizer + Send` can be served. Models that also
+//! // implement `SnapshotModel` register through `ModelHandle::durable`
+//! // (SOFIA: `Fleet::register_sofia`) and additionally get checkpointed,
+//! // crash-recovered, and evicted/restored when idle.
 //! struct Echo;
 //! impl StreamingFactorizer for Echo {
 //!     fn name(&self) -> &'static str { "echo" }
@@ -68,4 +77,7 @@ pub use engine::{Fleet, FleetConfig};
 pub use error::{FleetError, IngestError};
 pub use model::ModelHandle;
 pub use registry::{shard_of, StreamKey};
+// Re-exported so implementing durability for a custom served model needs
+// only this crate's prelude.
+pub use sofia_core::snapshot::{RestoreModel, SnapshotModel};
 pub use stats::{Ewma, FleetStats, ShardStats, StreamStats};

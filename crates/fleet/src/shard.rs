@@ -14,15 +14,27 @@
 //! takes no lock anywhere — routing is hashing, the queue is the only
 //! synchronization point, and per-shard queue depth is a shared atomic
 //! counter maintained on both ends.
+//!
+//! ## Stream lifecycle (evict / lazy restore)
+//!
+//! With an eviction threshold configured, the worker sweeps its slots
+//! after every drained batch: a snapshot-capable stream that has not
+//! ingested for `evict_idle` shard steps (LRU by last-ingest step on the
+//! shard's step clock) is checkpointed one last time and unloaded from
+//! memory. The stream stays registered; its next ingest or query
+//! transparently restores it from the checkpoint directory (bit-exact,
+//! like crash recovery — only the not-checkpointed "latest output" is
+//! forgotten). Transient models are never evicted: there is no durable
+//! state to bring them back from.
 
-use crate::durability::{write_checkpoint, CheckpointPolicy};
+use crate::durability::{load_stream, write_checkpoint, CheckpointPolicy};
 use crate::error::FleetError;
 use crate::model::ModelHandle;
 use crate::registry::Registry;
 use crate::stats::{Ewma, ShardStats, StreamStats};
 use sofia_core::traits::StepOutput;
 use sofia_tensor::{DenseTensor, Mask, ObservedTensor};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
@@ -88,10 +100,12 @@ pub(crate) enum QueryReply {
 /// One stream's serving state inside a shard.
 struct StreamSlot {
     model: ModelHandle,
-    steps: u64,
     steps_since_checkpoint: u64,
     latency: Ewma,
     last: Option<StepOutput>,
+    /// Shard step-clock reading at this stream's last ingest (or its
+    /// registration/restore); the eviction sweep compares against it.
+    last_active: u64,
 }
 
 /// The worker-side state of one shard.
@@ -100,15 +114,27 @@ pub(crate) struct ShardWorker {
     rx: Receiver<Command>,
     depth: Arc<AtomicUsize>,
     policy: Option<CheckpointPolicy>,
+    /// Evict a snapshot-capable stream after this many shard steps
+    /// without an ingest; `None` disables the lifecycle.
+    evict_idle: Option<u64>,
     /// Shared with the engine so a quarantine can free the stream id for
     /// re-registration (control plane only — never touched on ingest).
     registry: Arc<Registry>,
     slots: HashMap<Arc<str>, StreamSlot>,
+    /// Streams checkpointed and unloaded by the eviction sweep; still
+    /// registered, restored lazily on the next ingest/query.
+    evicted: HashSet<Arc<str>>,
     latency: Ewma,
     steps: u64,
     batches: u64,
     max_batch: usize,
     dropped: u64,
+    evictions: u64,
+    restores: u64,
+    /// Step-clock reading before which no resident stream can be idle:
+    /// the eviction sweep is skipped until the clock reaches it, so the
+    /// per-batch cost is O(1) while nothing is evictable.
+    next_evict_check: u64,
 }
 
 impl ShardWorker {
@@ -117,6 +143,7 @@ impl ShardWorker {
         rx: Receiver<Command>,
         depth: Arc<AtomicUsize>,
         policy: Option<CheckpointPolicy>,
+        evict_idle: Option<u64>,
         registry: Arc<Registry>,
     ) -> Self {
         ShardWorker {
@@ -124,18 +151,23 @@ impl ShardWorker {
             rx,
             depth,
             policy,
+            evict_idle,
             registry,
             slots: HashMap::new(),
+            evicted: HashSet::new(),
             latency: Ewma::default(),
             steps: 0,
             batches: 0,
             max_batch: 0,
             dropped: 0,
+            evictions: 0,
+            restores: 0,
+            next_evict_check: 0,
         }
     }
 
     /// The worker loop: park on the queue, drain it fully, apply the
-    /// batch, repeat until shutdown.
+    /// batch, sweep for idle streams, repeat until shutdown.
     pub(crate) fn run(mut self) {
         loop {
             let Ok(first) = self.rx.recv() else {
@@ -156,7 +188,113 @@ impl ShardWorker {
                     return;
                 }
             }
+            self.evict_idle_streams();
         }
+    }
+
+    /// Brings an evicted stream back from its checkpoint. On success the
+    /// stream is resident again (with `latest` reset, as after recovery).
+    fn restore_stream(&mut self, stream: &Arc<str>) -> Result<(), FleetError> {
+        let dir = self
+            .policy
+            .as_ref()
+            .map(|p| p.dir.clone())
+            .expect("eviction implies a checkpoint policy");
+        // The parsers reject malformed files with typed errors, but this
+        // runs on the shard thread: uphold the "a bad stream never takes
+        // down its shard" invariant against any parser panic too.
+        let loaded =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| load_stream(&dir, stream)))
+                .unwrap_or_else(|_| {
+                    Err(FleetError::Corrupt {
+                        stream: stream.to_string(),
+                        reason: "restore panicked".to_string(),
+                    })
+                });
+        let handle = loaded?.ok_or_else(|| FleetError::Corrupt {
+            stream: stream.to_string(),
+            reason: "evicted stream has no checkpoint file".to_string(),
+        })?;
+        self.evicted.remove(stream);
+        self.restores += 1;
+        self.note_residency_deadline();
+        self.slots.insert(
+            Arc::clone(stream),
+            StreamSlot {
+                model: handle,
+                steps_since_checkpoint: 0,
+                latency: Ewma::default(),
+                last: None,
+                last_active: self.steps,
+            },
+        );
+        Ok(())
+    }
+
+    /// A stream just became resident: it can become idle no sooner than
+    /// one threshold from now, so pull the sweep deadline forward.
+    fn note_residency_deadline(&mut self) {
+        if let Some(idle) = self.evict_idle {
+            self.next_evict_check = self.next_evict_check.min(self.steps.saturating_add(idle));
+        }
+    }
+
+    /// Checkpoints and unloads every snapshot-capable stream idle for at
+    /// least the configured number of shard steps. A stream whose
+    /// checkpoint write fails stays resident (its state must not be
+    /// dropped) and is not re-tried until another full idle interval
+    /// passes, so a broken checkpoint directory does not burn I/O on
+    /// every batch; transient models are skipped outright.
+    ///
+    /// The scan itself is gated on a deadline watermark — while no
+    /// resident stream can possibly be idle yet, each batch pays O(1)
+    /// here, not O(streams).
+    fn evict_idle_streams(&mut self) {
+        let Some(idle) = self.evict_idle else { return };
+        if self.steps < self.next_evict_check {
+            return;
+        }
+        let Some(dir) = self.policy.as_ref().map(|p| p.dir.clone()) else {
+            return;
+        };
+        let now = self.steps;
+        let victims: Vec<Arc<str>> = self
+            .slots
+            .iter()
+            .filter(|(_, slot)| {
+                slot.model.snapshot_kind().is_some() && now.saturating_sub(slot.last_active) >= idle
+            })
+            .map(|(id, _)| Arc::clone(id))
+            .collect();
+        for id in victims {
+            let slot = self.slots.get_mut(&id).expect("victim is resident");
+            match Self::checkpoint_slot(&dir, &id, slot) {
+                Ok(_) => {
+                    self.slots.remove(&id);
+                    self.evicted.insert(id);
+                    self.evictions += 1;
+                }
+                Err(e) => {
+                    eprintln!(
+                        "sofia-fleet: evicting stream `{id}` failed to checkpoint: {e}; \
+                         stream stays resident"
+                    );
+                    // Natural backoff: treat the failed attempt as
+                    // activity so the stream is not re-selected until
+                    // another idle interval elapses.
+                    slot.last_active = now;
+                }
+            }
+        }
+        // Next possible idle moment across the remaining resident,
+        // snapshot-capable slots; sweeps before then are skipped.
+        self.next_evict_check = self
+            .slots
+            .values()
+            .filter(|s| s.model.snapshot_kind().is_some())
+            .map(|s| s.last_active.saturating_add(idle))
+            .min()
+            .unwrap_or(u64::MAX);
     }
 
     /// Applies one command; returns `true` on shutdown.
@@ -164,65 +302,72 @@ impl ShardWorker {
         match cmd {
             Command::Ingest { stream, slice } => {
                 self.depth.fetch_sub(1, Ordering::Release);
-                let mut quarantine = false;
-                match self.slots.get_mut(&stream) {
-                    None => {
+                if !self.slots.contains_key(&stream) {
+                    if self.evicted.contains(&stream) {
+                        // Lazy restore on the data plane. Failure is
+                        // counted as a drop but the stream stays evicted:
+                        // the durable checkpoint is still the truth and a
+                        // later attempt (or query) may succeed.
+                        if let Err(e) = self.restore_stream(&stream) {
+                            eprintln!(
+                                "sofia-fleet: restoring evicted stream `{stream}` failed: {e}; \
+                                 slice dropped"
+                            );
+                            self.dropped += 1;
+                            return false;
+                        }
+                    } else {
                         // The slice raced a quarantine (a StreamKey can
                         // outlive its stream); count the drop so
                         // producers can detect the loss through stats.
                         self.dropped += 1;
+                        return false;
                     }
-                    Some(slot) => {
-                        let start = Instant::now();
-                        // A panicking model (e.g. a shape assert on a
-                        // malformed slice) must quarantine only its own
-                        // stream — never take down the shard and every
-                        // other stream hashed onto it. The model may be
-                        // mid-update when it panics, so the slot is
-                        // removed rather than kept in an unknown state;
-                        // its last durable checkpoint stays on disk.
-                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            slot.model.step(&slice)
-                        }));
-                        match out {
-                            Err(_) => {
-                                eprintln!(
-                                    "sofia-fleet: model for stream `{stream}` panicked \
-                                     on step {}; stream quarantined",
-                                    slot.steps + 1
-                                );
-                                quarantine = true;
-                            }
-                            Ok(out) => {
-                                let us = start.elapsed().as_secs_f64() * 1e6;
-                                slot.latency.observe(us);
-                                self.latency.observe(us);
-                                slot.steps += 1;
-                                slot.steps_since_checkpoint += 1;
-                                self.steps += 1;
-                                slot.last = Some(out);
-                                if let Some(policy) = &self.policy {
-                                    if slot.steps_since_checkpoint >= policy.every_steps {
-                                        let dir = policy.dir.clone();
-                                        // Periodic checkpoints are
-                                        // best-effort (I/O trouble must
-                                        // not take the shard down); an
-                                        // explicit Checkpoint command
-                                        // reports errors.
-                                        if Self::checkpoint_slot(&dir, &stream, slot).is_ok() {
-                                            slot.steps_since_checkpoint = 0;
-                                        }
-                                    }
+                }
+                let slot = self.slots.get_mut(&stream).expect("resident");
+                let start = Instant::now();
+                // A panicking model (e.g. a shape assert on a malformed
+                // slice) must quarantine only its own stream — never take
+                // down the shard and every other stream hashed onto it.
+                // The model may be mid-update when it panics, so the slot
+                // is removed rather than kept in an unknown state; its
+                // last durable checkpoint stays on disk.
+                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    slot.model.step(&slice)
+                }));
+                match out {
+                    Err(_) => {
+                        eprintln!(
+                            "sofia-fleet: model for stream `{stream}` panicked \
+                             on step {}; stream quarantined",
+                            slot.model.model_steps() + 1
+                        );
+                        self.slots.remove(&stream);
+                        // Free the id so a fresh model can be registered
+                        // in its place.
+                        self.registry.remove(&stream);
+                    }
+                    Ok(out) => {
+                        let us = start.elapsed().as_secs_f64() * 1e6;
+                        slot.latency.observe(us);
+                        self.latency.observe(us);
+                        slot.steps_since_checkpoint += 1;
+                        self.steps += 1;
+                        slot.last_active = self.steps;
+                        slot.last = Some(out);
+                        if let Some(policy) = &self.policy {
+                            if slot.steps_since_checkpoint >= policy.every_steps {
+                                let dir = policy.dir.clone();
+                                // Periodic checkpoints are best-effort
+                                // (I/O trouble must not take the shard
+                                // down); an explicit Checkpoint command
+                                // reports errors.
+                                if Self::checkpoint_slot(&dir, &stream, slot).is_ok() {
+                                    slot.steps_since_checkpoint = 0;
                                 }
                             }
                         }
                     }
-                }
-                if quarantine {
-                    self.slots.remove(&stream);
-                    // Free the id so a fresh model can be registered in
-                    // its place.
-                    self.registry.remove(&stream);
                 }
                 false
             }
@@ -231,14 +376,15 @@ impl ShardWorker {
                 model,
                 reply,
             } => {
+                self.note_residency_deadline();
                 self.slots.insert(
                     stream,
                     StreamSlot {
-                        steps: model.model_steps(),
                         model,
                         steps_since_checkpoint: 0,
                         latency: Ewma::default(),
                         last: None,
+                        last_active: self.steps,
                     },
                 );
                 let _ = reply.send(());
@@ -249,6 +395,16 @@ impl ShardWorker {
                 kind,
                 reply,
             } => {
+                // Queries restore evicted streams too ("lazily restored
+                // on the next ingest or query"); a failed restore fails
+                // this query with the typed error instead of a fake
+                // UnknownStream.
+                if !self.slots.contains_key(&stream) && self.evicted.contains(&stream) {
+                    if let Err(e) = self.restore_stream(&stream) {
+                        let _ = reply.send(Err(e));
+                        return false;
+                    }
+                }
                 let result = match self.slots.get(&stream) {
                     None => Err(FleetError::UnknownStream(stream.to_string())),
                     Some(slot) => Ok(match kind {
@@ -284,8 +440,9 @@ impl ShardWorker {
                         }
                         QueryKind::Stats => QueryReply::Stats(StreamStats {
                             stream: stream.to_string(),
+                            model: slot.model.name(),
                             shard: self.shard,
-                            steps: slot.steps,
+                            steps: slot.model.model_steps(),
                             queue_depth: self.depth.load(Ordering::Acquire),
                             step_latency_ewma_us: slot.latency.value(),
                             steps_since_checkpoint: slot.steps_since_checkpoint,
@@ -299,11 +456,14 @@ impl ShardWorker {
                 let _ = reply.send(ShardStats {
                     shard: self.shard,
                     streams: self.slots.len(),
+                    evicted: self.evicted.len(),
                     steps: self.steps,
                     queue_depth: self.depth.load(Ordering::Acquire),
                     batches: self.batches,
                     max_batch: self.max_batch,
                     dropped: self.dropped,
+                    evictions: self.evictions,
+                    restores: self.restores,
                     step_latency_ewma_us: self.latency.value(),
                 });
                 false
@@ -337,10 +497,11 @@ impl ShardWorker {
         }
     }
 
-    /// Checkpoints every checkpointable stream; returns how many were
-    /// written. One stream's write failure must not cost its neighbours
-    /// their checkpoints, so every slot is attempted and the first error
-    /// is reported afterwards.
+    /// Checkpoints every checkpointable resident stream; returns how many
+    /// were written (evicted streams were checkpointed when they left
+    /// memory, so their files are already current). One stream's write
+    /// failure must not cost its neighbours their checkpoints, so every
+    /// slot is attempted and the first error is reported afterwards.
     fn checkpoint_all(&mut self) -> Result<usize, FleetError> {
         let Some(policy) = self.policy.clone() else {
             return Ok(0);
@@ -382,11 +543,12 @@ impl ShardHandle {
         shard: usize,
         capacity: usize,
         policy: Option<CheckpointPolicy>,
+        evict_idle: Option<u64>,
         registry: Arc<Registry>,
     ) -> ShardHandle {
         let (tx, rx) = std::sync::mpsc::sync_channel(capacity);
         let depth = Arc::new(AtomicUsize::new(0));
-        let worker = ShardWorker::new(shard, rx, Arc::clone(&depth), policy, registry);
+        let worker = ShardWorker::new(shard, rx, Arc::clone(&depth), policy, evict_idle, registry);
         let join = std::thread::Builder::new()
             .name(format!("sofia-fleet-shard-{shard}"))
             .spawn(move || worker.run())

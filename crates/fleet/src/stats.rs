@@ -43,10 +43,14 @@ impl Default for Ewma {
 pub struct StreamStats {
     /// Stream id.
     pub stream: String,
+    /// Model name serving the stream (as reported by the model itself,
+    /// e.g. `SOFIA`, `SMF`, `OnlineSGD`).
+    pub model: &'static str,
     /// Shard that owns the stream.
     pub shard: usize,
-    /// Streaming steps applied since registration (or recovery; restored
-    /// models carry their pre-crash step count).
+    /// Streaming steps applied since registration (or recovery/restore;
+    /// the handle's generic counter is seeded from the checkpoint
+    /// envelope, so it is uniform across model kinds).
     pub steps: u64,
     /// Slices currently queued on the owning shard (shard-wide: the queue
     /// is per shard, not per stream).
@@ -65,8 +69,11 @@ pub struct StreamStats {
 pub struct ShardStats {
     /// Shard index.
     pub shard: usize,
-    /// Streams owned by this shard.
+    /// Streams resident in memory on this shard.
     pub streams: usize,
+    /// Streams currently evicted (checkpointed and unloaded; still
+    /// registered, restored lazily on the next ingest/query).
+    pub evicted: usize,
     /// Total steps applied across the shard's streams.
     pub steps: u64,
     /// Slices currently queued.
@@ -76,9 +83,14 @@ pub struct ShardStats {
     /// Largest number of commands drained in one wakeup.
     pub max_batch: usize,
     /// Slices dropped because their stream had been quarantined (a
-    /// `StreamKey` can outlive its stream); nonzero means a producer is
-    /// feeding a dead stream.
+    /// `StreamKey` can outlive its stream) or an evicted stream failed to
+    /// restore; nonzero means a producer is feeding a dead stream or the
+    /// checkpoint directory is unhealthy.
     pub dropped: u64,
+    /// Idle streams checkpointed and unloaded since the shard started.
+    pub evictions: u64,
+    /// Evicted streams brought back by a later ingest/query.
+    pub restores: u64,
     /// EWMA of per-step latency in microseconds across the shard's
     /// streams.
     pub step_latency_ewma_us: Option<f64>,
@@ -92,9 +104,25 @@ pub struct FleetStats {
 }
 
 impl FleetStats {
-    /// Total streams across shards.
+    /// Total resident streams across shards (evicted streams excluded;
+    /// see [`FleetStats::evicted`]).
     pub fn streams(&self) -> usize {
         self.shards.iter().map(|s| s.streams).sum()
+    }
+
+    /// Total currently evicted streams across shards.
+    pub fn evicted(&self) -> usize {
+        self.shards.iter().map(|s| s.evicted).sum()
+    }
+
+    /// Total evictions since start across shards.
+    pub fn evictions(&self) -> u64 {
+        self.shards.iter().map(|s| s.evictions).sum()
+    }
+
+    /// Total lazy restores since start across shards.
+    pub fn restores(&self) -> u64 {
+        self.shards.iter().map(|s| s.restores).sum()
     }
 
     /// Total steps across shards.
@@ -170,29 +198,38 @@ mod tests {
                 ShardStats {
                     shard: 0,
                     streams: 2,
+                    evicted: 1,
                     steps: 30,
                     queue_depth: 1,
                     batches: 10,
                     max_batch: 4,
                     dropped: 0,
+                    evictions: 3,
+                    restores: 2,
                     step_latency_ewma_us: Some(100.0),
                 },
                 ShardStats {
                     shard: 1,
                     streams: 1,
+                    evicted: 0,
                     steps: 10,
                     queue_depth: 0,
                     batches: 5,
                     max_batch: 2,
                     dropped: 1,
+                    evictions: 0,
+                    restores: 0,
                     step_latency_ewma_us: Some(200.0),
                 },
             ],
         };
         assert_eq!(stats.streams(), 3);
+        assert_eq!(stats.evicted(), 1);
         assert_eq!(stats.steps(), 40);
         assert_eq!(stats.queue_depth(), 1);
         assert_eq!(stats.dropped(), 1);
+        assert_eq!(stats.evictions(), 3);
+        assert_eq!(stats.restores(), 2);
         let mean = stats.mean_step_latency_us().unwrap();
         assert!((mean - 125.0).abs() < 1e-9, "step-weighted mean {mean}");
     }

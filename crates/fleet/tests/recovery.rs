@@ -1,20 +1,28 @@
-//! Crash-recovery integration test: a multi-stream fleet is killed
-//! mid-stream and restored from its periodic checkpoints; every restored
-//! stream's subsequent `StepOutput`s must be **bit-exact** against an
-//! uninterrupted run (the checkpoint format guarantees byte-identical
-//! state, and shard workers apply each stream's slices in order).
+//! Crash-recovery and lifecycle integration tests: fleets are killed
+//! mid-stream and restored from their periodic checkpoints (or evicted
+//! and lazily restored); every restored stream's subsequent
+//! `StepOutput`s must be **bit-exact** against an uninterrupted run (the
+//! checkpoint envelope guarantees byte-identical state, and shard
+//! workers apply each stream's slices in order). Covered here:
+//!
+//! * all-SOFIA crash recovery (the original scenario);
+//! * a **mixed** fleet — SOFIA plus the durable baselines SMF and
+//!   OnlineSGD — recovered through the tagged v2 envelope;
+//! * bare pre-envelope **v1** SOFIA files still loading;
+//! * idle-stream **eviction** and lazy restore with correct queries.
 
 // The comparison loops index control/streamed tables by (stream, step)
 // on purpose; iterator rewrites would obscure the alignment being tested.
 #![allow(clippy::needless_range_loop)]
 
+use sofia_baselines::{OnlineSgd, Smf};
 use sofia_core::config::SofiaConfig;
 use sofia_core::traits::{StepOutput, StreamingFactorizer};
 use sofia_core::Sofia;
 use sofia_datagen::seasonal::SeasonalStream;
 use sofia_datagen::stream::TensorStream;
-use sofia_fleet::{CheckpointPolicy, Fleet, FleetConfig};
-use sofia_tensor::ObservedTensor;
+use sofia_fleet::{CheckpointPolicy, Fleet, FleetConfig, ModelHandle};
+use sofia_tensor::{Matrix, ObservedTensor};
 use std::path::PathBuf;
 
 const PERIOD: usize = 4;
@@ -69,6 +77,7 @@ fn crash_recovery_is_bit_exact() {
         shards: 2,
         queue_capacity: 64,
         checkpoint: Some(CheckpointPolicy::new(&dir, EVERY)),
+        evict_idle_after: None,
     };
 
     // --- Uninterrupted control run: one Sofia per stream, stepped
@@ -189,6 +198,7 @@ fn graceful_shutdown_loses_nothing() {
         queue_capacity: 64,
         // Huge interval: only the shutdown checkpoint makes state durable.
         checkpoint: Some(CheckpointPolicy::new(&dir, 1_000_000)),
+        evict_idle_after: None,
     };
 
     let fleet = Fleet::new(fleet_config()).expect("fleet");
@@ -231,5 +241,277 @@ fn graceful_shutdown_loses_nothing() {
     );
 
     recovered.shutdown().expect("shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The model kinds a mixed fleet serves; `build(i)` must be
+/// deterministic so the control and fleet instances start identical.
+fn mixed_handle(kind: &str, i: usize, startup: &[ObservedTensor]) -> ModelHandle {
+    match kind {
+        "sofia" => ModelHandle::sofia(init_model(i, startup)),
+        "smf" => ModelHandle::durable(Smf::init(startup, 2, PERIOD, 0.1, 7 + i as u64)),
+        "online-sgd" => ModelHandle::durable(OnlineSgd::init(startup, 2, 0.1, 7 + i as u64)),
+        other => panic!("unknown kind {other}"),
+    }
+}
+
+fn mixed_control(kind: &str, i: usize, startup: &[ObservedTensor]) -> Box<dyn StreamingFactorizer> {
+    match kind {
+        "sofia" => Box::new(init_model(i, startup)),
+        "smf" => Box::new(Smf::init(startup, 2, PERIOD, 0.1, 7 + i as u64)),
+        "online-sgd" => Box::new(OnlineSgd::init(startup, 2, 0.1, 7 + i as u64)),
+        other => panic!("unknown kind {other}"),
+    }
+}
+
+/// The acceptance scenario: a fleet serving SOFIA **and** two baseline
+/// model kinds survives `abort` + `recover` with every stream restored
+/// bit-exactly through the tagged v2 envelope.
+#[test]
+fn mixed_model_crash_recovery_is_bit_exact() {
+    let dir = tempdir("mixed");
+    let fleet_config = || FleetConfig {
+        shards: 2,
+        queue_capacity: 64,
+        checkpoint: Some(CheckpointPolicy::new(&dir, EVERY)),
+        evict_idle_after: None,
+    };
+    let kinds = ["sofia", "smf", "online-sgd", "sofia", "online-sgd", "smf"];
+    let expected_names = ["SOFIA", "SMF", "OnlineSGD", "SOFIA", "OnlineSGD", "SMF"];
+
+    // Uninterrupted control run per stream.
+    let mut controls: Vec<Box<dyn StreamingFactorizer>> = Vec::new();
+    let mut control_outputs: Vec<Vec<StepOutput>> = Vec::new();
+    let mut streamed_slices: Vec<Vec<ObservedTensor>> = Vec::new();
+    for (i, kind) in kinds.iter().enumerate() {
+        let (startup, streamed) = slices(i);
+        let mut model = mixed_control(kind, i, &startup);
+        let outputs = streamed.iter().map(|s| model.step(s)).collect();
+        controls.push(model);
+        control_outputs.push(outputs);
+        streamed_slices.push(streamed);
+    }
+
+    // Fleet run up to the crash.
+    let fleet = Fleet::new(fleet_config()).expect("fleet");
+    let keys: Vec<_> = kinds
+        .iter()
+        .enumerate()
+        .map(|(i, kind)| {
+            let (startup, _) = slices(i);
+            fleet
+                .register(&format!("mixed-{i}"), mixed_handle(kind, i, &startup))
+                .expect("register")
+        })
+        .collect();
+    for t in 0..PRE_CRASH {
+        for (i, key) in keys.iter().enumerate() {
+            fleet
+                .try_ingest(key, streamed_slices[i][t].clone())
+                .expect("ingest");
+        }
+    }
+    fleet.flush().expect("flush");
+    fleet.abort();
+
+    // Recovery restores every stream, baselines included, with the right
+    // model kind behind each id and the uniform step counter at the last
+    // checkpoint boundary.
+    let (recovered, n) = Fleet::recover(fleet_config()).expect("recover");
+    assert_eq!(n, kinds.len(), "every stream restored");
+    let boundary = (PRE_CRASH as u64 / EVERY) * EVERY;
+    for (i, name) in expected_names.iter().enumerate() {
+        let id = format!("mixed-{i}");
+        let stats = recovered.stream_stats(&id).expect("stats");
+        assert_eq!(stats.model, *name, "model kind behind {id}");
+        assert_eq!(stats.steps, boundary, "uniform step counter of {id}");
+    }
+
+    // Replay the lost tail and continue; byte-identical for every kind.
+    for i in 0..kinds.len() {
+        let id = format!("mixed-{i}");
+        let key = recovered.key(&id).expect("registered");
+        for t in boundary as usize..TOTAL {
+            recovered
+                .try_ingest(&key, streamed_slices[i][t].clone())
+                .expect("ingest");
+            recovered.flush().expect("flush");
+            let out = recovered.latest(&id).unwrap().expect("stepped");
+            let expect = &control_outputs[i][t];
+            assert_eq!(
+                out.completed.data(),
+                expect.completed.data(),
+                "{} step {t}: completed diverged after recovery",
+                kinds[i]
+            );
+        }
+        // Forecast-capable kinds agree with their control models too.
+        let control_fc = controls[i].forecast(2);
+        let fc = recovered.forecast(&id, 2).unwrap();
+        match (control_fc, fc) {
+            (Some(c), Some(f)) => assert_eq!(c.data(), f.data(), "{} forecast", kinds[i]),
+            (None, None) => {} // OnlineSGD does not forecast
+            (c, f) => panic!(
+                "{}: forecast capability diverged: control {:?} vs fleet {:?}",
+                kinds[i],
+                c.is_some(),
+                f.is_some()
+            ),
+        }
+    }
+
+    recovered.shutdown().expect("shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Checkpoints written before the envelope existed (bare v1 SOFIA text)
+/// must keep loading bit-exactly, and a later save upgrades them to v2.
+#[test]
+fn bare_v1_sofia_checkpoint_still_loads() {
+    let dir = tempdir("v1-compat");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (startup, streamed) = slices(0);
+    let mut control = init_model(0, &startup);
+    for s in streamed.iter().take(3) {
+        StreamingFactorizer::step(&mut control, s);
+    }
+    // Write exactly what the pre-envelope engine wrote: bare v1 text.
+    let v1_text = sofia_core::checkpoint::save(&control);
+    assert!(v1_text.starts_with("sofia-checkpoint v1\n"));
+    sofia_fleet::durability::write_checkpoint(&dir, "legacy/stream", &v1_text).unwrap();
+
+    let fleet_config = || FleetConfig {
+        shards: 1,
+        queue_capacity: 16,
+        checkpoint: Some(CheckpointPolicy::new(&dir, 1_000_000)),
+        evict_idle_after: None,
+    };
+    let (recovered, n) = Fleet::recover(fleet_config()).expect("recover");
+    assert_eq!(n, 1);
+    let stats = recovered.stream_stats("legacy/stream").expect("stats");
+    assert_eq!(stats.model, "SOFIA");
+    assert_eq!(stats.steps, 3, "v1 steps trailer seeds the counter");
+
+    // Continue past the v1 state: bit-exact against the control model.
+    let key = recovered.key("legacy/stream").expect("registered");
+    for s in streamed.iter().skip(3) {
+        recovered.try_ingest(&key, s.clone()).expect("ingest");
+        recovered.flush().expect("flush");
+        let out = recovered.latest("legacy/stream").unwrap().expect("stepped");
+        let expect = StreamingFactorizer::step(&mut control, s);
+        assert_eq!(out.completed.data(), expect.completed.data());
+    }
+
+    // Graceful shutdown rewrites the stream as a v2 envelope…
+    assert_eq!(recovered.shutdown().expect("shutdown"), 1);
+    let path = sofia_fleet::durability::checkpoint_path(&dir, "legacy/stream");
+    let upgraded = std::fs::read_to_string(path).unwrap();
+    assert!(upgraded.starts_with("sofia-checkpoint v2\nmodel sofia\n"));
+    // …which recovers just as well.
+    let (again, n) = Fleet::recover(fleet_config()).expect("recover v2");
+    assert_eq!(n, 1);
+    assert_eq!(
+        again.stream_stats("legacy/stream").unwrap().steps,
+        TOTAL as u64
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The lifecycle acceptance scenario: an idle snapshot-capable stream is
+/// checkpointed and unloaded (LRU by last-ingest step), then lazily
+/// restored by the next query/ingest with bit-exact state.
+#[test]
+fn idle_stream_evicts_and_lazily_restores() {
+    let dir = tempdir("evict");
+    let fleet = Fleet::new(FleetConfig {
+        shards: 1,
+        queue_capacity: 64,
+        // Huge periodic interval: any checkpoint on disk comes from the
+        // eviction path itself.
+        checkpoint: Some(CheckpointPolicy::new(&dir, 1_000_000)),
+        evict_idle_after: Some(4),
+    })
+    .expect("fleet");
+
+    // Two tiny durable models on the one shard; deterministic factors so
+    // the control instance starts identical.
+    let sgd = |seed: u64| {
+        let f = |s: u64| Matrix::from_fn(3, 2, |i, j| 0.5 + (i + 2 * j + s as usize) as f64 * 0.1);
+        OnlineSgd::new(vec![f(seed), f(seed + 1)], 0.1)
+    };
+    let slice = |v: f64| {
+        ObservedTensor::fully_observed(sofia_tensor::DenseTensor::from_fn(
+            sofia_tensor::Shape::new(&[3, 3]),
+            |idx| v + idx[0] as f64 - 0.3 * idx[1] as f64,
+        ))
+    };
+    let mut control = sgd(1);
+    let idle = fleet
+        .register("idle", ModelHandle::durable(sgd(1)))
+        .unwrap();
+    let busy = fleet
+        .register("busy", ModelHandle::durable(sgd(9)))
+        .unwrap();
+
+    // Step the soon-idle stream twice, mirrored on the control model.
+    for t in 0..2 {
+        fleet.try_ingest(&idle, slice(t as f64)).unwrap();
+    }
+    fleet.flush().unwrap();
+    let mut control_last = None;
+    for t in 0..2 {
+        control_last = Some(control.step(&slice(t as f64)));
+    }
+    // Pre-eviction parity: the served stream already matches control.
+    let live = fleet.latest("idle").unwrap().expect("stepped");
+    assert_eq!(
+        live.completed.data(),
+        control_last.expect("stepped").completed.data(),
+        "pre-eviction output should match control"
+    );
+    let stats = fleet.fleet_stats().unwrap();
+    assert_eq!(stats.evictions(), 0, "not idle yet");
+    assert_eq!(stats.streams(), 2);
+
+    // Drive only the busy stream: the shard's step clock advances past
+    // the idle threshold and the sweep evicts `idle`.
+    for t in 0..6 {
+        fleet.try_ingest(&busy, slice(t as f64)).unwrap();
+    }
+    fleet.flush().unwrap();
+    let stats = fleet.fleet_stats().unwrap();
+    assert_eq!(stats.evictions(), 1, "idle stream evicted");
+    assert_eq!(stats.evicted(), 1);
+    assert_eq!(stats.streams(), 1, "only busy resident");
+    assert_eq!(stats.restores(), 0);
+    // The registry still knows the stream — it is unloaded, not gone.
+    assert_eq!(fleet.streams(), 2);
+    assert!(sofia_fleet::durability::checkpoint_path(&dir, "idle").exists());
+
+    // A query lazily restores it: stats come back with the pre-eviction
+    // step counter, and `latest` resets exactly like crash recovery.
+    let stats = fleet.stream_stats("idle").expect("query restores");
+    assert_eq!(stats.steps, 2);
+    assert_eq!(stats.model, "OnlineSGD");
+    let fstats = fleet.fleet_stats().unwrap();
+    assert_eq!(fstats.restores(), 1, "query triggered the lazy restore");
+    assert_eq!(fstats.evicted(), 0);
+    assert_eq!(fstats.streams(), 2);
+    assert!(fleet.latest("idle").unwrap().is_none());
+
+    // Post-restore serving is bit-exact against the uninterrupted
+    // control model (last output aside, state round-tripped exactly).
+    fleet.try_ingest(&idle, slice(7.5)).unwrap();
+    fleet.flush().unwrap();
+    let out = fleet.latest("idle").unwrap().expect("stepped");
+    let expect = control.step(&slice(7.5));
+    assert_eq!(
+        out.completed.data(),
+        expect.completed.data(),
+        "restored stream diverged from control"
+    );
+    assert_eq!(fleet.stream_stats("idle").unwrap().steps, 3);
+
+    fleet.shutdown().expect("shutdown");
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -16,6 +16,7 @@ use crate::config::SofiaConfig;
 use crate::dynamic::DynamicState;
 use crate::hw::HwBank;
 use crate::model::Sofia;
+use crate::snapshot::wire::{parse_f64s, parse_usizes, push_f64s};
 use sofia_tensor::{DenseTensor, Matrix, Shape};
 use sofia_timeseries::holt_winters::{HoltWinters, HwParams, HwState};
 use std::fmt::Write as _;
@@ -39,39 +40,6 @@ impl std::fmt::Display for CheckpointError {
 }
 
 impl std::error::Error for CheckpointError {}
-
-fn push_f64s(out: &mut String, label: &str, values: impl IntoIterator<Item = f64>) {
-    let _ = write!(out, "{label}");
-    for v in values {
-        let _ = write!(out, " {:016x}", v.to_bits());
-    }
-    out.push('\n');
-}
-
-fn parse_f64s(line: &str, label: &str) -> Result<Vec<f64>, CheckpointError> {
-    let rest = line
-        .strip_prefix(label)
-        .ok_or_else(|| CheckpointError::Malformed(format!("expected `{label}`")))?;
-    rest.split_whitespace()
-        .map(|tok| {
-            u64::from_str_radix(tok, 16)
-                .map(f64::from_bits)
-                .map_err(|_| CheckpointError::Malformed(format!("bad float in `{label}`")))
-        })
-        .collect()
-}
-
-fn parse_usizes(line: &str, label: &str) -> Result<Vec<usize>, CheckpointError> {
-    let rest = line
-        .strip_prefix(label)
-        .ok_or_else(|| CheckpointError::Malformed(format!("expected `{label}`")))?;
-    rest.split_whitespace()
-        .map(|tok| {
-            tok.parse()
-                .map_err(|_| CheckpointError::Malformed(format!("bad integer in `{label}`")))
-        })
-        .collect()
-}
 
 /// Serializes a streaming SOFIA model to the v1 text format.
 pub fn save(model: &Sofia) -> String {
@@ -188,7 +156,10 @@ pub fn load(text: &str) -> Result<Sofia, CheckpointError> {
     let n_factors = *n_factors
         .first()
         .ok_or_else(|| CheckpointError::Malformed("factor count".into()))?;
-    let mut factors = Vec::with_capacity(n_factors);
+    // Counts below come from the file: clamp pre-allocations so a
+    // corrupt header errors on the missing lines instead of panicking in
+    // `with_capacity` (restores may run on serving threads).
+    let mut factors = Vec::with_capacity(n_factors.min(16));
     for _ in 0..n_factors {
         let dims = parse_usizes(next("factor")?, "factor")?;
         if dims.len() != 2 {
@@ -206,7 +177,7 @@ pub fn load(text: &str) -> Result<Sofia, CheckpointError> {
     let n_hist = *n_hist
         .first()
         .ok_or_else(|| CheckpointError::Malformed("history count".into()))?;
-    let mut history = Vec::with_capacity(n_hist);
+    let mut history = Vec::with_capacity(n_hist.min(4096));
     for _ in 0..n_hist {
         history.push(parse_f64s(next("history row")?, "u")?);
     }
@@ -216,7 +187,7 @@ pub fn load(text: &str) -> Result<Sofia, CheckpointError> {
     let n_hw = *n_hw
         .first()
         .ok_or_else(|| CheckpointError::Malformed("hw count".into()))?;
-    let mut models = Vec::with_capacity(n_hw);
+    let mut models = Vec::with_capacity(n_hw.min(4096));
     for _ in 0..n_hw {
         let p = parse_f64s(next("hw params")?, "hw_params")?;
         if p.len() != 3 {

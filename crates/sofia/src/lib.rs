@@ -59,8 +59,10 @@ pub mod forecast;
 pub mod hw;
 pub mod init;
 pub mod model;
+pub mod snapshot;
 pub mod traits;
 
 pub use config::SofiaConfig;
 pub use model::Sofia;
+pub use snapshot::{RestoreModel, SnapshotModel};
 pub use traits::{StepOutput, StreamingFactorizer};

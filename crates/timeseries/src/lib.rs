@@ -14,7 +14,10 @@
 //!   estimate the smoothing parameters `(α, β, γ) ∈ [0,1]³` (the paper uses
 //!   L-BFGS-B; see DESIGN.md for the substitution argument);
 //! * [`ets`] — simple and double exponential smoothing, used by baseline
-//!   methods.
+//!   methods;
+//! * [`snapshot`] — bit-exact text snapshots of the Holt-Winters family
+//!   (additive, multiplicative, damped), the serialization substrate the
+//!   serving layer's checkpoint envelope wraps.
 //!
 //! ## Quick example
 //!
@@ -37,6 +40,7 @@ pub mod holt_winters;
 pub mod init;
 pub mod intervals;
 pub mod robust;
+pub mod snapshot;
 pub mod variants;
 
 pub use fit::{fit_holt_winters, FittedHoltWinters};

@@ -90,6 +90,31 @@ impl MultiplicativeHw {
         self.seasonal.len()
     }
 
+    /// The smoothing parameters.
+    pub fn params(&self) -> &HwParams {
+        &self.params
+    }
+
+    /// Current level `l_t`.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// Current trend `b_t`.
+    pub fn trend(&self) -> f64 {
+        self.trend
+    }
+
+    /// Per-phase seasonal ratios.
+    pub fn seasonal(&self) -> &[f64] {
+        &self.seasonal
+    }
+
+    /// Phase of the next observation within the cycle.
+    pub fn phase(&self) -> usize {
+        self.phase
+    }
+
     /// One-step-ahead forecast.
     pub fn forecast_one(&self) -> f64 {
         (self.level + self.trend) * self.seasonal[self.phase]
@@ -211,6 +236,31 @@ impl DampedHw {
     /// Seasonal period `m`.
     pub fn period(&self) -> usize {
         self.seasonal.len()
+    }
+
+    /// The smoothing parameters.
+    pub fn params(&self) -> &HwParams {
+        &self.params
+    }
+
+    /// Current level `l_t`.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// Current trend `b_t`.
+    pub fn trend(&self) -> f64 {
+        self.trend
+    }
+
+    /// Per-phase seasonal components.
+    pub fn seasonal(&self) -> &[f64] {
+        &self.seasonal
+    }
+
+    /// Phase of the next observation within the cycle.
+    pub fn phase(&self) -> usize {
+        self.phase
     }
 
     /// Geometric damping sum `φ_d + φ_d² + ⋯ + φ_d^h`.

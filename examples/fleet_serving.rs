@@ -1,19 +1,27 @@
-//! Walkthrough of the `sofia-fleet` serving engine: register a handful of
-//! SOFIA streams, ingest slices with backpressure-aware calls, query the
-//! serving state, checkpoint, crash, and recover bit-exactly.
+//! Walkthrough of the `sofia-fleet` serving engine: register a **mixed**
+//! fleet (SOFIA plus durable SMF / OnlineSGD baselines), ingest slices
+//! with backpressure-aware calls, query the serving state, checkpoint,
+//! crash, recover bit-exactly, and watch an idle stream get evicted and
+//! lazily restored.
 //!
 //! Run with:
 //!
 //! ```text
 //! cargo run --release --example fleet_serving
 //! ```
+//!
+//! The assertions double as the CI crash-recovery smoke test: a nonzero
+//! exit here means durability regressed.
 
+use sofia::baselines::{OnlineSgd, Smf};
 use sofia::core::model::Sofia;
 use sofia::core::SofiaConfig;
 use sofia::datagen::seasonal::SeasonalStream;
 use sofia::datagen::stream::TensorStream;
-use sofia::fleet::{CheckpointPolicy, Fleet, FleetConfig, IngestError};
+use sofia::fleet::{CheckpointPolicy, Fleet, FleetConfig, IngestError, ModelHandle};
 use sofia::tensor::ObservedTensor;
+
+const STREAMS: usize = 5;
 
 fn main() {
     let period = 6;
@@ -30,13 +38,15 @@ fn main() {
         shards: 2,
         queue_capacity: 32,
         checkpoint: Some(CheckpointPolicy::new(&ckpt_dir, 4)),
+        evict_idle_after: None,
     })
     .expect("start engine");
 
-    // --- 2. Register three synthetic sensor streams, each with its own
-    // warm-started SOFIA model.
-    let streams: Vec<SeasonalStream> = (0..3)
-        .map(|i| SeasonalStream::paper_fig2(&[6, 5], rank, period, 40 + i))
+    // --- 2. Register five synthetic sensor streams: three SOFIA models
+    // plus two durable baselines (SMF, OnlineSGD) — all checkpointed
+    // through the same tagged v2 envelope.
+    let streams: Vec<SeasonalStream> = (0..STREAMS)
+        .map(|i| SeasonalStream::paper_fig2(&[6, 5], rank, period, 40 + i as u64))
         .collect();
     let keys: Vec<_> = streams
         .iter()
@@ -45,10 +55,14 @@ fn main() {
             let startup: Vec<ObservedTensor> = (0..startup_len)
                 .map(|t| ObservedTensor::fully_observed(s.clean_slice(t)))
                 .collect();
-            let model = Sofia::init(&config, &startup, i as u64).expect("init");
+            let handle = match i {
+                3 => ModelHandle::durable(Smf::init(&startup, rank, period, 0.1, i as u64)),
+                4 => ModelHandle::durable(OnlineSgd::init(&startup, rank, 0.1, i as u64)),
+                _ => ModelHandle::sofia(Sofia::init(&config, &startup, i as u64).expect("init")),
+            };
             let id = format!("sensor-net-{i}");
             println!("registering `{id}`");
-            fleet.register_sofia(&id, model).expect("register")
+            fleet.register(&id, handle).expect("register")
         })
         .collect();
 
@@ -71,16 +85,14 @@ fn main() {
     }
     fleet.flush().expect("flush");
 
-    // --- 4. Query the serving state.
+    // --- 4. Query the serving state (model kind comes from the stats).
     for key in &keys {
         let stats = fleet.stream_stats(key.id()).expect("stats");
-        let forecast = fleet
-            .forecast(key.id(), period / 2)
-            .expect("query")
-            .expect("SOFIA forecasts");
+        let forecast = fleet.forecast(key.id(), period / 2).expect("query");
         println!(
-            "{}: shard {}, {} steps, latency ewma {}, forecast(h={}) |x| = {:.3}",
+            "{} ({}): shard {}, {} steps, latency ewma {}, forecast(h={}) |x| = {}",
             key.id(),
+            stats.model,
             stats.shard,
             stats.steps,
             stats
@@ -88,7 +100,9 @@ fn main() {
                 .map(|l| format!("{l:.1}us"))
                 .unwrap_or_else(|| "-".into()),
             period / 2,
-            forecast.frobenius_norm(),
+            forecast
+                .map(|f| format!("{:.3}", f.frobenius_norm()))
+                .unwrap_or_else(|| "- (model does not forecast)".into()),
         );
     }
     let latest = fleet
@@ -110,14 +124,19 @@ fn main() {
     fleet.abort();
     println!("\ncrashed; recovering from {}", ckpt_dir.display());
 
-    // --- 6. Recover every stream and replay the tail the crash lost.
+    // --- 6. Recover every stream — SOFIA and baselines alike — and
+    // replay the tail the crash lost. The recovered engine also enables
+    // the stream lifecycle: idle streams are evicted after 6 idle shard
+    // steps and restored on demand.
     let (recovered, n) = Fleet::recover(FleetConfig {
-        shards: 2,
+        shards: 1,
         queue_capacity: 32,
         checkpoint: Some(CheckpointPolicy::new(&ckpt_dir, 4)),
+        evict_idle_after: Some(6),
     })
     .expect("recover");
     println!("recovered {n} streams");
+    assert_eq!(n, STREAMS, "every stream must recover, baselines included");
     for (i, s) in streams.iter().enumerate() {
         let id = format!("sensor-net-{i}");
         let done = recovered.stream_stats(&id).expect("stats").steps as usize;
@@ -144,6 +163,44 @@ fn main() {
         "recovery must be bit-exact"
     );
     println!("post-recovery forecast is bit-exact against the pre-crash engine");
+
+    // --- 7. Stream lifecycle: keep only sensor-net-0 hot; the idle
+    // streams get checkpointed and unloaded, then a query lazily
+    // restores one without changing its answers.
+    let key0 = recovered.key("sensor-net-0").expect("registered");
+    for t in startup_len + 2 * period..startup_len + 2 * period + 12 {
+        let slice = ObservedTensor::fully_observed(streams[0].clean_slice(t));
+        while let Err(IngestError::Backpressure(_)) = recovered.try_ingest(&key0, slice.clone()) {
+            std::thread::yield_now();
+        }
+    }
+    recovered.flush().expect("flush");
+    let stats = recovered.fleet_stats().expect("stats");
+    println!(
+        "lifecycle: {} evictions, {} resident / {} evicted streams",
+        stats.evictions(),
+        stats.streams(),
+        stats.evicted(),
+    );
+    assert!(stats.evictions() >= 1, "idle streams should have evicted");
+
+    // The evicted stream answers through a transparent lazy restore, and
+    // its state survived the round-trip bit-exactly.
+    let after_evict_forecast = recovered
+        .forecast("sensor-net-1", 1)
+        .expect("query restores evicted stream")
+        .expect("forecast");
+    assert_eq!(
+        reference_forecast.data(),
+        after_evict_forecast.data(),
+        "evict/restore must preserve state bit-exactly"
+    );
+    let stats = recovered.fleet_stats().expect("stats");
+    println!(
+        "sensor-net-1 restored on query ({} lazy restores); forecast unchanged",
+        stats.restores()
+    );
+    assert!(stats.restores() >= 1);
 
     let written = recovered.shutdown().expect("shutdown");
     println!("graceful shutdown wrote {written} final checkpoints");
