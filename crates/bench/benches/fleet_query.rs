@@ -1,0 +1,99 @@
+//! Criterion bench: the fleet's typed query plane — M sequential
+//! single-stream queries (one queue round-trip each, ticket settled
+//! before the next is issued) vs one `query_batch` over the same M
+//! streams (requests grouped by shard, one round-trip per involved
+//! shard). The spread between the two is the per-round-trip cost the
+//! batch amortizes; it grows with the stream count, not with the model
+//! cost, so the served model here is a trivial echo.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sofia_core::traits::{StepOutput, StreamingFactorizer};
+use sofia_fleet::{Fleet, FleetConfig, ModelHandle, Query, QueryResponse};
+use sofia_tensor::{DenseTensor, ObservedTensor, Shape};
+
+/// Cheapest possible served model, so the bench isolates plane
+/// overhead (routing, queueing, wakeup, reply) from model work.
+struct Echo;
+
+impl StreamingFactorizer for Echo {
+    fn name(&self) -> &'static str {
+        "echo"
+    }
+    fn step(&mut self, slice: &ObservedTensor) -> StepOutput {
+        StepOutput {
+            completed: slice.values().clone(),
+            outliers: None,
+        }
+    }
+    fn forecast(&self, h: usize) -> Option<DenseTensor> {
+        Some(DenseTensor::full(Shape::new(&[1]), h as f64))
+    }
+}
+
+/// A quiescent serving fleet: `streams` echo models over `shards`
+/// shards, each stepped once so every query kind has state to answer.
+fn serving_fleet(streams: usize, shards: usize) -> (Fleet, Vec<String>) {
+    let fleet = Fleet::new(FleetConfig {
+        shards,
+        queue_capacity: 1024,
+        checkpoint: None,
+        evict_idle_after: None,
+    })
+    .expect("fleet");
+    let ids: Vec<String> = (0..streams).map(|i| format!("stream-{i:03}")).collect();
+    for id in &ids {
+        let key = fleet
+            .register(id, ModelHandle::serve(Echo))
+            .expect("register");
+        let slice = ObservedTensor::fully_observed(DenseTensor::full(Shape::new(&[4, 4]), 1.0));
+        fleet.try_ingest(&key, slice).expect("ingest");
+    }
+    fleet.flush().expect("flush");
+    (fleet, ids)
+}
+
+fn bench_single_vs_batched(c: &mut Criterion) {
+    const SHARDS: usize = 4;
+    for &streams in &[8usize, 64] {
+        let (fleet, ids) = serving_fleet(streams, SHARDS);
+        let requests: Vec<(&str, Query)> = ids
+            .iter()
+            .map(|id| (id.as_str(), Query::Forecast { horizon: 1 }))
+            .collect();
+        let mut group = c.benchmark_group(format!("fleet_query_{streams}x{SHARDS}"));
+        group.bench_function("single", |b| {
+            b.iter(|| {
+                let mut norm = 0.0;
+                for id in &ids {
+                    let response = fleet
+                        .query(id, Query::Forecast { horizon: 1 })
+                        .expect("query")
+                        .wait()
+                        .expect("wait");
+                    let QueryResponse::Forecast(Some(f)) = response else {
+                        panic!("echo forecasts");
+                    };
+                    norm += f.get(&[0]);
+                }
+                norm
+            })
+        });
+        group.bench_function("batched", |b| {
+            b.iter(|| {
+                let mut norm = 0.0;
+                for response in fleet.query_batch(&requests).expect("batch") {
+                    let QueryResponse::Forecast(Some(f)) = response.expect("answered") else {
+                        panic!("echo forecasts");
+                    };
+                    norm += f.get(&[0]);
+                }
+                norm
+            })
+        });
+        group.finish();
+        fleet.shutdown().expect("shutdown");
+    }
+}
+
+criterion_group!(benches, bench_single_vs_batched);
+criterion_main!(benches);

@@ -8,7 +8,7 @@ use sofia_core::model::Sofia;
 use sofia_core::SofiaConfig;
 use sofia_datagen::seasonal::SeasonalStream;
 use sofia_datagen::stream::TensorStream;
-use sofia_fleet::{CheckpointPolicy, Fleet, FleetConfig, ModelHandle, StreamKey};
+use sofia_fleet::{CheckpointPolicy, Fleet, FleetConfig, ModelHandle, Query, StreamKey};
 use sofia_tensor::ObservedTensor;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -337,12 +337,27 @@ fn run_once(
     let evictions = stats.evictions();
     let restores = stats.restores();
 
-    // Exercise the query plane once per run on a sample stream.
+    // Exercise the typed query plane once per run on a sample stream:
+    // both requests travel to the owning shard in one batched
+    // round-trip.
     let sample = "stream-0000";
-    let forecast = fleet
-        .forecast(sample, opts.period / 2)?
+    let mut responses = fleet
+        .query_batch(&[
+            (
+                sample,
+                Query::Forecast {
+                    horizon: opts.period / 2,
+                },
+            ),
+            (sample, Query::StreamStats),
+        ])?
+        .into_iter();
+    let forecast = responses
+        .next()
+        .expect("aligned")?
+        .expect_forecast()
         .expect("SOFIA forecasts");
-    let sample_stats = fleet.stream_stats(sample)?;
+    let sample_stats = responses.next().expect("aligned")?.expect_stream_stats();
     println!(
         "[{shards} shard(s)] {sample} ({}): {} steps on shard {}, \
          forecast(h={}) |x| = {:.3}, latency ewma {}",
@@ -377,8 +392,15 @@ fn recovery_report(opts: &FleetOpts) -> CmdResult {
     let (recovered, n) = Fleet::recover(fleet_config(opts, opts.shards))?;
     let mut by_kind: BTreeMap<&'static str, usize> = BTreeMap::new();
     let mut steps_total = 0u64;
-    for id in recovered.stream_ids() {
-        let stats = recovered.stream_stats(&id)?;
+    // One batched stats sweep over every recovered stream: a single
+    // queue round-trip per shard instead of one per stream.
+    let ids = recovered.stream_ids();
+    let requests: Vec<(&str, Query)> = ids
+        .iter()
+        .map(|id| (id.as_str(), Query::StreamStats))
+        .collect();
+    for response in recovered.query_batch(&requests)? {
+        let stats = response?.expect_stream_stats();
         *by_kind.entry(stats.model).or_default() += 1;
         steps_total += stats.steps;
     }

@@ -15,7 +15,7 @@
 //!                    [--compare-shards 1,2]
 //! ```
 //!
-//! The stream directory format is documented in [`format`]; `fleet` serves
+//! The stream directory format is documented in [`mod@format`]; `fleet` serves
 //! many synthetic streams through the sharded `sofia-fleet` engine and
 //! reports throughput, per-step latency, shard scaling, stream lifecycle
 //! (idle eviction + lazy restore), and — when a checkpoint directory is

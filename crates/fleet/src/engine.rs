@@ -4,8 +4,9 @@
 use crate::durability::{recover_all, CheckpointPolicy};
 use crate::error::{FleetError, IngestError};
 use crate::model::ModelHandle;
+use crate::protocol::{Query, QueryResponse, QueryTicket};
 use crate::registry::{Registry, StreamKey};
-use crate::shard::{Command, QueryKind, QueryReply, ShardHandle};
+use crate::shard::{Command, QueryRequest, ShardHandle};
 use crate::stats::{FleetStats, StreamStats};
 use sofia_core::traits::StepOutput;
 use sofia_core::Sofia;
@@ -62,9 +63,13 @@ impl FleetConfig {
 ///   hash-assigned shard;
 /// * **ingest** ([`Fleet::try_ingest`]) hands one observed slice to the
 ///   owning shard's bounded queue without blocking and without locks;
-/// * **queries** ([`Fleet::latest`], [`Fleet::forecast`],
-///   [`Fleet::outlier_mask`], [`Fleet::stream_stats`]) read the serving
-///   state through the owning worker, so no torn reads are possible;
+/// * **queries** ([`Fleet::query`], [`Fleet::query_batch`]) send typed
+///   [`Query`] requests through the owning shard's query queue — the
+///   worker answers them against post-batch state, so no torn reads are
+///   possible; [`Fleet::query`] returns a [`QueryTicket`] so callers
+///   can pipeline many in-flight queries, and [`Fleet::query_batch`]
+///   groups requests by shard into one queue round-trip per involved
+///   shard;
 /// * **durability** checkpoints every snapshot-capable stream (SOFIA and
 ///   durable baselines alike) periodically and on shutdown, as tagged v2
 ///   checkpoint envelopes; [`Fleet::recover`] restores every stream from
@@ -156,6 +161,11 @@ impl Fleet {
     }
 
     /// Convenience: registers a SOFIA model.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `register(id, ModelHandle::sofia(model))` — the uniform \
+                handle constructors cover every model kind"
+    )]
     pub fn register_sofia(&self, id: &str, model: Sofia) -> Result<StreamKey, FleetError> {
         self.register(id, ModelHandle::sofia(model))
     }
@@ -216,54 +226,124 @@ impl Fleet {
         }
     }
 
-    fn query(&self, id: &str, kind: QueryKind) -> Result<QueryReply, FleetError> {
+    /// Sends one typed [`Query`] to `id`'s shard and returns its
+    /// [`QueryTicket`] immediately.
+    ///
+    /// The request is validated at this boundary ([`Query::validate`] —
+    /// e.g. a zero forecast horizon is a typed
+    /// [`FleetError::InvalidQuery`], never a model panic) and routed to
+    /// the owning shard's query queue, where the worker answers it
+    /// against post-batch state. Settle the ticket with
+    /// [`QueryTicket::wait`] or poll it with [`QueryTicket::try_take`];
+    /// issuing several queries before settling any pipelines them.
+    ///
+    /// Queries ride their own per-shard queue, so they are **not**
+    /// FIFO-ordered with in-flight ingests: a query issued right after
+    /// [`Fleet::try_ingest`] may be answered before that slice applies.
+    /// For read-your-writes, [`Fleet::flush`] first — anything ingested
+    /// before a returned `flush` is visible to every later query.
+    pub fn query(&self, id: &str, query: Query) -> Result<QueryTicket, FleetError> {
+        query.validate()?;
         let key = self
             .registry
             .get(id)
             .ok_or_else(|| FleetError::UnknownStream(id.to_string()))?;
         let (reply, result) = mpsc::channel();
-        self.shards[key.shard()].send(Command::Query {
+        self.shards[key.shard()].send_query(QueryRequest {
             stream: key.interned(),
-            kind,
+            query,
             reply,
         })?;
-        result.recv().map_err(|_| FleetError::ShuttingDown)?
+        Ok(QueryTicket::new(result))
+    }
+
+    /// Answers many queries — possibly against many streams — with
+    /// exactly **one queue round-trip per involved shard**.
+    ///
+    /// Requests are validated and routed up front; each shard's group is
+    /// staged onto its query queue and the worker answers the whole
+    /// group in one drain. The returned vector is aligned with
+    /// `requests`: element `i` answers `requests[i]`, with per-request
+    /// failures (unknown stream, invalid query, a panicking model) as
+    /// item-level errors. The outer error is reserved for the engine
+    /// shutting down underneath the call.
+    pub fn query_batch(
+        &self,
+        requests: &[(&str, Query)],
+    ) -> Result<Vec<Result<QueryResponse, FleetError>>, FleetError> {
+        let mut results: Vec<Option<Result<QueryResponse, FleetError>>> =
+            (0..requests.len()).map(|_| None).collect();
+        let mut pending: Vec<(usize, QueryTicket)> = Vec::new();
+        let mut involved = vec![false; self.shards.len()];
+        for (i, (id, query)) in requests.iter().enumerate() {
+            if let Err(e) = query.validate() {
+                results[i] = Some(Err(e));
+                continue;
+            }
+            let Some(key) = self.registry.get(id) else {
+                results[i] = Some(Err(FleetError::UnknownStream(id.to_string())));
+                continue;
+            };
+            let (reply, result) = mpsc::channel();
+            self.shards[key.shard()].enqueue_query(QueryRequest {
+                stream: key.interned(),
+                query: query.clone(),
+                reply,
+            })?;
+            involved[key.shard()] = true;
+            pending.push((i, QueryTicket::new(result)));
+        }
+        // One wakeup per involved shard, after its whole group is
+        // staged: the worker drains the group in a single round-trip.
+        for (shard, involved) in involved.into_iter().enumerate() {
+            if involved {
+                self.shards[shard].pump_queries()?;
+            }
+        }
+        for (i, ticket) in pending {
+            results[i] = Some(ticket.wait());
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every request slot is filled"))
+            .collect())
     }
 
     /// Latest completed slice (and outliers) of a stream, or `None`
     /// before its first step (including right after recovery).
+    #[deprecated(since = "0.1.0", note = "use `query(id, Query::Latest)`")]
     pub fn latest(&self, id: &str) -> Result<Option<StepOutput>, FleetError> {
-        match self.query(id, QueryKind::Latest)? {
-            QueryReply::Latest(out) => Ok(out),
-            _ => unreachable!("shard answered with mismatched reply variant"),
-        }
+        Ok(self.query(id, Query::Latest)?.wait()?.expect_latest())
     }
 
     /// `h`-step-ahead forecast of a stream, or `None` if its model does
     /// not forecast.
+    #[deprecated(since = "0.1.0", note = "use `query(id, Query::Forecast { horizon })`")]
     pub fn forecast(&self, id: &str, h: usize) -> Result<Option<DenseTensor>, FleetError> {
-        match self.query(id, QueryKind::Forecast(h))? {
-            QueryReply::Forecast(f) => Ok(f),
-            _ => unreachable!("shard answered with mismatched reply variant"),
-        }
+        Ok(self
+            .query(id, Query::Forecast { horizon: h })?
+            .wait()?
+            .expect_forecast())
     }
 
     /// Boolean mask of entries flagged as outliers in the latest step, or
     /// `None` before the first step / for models without outlier
     /// estimates.
+    #[deprecated(since = "0.1.0", note = "use `query(id, Query::OutlierMask)`")]
     pub fn outlier_mask(&self, id: &str) -> Result<Option<Mask>, FleetError> {
-        match self.query(id, QueryKind::OutlierMask)? {
-            QueryReply::OutlierMask(m) => Ok(m),
-            _ => unreachable!("shard answered with mismatched reply variant"),
-        }
+        Ok(self
+            .query(id, Query::OutlierMask)?
+            .wait()?
+            .expect_outlier_mask())
     }
 
     /// Serving statistics of one stream.
+    #[deprecated(since = "0.1.0", note = "use `query(id, Query::StreamStats)`")]
     pub fn stream_stats(&self, id: &str) -> Result<StreamStats, FleetError> {
-        match self.query(id, QueryKind::Stats)? {
-            QueryReply::Stats(s) => Ok(s),
-            _ => unreachable!("shard answered with mismatched reply variant"),
-        }
+        Ok(self
+            .query(id, Query::StreamStats)?
+            .wait()?
+            .expect_stream_stats())
     }
 
     /// Fleet-wide statistics snapshot (one barrier-free query per shard).
@@ -429,6 +509,27 @@ mod tests {
         ObservedTensor::fully_observed(DenseTensor::full(Shape::new(&[2, 2]), v))
     }
 
+    /// Typed-plane shorthands: the tests below exercise serving
+    /// semantics, not response matching, so unwrap the variant once
+    /// here.
+    fn latest(fleet: &Fleet, id: &str) -> Result<Option<StepOutput>, FleetError> {
+        Ok(fleet.query(id, Query::Latest)?.wait()?.expect_latest())
+    }
+
+    fn forecast(fleet: &Fleet, id: &str, h: usize) -> Result<Option<DenseTensor>, FleetError> {
+        Ok(fleet
+            .query(id, Query::Forecast { horizon: h })?
+            .wait()?
+            .expect_forecast())
+    }
+
+    fn stream_stats(fleet: &Fleet, id: &str) -> Result<StreamStats, FleetError> {
+        Ok(fleet
+            .query(id, Query::StreamStats)?
+            .wait()?
+            .expect_stream_stats())
+    }
+
     fn small_fleet(shards: usize) -> Fleet {
         Fleet::new(FleetConfig {
             shards,
@@ -449,11 +550,11 @@ mod tests {
             fleet.try_ingest(&key, slice(t as f64)).unwrap();
         }
         fleet.flush().unwrap();
-        let last = fleet.latest("s1").unwrap().expect("has stepped");
+        let last = latest(&fleet, "s1").unwrap().expect("has stepped");
         assert_eq!(last.completed.get(&[0, 0]), 5.0);
-        let fc = fleet.forecast("s1", 1).unwrap().expect("forecasts");
+        let fc = forecast(&fleet, "s1", 1).unwrap().expect("forecasts");
         assert_eq!(fc.get(&[0]), 5.0);
-        let stats = fleet.stream_stats("s1").unwrap();
+        let stats = stream_stats(&fleet, "s1").unwrap();
         assert_eq!(stats.steps, 5);
         assert!(stats.step_latency_ewma_us.is_some());
     }
@@ -479,7 +580,7 @@ mod tests {
         }
         fleet.flush().unwrap();
         for (i, key) in keys.iter().enumerate() {
-            let last = fleet.latest(key.id()).unwrap().unwrap();
+            let last = latest(&fleet, key.id()).unwrap().unwrap();
             assert_eq!(last.completed.get(&[0, 0]), (i + 1) as f64, "stream {i}");
         }
         let stats = fleet.fleet_stats().unwrap();
@@ -499,7 +600,7 @@ mod tests {
             Err(FleetError::DuplicateStream(_))
         ));
         assert!(matches!(
-            fleet.latest("ghost"),
+            latest(&fleet, "ghost"),
             Err(FleetError::UnknownStream(_))
         ));
         assert!(matches!(
@@ -539,7 +640,7 @@ mod tests {
         assert_eq!(returned.values().get(&[0, 0]), t as f64);
         // Everything accepted before the rejection is eventually applied.
         fleet.flush().unwrap();
-        assert_eq!(fleet.stream_stats("slow").unwrap().steps, sent);
+        assert_eq!(stream_stats(&fleet, "slow").unwrap().steps, sent);
     }
 
     #[test]
@@ -559,7 +660,7 @@ mod tests {
             total_retries += fleet.ingest_blocking(&key, slice(t as f64)).unwrap();
         }
         fleet.flush().unwrap();
-        assert_eq!(fleet.stream_stats("slow").unwrap().steps, 20);
+        assert_eq!(stream_stats(&fleet, "slow").unwrap().steps, 20);
         assert!(total_retries > 0, "a 1-deep queue must push back");
     }
 
@@ -636,10 +737,10 @@ mod tests {
         }
         fleet.flush().unwrap();
         // The good stream kept serving through its neighbour's panic…
-        assert_eq!(fleet.stream_stats("good").unwrap().steps, 3);
+        assert_eq!(stream_stats(&fleet, "good").unwrap().steps, 3);
         // …and the bad stream is quarantined, not wedging the shard.
         assert!(matches!(
-            fleet.latest("bad"),
+            latest(&fleet, "bad"),
             Err(FleetError::UnknownStream(_))
         ));
         // Slices sent through the stale key are counted as drops (one of
@@ -654,7 +755,7 @@ mod tests {
             .unwrap();
         fleet.try_ingest(&bad2, slice(0.0)).unwrap();
         fleet.flush().unwrap();
-        assert_eq!(fleet.stream_stats("bad").unwrap().steps, 1);
+        assert_eq!(stream_stats(&fleet, "bad").unwrap().steps, 1);
     }
 
     #[test]
@@ -671,8 +772,10 @@ mod tests {
                 }
             }
             fn forecast(&self, h: usize) -> Option<DenseTensor> {
-                // Mirrors HoltWinters::forecast's `assert!(h >= 1)`.
-                assert!(h >= 1, "forecast horizon must be positive");
+                // A concrete-model limit the protocol cannot know about
+                // (the universally invalid h == 0 never gets this far:
+                // `Query::validate` rejects it at the API boundary).
+                assert!(h < 10, "synthetic horizon limit");
                 Some(DenseTensor::full(Shape::new(&[1]), h as f64))
             }
         }
@@ -683,17 +786,24 @@ mod tests {
             .unwrap();
         fleet.try_ingest(&key, slice(1.0)).unwrap();
         fleet.flush().unwrap();
-        // The bad query fails with a typed error…
+        // h == 0 is a typed boundary rejection — no shard, no model, no
+        // panic guard involved…
         assert!(matches!(
-            fleet.forecast("s", 0),
+            fleet.query("s", Query::Forecast { horizon: 0 }),
+            Err(FleetError::InvalidQuery { .. })
+        ));
+        // …while a model-specific assert deeper in still fails only the
+        // one query, as ModelPanicked…
+        assert!(matches!(
+            forecast(&fleet, "s", 10),
             Err(FleetError::ModelPanicked { .. })
         ));
-        // …while the stream (and the shard) keep serving.
-        let fc = fleet.forecast("s", 2).unwrap().expect("forecasts");
+        // …and the stream (and the shard) keep serving.
+        let fc = forecast(&fleet, "s", 2).unwrap().expect("forecasts");
         assert_eq!(fc.get(&[0]), 2.0);
         fleet.try_ingest(&key, slice(2.0)).unwrap();
         fleet.flush().unwrap();
-        assert_eq!(fleet.stream_stats("s").unwrap().steps, 2);
+        assert_eq!(stream_stats(&fleet, "s").unwrap().steps, 2);
     }
 
     #[test]
@@ -710,6 +820,138 @@ mod tests {
             .register("s", ModelHandle::boxed(Box::new(Counter::new())))
             .unwrap();
         drop(fleet2);
+    }
+
+    #[test]
+    fn graceful_shutdown_answers_in_flight_queries() {
+        // A ticket issued before `shutdown()` gets its answer — shutdown
+        // "drains every queue", the query queue included — even when the
+        // query sat behind a slow ingest batch the whole time. (A crash
+        // via `abort()` resolves such tickets to ShuttingDown instead.)
+        // Back-to-back sends (no sleeps) so ingest, query, and the
+        // Shutdown marker usually land before the worker's first
+        // wakeup — the exact interleaving a missing final drain drops.
+        let fleet = small_fleet(1);
+        let key = fleet
+            .register("slow", ModelHandle::boxed(Box::new(Counter::slow(30))))
+            .unwrap();
+        fleet.try_ingest(&key, slice(1.0)).unwrap();
+        let ticket = fleet.query("slow", Query::StreamStats).unwrap();
+        fleet.shutdown().unwrap();
+        let stats = ticket
+            .wait()
+            .expect("answered, not ShuttingDown")
+            .expect_stream_stats();
+        assert!(
+            stats.steps <= 1,
+            "a stats answer, whichever drain served it"
+        );
+    }
+
+    // The concurrent-query contract: one engine, many caller threads.
+    const _: fn() = || {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Fleet>();
+    };
+
+    #[test]
+    fn legacy_wrappers_delegate_to_the_query_plane() {
+        #![allow(deprecated)]
+        let fleet = small_fleet(2);
+        let key = fleet
+            .register("s", ModelHandle::boxed(Box::new(Counter::new())))
+            .unwrap();
+        fleet.try_ingest(&key, slice(1.0)).unwrap();
+        fleet.flush().unwrap();
+
+        // Each deprecated method answers exactly like its typed query.
+        assert_eq!(
+            fleet.latest("s").unwrap().unwrap().completed.data(),
+            latest(&fleet, "s").unwrap().unwrap().completed.data()
+        );
+        assert_eq!(
+            fleet.forecast("s", 2).unwrap().unwrap().data(),
+            forecast(&fleet, "s", 2).unwrap().unwrap().data()
+        );
+        assert!(fleet.outlier_mask("s").unwrap().is_none());
+        assert_eq!(
+            fleet.stream_stats("s").unwrap().steps,
+            stream_stats(&fleet, "s").unwrap().steps
+        );
+        // The wrappers inherit boundary validation too.
+        assert!(matches!(
+            fleet.forecast("s", 0),
+            Err(FleetError::InvalidQuery { .. })
+        ));
+        // And they are counted as plane traffic: 4 wrapper + 3 typed
+        // queries above (the InvalidQuery rejection never reaches a
+        // shard).
+        assert_eq!(fleet.fleet_stats().unwrap().queries().total(), 7);
+    }
+
+    #[test]
+    fn tickets_poll_and_pipeline() {
+        let fleet = small_fleet(1);
+        let key = fleet
+            .register("slow", ModelHandle::boxed(Box::new(Counter::slow(30))))
+            .unwrap();
+        // Queries are not FIFO-ordered with in-flight ingests; flush
+        // gives read-your-writes, after which every query must see the
+        // step.
+        fleet.try_ingest(&key, slice(1.0)).unwrap();
+        fleet.flush().unwrap();
+        let mut ticket = fleet.query("slow", Query::StreamStats).unwrap();
+        let response = loop {
+            match ticket.try_take() {
+                Some(res) => break res.unwrap(),
+                None => std::thread::sleep(Duration::from_millis(1)),
+            }
+        };
+        let QueryResponse::StreamStats(stats) = response else {
+            panic!("mismatched response variant");
+        };
+        assert_eq!(stats.steps, 1, "flushed ingest is visible to the query");
+        // A spent ticket polls as None forever after.
+        assert!(ticket.try_take().is_none());
+
+        // Pipelining: both tickets in flight before either is settled,
+        // settled in reverse order.
+        let t1 = fleet.query("slow", Query::Latest).unwrap();
+        let t2 = fleet.query("slow", Query::Forecast { horizon: 1 }).unwrap();
+        assert!(matches!(
+            t2.wait().unwrap(),
+            QueryResponse::Forecast(Some(_))
+        ));
+        assert!(matches!(t1.wait().unwrap(), QueryResponse::Latest(Some(_))));
+    }
+
+    #[test]
+    fn query_batch_aligns_responses_and_isolates_failures() {
+        let fleet = small_fleet(2);
+        for id in ["a", "b"] {
+            let key = fleet
+                .register(id, ModelHandle::boxed(Box::new(Counter::new())))
+                .unwrap();
+            fleet.try_ingest(&key, slice(1.0)).unwrap();
+        }
+        fleet.flush().unwrap();
+        let responses = fleet
+            .query_batch(&[
+                ("a", Query::Latest),
+                ("ghost", Query::Latest),
+                ("b", Query::Forecast { horizon: 0 }),
+                ("b", Query::StreamStats),
+            ])
+            .unwrap();
+        assert_eq!(responses.len(), 4);
+        assert!(matches!(responses[0], Ok(QueryResponse::Latest(Some(_)))));
+        assert!(matches!(responses[1], Err(FleetError::UnknownStream(_))));
+        assert!(matches!(responses[2], Err(FleetError::InvalidQuery { .. })));
+        let Ok(QueryResponse::StreamStats(ref stats)) = responses[3] else {
+            panic!("aligned response");
+        };
+        assert_eq!(stats.stream, "b");
+        assert_eq!(stats.steps, 1);
     }
 
     #[test]

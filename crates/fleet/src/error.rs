@@ -19,6 +19,13 @@ pub enum FleetError {
         /// The stream whose model panicked.
         stream: String,
     },
+    /// The request was rejected at the API boundary before reaching any
+    /// shard or model (e.g. a `forecast` with horizon 0, or a malformed
+    /// wire line). See [`crate::Query::validate`].
+    InvalidQuery {
+        /// Why the request is unanswerable.
+        reason: String,
+    },
     /// A checkpoint could not be written or read.
     Io(std::io::Error),
     /// A checkpoint file exists but does not parse.
@@ -42,6 +49,7 @@ impl fmt::Display for FleetError {
                     "model for stream `{stream}` panicked answering the query"
                 )
             }
+            FleetError::InvalidQuery { reason } => write!(f, "invalid query: {reason}"),
             FleetError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
             FleetError::Corrupt { stream, reason } => {
                 write!(f, "corrupt checkpoint for stream `{stream}`: {reason}")

@@ -13,14 +13,21 @@
 //!   shard owned by one worker thread. Models never move between threads
 //!   and are touched only by their owner, so steps for streams on
 //!   different shards run in parallel with no hot-path locking.
-//! * **Bounded ingest with backpressure** ([`shard`]) — each shard has a
+//! * **Bounded ingest with backpressure** (the private `shard` module) —
+//!   each shard has a
 //!   bounded queue; [`Fleet::try_ingest`] never blocks and hands the
 //!   slice back inside [`IngestError::Backpressure`] when the queue is
 //!   full. Workers drain their whole queue per wakeup and apply the batch
 //!   in arrival order.
-//! * **Query API** ([`engine`]) — latest completed slice, `h`-step
-//!   forecast, outlier mask of the latest step, per-stream and fleet-wide
-//!   serving stats (steps, queue depth, step-latency EWMA).
+//! * **Typed query plane** ([`protocol`]) — one routable
+//!   [`Query`]/[`QueryResponse`] protocol (latest completed slice,
+//!   `h`-step forecast, outlier mask, per-stream serving stats) carried
+//!   on a per-shard query queue that the worker drains after every
+//!   ingest batch. [`Fleet::query`] returns a [`QueryTicket`]
+//!   completion handle so callers pipeline many in-flight queries;
+//!   [`Fleet::query_batch`] groups a multi-stream request set into one
+//!   queue round-trip per involved shard. Per-kind query counters and a
+//!   query-queue depth gauge land in [`ShardStats`].
 //! * **Durability** ([`durability`]) — periodic per-stream checkpoints as
 //!   tagged **v2 checkpoint envelopes** (`sofia-checkpoint v2` +
 //!   `model <kind>`; see [`sofia_core::snapshot`]), written with atomic
@@ -59,15 +66,35 @@
 //!     DenseTensor::full(Shape::new(&[2, 3]), 1.5));
 //! fleet.try_ingest(&key, slice).unwrap();
 //! fleet.flush().unwrap();
-//! let latest = fleet.latest("sensor-net-7").unwrap().expect("stepped");
+//!
+//! // The typed query plane: one request enum, one response enum, one
+//! // completion handle. `query` returns a ticket immediately…
+//! use sofia_fleet::{Query, QueryResponse};
+//! let ticket = fleet.query("sensor-net-7", Query::Latest).unwrap();
+//! let QueryResponse::Latest(Some(latest)) = ticket.wait().unwrap() else {
+//!     panic!("stepped stream answers Latest");
+//! };
 //! assert_eq!(latest.completed.get(&[0, 0]), 1.5);
-//! assert_eq!(fleet.stream_stats("sensor-net-7").unwrap().steps, 1);
+//!
+//! // …and `query_batch` answers many requests with one queue
+//! // round-trip per involved shard.
+//! let responses = fleet
+//!     .query_batch(&[
+//!         ("sensor-net-7", Query::StreamStats),
+//!         ("sensor-net-7", Query::OutlierMask),
+//!     ])
+//!     .unwrap();
+//! let QueryResponse::StreamStats(stats) = responses[0].as_ref().unwrap() else {
+//!     panic!("responses align with requests");
+//! };
+//! assert_eq!(stats.steps, 1);
 //! ```
 
 pub mod durability;
 pub mod engine;
 pub mod error;
 pub mod model;
+pub mod protocol;
 pub mod registry;
 pub(crate) mod shard;
 pub mod stats;
@@ -76,8 +103,9 @@ pub use durability::CheckpointPolicy;
 pub use engine::{Fleet, FleetConfig};
 pub use error::{FleetError, IngestError};
 pub use model::ModelHandle;
+pub use protocol::{Query, QueryKind, QueryResponse, QueryTicket};
 pub use registry::{shard_of, StreamKey};
 // Re-exported so implementing durability for a custom served model needs
 // only this crate's prelude.
 pub use sofia_core::snapshot::{RestoreModel, SnapshotModel};
-pub use stats::{Ewma, FleetStats, ShardStats, StreamStats};
+pub use stats::{Ewma, FleetStats, QueryCounters, ShardStats, StreamStats};

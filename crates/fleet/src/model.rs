@@ -149,6 +149,16 @@ impl ModelHandle {
         self.served.factorizer().forecast(h)
     }
 
+    /// [`ModelHandle::forecast`] behind a panic guard: a model assert
+    /// (a horizon the concrete model rejects, arithmetic on exotic
+    /// state) fails this one call — `Err(())` — instead of unwinding
+    /// through the shard worker. Forecasting takes `&self`, so the
+    /// model's state is untouched by the unwind and the stream keeps
+    /// serving.
+    pub(crate) fn forecast_guarded(&self, h: usize) -> Result<Option<DenseTensor>, ()> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.forecast(h))).map_err(|_| ())
+    }
+
     /// The model's snapshot kind tag, or `None` for transient models.
     pub fn snapshot_kind(&self) -> Option<&'static str> {
         self.served.snapshot_view().map(|s| s.snapshot_kind())

@@ -1,0 +1,357 @@
+//! The typed query plane: one request enum, one response enum, one
+//! completion handle.
+//!
+//! The fleet's query surface grew organically as four parallel blocking
+//! methods, each doing its own shard lookup and channel round-trip. This
+//! module replaces that with a single routable protocol:
+//!
+//! * [`Query`] — what a caller asks of one stream. Plain data: no trait
+//!   objects, no channels, no lifetimes, so the future network data
+//!   plane can serialize it verbatim ([`Query::to_wire`] /
+//!   [`Query::from_wire`] pin down a line-based text form today).
+//! * [`QueryResponse`] — one variant per [`Query`] variant, carrying the
+//!   answer.
+//! * [`QueryTicket`] — the completion handle [`crate::Fleet::query`]
+//!   returns immediately. Callers pipeline many in-flight queries by
+//!   holding several tickets and settling them with
+//!   [`QueryTicket::wait`] or polling [`QueryTicket::try_take`].
+//!
+//! Validation happens at the API boundary: [`Query::validate`] rejects
+//! requests no model could answer (for example a zero forecast horizon)
+//! as a typed [`FleetError::InvalidQuery`] *before* the request reaches
+//! a shard, instead of relying on the per-stream panic guard catching a
+//! model assert.
+
+use crate::error::FleetError;
+use crate::stats::StreamStats;
+use sofia_core::traits::StepOutput;
+use sofia_tensor::{DenseTensor, Mask};
+use std::sync::mpsc;
+
+/// The discriminant of a [`Query`] / [`QueryResponse`] pair, used for
+/// per-kind serving counters and response matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// Latest completed slice.
+    Latest,
+    /// `h`-step-ahead forecast.
+    Forecast,
+    /// Outlier mask of the latest step.
+    OutlierMask,
+    /// Per-stream serving statistics.
+    StreamStats,
+}
+
+impl QueryKind {
+    /// Every kind, in wire order.
+    pub const ALL: [QueryKind; 4] = [
+        QueryKind::Latest,
+        QueryKind::Forecast,
+        QueryKind::OutlierMask,
+        QueryKind::StreamStats,
+    ];
+
+    /// Stable wire/display name of the kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryKind::Latest => "latest",
+            QueryKind::Forecast => "forecast",
+            QueryKind::OutlierMask => "outlier-mask",
+            QueryKind::StreamStats => "stream-stats",
+        }
+    }
+}
+
+impl std::fmt::Display for QueryKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A typed request against one stream's serving state.
+///
+/// Send it with [`crate::Fleet::query`] (one stream, returns a
+/// [`QueryTicket`]) or [`crate::Fleet::query_batch`] (many streams,
+/// grouped by shard, one queue round-trip per involved shard).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// Latest completed slice (with outliers, if the model reports
+    /// them). Answered with [`QueryResponse::Latest`]; `None` before the
+    /// stream's first step (including right after recovery or a lazy
+    /// restore).
+    Latest,
+    /// `horizon`-step-ahead forecast. Answered with
+    /// [`QueryResponse::Forecast`]; `None` if the model does not
+    /// forecast. A zero horizon fails [`Query::validate`].
+    Forecast {
+        /// Steps ahead to forecast; must be at least 1.
+        horizon: usize,
+    },
+    /// Boolean mask of entries the model flagged as outliers in the
+    /// latest step. Answered with [`QueryResponse::OutlierMask`]; `None`
+    /// before the first step or for models without outlier estimates.
+    OutlierMask,
+    /// Per-stream serving statistics. Answered with
+    /// [`QueryResponse::StreamStats`].
+    StreamStats,
+}
+
+impl Query {
+    /// The request's discriminant.
+    pub fn kind(&self) -> QueryKind {
+        match self {
+            Query::Latest => QueryKind::Latest,
+            Query::Forecast { .. } => QueryKind::Forecast,
+            Query::OutlierMask => QueryKind::OutlierMask,
+            Query::StreamStats => QueryKind::StreamStats,
+        }
+    }
+
+    /// Rejects requests no model could answer, as a typed
+    /// [`FleetError::InvalidQuery`].
+    ///
+    /// Runs at the API boundary ([`crate::Fleet::query`] /
+    /// [`crate::Fleet::query_batch`]) and again shard-side, so a future
+    /// network data plane feeding decoded wire queries straight into a
+    /// shard gets the same guarantee.
+    pub fn validate(&self) -> Result<(), FleetError> {
+        match self {
+            Query::Forecast { horizon: 0 } => Err(FleetError::InvalidQuery {
+                reason: "forecast horizon must be at least 1 (got 0)".to_string(),
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Serializes the request into its one-line wire form
+    /// (`latest`, `forecast <h>`, `outlier-mask`, `stream-stats`).
+    pub fn to_wire(&self) -> String {
+        match self {
+            Query::Forecast { horizon } => format!("forecast {horizon}"),
+            other => other.kind().name().to_string(),
+        }
+    }
+
+    /// Parses the one-line wire form produced by [`Query::to_wire`].
+    /// Malformed input is a typed [`FleetError::InvalidQuery`]; the
+    /// parsed request is **not** yet validated (parse then
+    /// [`Query::validate`], so transport and semantics fail distinctly).
+    pub fn from_wire(line: &str) -> Result<Query, FleetError> {
+        let mut parts = line.split_whitespace();
+        let invalid = |reason: String| FleetError::InvalidQuery { reason };
+        let head = parts
+            .next()
+            .ok_or_else(|| invalid("empty query line".to_string()))?;
+        let query = match head {
+            "latest" => Query::Latest,
+            "forecast" => {
+                let h = parts
+                    .next()
+                    .ok_or_else(|| invalid("forecast needs a horizon".to_string()))?;
+                Query::Forecast {
+                    horizon: h
+                        .parse()
+                        .map_err(|_| invalid(format!("bad forecast horizon `{h}`")))?,
+                }
+            }
+            "outlier-mask" => Query::OutlierMask,
+            "stream-stats" => Query::StreamStats,
+            other => return Err(invalid(format!("unknown query `{other}`"))),
+        };
+        match parts.next() {
+            Some(extra) => Err(invalid(format!("trailing token `{extra}`"))),
+            None => Ok(query),
+        }
+    }
+}
+
+/// The answer to one [`Query`] (one variant per request variant).
+#[derive(Debug, Clone)]
+pub enum QueryResponse {
+    /// Answer to [`Query::Latest`].
+    Latest(Option<StepOutput>),
+    /// Answer to [`Query::Forecast`].
+    Forecast(Option<DenseTensor>),
+    /// Answer to [`Query::OutlierMask`].
+    OutlierMask(Option<Mask>),
+    /// Answer to [`Query::StreamStats`].
+    StreamStats(StreamStats),
+}
+
+impl QueryResponse {
+    /// The response's discriminant; always equals the kind of the
+    /// [`Query`] that produced it.
+    pub fn kind(&self) -> QueryKind {
+        match self {
+            QueryResponse::Latest(_) => QueryKind::Latest,
+            QueryResponse::Forecast(_) => QueryKind::Forecast,
+            QueryResponse::OutlierMask(_) => QueryKind::OutlierMask,
+            QueryResponse::StreamStats(_) => QueryKind::StreamStats,
+        }
+    }
+
+    // The four accessors below unwrap the payload of one variant. They
+    // panic on a mismatched variant — a response settled from a ticket
+    // always matches its request's kind, so reaching the panic means a
+    // caller mixed up its own tickets (a programming error, not a
+    // serving condition).
+
+    /// Payload of a [`QueryResponse::Latest`] answer.
+    pub fn expect_latest(self) -> Option<StepOutput> {
+        match self {
+            QueryResponse::Latest(out) => out,
+            other => panic!("expected a latest response, got {}", other.kind()),
+        }
+    }
+
+    /// Payload of a [`QueryResponse::Forecast`] answer.
+    pub fn expect_forecast(self) -> Option<DenseTensor> {
+        match self {
+            QueryResponse::Forecast(f) => f,
+            other => panic!("expected a forecast response, got {}", other.kind()),
+        }
+    }
+
+    /// Payload of a [`QueryResponse::OutlierMask`] answer.
+    pub fn expect_outlier_mask(self) -> Option<Mask> {
+        match self {
+            QueryResponse::OutlierMask(m) => m,
+            other => panic!("expected an outlier-mask response, got {}", other.kind()),
+        }
+    }
+
+    /// Payload of a [`QueryResponse::StreamStats`] answer.
+    pub fn expect_stream_stats(self) -> StreamStats {
+        match self {
+            QueryResponse::StreamStats(s) => s,
+            other => panic!("expected a stream-stats response, got {}", other.kind()),
+        }
+    }
+}
+
+/// Completion handle of one in-flight query.
+///
+/// [`crate::Fleet::query`] returns the ticket immediately after handing
+/// the request to the owning shard's query queue; the caller chooses
+/// when to settle it. Holding several tickets pipelines several queries:
+///
+/// ```
+/// use sofia_fleet::{Fleet, FleetConfig, ModelHandle, Query, QueryResponse};
+/// # use sofia_core::traits::{StepOutput, StreamingFactorizer};
+/// # use sofia_tensor::ObservedTensor;
+/// # struct Echo;
+/// # impl StreamingFactorizer for Echo {
+/// #     fn name(&self) -> &'static str { "echo" }
+/// #     fn step(&mut self, s: &ObservedTensor) -> StepOutput {
+/// #         StepOutput { completed: s.values().clone(), outliers: None }
+/// #     }
+/// # }
+/// let fleet = Fleet::new(FleetConfig::with_shards(2)).unwrap();
+/// fleet.register("a", ModelHandle::serve(Echo)).unwrap();
+/// fleet.register("b", ModelHandle::serve(Echo)).unwrap();
+/// // Both queries are in flight before either is settled.
+/// let ta = fleet.query("a", Query::StreamStats).unwrap();
+/// let tb = fleet.query("b", Query::StreamStats).unwrap();
+/// assert!(matches!(tb.wait().unwrap(), QueryResponse::StreamStats(_)));
+/// assert!(matches!(ta.wait().unwrap(), QueryResponse::StreamStats(_)));
+/// ```
+#[derive(Debug)]
+pub struct QueryTicket {
+    /// `None` once the response has been taken through
+    /// [`QueryTicket::try_take`].
+    rx: Option<mpsc::Receiver<Result<QueryResponse, FleetError>>>,
+}
+
+impl QueryTicket {
+    pub(crate) fn new(rx: mpsc::Receiver<Result<QueryResponse, FleetError>>) -> Self {
+        QueryTicket { rx: Some(rx) }
+    }
+
+    /// Blocks until the response arrives.
+    ///
+    /// Returns [`FleetError::ShuttingDown`] if the owning shard exited
+    /// before answering. Panics if [`QueryTicket::try_take`] already
+    /// returned the response (the ticket is spent).
+    pub fn wait(mut self) -> Result<QueryResponse, FleetError> {
+        let rx = self.rx.take().expect("query ticket already taken");
+        rx.recv().map_err(|_| FleetError::ShuttingDown)?
+    }
+
+    /// Non-blocking poll: `None` while the query is still in flight (or
+    /// after the response has already been taken), `Some` exactly once
+    /// when it resolves.
+    pub fn try_take(&mut self) -> Option<Result<QueryResponse, FleetError>> {
+        let rx = self.rx.as_ref()?;
+        match rx.try_recv() {
+            Ok(res) => {
+                self.rx = None;
+                Some(res)
+            }
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => {
+                self.rx = None;
+                Some(Err(FleetError::ShuttingDown))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_round_trips_every_kind() {
+        let queries = [
+            Query::Latest,
+            Query::Forecast { horizon: 12 },
+            Query::OutlierMask,
+            Query::StreamStats,
+        ];
+        for q in queries {
+            let line = q.to_wire();
+            assert_eq!(Query::from_wire(&line).unwrap(), q, "wire `{line}`");
+        }
+    }
+
+    #[test]
+    fn wire_rejects_malformed_lines() {
+        for line in [
+            "",
+            "  ",
+            "foo",
+            "forecast",
+            "forecast x",
+            "forecast -3",
+            "latest 1",
+            "forecast 1 2",
+        ] {
+            assert!(
+                matches!(Query::from_wire(line), Err(FleetError::InvalidQuery { .. })),
+                "line `{line}` should not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_horizon_parses_but_fails_validation() {
+        // Transport and semantics fail distinctly: `forecast 0` is a
+        // well-formed line carrying an unanswerable request.
+        let q = Query::from_wire("forecast 0").unwrap();
+        assert_eq!(q, Query::Forecast { horizon: 0 });
+        assert!(matches!(q.validate(), Err(FleetError::InvalidQuery { .. })));
+        assert!(Query::Forecast { horizon: 1 }.validate().is_ok());
+        assert!(Query::Latest.validate().is_ok());
+    }
+
+    #[test]
+    fn kinds_line_up() {
+        assert_eq!(Query::Latest.kind(), QueryKind::Latest);
+        assert_eq!(Query::Forecast { horizon: 3 }.kind(), QueryKind::Forecast);
+        assert_eq!(Query::OutlierMask.kind(), QueryKind::OutlierMask);
+        assert_eq!(Query::StreamStats.kind(), QueryKind::StreamStats);
+        for kind in QueryKind::ALL {
+            assert!(!kind.name().is_empty());
+        }
+    }
+}

@@ -15,6 +15,22 @@
 //! synchronization point, and per-shard queue depth is a shared atomic
 //! counter maintained on both ends.
 //!
+//! ## Query queue
+//!
+//! Queries travel on a **separate, unbounded** per-shard queue
+//! ([`QueryRequest`]), drained inside the worker loop after every
+//! applied command batch — so queries always observe post-batch state
+//! and never compete with the data plane for the bounded ingest
+//! capacity (`ShardStats::query_queue_depth` gauges the backlog
+//! instead). The trade: queries are not FIFO-ordered with in-flight
+//! ingests; `Fleet::flush` is the read-your-writes barrier. A parked worker is woken by a lightweight
+//! [`Command::PumpQueries`] marker sent with `try_send`: if the command
+//! queue is full the marker is dropped on purpose — a full queue means
+//! the worker has work pending and will drain the query queue right
+//! after it anyway. One [`crate::Fleet::query_batch`] enqueues a whole
+//! per-shard group and pumps once, costing exactly one queue round-trip
+//! per involved shard.
+//!
 //! ## Stream lifecycle (evict / lazy restore)
 //!
 //! With an eviction threshold configured, the worker sweeps its slots
@@ -30,10 +46,11 @@
 use crate::durability::{load_stream, write_checkpoint, CheckpointPolicy};
 use crate::error::FleetError;
 use crate::model::ModelHandle;
+use crate::protocol::{Query, QueryResponse};
 use crate::registry::Registry;
-use crate::stats::{Ewma, ShardStats, StreamStats};
+use crate::stats::{Ewma, QueryCounters, ShardStats, StreamStats};
 use sofia_core::traits::StepOutput;
-use sofia_tensor::{DenseTensor, Mask, ObservedTensor};
+use sofia_tensor::{Mask, ObservedTensor};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
@@ -53,12 +70,10 @@ pub(crate) enum Command {
         model: ModelHandle,
         reply: Sender<()>,
     },
-    /// Read-only query against a stream's current state.
-    Query {
-        stream: Arc<str>,
-        kind: QueryKind,
-        reply: Sender<Result<QueryReply, FleetError>>,
-    },
+    /// Wakeup marker for the query queue: carries nothing — queries are
+    /// drained after every batch regardless; this only unparks a worker
+    /// whose command queue is otherwise empty.
+    PumpQueries,
     /// Shard-wide statistics snapshot.
     ShardStats { reply: Sender<ShardStats> },
     /// Checkpoint every checkpointable stream now; replies with the
@@ -76,25 +91,12 @@ pub(crate) enum Command {
     },
 }
 
-/// What a query asks for.
-pub(crate) enum QueryKind {
-    /// Latest completed slice (with outliers, if the model reports them).
-    Latest,
-    /// `h`-step-ahead forecast.
-    Forecast(usize),
-    /// Boolean mask of entries the model flagged as outliers in the
-    /// latest step.
-    OutlierMask,
-    /// Per-stream statistics.
-    Stats,
-}
-
-/// Query results (one variant per [`QueryKind`]).
-pub(crate) enum QueryReply {
-    Latest(Option<StepOutput>),
-    Forecast(Option<DenseTensor>),
-    OutlierMask(Option<Mask>),
-    Stats(StreamStats),
+/// One queued query: the routed stream, the typed request, and the
+/// completion channel backing the caller's `QueryTicket`.
+pub(crate) struct QueryRequest {
+    pub(crate) stream: Arc<str>,
+    pub(crate) query: Query,
+    pub(crate) reply: Sender<Result<QueryResponse, FleetError>>,
 }
 
 /// One stream's serving state inside a shard.
@@ -113,6 +115,9 @@ pub(crate) struct ShardWorker {
     shard: usize,
     rx: Receiver<Command>,
     depth: Arc<AtomicUsize>,
+    /// Unbounded query queue, drained after every applied batch.
+    query_rx: Receiver<QueryRequest>,
+    query_depth: Arc<AtomicUsize>,
     policy: Option<CheckpointPolicy>,
     /// Evict a snapshot-capable stream after this many shard steps
     /// without an ingest; `None` disables the lifecycle.
@@ -131,6 +136,11 @@ pub(crate) struct ShardWorker {
     dropped: u64,
     evictions: u64,
     restores: u64,
+    /// Per-kind counts of queries answered (failures included).
+    queries: QueryCounters,
+    /// Query-queue drains that answered at least one query (a
+    /// `query_batch` costs one per involved shard).
+    query_batches: u64,
     /// Step-clock reading before which no resident stream can be idle:
     /// the eviction sweep is skipped until the clock reaches it, so the
     /// per-batch cost is O(1) while nothing is evictable.
@@ -138,36 +148,9 @@ pub(crate) struct ShardWorker {
 }
 
 impl ShardWorker {
-    pub(crate) fn new(
-        shard: usize,
-        rx: Receiver<Command>,
-        depth: Arc<AtomicUsize>,
-        policy: Option<CheckpointPolicy>,
-        evict_idle: Option<u64>,
-        registry: Arc<Registry>,
-    ) -> Self {
-        ShardWorker {
-            shard,
-            rx,
-            depth,
-            policy,
-            evict_idle,
-            registry,
-            slots: HashMap::new(),
-            evicted: HashSet::new(),
-            latency: Ewma::default(),
-            steps: 0,
-            batches: 0,
-            max_batch: 0,
-            dropped: 0,
-            evictions: 0,
-            restores: 0,
-            next_evict_check: 0,
-        }
-    }
-
     /// The worker loop: park on the queue, drain it fully, apply the
-    /// batch, sweep for idle streams, repeat until shutdown.
+    /// batch, answer queued queries (post-batch state), sweep for idle
+    /// streams, repeat until shutdown.
     pub(crate) fn run(mut self) {
         loop {
             let Ok(first) = self.rx.recv() else {
@@ -185,11 +168,96 @@ impl ShardWorker {
             self.max_batch = self.max_batch.max(batch.len());
             for cmd in batch {
                 if self.apply(cmd) {
+                    // Graceful shutdown honours "drains every queue":
+                    // queries enqueued before the Shutdown marker get
+                    // their answer (against the final, checkpointed
+                    // state) instead of a spurious ShuttingDown. The
+                    // crash path (`recv` disconnect above) skips this —
+                    // dropping `query_rx` resolves still-queued tickets
+                    // to `ShuttingDown`.
+                    self.drain_queries();
                     return;
                 }
             }
+            self.drain_queries();
             self.evict_idle_streams();
         }
+    }
+
+    /// Answers queued queries against the just-applied state. Runs
+    /// after each batch, so a query never observes a half-applied
+    /// burst; counts one round-trip if anything was drained.
+    ///
+    /// The drain is bounded by the backlog present at entry: a query
+    /// arriving *while* answering waits for the next batch (its pump
+    /// marker guarantees a wakeup), so sustained query traffic cannot
+    /// starve the data plane or wedge a pending flush/shutdown behind
+    /// an unbounded drain loop.
+    fn drain_queries(&mut self) {
+        let budget = self.query_depth.load(Ordering::Acquire);
+        let mut drained = false;
+        for _ in 0..budget {
+            let Ok(req) = self.query_rx.try_recv() else {
+                // The gauge can transiently exceed the channel contents
+                // (senders count before sending); just stop early.
+                break;
+            };
+            drained = true;
+            self.query_depth.fetch_sub(1, Ordering::Release);
+            let result = self.answer(&req.stream, &req.query);
+            let _ = req.reply.send(result);
+        }
+        if drained {
+            self.query_batches += 1;
+        }
+    }
+
+    /// Answers one typed query, lazily restoring an evicted stream
+    /// first ("restored on the next ingest or query").
+    fn answer(&mut self, stream: &Arc<str>, query: &Query) -> Result<QueryResponse, FleetError> {
+        self.queries.record(query.kind());
+        // The engine validates at the API boundary; revalidate here so a
+        // future network data plane feeding decoded wire queries
+        // straight into shards gets the same guarantee.
+        query.validate()?;
+        if !self.slots.contains_key(stream) && self.evicted.contains(stream) {
+            // A failed restore fails this query with the typed error
+            // instead of a fake UnknownStream; the durable checkpoint is
+            // still the truth and a later attempt may succeed.
+            self.restore_stream(stream)?;
+        }
+        let slot = self
+            .slots
+            .get(stream)
+            .ok_or_else(|| FleetError::UnknownStream(stream.to_string()))?;
+        Ok(match query {
+            Query::Latest => QueryResponse::Latest(slot.last.clone()),
+            Query::Forecast { horizon } => match slot.model.forecast_guarded(*horizon) {
+                Ok(f) => QueryResponse::Forecast(f),
+                Err(()) => {
+                    return Err(FleetError::ModelPanicked {
+                        stream: stream.to_string(),
+                    })
+                }
+            },
+            Query::OutlierMask => QueryResponse::OutlierMask(slot.last.as_ref().and_then(|out| {
+                out.outliers.as_ref().map(|o| {
+                    Mask::from_vec(
+                        o.shape().clone(),
+                        o.data().iter().map(|&v| v != 0.0).collect(),
+                    )
+                })
+            })),
+            Query::StreamStats => QueryResponse::StreamStats(StreamStats {
+                stream: stream.to_string(),
+                model: slot.model.name(),
+                shard: self.shard,
+                steps: slot.model.model_steps(),
+                queue_depth: self.depth.load(Ordering::Acquire),
+                step_latency_ewma_us: slot.latency.value(),
+                steps_since_checkpoint: slot.steps_since_checkpoint,
+            }),
+        })
     }
 
     /// Brings an evicted stream back from its checkpoint. On success the
@@ -390,68 +458,10 @@ impl ShardWorker {
                 let _ = reply.send(());
                 false
             }
-            Command::Query {
-                stream,
-                kind,
-                reply,
-            } => {
-                // Queries restore evicted streams too ("lazily restored
-                // on the next ingest or query"); a failed restore fails
-                // this query with the typed error instead of a fake
-                // UnknownStream.
-                if !self.slots.contains_key(&stream) && self.evicted.contains(&stream) {
-                    if let Err(e) = self.restore_stream(&stream) {
-                        let _ = reply.send(Err(e));
-                        return false;
-                    }
-                }
-                let result = match self.slots.get(&stream) {
-                    None => Err(FleetError::UnknownStream(stream.to_string())),
-                    Some(slot) => Ok(match kind {
-                        QueryKind::Latest => QueryReply::Latest(slot.last.clone()),
-                        QueryKind::Forecast(h) => {
-                            // A bad query (e.g. a horizon the model
-                            // asserts on) must not kill the shard.
-                            // Forecasting takes `&self`, so the model's
-                            // state is untouched by the unwind and the
-                            // stream keeps serving; only this query
-                            // fails.
-                            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                slot.model.forecast(h)
-                            })) {
-                                Ok(f) => QueryReply::Forecast(f),
-                                Err(_) => {
-                                    let _ = reply.send(Err(FleetError::ModelPanicked {
-                                        stream: stream.to_string(),
-                                    }));
-                                    return false;
-                                }
-                            }
-                        }
-                        QueryKind::OutlierMask => {
-                            QueryReply::OutlierMask(slot.last.as_ref().and_then(|out| {
-                                out.outliers.as_ref().map(|o| {
-                                    Mask::from_vec(
-                                        o.shape().clone(),
-                                        o.data().iter().map(|&v| v != 0.0).collect(),
-                                    )
-                                })
-                            }))
-                        }
-                        QueryKind::Stats => QueryReply::Stats(StreamStats {
-                            stream: stream.to_string(),
-                            model: slot.model.name(),
-                            shard: self.shard,
-                            steps: slot.model.model_steps(),
-                            queue_depth: self.depth.load(Ordering::Acquire),
-                            step_latency_ewma_us: slot.latency.value(),
-                            steps_since_checkpoint: slot.steps_since_checkpoint,
-                        }),
-                    }),
-                };
-                let _ = reply.send(result);
-                false
-            }
+            // The queries themselves live on the query queue, drained
+            // after the batch; the marker exists only to unpark the
+            // worker.
+            Command::PumpQueries => false,
             Command::ShardStats { reply } => {
                 let _ = reply.send(ShardStats {
                     shard: self.shard,
@@ -464,6 +474,9 @@ impl ShardWorker {
                     dropped: self.dropped,
                     evictions: self.evictions,
                     restores: self.restores,
+                    queries: self.queries,
+                    query_batches: self.query_batches,
+                    query_queue_depth: self.query_depth.load(Ordering::Acquire),
                     step_latency_ewma_us: self.latency.value(),
                 });
                 false
@@ -529,11 +542,13 @@ impl ShardWorker {
     }
 }
 
-/// The engine-side handle of one shard: its queue sender, depth counter,
-/// and join handle.
+/// The engine-side handle of one shard: its command-queue sender, query
+/// queue sender, depth counters, and join handle.
 pub(crate) struct ShardHandle {
     pub(crate) tx: SyncSender<Command>,
+    query_tx: Sender<QueryRequest>,
     pub(crate) depth: Arc<AtomicUsize>,
+    query_depth: Arc<AtomicUsize>,
     pub(crate) join: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -547,17 +562,70 @@ impl ShardHandle {
         registry: Arc<Registry>,
     ) -> ShardHandle {
         let (tx, rx) = std::sync::mpsc::sync_channel(capacity);
+        let (query_tx, query_rx) = std::sync::mpsc::channel();
         let depth = Arc::new(AtomicUsize::new(0));
-        let worker = ShardWorker::new(shard, rx, Arc::clone(&depth), policy, evict_idle, registry);
+        let query_depth = Arc::new(AtomicUsize::new(0));
+        let worker = ShardWorker {
+            shard,
+            rx,
+            depth: Arc::clone(&depth),
+            query_rx,
+            query_depth: Arc::clone(&query_depth),
+            policy,
+            evict_idle,
+            registry,
+            slots: HashMap::new(),
+            evicted: HashSet::new(),
+            latency: Ewma::default(),
+            steps: 0,
+            batches: 0,
+            max_batch: 0,
+            dropped: 0,
+            evictions: 0,
+            restores: 0,
+            queries: QueryCounters::default(),
+            query_batches: 0,
+            next_evict_check: 0,
+        };
         let join = std::thread::Builder::new()
             .name(format!("sofia-fleet-shard-{shard}"))
             .spawn(move || worker.run())
             .expect("spawn shard worker");
         ShardHandle {
             tx,
+            query_tx,
             depth,
+            query_depth,
             join: Some(join),
         }
+    }
+
+    /// Queues one query without waking the worker (used by
+    /// `query_batch` to stage a whole per-shard group before a single
+    /// [`ShardHandle::pump_queries`]).
+    pub(crate) fn enqueue_query(&self, req: QueryRequest) -> Result<(), FleetError> {
+        self.query_depth.fetch_add(1, Ordering::AcqRel);
+        if self.query_tx.send(req).is_err() {
+            self.query_depth.fetch_sub(1, Ordering::AcqRel);
+            return Err(FleetError::ShuttingDown);
+        }
+        Ok(())
+    }
+
+    /// Wakes the worker so it drains the query queue. A full command
+    /// queue drops the marker on purpose: full means the worker has
+    /// commands pending and drains queries right after them anyway.
+    pub(crate) fn pump_queries(&self) -> Result<(), FleetError> {
+        match self.tx.try_send(Command::PumpQueries) {
+            Ok(()) | Err(TrySendError::Full(_)) => Ok(()),
+            Err(TrySendError::Disconnected(_)) => Err(FleetError::ShuttingDown),
+        }
+    }
+
+    /// Queues one query and wakes the worker (the single-query path).
+    pub(crate) fn send_query(&self, req: QueryRequest) -> Result<(), FleetError> {
+        self.enqueue_query(req)?;
+        self.pump_queries()
     }
 
     /// Non-blocking data-plane send with depth accounting.

@@ -1,5 +1,7 @@
 //! Per-stream and fleet-wide serving statistics.
 
+use crate::protocol::QueryKind;
+
 /// Exponentially weighted moving average of step latency.
 ///
 /// `ewma ← α·x + (1−α)·ewma`; the first observation seeds the average so
@@ -35,6 +37,62 @@ impl Default for Ewma {
     /// The fleet's default smoothing (`α = 0.1`, ≈ last ~20 steps).
     fn default() -> Self {
         Ewma::new(0.1)
+    }
+}
+
+/// Per-kind counts of queries a shard has answered (including queries
+/// that failed — each request is counted exactly once, so the sums add
+/// up to the requests issued).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryCounters {
+    /// `Query::Latest` requests served.
+    pub latest: u64,
+    /// `Query::Forecast` requests served.
+    pub forecast: u64,
+    /// `Query::OutlierMask` requests served.
+    pub outlier_mask: u64,
+    /// `Query::StreamStats` requests served.
+    pub stream_stats: u64,
+}
+
+impl QueryCounters {
+    /// Counts one request of the given kind.
+    pub(crate) fn record(&mut self, kind: QueryKind) {
+        *self.slot(kind) += 1;
+    }
+
+    fn slot(&mut self, kind: QueryKind) -> &mut u64 {
+        match kind {
+            QueryKind::Latest => &mut self.latest,
+            QueryKind::Forecast => &mut self.forecast,
+            QueryKind::OutlierMask => &mut self.outlier_mask,
+            QueryKind::StreamStats => &mut self.stream_stats,
+        }
+    }
+
+    /// Count for one kind.
+    pub fn get(&self, kind: QueryKind) -> u64 {
+        match kind {
+            QueryKind::Latest => self.latest,
+            QueryKind::Forecast => self.forecast,
+            QueryKind::OutlierMask => self.outlier_mask,
+            QueryKind::StreamStats => self.stream_stats,
+        }
+    }
+
+    /// Requests served across all kinds.
+    pub fn total(&self) -> u64 {
+        QueryKind::ALL.iter().map(|&k| self.get(k)).sum()
+    }
+
+    /// Field-wise sum (used to aggregate shards into fleet totals).
+    pub fn merged(&self, other: &QueryCounters) -> QueryCounters {
+        QueryCounters {
+            latest: self.latest + other.latest,
+            forecast: self.forecast + other.forecast,
+            outlier_mask: self.outlier_mask + other.outlier_mask,
+            stream_stats: self.stream_stats + other.stream_stats,
+        }
     }
 }
 
@@ -91,6 +149,16 @@ pub struct ShardStats {
     pub evictions: u64,
     /// Evicted streams brought back by a later ingest/query.
     pub restores: u64,
+    /// Per-kind counts of queries answered since the shard started.
+    pub queries: QueryCounters,
+    /// Query-queue drains that answered at least one query. One
+    /// [`crate::Fleet::query_batch`] costs exactly one of these per
+    /// involved shard, however many streams it touches.
+    pub query_batches: u64,
+    /// Queries currently waiting in the shard's (unbounded) query queue;
+    /// a persistently high gauge means queries arrive faster than the
+    /// worker drains them between ingest batches.
+    pub query_queue_depth: usize,
     /// EWMA of per-step latency in microseconds across the shard's
     /// streams.
     pub step_latency_ewma_us: Option<f64>,
@@ -138,6 +206,23 @@ impl FleetStats {
     /// Total slices dropped against quarantined streams.
     pub fn dropped(&self) -> u64 {
         self.shards.iter().map(|s| s.dropped).sum()
+    }
+
+    /// Per-kind query counts summed across shards.
+    pub fn queries(&self) -> QueryCounters {
+        self.shards
+            .iter()
+            .fold(QueryCounters::default(), |acc, s| acc.merged(&s.queries))
+    }
+
+    /// Total query-queue round-trips across shards.
+    pub fn query_batches(&self) -> u64 {
+        self.shards.iter().map(|s| s.query_batches).sum()
+    }
+
+    /// Total queries currently queued across shards.
+    pub fn query_queue_depth(&self) -> usize {
+        self.shards.iter().map(|s| s.query_queue_depth).sum()
     }
 
     /// Step-weighted mean of the shard latency EWMAs, in microseconds.
@@ -206,6 +291,14 @@ mod tests {
                     dropped: 0,
                     evictions: 3,
                     restores: 2,
+                    queries: QueryCounters {
+                        latest: 4,
+                        forecast: 2,
+                        outlier_mask: 0,
+                        stream_stats: 1,
+                    },
+                    query_batches: 3,
+                    query_queue_depth: 2,
                     step_latency_ewma_us: Some(100.0),
                 },
                 ShardStats {
@@ -219,6 +312,14 @@ mod tests {
                     dropped: 1,
                     evictions: 0,
                     restores: 0,
+                    queries: QueryCounters {
+                        latest: 1,
+                        forecast: 0,
+                        outlier_mask: 3,
+                        stream_stats: 0,
+                    },
+                    query_batches: 2,
+                    query_queue_depth: 0,
                     step_latency_ewma_us: Some(200.0),
                 },
             ],
@@ -230,8 +331,41 @@ mod tests {
         assert_eq!(stats.dropped(), 1);
         assert_eq!(stats.evictions(), 3);
         assert_eq!(stats.restores(), 2);
+        assert_eq!(
+            stats.queries(),
+            QueryCounters {
+                latest: 5,
+                forecast: 2,
+                outlier_mask: 3,
+                stream_stats: 1,
+            }
+        );
+        assert_eq!(stats.queries().total(), 11);
+        assert_eq!(stats.query_batches(), 5);
+        assert_eq!(stats.query_queue_depth(), 2);
         let mean = stats.mean_step_latency_us().unwrap();
         assert!((mean - 125.0).abs() < 1e-9, "step-weighted mean {mean}");
+    }
+
+    #[test]
+    fn query_counters_record_and_sum() {
+        let mut c = QueryCounters::default();
+        assert_eq!(c.total(), 0);
+        c.record(QueryKind::Forecast);
+        c.record(QueryKind::Forecast);
+        c.record(QueryKind::Latest);
+        for kind in QueryKind::ALL {
+            let expect = match kind {
+                QueryKind::Forecast => 2,
+                QueryKind::Latest => 1,
+                _ => 0,
+            };
+            assert_eq!(c.get(kind), expect, "{kind}");
+        }
+        assert_eq!(c.total(), 3);
+        let merged = c.merged(&c);
+        assert_eq!(merged.forecast, 4);
+        assert_eq!(merged.total(), 6);
     }
 
     #[test]

@@ -21,9 +21,38 @@ use sofia_core::traits::{StepOutput, StreamingFactorizer};
 use sofia_core::Sofia;
 use sofia_datagen::seasonal::SeasonalStream;
 use sofia_datagen::stream::TensorStream;
-use sofia_fleet::{CheckpointPolicy, Fleet, FleetConfig, ModelHandle};
-use sofia_tensor::{Matrix, ObservedTensor};
+use sofia_fleet::{CheckpointPolicy, Fleet, FleetConfig, ModelHandle, Query, StreamStats};
+use sofia_tensor::{DenseTensor, Matrix, ObservedTensor};
 use std::path::PathBuf;
+
+/// Typed-plane shorthands: these tests assert recovery semantics, not
+/// response matching, so unwrap the response variant once here.
+fn latest(fleet: &Fleet, id: &str) -> Option<StepOutput> {
+    fleet
+        .query(id, Query::Latest)
+        .expect("query")
+        .wait()
+        .expect("latest")
+        .expect_latest()
+}
+
+fn forecast(fleet: &Fleet, id: &str, h: usize) -> Option<DenseTensor> {
+    fleet
+        .query(id, Query::Forecast { horizon: h })
+        .expect("query")
+        .wait()
+        .expect("forecast")
+        .expect_forecast()
+}
+
+fn stream_stats(fleet: &Fleet, id: &str) -> StreamStats {
+    fleet
+        .query(id, Query::StreamStats)
+        .expect("query")
+        .wait()
+        .expect("stats")
+        .expect_stream_stats()
+}
 
 const PERIOD: usize = 4;
 const STREAMS: usize = 4;
@@ -101,7 +130,10 @@ fn crash_recovery_is_bit_exact() {
         .map(|i| {
             let (startup, _) = slices(i);
             fleet
-                .register_sofia(&format!("stream-{i}"), init_model(i, &startup))
+                .register(
+                    &format!("stream-{i}"),
+                    ModelHandle::sofia(init_model(i, &startup)),
+                )
                 .expect("register")
         })
         .collect();
@@ -116,10 +148,7 @@ fn crash_recovery_is_bit_exact() {
 
     // Pre-crash sanity: the fleet's live outputs already match control.
     for i in 0..STREAMS {
-        let last = fleet
-            .latest(&format!("stream-{i}"))
-            .unwrap()
-            .expect("stepped");
+        let last = latest(&fleet, &format!("stream-{i}")).expect("stepped");
         let expect = &control_outputs[i][PRE_CRASH - 1];
         assert_eq!(last.completed.data(), expect.completed.data());
     }
@@ -134,7 +163,7 @@ fn crash_recovery_is_bit_exact() {
     let mut resume_at = Vec::new();
     for i in 0..STREAMS {
         let id = format!("stream-{i}");
-        let stats = recovered.stream_stats(&id).expect("stats");
+        let stats = stream_stats(&recovered, &id);
         // The crash happened EVERY-aligned checkpoints ago: state resumes
         // at the last boundary, not at the crash point…
         assert_eq!(
@@ -143,7 +172,7 @@ fn crash_recovery_is_bit_exact() {
             "restored step counter of {id}"
         );
         // …and the latest completed slice is not part of a checkpoint.
-        assert!(recovered.latest(&id).unwrap().is_none());
+        assert!(latest(&recovered, &id).is_none());
         resume_at.push(stats.steps as usize);
     }
 
@@ -157,7 +186,7 @@ fn crash_recovery_is_bit_exact() {
                 .try_ingest(&key, streamed_slices[i][t].clone())
                 .expect("ingest");
             recovered.flush().expect("flush");
-            let out = recovered.latest(&id).unwrap().expect("stepped");
+            let out = latest(&recovered, &id).expect("stepped");
             let expect = &control_outputs[i][t];
             assert_eq!(
                 out.completed.data(),
@@ -179,10 +208,7 @@ fn crash_recovery_is_bit_exact() {
             }
             model.forecast_slice(3)
         };
-        let fc = recovered
-            .forecast(&id, 3)
-            .unwrap()
-            .expect("SOFIA forecasts");
+        let fc = forecast(&recovered, &id, 3).expect("SOFIA forecasts");
         assert_eq!(fc.data(), control_fc.data(), "stream {i} forecast");
     }
 
@@ -203,6 +229,9 @@ fn graceful_shutdown_loses_nothing() {
 
     let fleet = Fleet::new(fleet_config()).expect("fleet");
     let (startup, streamed) = slices(0);
+    // The deprecated alias must keep compiling and delegating to the
+    // uniform handle constructor.
+    #[allow(deprecated)]
     let key = fleet
         .register_sofia("solo", init_model(0, &startup))
         .expect("register");
@@ -216,10 +245,7 @@ fn graceful_shutdown_loses_nothing() {
     assert_eq!(n, 1);
     // Graceful shutdown checkpoints the *post-drain* state: nothing to
     // replay.
-    assert_eq!(
-        recovered.stream_stats("solo").unwrap().steps,
-        PRE_CRASH as u64
-    );
+    assert_eq!(stream_stats(&recovered, "solo").steps, PRE_CRASH as u64);
 
     // Continuing from the shutdown checkpoint matches an uninterrupted
     // control run exactly.
@@ -228,7 +254,7 @@ fn graceful_shutdown_loses_nothing() {
         recovered.try_ingest(&key, s.clone()).expect("ingest");
     }
     recovered.flush().expect("flush");
-    let last = recovered.latest("solo").unwrap().expect("stepped");
+    let last = latest(&recovered, "solo").expect("stepped");
     let mut control = init_model(0, &startup);
     let mut want = None;
     for s in &streamed {
@@ -322,7 +348,7 @@ fn mixed_model_crash_recovery_is_bit_exact() {
     let boundary = (PRE_CRASH as u64 / EVERY) * EVERY;
     for (i, name) in expected_names.iter().enumerate() {
         let id = format!("mixed-{i}");
-        let stats = recovered.stream_stats(&id).expect("stats");
+        let stats = stream_stats(&recovered, &id);
         assert_eq!(stats.model, *name, "model kind behind {id}");
         assert_eq!(stats.steps, boundary, "uniform step counter of {id}");
     }
@@ -336,7 +362,7 @@ fn mixed_model_crash_recovery_is_bit_exact() {
                 .try_ingest(&key, streamed_slices[i][t].clone())
                 .expect("ingest");
             recovered.flush().expect("flush");
-            let out = recovered.latest(&id).unwrap().expect("stepped");
+            let out = latest(&recovered, &id).expect("stepped");
             let expect = &control_outputs[i][t];
             assert_eq!(
                 out.completed.data(),
@@ -347,7 +373,7 @@ fn mixed_model_crash_recovery_is_bit_exact() {
         }
         // Forecast-capable kinds agree with their control models too.
         let control_fc = controls[i].forecast(2);
-        let fc = recovered.forecast(&id, 2).unwrap();
+        let fc = forecast(&recovered, &id, 2);
         match (control_fc, fc) {
             (Some(c), Some(f)) => assert_eq!(c.data(), f.data(), "{} forecast", kinds[i]),
             (None, None) => {} // OnlineSGD does not forecast
@@ -388,7 +414,7 @@ fn bare_v1_sofia_checkpoint_still_loads() {
     };
     let (recovered, n) = Fleet::recover(fleet_config()).expect("recover");
     assert_eq!(n, 1);
-    let stats = recovered.stream_stats("legacy/stream").expect("stats");
+    let stats = stream_stats(&recovered, "legacy/stream");
     assert_eq!(stats.model, "SOFIA");
     assert_eq!(stats.steps, 3, "v1 steps trailer seeds the counter");
 
@@ -397,7 +423,7 @@ fn bare_v1_sofia_checkpoint_still_loads() {
     for s in streamed.iter().skip(3) {
         recovered.try_ingest(&key, s.clone()).expect("ingest");
         recovered.flush().expect("flush");
-        let out = recovered.latest("legacy/stream").unwrap().expect("stepped");
+        let out = latest(&recovered, "legacy/stream").expect("stepped");
         let expect = StreamingFactorizer::step(&mut control, s);
         assert_eq!(out.completed.data(), expect.completed.data());
     }
@@ -410,10 +436,7 @@ fn bare_v1_sofia_checkpoint_still_loads() {
     // …which recovers just as well.
     let (again, n) = Fleet::recover(fleet_config()).expect("recover v2");
     assert_eq!(n, 1);
-    assert_eq!(
-        again.stream_stats("legacy/stream").unwrap().steps,
-        TOTAL as u64
-    );
+    assert_eq!(stream_stats(&again, "legacy/stream").steps, TOTAL as u64);
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -463,7 +486,7 @@ fn idle_stream_evicts_and_lazily_restores() {
         control_last = Some(control.step(&slice(t as f64)));
     }
     // Pre-eviction parity: the served stream already matches control.
-    let live = fleet.latest("idle").unwrap().expect("stepped");
+    let live = latest(&fleet, "idle").expect("stepped");
     assert_eq!(
         live.completed.data(),
         control_last.expect("stepped").completed.data(),
@@ -490,27 +513,27 @@ fn idle_stream_evicts_and_lazily_restores() {
 
     // A query lazily restores it: stats come back with the pre-eviction
     // step counter, and `latest` resets exactly like crash recovery.
-    let stats = fleet.stream_stats("idle").expect("query restores");
+    let stats = stream_stats(&fleet, "idle");
     assert_eq!(stats.steps, 2);
     assert_eq!(stats.model, "OnlineSGD");
     let fstats = fleet.fleet_stats().unwrap();
     assert_eq!(fstats.restores(), 1, "query triggered the lazy restore");
     assert_eq!(fstats.evicted(), 0);
     assert_eq!(fstats.streams(), 2);
-    assert!(fleet.latest("idle").unwrap().is_none());
+    assert!(latest(&fleet, "idle").is_none());
 
     // Post-restore serving is bit-exact against the uninterrupted
     // control model (last output aside, state round-tripped exactly).
     fleet.try_ingest(&idle, slice(7.5)).unwrap();
     fleet.flush().unwrap();
-    let out = fleet.latest("idle").unwrap().expect("stepped");
+    let out = latest(&fleet, "idle").expect("stepped");
     let expect = control.step(&slice(7.5));
     assert_eq!(
         out.completed.data(),
         expect.completed.data(),
         "restored stream diverged from control"
     );
-    assert_eq!(fleet.stream_stats("idle").unwrap().steps, 3);
+    assert_eq!(stream_stats(&fleet, "idle").steps, 3);
 
     fleet.shutdown().expect("shutdown");
     let _ = std::fs::remove_dir_all(&dir);

@@ -18,10 +18,22 @@ use sofia::core::model::Sofia;
 use sofia::core::SofiaConfig;
 use sofia::datagen::seasonal::SeasonalStream;
 use sofia::datagen::stream::TensorStream;
-use sofia::fleet::{CheckpointPolicy, Fleet, FleetConfig, IngestError, ModelHandle};
-use sofia::tensor::ObservedTensor;
+use sofia::fleet::{
+    CheckpointPolicy, Fleet, FleetConfig, IngestError, ModelHandle, Query, QueryResponse,
+};
+use sofia::tensor::{DenseTensor, ObservedTensor};
 
 const STREAMS: usize = 5;
+
+/// Settles a single forecast query (see step 4 for the batched form).
+fn forecast(fleet: &Fleet, id: &str, h: usize) -> Option<DenseTensor> {
+    fleet
+        .query(id, Query::Forecast { horizon: h })
+        .expect("query")
+        .wait()
+        .expect("forecast")
+        .expect_forecast()
+}
 
 fn main() {
     let period = 6;
@@ -85,10 +97,31 @@ fn main() {
     }
     fleet.flush().expect("flush");
 
-    // --- 4. Query the serving state (model kind comes from the stats).
-    for key in &keys {
-        let stats = fleet.stream_stats(key.id()).expect("stats");
-        let forecast = fleet.forecast(key.id(), period / 2).expect("query");
+    // --- 4. Query the serving state through the typed query plane:
+    // stats + forecast for every stream in ONE `query_batch` call — the
+    // requests are grouped by shard and each shard answers its whole
+    // group in a single queue round-trip.
+    let requests: Vec<(&str, Query)> = keys
+        .iter()
+        .flat_map(|key| {
+            [
+                (key.id(), Query::StreamStats),
+                (
+                    key.id(),
+                    Query::Forecast {
+                        horizon: period / 2,
+                    },
+                ),
+            ]
+        })
+        .collect();
+    let responses = fleet.query_batch(&requests).expect("batch");
+    for (key, pair) in keys.iter().zip(responses.chunks(2)) {
+        let (Ok(QueryResponse::StreamStats(stats)), Ok(QueryResponse::Forecast(fc))) =
+            (&pair[0], &pair[1])
+        else {
+            panic!("responses align with requests, in order");
+        };
         println!(
             "{} ({}): shard {}, {} steps, latency ewma {}, forecast(h={}) |x| = {}",
             key.id(),
@@ -100,15 +133,29 @@ fn main() {
                 .map(|l| format!("{l:.1}us"))
                 .unwrap_or_else(|| "-".into()),
             period / 2,
-            forecast
+            fc.as_ref()
                 .map(|f| format!("{:.3}", f.frobenius_norm()))
                 .unwrap_or_else(|| "- (model does not forecast)".into()),
         );
     }
-    let latest = fleet
-        .latest("sensor-net-0")
-        .expect("query")
-        .expect("stepped");
+    let round_trips = fleet.fleet_stats().expect("stats").query_batches();
+    println!(
+        "({} streams x 2 queries took {round_trips} shard round-trips)",
+        STREAMS
+    );
+
+    // Single queries return a `QueryTicket` immediately; holding several
+    // pipelines them (both are in flight before either is settled).
+    let t_latest = fleet.query("sensor-net-0", Query::Latest).expect("query");
+    let t_mask = fleet
+        .query("sensor-net-0", Query::OutlierMask)
+        .expect("query");
+    let _mask = t_mask.wait().expect("mask").expect_outlier_mask();
+    let latest = t_latest
+        .wait()
+        .expect("latest")
+        .expect_latest()
+        .expect("stream has stepped");
     println!(
         "sensor-net-0 latest completed slice |x| = {:.3} (outliers: {})",
         latest.completed.frobenius_norm(),
@@ -117,10 +164,7 @@ fn main() {
 
     // --- 5. Crash without a graceful shutdown: only the periodic
     // checkpoints survive.
-    let reference_forecast = fleet
-        .forecast("sensor-net-1", 1)
-        .expect("query")
-        .expect("forecast");
+    let reference_forecast = forecast(&fleet, "sensor-net-1", 1).expect("forecast");
     fleet.abort();
     println!("\ncrashed; recovering from {}", ckpt_dir.display());
 
@@ -139,7 +183,13 @@ fn main() {
     assert_eq!(n, STREAMS, "every stream must recover, baselines included");
     for (i, s) in streams.iter().enumerate() {
         let id = format!("sensor-net-{i}");
-        let done = recovered.stream_stats(&id).expect("stats").steps as usize;
+        let done = recovered
+            .query(&id, Query::StreamStats)
+            .expect("query")
+            .wait()
+            .expect("stats")
+            .expect_stream_stats()
+            .steps as usize;
         let key = recovered.key(&id).expect("registered");
         for t in startup_len + done..startup_len + 2 * period {
             let slice = ObservedTensor::fully_observed(s.clean_slice(t));
@@ -153,10 +203,7 @@ fn main() {
 
     // Bit-exact restoration: the recovered fleet forecasts exactly what
     // the pre-crash fleet would have.
-    let replayed_forecast = recovered
-        .forecast("sensor-net-1", 1)
-        .expect("query")
-        .expect("forecast");
+    let replayed_forecast = forecast(&recovered, "sensor-net-1", 1).expect("forecast");
     assert_eq!(
         reference_forecast.data(),
         replayed_forecast.data(),
@@ -186,10 +233,8 @@ fn main() {
 
     // The evicted stream answers through a transparent lazy restore, and
     // its state survived the round-trip bit-exactly.
-    let after_evict_forecast = recovered
-        .forecast("sensor-net-1", 1)
-        .expect("query restores evicted stream")
-        .expect("forecast");
+    let after_evict_forecast =
+        forecast(&recovered, "sensor-net-1", 1).expect("query restores evicted stream");
     assert_eq!(
         reference_forecast.data(),
         after_evict_forecast.data(),

@@ -7,7 +7,7 @@
 //!   optional `#![proptest_config(...)]` inner attribute;
 //! * [`strategy::Strategy`] with numeric range strategies
 //!   (`0u64..1000`, `-5.0f64..5.0`, …) and
-//!   [`collection::vec`](crate::collection::vec);
+//!   [`collection::vec`];
 //! * [`prop_assert!`] / [`prop_assert_eq!`];
 //! * [`test_runner::ProptestConfig`] with
 //!   [`with_cases`](test_runner::ProptestConfig::with_cases).
