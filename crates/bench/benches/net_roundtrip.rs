@@ -1,0 +1,134 @@
+//! Criterion bench: what the wire costs. The same typed queries are
+//! answered (a) in-process through `Fleet::query`/`query_batch` and
+//! (b) over a loopback TCP connection through `sofia_net::Client` —
+//! identical semantics, so the spread is pure transport: framing,
+//! hex-float encode/decode, two socket hops, and the server's
+//! reader→responder hand-off. Batched mode amortizes all of that over
+//! M streams in one frame, so the single-vs-batched gap is wider over
+//! the wire than in-process.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sofia_core::traits::{StepOutput, StreamingFactorizer};
+use sofia_fleet::{Fleet, FleetConfig, ModelHandle, Query, QueryResponse};
+use sofia_net::{Client, Server};
+use sofia_tensor::{DenseTensor, ObservedTensor, Shape};
+
+/// Cheapest possible served model, so both planes measure overhead,
+/// not model work.
+struct Echo;
+
+impl StreamingFactorizer for Echo {
+    fn name(&self) -> &'static str {
+        "echo"
+    }
+    fn step(&mut self, slice: &ObservedTensor) -> StepOutput {
+        StepOutput {
+            completed: slice.values().clone(),
+            outliers: None,
+        }
+    }
+    fn forecast(&self, h: usize) -> Option<DenseTensor> {
+        Some(DenseTensor::full(Shape::new(&[1]), h as f64))
+    }
+}
+
+fn serving_fleet(streams: usize, shards: usize) -> (Fleet, Vec<String>) {
+    let fleet = Fleet::new(FleetConfig {
+        shards,
+        queue_capacity: 1024,
+        checkpoint: None,
+        evict_idle_after: None,
+    })
+    .expect("fleet");
+    let ids: Vec<String> = (0..streams).map(|i| format!("stream-{i:03}")).collect();
+    for id in &ids {
+        let key = fleet
+            .register(id, ModelHandle::serve(Echo))
+            .expect("register");
+        let slice = ObservedTensor::fully_observed(DenseTensor::full(Shape::new(&[4, 4]), 1.0));
+        fleet.try_ingest(&key, slice).expect("ingest");
+    }
+    fleet.flush().expect("flush");
+    (fleet, ids)
+}
+
+fn expect_forecast_value(resp: QueryResponse) -> f64 {
+    let QueryResponse::Forecast(Some(f)) = resp else {
+        panic!("echo forecasts");
+    };
+    f.get(&[0])
+}
+
+fn bench_in_process_vs_loopback(c: &mut Criterion) {
+    const SHARDS: usize = 2;
+    for &streams in &[8usize, 32] {
+        // Two identical fleets: one queried in-process, one behind TCP.
+        let (local, ids) = serving_fleet(streams, SHARDS);
+        let (served, _) = serving_fleet(streams, SHARDS);
+        let server = Server::bind("127.0.0.1:0", served).expect("bind");
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        let requests: Vec<(&str, Query)> = ids
+            .iter()
+            .map(|id| (id.as_str(), Query::Forecast { horizon: 1 }))
+            .collect();
+
+        let mut group = c.benchmark_group(format!("net_roundtrip_{streams}x{SHARDS}"));
+        // One query at a time, each settled before the next: the
+        // per-round-trip floor of each plane.
+        group.bench_function("single_in_process", |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for id in &ids {
+                    let resp = local
+                        .query(id, Query::Forecast { horizon: 1 })
+                        .expect("query")
+                        .wait()
+                        .expect("wait");
+                    acc += expect_forecast_value(resp);
+                }
+                acc
+            })
+        });
+        group.bench_function("single_loopback", |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for id in &ids {
+                    let resp = client
+                        .query(id, Query::Forecast { horizon: 1 })
+                        .expect("query");
+                    acc += expect_forecast_value(resp);
+                }
+                acc
+            })
+        });
+        // The whole stream set in one call: one queue round-trip per
+        // involved shard in-process; additionally one frame each way
+        // over the wire.
+        group.bench_function("batched_in_process", |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for resp in local.query_batch(&requests).expect("batch") {
+                    acc += expect_forecast_value(resp.expect("answered"));
+                }
+                acc
+            })
+        });
+        group.bench_function("batched_loopback", |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for resp in client.query_batch(&requests).expect("batch") {
+                    acc += expect_forecast_value(resp.expect("answered"));
+                }
+                acc
+            })
+        });
+        group.finish();
+
+        drop(client);
+        server.shutdown().expect("server shutdown");
+        local.shutdown().expect("local shutdown");
+    }
+}
+
+criterion_group!(benches, bench_in_process_vs_loopback);
+criterion_main!(benches);

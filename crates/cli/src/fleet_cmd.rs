@@ -71,7 +71,7 @@ impl Default for FleetOpts {
 
 /// One warm-started serving model; concrete so comparison runs can clone
 /// identical initial states into each engine.
-enum MixModel {
+pub(crate) enum MixModel {
     // Boxed: a warm-started SOFIA is far larger than the baselines and
     // these live in a Vec.
     Sofia(Box<Sofia>),
@@ -80,7 +80,7 @@ enum MixModel {
 }
 
 impl MixModel {
-    fn handle(&self) -> ModelHandle {
+    pub(crate) fn handle(&self) -> ModelHandle {
         match self {
             MixModel::Sofia(m) => ModelHandle::sofia((**m).clone()),
             MixModel::Smf(m) => ModelHandle::durable(m.clone()),
@@ -101,8 +101,10 @@ struct RunOutcome {
     restores: u64,
 }
 
-/// Entry point of `sofia-cli fleet`.
-pub fn fleet(opts: &FleetOpts) -> CmdResult {
+/// Shared option validation (`fleet` and `serve` accept the same
+/// workload shape; `serve` simply never reads `steps` — its clients
+/// drive ingest over the wire).
+pub(crate) fn validate(opts: &FleetOpts) -> CmdResult {
     if opts.streams == 0 || opts.steps == 0 {
         return Err("need at least one stream and one step".into());
     }
@@ -127,8 +129,16 @@ pub fn fleet(opts: &FleetOpts) -> CmdResult {
             return Err(format!("unknown --mix kind `{kind}` (use smf, online-sgd)").into());
         }
     }
-    // Stream i serves cycle[i % cycle.len()]; SOFIA always leads so the
-    // sample stream (stream-0000) forecasts.
+    Ok(())
+}
+
+/// Warm-starts one model per stream (kinds cycled from the mix, SOFIA
+/// leading so `stream-0000` always forecasts), fanned out over the
+/// available cores. Returns the models, their synthetic source streams,
+/// and the startup-window length (slice `t` of stream `i` is
+/// `streams[i].clean_slice(startup_len + t)`).
+pub(crate) fn warm_start(opts: &FleetOpts) -> (Vec<MixModel>, Vec<SeasonalStream>, usize) {
+    // Stream i serves cycle[i % cycle.len()].
     let cycle: Vec<&str> = std::iter::once("sofia")
         .chain(opts.mix.iter().map(String::as_str))
         .collect();
@@ -137,21 +147,13 @@ pub fn fleet(opts: &FleetOpts) -> CmdResult {
         .with_als_limits(1e-3, 1, 40);
     let startup_len = model_config.startup_len().max(2 * opts.period);
 
-    println!(
-        "fleet: {} streams x {} slices of {:?} (rank {}, period {}), queue bound {}, kinds {:?}",
-        opts.streams, opts.steps, opts.dims, opts.rank, opts.period, opts.queue, cycle
-    );
-
-    // --- Synthetic workload: one seasonal CP stream per served stream.
+    // Synthetic workload: one seasonal CP stream per served stream.
     let streams: Vec<SeasonalStream> = (0..opts.streams)
         .map(|i| {
             SeasonalStream::paper_fig2(&opts.dims, opts.rank, opts.period, opts.seed + i as u64)
         })
         .collect();
 
-    // --- Warm-start one model per stream (kind from the mix cycle),
-    // fanned out over the available cores (initialization is the
-    // expensive phase).
     let init_start = Instant::now();
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -207,6 +209,17 @@ pub fn fleet(opts: &FleetOpts) -> CmdResult {
         startup_len,
         workers
     );
+    (models, streams, startup_len)
+}
+
+/// Entry point of `sofia-cli fleet`.
+pub fn fleet(opts: &FleetOpts) -> CmdResult {
+    validate(opts)?;
+    println!(
+        "fleet: {} streams x {} slices of {:?} (rank {}, period {}), queue bound {}, mix {:?}",
+        opts.streams, opts.steps, opts.dims, opts.rank, opts.period, opts.queue, opts.mix
+    );
+    let (models, streams, startup_len) = warm_start(opts);
 
     // --- Pre-materialize the streamed slices so the serving measurement
     // isn't dominated by workload generation on the ingest thread.
@@ -390,7 +403,7 @@ fn run_once(
 /// the restored streams per model kind.
 fn recovery_report(opts: &FleetOpts) -> CmdResult {
     let (recovered, n) = Fleet::recover(fleet_config(opts, opts.shards))?;
-    let mut by_kind: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut by_kind: BTreeMap<String, usize> = BTreeMap::new();
     let mut steps_total = 0u64;
     // One batched stats sweep over every recovered stream: a single
     // queue round-trip per shard instead of one per stream.

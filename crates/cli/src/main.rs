@@ -13,17 +13,26 @@
 //!                    [--checkpoint-dir DIR] [--checkpoint-every 25]
 //!                    [--evict-idle N] [--mix smf,online-sgd]
 //!                    [--compare-shards 1,2]
+//! sofia-cli serve    --bind 127.0.0.1:7411 [--recover true]
+//!                    [fleet workload flags]
+//! sofia-cli client   --connect 127.0.0.1:7411 [--stats true]
+//!                    [--stream stream-0000] [--query "forecast 4"]
+//!                    [--ingest N] [--shutdown true]
 //! ```
 //!
 //! The stream directory format is documented in [`mod@format`]; `fleet` serves
 //! many synthetic streams through the sharded `sofia-fleet` engine and
 //! reports throughput, per-step latency, shard scaling, stream lifecycle
 //! (idle eviction + lazy restore), and — when a checkpoint directory is
-//! given — a mixed-kind crash-recovery breakdown.
+//! given — a mixed-kind crash-recovery breakdown. `serve` exposes the
+//! same warm fleet over TCP (the `sofia-net` data plane) until a client
+//! sends a shutdown frame; `client` drives a remote fleet from the
+//! shell.
 
 mod commands;
 mod fleet_cmd;
 mod format;
+mod net_cmd;
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -36,12 +45,85 @@ fn usage() -> &'static str {
      sofia-cli resume --checkpoint FILE --dir DIR [--forecast H] [--save-checkpoint FILE]\n  \
      sofia-cli fleet [--streams N] [--shards N] [--steps N] [--rank R] [--period M] \
      [--dims X,Y] [--queue N] [--seed N] [--checkpoint-dir DIR] [--checkpoint-every N] \
-     [--evict-idle N] [--mix smf,online-sgd] [--compare-shards A,B]"
+     [--evict-idle N] [--mix smf,online-sgd] [--compare-shards A,B]\n  \
+     sofia-cli serve --bind ADDR [--recover true] [fleet workload flags]\n  \
+     sofia-cli client --connect ADDR [--stats true] [--stream ID] [--query \"forecast 4\"] \
+     [--ingest N] [--shutdown true]"
 }
 
 fn bad_flag(flag: &str, value: &str) -> ExitCode {
     eprintln!("error: bad value `{value}` for --{flag}\n{}", usage());
     ExitCode::from(2)
+}
+
+/// Parses a comma-separated list of numbers (`--dims 12,10`,
+/// `--compare-shards 1,4`); shared by every flag that takes one.
+fn parse_usize_list(s: &str) -> Result<Vec<usize>, String> {
+    s.split(',')
+        .map(|p| p.trim().parse().map_err(|_| format!("bad number `{p}`")))
+        .collect()
+}
+
+/// Parses the shared fleet-workload flags (`fleet` and `serve` size
+/// their synthetic fleets identically).
+fn parse_fleet_opts(flags: &HashMap<String, String>) -> Result<fleet_cmd::FleetOpts, ExitCode> {
+    let get = |k: &str| flags.get(k).cloned();
+    let mut opts = fleet_cmd::FleetOpts::default();
+    // Overwrites `target` with the parsed flag value when the flag is
+    // present; reports the malformed value otherwise.
+    fn set_parsed<T: std::str::FromStr>(
+        value: Option<String>,
+        flag: &str,
+        target: &mut T,
+    ) -> Result<(), ExitCode> {
+        if let Some(v) = value {
+            match v.parse() {
+                Ok(n) => *target = n,
+                Err(_) => return Err(bad_flag(flag, &v)),
+            }
+        }
+        Ok(())
+    }
+    let scalar_flags = [
+        ("streams", &mut opts.streams as &mut usize),
+        ("shards", &mut opts.shards),
+        ("steps", &mut opts.steps),
+        ("rank", &mut opts.rank),
+        ("period", &mut opts.period),
+        ("queue", &mut opts.queue),
+    ];
+    for (flag, target) in scalar_flags {
+        set_parsed(get(flag), flag, target)?;
+    }
+    set_parsed(get("seed"), "seed", &mut opts.seed)?;
+    set_parsed(
+        get("checkpoint-every"),
+        "checkpoint-every",
+        &mut opts.checkpoint_every,
+    )?;
+    if let Some(v) = get("dims") {
+        opts.dims = match parse_usize_list(&v) {
+            Ok(d) if !d.is_empty() => d,
+            _ => return Err(bad_flag("dims", &v)),
+        };
+    }
+    if let Some(v) = get("compare-shards") {
+        opts.compare_shards = match parse_usize_list(&v) {
+            Ok(s) => s,
+            Err(_) => return Err(bad_flag("compare-shards", &v)),
+        };
+    }
+    if let Some(v) = get("evict-idle") {
+        opts.evict_idle = match v.parse() {
+            Ok(n) => Some(n),
+            Err(_) => return Err(bad_flag("evict-idle", &v)),
+        };
+    }
+    if let Some(v) = get("mix") {
+        opts.mix = v.split(',').map(|k| k.trim().to_string()).collect();
+    }
+    opts.checkpoint_dir = get("checkpoint-dir").map(PathBuf::from);
+    Ok(opts)
 }
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -141,74 +223,62 @@ fn main() -> ExitCode {
                 }
             }
         }
-        "fleet" => {
-            let mut opts = fleet_cmd::FleetOpts::default();
-            // Overwrites `target` with the parsed flag value when the
-            // flag is present; reports the malformed value otherwise.
-            fn set_parsed<T: std::str::FromStr>(
-                value: Option<String>,
-                flag: &str,
-                target: &mut T,
-            ) -> Result<(), ExitCode> {
-                if let Some(v) = value {
-                    match v.parse() {
-                        Ok(n) => *target = n,
-                        Err(_) => return Err(bad_flag(flag, &v)),
-                    }
-                }
-                Ok(())
-            }
-            let parse_usize_list = |s: &str| -> Result<Vec<usize>, String> {
-                s.split(',')
-                    .map(|p| p.trim().parse().map_err(|_| format!("bad number `{p}`")))
-                    .collect()
+        "fleet" => match parse_fleet_opts(&flags) {
+            Ok(opts) => fleet_cmd::fleet(&opts),
+            Err(code) => return code,
+        },
+        "serve" => {
+            let Some(bind) = get("bind") else {
+                eprintln!("serve needs --bind ADDR\n{}", usage());
+                return ExitCode::from(2);
             };
-            let scalar_flags = [
-                ("streams", &mut opts.streams as &mut usize),
-                ("shards", &mut opts.shards),
-                ("steps", &mut opts.steps),
-                ("rank", &mut opts.rank),
-                ("period", &mut opts.period),
-                ("queue", &mut opts.queue),
-            ];
-            for (flag, target) in scalar_flags {
-                if let Err(code) = set_parsed(get(flag), flag, target) {
-                    return code;
+            let recover = match get("recover").as_deref() {
+                None | Some("false") => false,
+                Some("true") => true,
+                Some(v) => return bad_flag("recover", v),
+            };
+            match parse_fleet_opts(&flags) {
+                Ok(opts) => net_cmd::serve(&opts, &bind, recover),
+                Err(code) => return code,
+            }
+        }
+        "client" => {
+            let Some(connect) = get("connect") else {
+                eprintln!("client needs --connect ADDR\n{}", usage());
+                return ExitCode::from(2);
+            };
+            let parse_bool = |flag: &str| -> Result<bool, ExitCode> {
+                match get(flag).as_deref() {
+                    None | Some("false") => Ok(false),
+                    Some("true") => Ok(true),
+                    Some(v) => Err(bad_flag(flag, v)),
                 }
-            }
-            if let Err(code) = set_parsed(get("seed"), "seed", &mut opts.seed) {
-                return code;
-            }
-            if let Err(code) = set_parsed(
-                get("checkpoint-every"),
-                "checkpoint-every",
-                &mut opts.checkpoint_every,
-            ) {
-                return code;
-            }
-            if let Some(v) = get("dims") {
-                opts.dims = match parse_usize_list(&v) {
-                    Ok(d) if !d.is_empty() => d,
+            };
+            let (stats, shutdown) = match (parse_bool("stats"), parse_bool("shutdown")) {
+                (Ok(s), Ok(d)) => (s, d),
+                (Err(code), _) | (_, Err(code)) => return code,
+            };
+            let ingest = match get("ingest").map(|v| v.parse::<usize>()) {
+                None => 0,
+                Some(Ok(n)) => n,
+                Some(Err(_)) => return bad_flag("ingest", &get("ingest").unwrap_or_default()),
+            };
+            let dims = match get("dims") {
+                None => vec![12, 10],
+                Some(v) => match parse_usize_list(&v) {
+                    Ok(d) if !d.is_empty() && !d.contains(&0) => d,
                     _ => return bad_flag("dims", &v),
-                };
-            }
-            if let Some(v) = get("compare-shards") {
-                opts.compare_shards = match parse_usize_list(&v) {
-                    Ok(s) => s,
-                    Err(_) => return bad_flag("compare-shards", &v),
-                };
-            }
-            if let Some(v) = get("evict-idle") {
-                opts.evict_idle = match v.parse() {
-                    Ok(n) => Some(n),
-                    Err(_) => return bad_flag("evict-idle", &v),
-                };
-            }
-            if let Some(v) = get("mix") {
-                opts.mix = v.split(',').map(|k| k.trim().to_string()).collect();
-            }
-            opts.checkpoint_dir = get("checkpoint-dir").map(PathBuf::from);
-            fleet_cmd::fleet(&opts)
+                },
+            };
+            net_cmd::client(&net_cmd::ClientOpts {
+                connect,
+                stats,
+                stream: get("stream"),
+                query: get("query"),
+                ingest,
+                dims,
+                shutdown,
+            })
         }
         other => {
             eprintln!("unknown command `{other}`\n{}", usage());

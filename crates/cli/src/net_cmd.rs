@@ -1,0 +1,189 @@
+//! The `serve` and `client` subcommands: the fleet engine behind a TCP
+//! endpoint, and a shell client driving a remote fleet.
+//!
+//! ```text
+//! sofia-cli serve  --bind 127.0.0.1:7411 [--recover] [fleet workload flags]
+//! sofia-cli client --connect 127.0.0.1:7411 [--stats] [--stream ID]
+//!                  [--query "forecast 4"] [--ingest N] [--shutdown]
+//! ```
+//!
+//! `serve` warm-starts the same synthetic workload `fleet` uses (or
+//! recovers a previous run's checkpoint directory with `--recover`),
+//! registers it, and serves until a client sends a `shutdown` frame.
+//! `client` connects, runs its requested operations in a fixed order
+//! (stats → ingest → query → shutdown, so a query in the same
+//! invocation observes the ingested slices), and prints what came
+//! back.
+
+use crate::commands::CmdResult;
+use crate::fleet_cmd::{validate, warm_start, FleetOpts};
+use sofia_datagen::stream::TensorStream;
+use sofia_fleet::{CheckpointPolicy, Fleet, FleetConfig, Query, QueryResponse};
+use sofia_net::{Client, Server};
+use sofia_tensor::ObservedTensor;
+
+/// Builds the serve-side engine config from the shared workload opts.
+fn engine_config(opts: &FleetOpts) -> FleetConfig {
+    FleetConfig {
+        shards: opts.shards,
+        queue_capacity: opts.queue,
+        checkpoint: opts
+            .checkpoint_dir
+            .as_ref()
+            .map(|dir| CheckpointPolicy::new(dir, opts.checkpoint_every)),
+        evict_idle_after: opts.evict_idle,
+    }
+}
+
+/// Entry point of `sofia-cli serve`.
+pub fn serve(opts: &FleetOpts, bind: &str, recover: bool) -> CmdResult {
+    validate(opts)?;
+    if recover && opts.checkpoint_dir.is_none() {
+        return Err("--recover requires --checkpoint-dir".into());
+    }
+
+    let fleet = if recover {
+        let (fleet, n) = Fleet::recover(engine_config(opts))?;
+        println!(
+            "serve: recovered {n} streams from {}",
+            opts.checkpoint_dir.as_ref().expect("checked").display()
+        );
+        fleet
+    } else {
+        let fleet = Fleet::new(engine_config(opts))?;
+        let (models, _streams, startup_len) = warm_start(opts);
+        for (i, model) in models.iter().enumerate() {
+            fleet.register(&format!("stream-{i:04}"), model.handle())?;
+        }
+        println!(
+            "serve: registered {} warm streams (startup window {startup_len}); \
+             clients drive ingest from slice index {startup_len}",
+            models.len()
+        );
+        fleet
+    };
+
+    let server = Server::bind(bind, fleet)?;
+    println!(
+        "serve: listening on {} ({} shards); send a `shutdown` frame \
+         (sofia-cli client --connect {} --shutdown) to stop",
+        server.local_addr(),
+        server.shard_map().shards(),
+        server.local_addr()
+    );
+    let checkpoints = server.run()?;
+    println!("serve: graceful shutdown, wrote {checkpoints} final checkpoints");
+    Ok(())
+}
+
+/// Parameters of one `client` invocation.
+pub struct ClientOpts {
+    /// Server address.
+    pub connect: String,
+    /// Print fleet-wide stats.
+    pub stats: bool,
+    /// Stream to query/ingest against.
+    pub stream: Option<String>,
+    /// One-line query wire form (e.g. `forecast 4`, `latest`).
+    pub query: Option<String>,
+    /// Ingest this many synthetic slices into `--stream` (deterministic;
+    /// a smoke-test data plane, not a workload).
+    pub ingest: usize,
+    /// Slice dimensions for `--ingest`; must match what the serving
+    /// model expects (defaults to the `serve` default of 12,10).
+    pub dims: Vec<usize>,
+    /// Ask the server to shut down gracefully at the end.
+    pub shutdown: bool,
+}
+
+/// Entry point of `sofia-cli client`.
+pub fn client(opts: &ClientOpts) -> CmdResult {
+    let mut client = Client::connect_as(&opts.connect, "sofia-cli")?;
+    println!(
+        "client: connected to {} ({} shards in the handshake shard map)",
+        opts.connect,
+        client.shard_map().shards()
+    );
+
+    if opts.stats {
+        let stats = client.stats()?;
+        println!(
+            "stats: {} resident streams over {} shards, {} steps applied, \
+             {} queries answered ({} batched round-trips), {} dropped",
+            stats.streams(),
+            stats.shards.len(),
+            stats.steps(),
+            stats.queries().total(),
+            stats.query_batches(),
+            stats.dropped()
+        );
+    }
+
+    if opts.ingest > 0 {
+        let stream = opts.stream.as_deref().ok_or("--ingest needs --stream")?;
+        // Deterministic smoke slices; real deployments ship their own.
+        let s = sofia_datagen::seasonal::SeasonalStream::paper_fig2(&opts.dims, 2, 4, 77);
+        let slices: Vec<ObservedTensor> = (0..opts.ingest)
+            .map(|t| ObservedTensor::fully_observed(s.clean_slice(t)))
+            .collect();
+        let retries = client.ingest_blocking(stream, slices)?;
+        client.flush()?;
+        println!(
+            "ingest: {} slices applied to `{stream}` ({retries} backpressure \
+             retries); flush makes them visible to every later query",
+            opts.ingest
+        );
+    }
+
+    if let Some(query_line) = &opts.query {
+        let stream = opts.stream.as_deref().ok_or("--query needs --stream")?;
+        let query = Query::from_wire(query_line)?;
+        match client.query(stream, query)? {
+            QueryResponse::Latest(out) => match out {
+                Some(step) => println!(
+                    "latest: |x| = {:.4} over {:?} (outliers: {})",
+                    step.completed.frobenius_norm(),
+                    step.completed.shape().dims(),
+                    step.outliers.is_some()
+                ),
+                None => println!("latest: none (stream has not stepped yet)"),
+            },
+            QueryResponse::Forecast(fc) => match fc {
+                Some(f) => println!(
+                    "forecast: |x| = {:.4} over {:?}",
+                    f.frobenius_norm(),
+                    f.shape().dims()
+                ),
+                None => println!("forecast: none (model does not forecast)"),
+            },
+            QueryResponse::OutlierMask(m) => match m {
+                Some(mask) => println!(
+                    "outlier-mask: {} of {} entries flagged",
+                    (0..mask.shape().len())
+                        .filter(|&i| mask.is_observed_flat(i))
+                        .count(),
+                    mask.shape().len()
+                ),
+                None => println!("outlier-mask: none"),
+            },
+            QueryResponse::StreamStats(stats) => println!(
+                "stream-stats: `{}` served by {} on shard {}, {} steps, \
+                 latency ewma {}",
+                stats.stream,
+                stats.model,
+                stats.shard,
+                stats.steps,
+                stats
+                    .step_latency_ewma_us
+                    .map(|l| format!("{l:.1}us"))
+                    .unwrap_or_else(|| "-".into())
+            ),
+        }
+    }
+
+    if opts.shutdown {
+        client.shutdown_server()?;
+        println!("shutdown: server acknowledged and is draining");
+    }
+    Ok(())
+}

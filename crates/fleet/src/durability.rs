@@ -139,6 +139,21 @@ fn restore_from_text(text: &str) -> Result<ModelHandle, String> {
     Ok(handle.with_steps(env.steps))
 }
 
+/// Restores a model handle from checkpoint-envelope text, reporting
+/// failures as [`FleetError::Corrupt`] against `stream_id`.
+///
+/// This is the deserialization half of the envelope's second life as a
+/// **wire form**: a `sofia-net` client registers a stream over TCP by
+/// sending exactly the text [`ModelHandle::checkpoint_text`] produces,
+/// and the server turns it back into a servable handle here — the same
+/// bit-exact path crash recovery uses.
+pub fn restore_handle(stream_id: &str, text: &str) -> Result<ModelHandle, FleetError> {
+    restore_from_text(text).map_err(|reason| FleetError::Corrupt {
+        stream: stream_id.to_string(),
+        reason,
+    })
+}
+
 /// Loads one stream's checkpoint from `dir`, if present. Used by shard
 /// workers to lazily restore an evicted stream on its next ingest/query.
 pub fn load_stream(dir: &Path, stream_id: &str) -> Result<Option<ModelHandle>, FleetError> {

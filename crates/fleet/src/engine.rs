@@ -164,7 +164,9 @@ impl Fleet {
     #[deprecated(
         since = "0.1.0",
         note = "use `register(id, ModelHandle::sofia(model))` — the uniform \
-                handle constructors cover every model kind"
+                handle constructors cover every model kind, and their \
+                checkpoint envelopes are also what `sofia-net` clients \
+                send to register a stream over TCP"
     )]
     pub fn register_sofia(&self, id: &str, model: Sofia) -> Result<StreamKey, FleetError> {
         self.register(id, ModelHandle::sofia(model))
@@ -183,6 +185,12 @@ impl Fleet {
     /// Number of registered streams.
     pub fn streams(&self) -> usize {
         self.registry.len()
+    }
+
+    /// Number of shards (worker threads) the engine runs; what a
+    /// network front end advertises in its shard-ownership map.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
     }
 
     /// Data plane: hands `slice` to the owning shard without blocking.
@@ -271,17 +279,36 @@ impl Fleet {
         &self,
         requests: &[(&str, Query)],
     ) -> Result<Vec<Result<QueryResponse, FleetError>>, FleetError> {
-        let mut results: Vec<Option<Result<QueryResponse, FleetError>>> =
+        Ok(self
+            .query_batch_tickets(requests)?
+            .into_iter()
+            .map(|ticket| ticket.and_then(QueryTicket::wait))
+            .collect())
+    }
+
+    /// The non-blocking half of [`Fleet::query_batch`]: stages every
+    /// request and pumps each involved shard exactly once, then returns
+    /// the [`QueryTicket`]s **without waiting** — element `i` settles
+    /// `requests[i]` (per-request routing/validation failures are
+    /// item-level `Err`s).
+    ///
+    /// This is what a pipelined front end (e.g. the `sofia-net` TCP
+    /// server) builds on: it can stage a whole wire batch, keep reading
+    /// the socket, and settle the tickets as it writes replies.
+    pub fn query_batch_tickets(
+        &self,
+        requests: &[(&str, Query)],
+    ) -> Result<Vec<Result<QueryTicket, FleetError>>, FleetError> {
+        let mut tickets: Vec<Option<Result<QueryTicket, FleetError>>> =
             (0..requests.len()).map(|_| None).collect();
-        let mut pending: Vec<(usize, QueryTicket)> = Vec::new();
         let mut involved = vec![false; self.shards.len()];
         for (i, (id, query)) in requests.iter().enumerate() {
             if let Err(e) = query.validate() {
-                results[i] = Some(Err(e));
+                tickets[i] = Some(Err(e));
                 continue;
             }
             let Some(key) = self.registry.get(id) else {
-                results[i] = Some(Err(FleetError::UnknownStream(id.to_string())));
+                tickets[i] = Some(Err(FleetError::UnknownStream(id.to_string())));
                 continue;
             };
             let (reply, result) = mpsc::channel();
@@ -291,7 +318,7 @@ impl Fleet {
                 reply,
             })?;
             involved[key.shard()] = true;
-            pending.push((i, QueryTicket::new(result)));
+            tickets[i] = Some(Ok(QueryTicket::new(result)));
         }
         // One wakeup per involved shard, after its whole group is
         // staged: the worker drains the group in a single round-trip.
@@ -300,25 +327,41 @@ impl Fleet {
                 self.shards[shard].pump_queries()?;
             }
         }
-        for (i, ticket) in pending {
-            results[i] = Some(ticket.wait());
-        }
-        Ok(results
+        Ok(tickets
             .into_iter()
-            .map(|r| r.expect("every request slot is filled"))
+            .map(|t| t.expect("every request slot is filled"))
             .collect())
     }
 
     /// Latest completed slice (and outliers) of a stream, or `None`
     /// before its first step (including right after recovery).
-    #[deprecated(since = "0.1.0", note = "use `query(id, Query::Latest)`")]
+    ///
+    /// Migrate to `query(id, Query::Latest)`: the typed request is what
+    /// pipelines ([`QueryTicket`]), batches ([`Fleet::query_batch`]),
+    /// and travels the wire (`Query::to_wire` /
+    /// `QueryResponse::to_wire`, carried verbatim by the `sofia-net`
+    /// TCP data plane) — this wrapper reaches none of that.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `query(id, Query::Latest)` — the typed form pipelines, \
+                batches, and is the wire-capable path `sofia-net` serves"
+    )]
     pub fn latest(&self, id: &str) -> Result<Option<StepOutput>, FleetError> {
         Ok(self.query(id, Query::Latest)?.wait()?.expect_latest())
     }
 
     /// `h`-step-ahead forecast of a stream, or `None` if its model does
     /// not forecast.
-    #[deprecated(since = "0.1.0", note = "use `query(id, Query::Forecast { horizon })`")]
+    ///
+    /// Migrate to `query(id, Query::Forecast { horizon })` — see
+    /// [`Fleet::latest`] for why the typed path is the one worth being
+    /// on (pipelining, batching, and the `sofia-net` wire form).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `query(id, Query::Forecast { horizon })` — the typed form \
+                pipelines, batches, and is the wire-capable path `sofia-net` \
+                serves"
+    )]
     pub fn forecast(&self, id: &str, h: usize) -> Result<Option<DenseTensor>, FleetError> {
         Ok(self
             .query(id, Query::Forecast { horizon: h })?
@@ -329,7 +372,16 @@ impl Fleet {
     /// Boolean mask of entries flagged as outliers in the latest step, or
     /// `None` before the first step / for models without outlier
     /// estimates.
-    #[deprecated(since = "0.1.0", note = "use `query(id, Query::OutlierMask)`")]
+    ///
+    /// Migrate to `query(id, Query::OutlierMask)` — see
+    /// [`Fleet::latest`] for why the typed path is the one worth being
+    /// on (pipelining, batching, and the `sofia-net` wire form).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `query(id, Query::OutlierMask)` — the typed form \
+                pipelines, batches, and is the wire-capable path `sofia-net` \
+                serves"
+    )]
     pub fn outlier_mask(&self, id: &str) -> Result<Option<Mask>, FleetError> {
         Ok(self
             .query(id, Query::OutlierMask)?
@@ -338,7 +390,16 @@ impl Fleet {
     }
 
     /// Serving statistics of one stream.
-    #[deprecated(since = "0.1.0", note = "use `query(id, Query::StreamStats)`")]
+    ///
+    /// Migrate to `query(id, Query::StreamStats)` — see
+    /// [`Fleet::latest`] for why the typed path is the one worth being
+    /// on (pipelining, batching, and the `sofia-net` wire form).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `query(id, Query::StreamStats)` — the typed form \
+                pipelines, batches, and is the wire-capable path `sofia-net` \
+                serves"
+    )]
     pub fn stream_stats(&self, id: &str) -> Result<StreamStats, FleetError> {
         Ok(self
             .query(id, Query::StreamStats)?
@@ -887,6 +948,31 @@ mod tests {
         // queries above (the InvalidQuery rejection never reaches a
         // shard).
         assert_eq!(fleet.fleet_stats().unwrap().queries().total(), 7);
+
+        // The deprecated `register_sofia` alias must keep compiling and
+        // delegating to the uniform handle constructor (this is its only
+        // remaining coverage; integration tests register through
+        // `ModelHandle::sofia` directly).
+        let stream = sofia_datagen::seasonal::SeasonalStream::paper_fig2(&[4, 3], 2, 4, 11);
+        let startup: Vec<ObservedTensor> = (0..12)
+            .map(|t| {
+                ObservedTensor::fully_observed(sofia_datagen::stream::TensorStream::clean_slice(
+                    &stream, t,
+                ))
+            })
+            .collect();
+        let config = sofia_core::SofiaConfig::new(2, 4)
+            .with_lambdas(0.01, 0.01, 10.0)
+            .with_als_limits(1e-3, 1, 20);
+        let model = sofia_core::Sofia::init(&config, &startup, 5).expect("init");
+        fleet
+            .register_sofia("legacy-sofia", model)
+            .expect("alias registers");
+        assert_eq!(
+            stream_stats(&fleet, "legacy-sofia").unwrap().model,
+            "SOFIA",
+            "alias delegated to ModelHandle::sofia"
+        );
     }
 
     #[test]

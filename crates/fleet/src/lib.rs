@@ -26,8 +26,14 @@
 //!   ingest batch. [`Fleet::query`] returns a [`QueryTicket`]
 //!   completion handle so callers pipeline many in-flight queries;
 //!   [`Fleet::query_batch`] groups a multi-stream request set into one
-//!   queue round-trip per involved shard. Per-kind query counters and a
-//!   query-queue depth gauge land in [`ShardStats`].
+//!   queue round-trip per involved shard (the non-blocking
+//!   [`Fleet::query_batch_tickets`] stages the same batch and hands the
+//!   tickets back unsettled). Per-kind query counters and a query-queue
+//!   depth gauge land in [`ShardStats`]. Both directions have text wire
+//!   forms — [`Query::to_wire`] one-line requests,
+//!   [`QueryResponse::to_wire`] multi-line bit-exact replies
+//!   ([`protocol::wire`]) — which the `sofia-net` TCP data plane
+//!   carries verbatim.
 //! * **Durability** ([`durability`]) — periodic per-stream checkpoints as
 //!   tagged **v2 checkpoint envelopes** (`sofia-checkpoint v2` +
 //!   `model <kind>`; see [`sofia_core::snapshot`]), written with atomic
@@ -50,7 +56,7 @@
 //!
 //! // Any `StreamingFactorizer + Send` can be served. Models that also
 //! // implement `SnapshotModel` register through `ModelHandle::durable`
-//! // (SOFIA: `Fleet::register_sofia`) and additionally get checkpointed,
+//! // (SOFIA: `ModelHandle::sofia`) and additionally get checkpointed,
 //! // crash-recovered, and evicted/restored when idle.
 //! struct Echo;
 //! impl StreamingFactorizer for Echo {
@@ -103,6 +109,7 @@ pub use durability::CheckpointPolicy;
 pub use engine::{Fleet, FleetConfig};
 pub use error::{FleetError, IngestError};
 pub use model::ModelHandle;
+pub use protocol::wire::WireError;
 pub use protocol::{Query, QueryKind, QueryResponse, QueryTicket};
 pub use registry::{shard_of, StreamKey};
 // Re-exported so implementing durability for a custom served model needs

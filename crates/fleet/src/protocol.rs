@@ -296,9 +296,504 @@ impl QueryTicket {
     }
 }
 
+impl QueryResponse {
+    /// Serializes the response into its multi-line wire form (first line
+    /// `<kind> <some|none>` — or bare `stream-stats` — followed by the
+    /// payload encoded by [`wire`]; floats travel as IEEE 754 hex bit
+    /// patterns, so the round-trip is bit-exact).
+    pub fn to_wire(&self) -> String {
+        let mut out = String::new();
+        wire::push_response(&mut out, self);
+        out
+    }
+
+    /// Parses the multi-line wire form produced by
+    /// [`QueryResponse::to_wire`]. Malformed input — truncated blocks,
+    /// bad hex, shape/data mismatches, oversized shapes — is a typed
+    /// [`wire::WireError`], never a panic.
+    pub fn from_wire(text: &str) -> Result<QueryResponse, wire::WireError> {
+        let mut cur = wire::LineCursor::new(text);
+        let resp = wire::parse_response(&mut cur)?;
+        cur.finish()?;
+        Ok(resp)
+    }
+}
+
+pub mod wire {
+    //! Multi-line wire encodings of the tensor-carrying protocol types.
+    //!
+    //! [`Query`] already has a one-line text form; this module gives the
+    //! *reply* direction (and the data plane's slices) one too, so a
+    //! network transport can carry the whole protocol as framed text:
+    //!
+    //! * [`DenseTensor`] / [`Mask`] / [`ObservedTensor`] — a `shape` line
+    //!   plus `data` (floats as 16-hex-digit IEEE 754 bit patterns, via
+    //!   [`sofia_core::snapshot::wire`]) and/or `bits` (a 0/1 string);
+    //! * [`StepOutput`] — completed tensor plus an `outliers some|none`
+    //!   marker;
+    //! * [`crate::StreamStats`] — one `key value` line per field;
+    //! * [`QueryResponse`] — kind header plus the matching payload;
+    //! * [`FleetError`] — a one-line typed form for `err` replies.
+    //!
+    //! Every parser is **total**: malformed input (truncated blocks,
+    //! non-hex floats, shape/data length mismatches, absurd shapes that
+    //! would allocate gigabytes) comes back as a typed [`WireError`],
+    //! never a panic — the transport feeds these parsers bytes from the
+    //! network.
+
+    use super::{Query, QueryResponse};
+    use crate::durability::{decode_stream_id, encode_stream_id};
+    use crate::error::FleetError;
+    use crate::stats::StreamStats;
+    use sofia_core::snapshot::wire as hexwire;
+    use sofia_core::traits::StepOutput;
+    use sofia_tensor::{DenseTensor, Mask, ObservedTensor, Shape};
+
+    /// Upper bound on the element count of any tensor accepted off the
+    /// wire (4Mi elements ≈ 32 MB of floats). Shapes whose dimension
+    /// product exceeds this — or overflows — are rejected before any
+    /// allocation happens.
+    pub const MAX_WIRE_ELEMS: usize = 1 << 22;
+
+    /// A malformed wire payload: what the parser expected and what it
+    /// found. Deliberately a plain diagnostic — transport code maps it
+    /// onto its own error type.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct WireError {
+        /// Parser diagnostic.
+        pub reason: String,
+    }
+
+    impl WireError {
+        /// A wire error with the given diagnostic (public so transport
+        /// crates report their own parse failures through the same
+        /// type).
+        pub fn new(reason: impl Into<String>) -> Self {
+            WireError {
+                reason: reason.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for WireError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "malformed wire payload: {}", self.reason)
+        }
+    }
+
+    impl std::error::Error for WireError {}
+
+    /// Line-at-a-time reader over a wire body; every consumer states what
+    /// it expects so truncation errors name the missing piece.
+    #[derive(Debug, Clone)]
+    pub struct LineCursor<'a> {
+        lines: std::str::Lines<'a>,
+    }
+
+    impl<'a> LineCursor<'a> {
+        /// A cursor over `text`'s lines.
+        pub fn new(text: &'a str) -> Self {
+            LineCursor {
+                lines: text.lines(),
+            }
+        }
+
+        /// The next line, or a truncation error naming `what`.
+        pub fn next(&mut self, what: &str) -> Result<&'a str, WireError> {
+            self.lines
+                .next()
+                .ok_or_else(|| WireError::new(format!("truncated: expected {what}")))
+        }
+
+        /// The next line, if any (used by consumers with their own
+        /// framing).
+        pub fn try_next(&mut self) -> Option<&'a str> {
+            self.lines.next()
+        }
+
+        /// Rejects trailing content after a complete parse.
+        pub fn finish(mut self) -> Result<(), WireError> {
+            match self.lines.next() {
+                Some(extra) => Err(WireError::new(format!("trailing line `{extra}`"))),
+                None => Ok(()),
+            }
+        }
+    }
+
+    /// Splits a `key value…` line: the rest of the line after `key ` (or
+    /// empty when the line is exactly `key`).
+    fn field<'a>(cur: &mut LineCursor<'a>, key: &str) -> Result<&'a str, WireError> {
+        let line = cur.next(key)?;
+        if line == key {
+            return Ok("");
+        }
+        line.strip_prefix(key)
+            .and_then(|r| r.strip_prefix(' '))
+            .ok_or_else(|| WireError::new(format!("expected `{key}`, got `{line}`")))
+    }
+
+    fn parse_int<T: std::str::FromStr>(tok: &str, what: &str) -> Result<T, WireError> {
+        tok.parse()
+            .map_err(|_| WireError::new(format!("bad {what} `{tok}`")))
+    }
+
+    fn push_shape(out: &mut String, shape: &Shape) {
+        out.push_str("shape");
+        for d in shape.dims() {
+            out.push(' ');
+            out.push_str(&d.to_string());
+        }
+        out.push('\n');
+    }
+
+    /// Parses and **bounds** a `shape` line: every dimension positive,
+    /// the element count below [`MAX_WIRE_ELEMS`] with overflow checked,
+    /// so a hostile shape can neither panic `Shape::new` nor provoke a
+    /// giant allocation.
+    fn parse_shape(cur: &mut LineCursor<'_>) -> Result<Shape, WireError> {
+        let rest = field(cur, "shape")?;
+        let dims: Vec<usize> = rest
+            .split_whitespace()
+            .map(|tok| parse_int(tok, "shape dimension"))
+            .collect::<Result<_, _>>()?;
+        if dims.is_empty() {
+            return Err(WireError::new("shape needs at least one dimension"));
+        }
+        let mut len = 1usize;
+        for &d in &dims {
+            if d == 0 {
+                return Err(WireError::new("zero shape dimension"));
+            }
+            len = len
+                .checked_mul(d)
+                .filter(|&l| l <= MAX_WIRE_ELEMS)
+                .ok_or_else(|| {
+                    WireError::new(format!(
+                        "shape {dims:?} exceeds the wire bound of {MAX_WIRE_ELEMS} elements"
+                    ))
+                })?;
+        }
+        Ok(Shape::new(&dims))
+    }
+
+    fn parse_hex_f64s(line: &str, label: &str) -> Result<Vec<f64>, WireError> {
+        hexwire::parse_f64s(line, label).map_err(|e| WireError::new(e.to_string()))
+    }
+
+    /// Appends a tensor as `shape …` + `data <hex>…` lines.
+    pub fn push_tensor(out: &mut String, t: &DenseTensor) {
+        push_shape(out, t.shape());
+        hexwire::push_f64s(out, "data", t.data().iter().copied());
+    }
+
+    /// Parses the two lines written by [`push_tensor`].
+    pub fn parse_tensor(cur: &mut LineCursor<'_>) -> Result<DenseTensor, WireError> {
+        let shape = parse_shape(cur)?;
+        let data = parse_hex_f64s(cur.next("tensor data")?, "data")?;
+        if data.len() != shape.len() {
+            return Err(WireError::new(format!(
+                "tensor data carries {} values for a {}-element shape",
+                data.len(),
+                shape.len()
+            )));
+        }
+        Ok(DenseTensor::from_vec(shape, data))
+    }
+
+    fn push_bits(out: &mut String, mask: &Mask) {
+        out.push_str("bits ");
+        for i in 0..mask.shape().len() {
+            out.push(if mask.is_observed_flat(i) { '1' } else { '0' });
+        }
+        out.push('\n');
+    }
+
+    fn parse_bits(line: &str, shape: &Shape) -> Result<Mask, WireError> {
+        let bits = line
+            .strip_prefix("bits ")
+            .ok_or_else(|| WireError::new(format!("expected `bits`, got `{line}`")))?;
+        let observed: Vec<bool> = bits
+            .chars()
+            .map(|c| match c {
+                '1' => Ok(true),
+                '0' => Ok(false),
+                other => Err(WireError::new(format!("bad mask bit `{other}`"))),
+            })
+            .collect::<Result<_, _>>()?;
+        if observed.len() != shape.len() {
+            return Err(WireError::new(format!(
+                "mask carries {} bits for a {}-element shape",
+                observed.len(),
+                shape.len()
+            )));
+        }
+        Ok(Mask::from_vec(shape.clone(), observed))
+    }
+
+    /// Appends a mask as `shape …` + `bits 0110…` lines.
+    pub fn push_mask(out: &mut String, mask: &Mask) {
+        push_shape(out, mask.shape());
+        push_bits(out, mask);
+    }
+
+    /// Parses the two lines written by [`push_mask`].
+    pub fn parse_mask(cur: &mut LineCursor<'_>) -> Result<Mask, WireError> {
+        let shape = parse_shape(cur)?;
+        parse_bits(cur.next("mask bits")?, &shape)
+    }
+
+    /// Appends an observed slice as `shape` + `data` + `bits` lines (one
+    /// shared shape; this is the ingest payload of the data plane).
+    pub fn push_observed(out: &mut String, slice: &ObservedTensor) {
+        push_shape(out, slice.shape());
+        hexwire::push_f64s(out, "data", slice.values().data().iter().copied());
+        push_bits(out, slice.mask());
+    }
+
+    /// Parses the three lines written by [`push_observed`].
+    pub fn parse_observed(cur: &mut LineCursor<'_>) -> Result<ObservedTensor, WireError> {
+        let shape = parse_shape(cur)?;
+        let data = parse_hex_f64s(cur.next("slice data")?, "data")?;
+        if data.len() != shape.len() {
+            return Err(WireError::new(format!(
+                "slice data carries {} values for a {}-element shape",
+                data.len(),
+                shape.len()
+            )));
+        }
+        let mask = parse_bits(cur.next("slice bits")?, &shape)?;
+        Ok(ObservedTensor::new(
+            DenseTensor::from_vec(shape, data),
+            mask,
+        ))
+    }
+
+    /// Appends a step output: the completed tensor plus an
+    /// `outliers some|none` marker (outliers reuse the completed shape).
+    pub fn push_step_output(out: &mut String, step: &StepOutput) {
+        push_tensor(out, &step.completed);
+        match &step.outliers {
+            Some(o) => {
+                out.push_str("outliers some\n");
+                hexwire::push_f64s(out, "data", o.data().iter().copied());
+            }
+            None => out.push_str("outliers none\n"),
+        }
+    }
+
+    /// Parses the block written by [`push_step_output`].
+    pub fn parse_step_output(cur: &mut LineCursor<'_>) -> Result<StepOutput, WireError> {
+        let completed = parse_tensor(cur)?;
+        let outliers = match field(cur, "outliers")? {
+            "none" => None,
+            "some" => {
+                let data = parse_hex_f64s(cur.next("outlier data")?, "data")?;
+                if data.len() != completed.len() {
+                    return Err(WireError::new(
+                        "outlier data does not match the completed shape",
+                    ));
+                }
+                Some(DenseTensor::from_vec(completed.shape().clone(), data))
+            }
+            other => return Err(WireError::new(format!("bad outliers marker `{other}`"))),
+        };
+        Ok(StepOutput {
+            completed,
+            outliers,
+        })
+    }
+
+    /// Appends per-stream stats as `key value` lines (the id is
+    /// percent-encoded with the checkpoint-filename encoding, the
+    /// latency EWMA as a hex float so the round-trip is bit-exact).
+    pub fn push_stream_stats(out: &mut String, stats: &StreamStats) {
+        use std::fmt::Write as _;
+        let _ = writeln!(out, "stream {}", encode_stream_id(&stats.stream));
+        let _ = writeln!(out, "model {}", stats.model);
+        let _ = writeln!(out, "shard {}", stats.shard);
+        let _ = writeln!(out, "steps {}", stats.steps);
+        let _ = writeln!(out, "queue-depth {}", stats.queue_depth);
+        match stats.step_latency_ewma_us {
+            Some(l) => {
+                let _ = writeln!(out, "latency {:016x}", l.to_bits());
+            }
+            None => out.push_str("latency none\n"),
+        }
+        let _ = writeln!(out, "since-checkpoint {}", stats.steps_since_checkpoint);
+    }
+
+    /// Parses the block written by [`push_stream_stats`].
+    pub fn parse_stream_stats(cur: &mut LineCursor<'_>) -> Result<StreamStats, WireError> {
+        let stream = decode_stream_id(field(cur, "stream")?)
+            .ok_or_else(|| WireError::new("undecodable stream id"))?;
+        let model = field(cur, "model")?.to_string();
+        let shard = parse_int(field(cur, "shard")?, "shard")?;
+        let steps = parse_int(field(cur, "steps")?, "steps")?;
+        let queue_depth = parse_int(field(cur, "queue-depth")?, "queue depth")?;
+        let step_latency_ewma_us = match field(cur, "latency")? {
+            "none" => None,
+            hex => Some(f64::from_bits(
+                u64::from_str_radix(hex, 16)
+                    .map_err(|_| WireError::new(format!("bad latency `{hex}`")))?,
+            )),
+        };
+        let steps_since_checkpoint =
+            parse_int(field(cur, "since-checkpoint")?, "checkpoint counter")?;
+        Ok(StreamStats {
+            stream,
+            model,
+            shard,
+            steps,
+            queue_depth,
+            step_latency_ewma_us,
+            steps_since_checkpoint,
+        })
+    }
+
+    /// Appends one [`QueryResponse`] (kind header + payload). The block
+    /// is self-delimiting: [`parse_response`] consumes exactly these
+    /// lines, so responses concatenate (batched replies).
+    pub fn push_response(out: &mut String, resp: &QueryResponse) {
+        match resp {
+            QueryResponse::Latest(step) => match step {
+                None => out.push_str("latest none\n"),
+                Some(s) => {
+                    out.push_str("latest some\n");
+                    push_step_output(out, s);
+                }
+            },
+            QueryResponse::Forecast(f) => match f {
+                None => out.push_str("forecast none\n"),
+                Some(t) => {
+                    out.push_str("forecast some\n");
+                    push_tensor(out, t);
+                }
+            },
+            QueryResponse::OutlierMask(m) => match m {
+                None => out.push_str("outlier-mask none\n"),
+                Some(mask) => {
+                    out.push_str("outlier-mask some\n");
+                    push_mask(out, mask);
+                }
+            },
+            QueryResponse::StreamStats(s) => {
+                out.push_str("stream-stats\n");
+                push_stream_stats(out, s);
+            }
+        }
+    }
+
+    /// Parses one [`QueryResponse`] block written by [`push_response`].
+    pub fn parse_response(cur: &mut LineCursor<'_>) -> Result<QueryResponse, WireError> {
+        let head = cur.next("response header")?;
+        let mut parts = head.split_whitespace();
+        let kind = parts.next().unwrap_or("");
+        let presence = parts.next();
+        if parts.next().is_some() {
+            return Err(WireError::new(format!("trailing token in `{head}`")));
+        }
+        let some = match (kind, presence) {
+            ("stream-stats", None) => {
+                return Ok(QueryResponse::StreamStats(parse_stream_stats(cur)?))
+            }
+            (_, Some("some")) => true,
+            (_, Some("none")) => false,
+            _ => return Err(WireError::new(format!("bad response header `{head}`"))),
+        };
+        match kind {
+            "latest" => Ok(QueryResponse::Latest(if some {
+                Some(parse_step_output(cur)?)
+            } else {
+                None
+            })),
+            "forecast" => Ok(QueryResponse::Forecast(if some {
+                Some(parse_tensor(cur)?)
+            } else {
+                None
+            })),
+            "outlier-mask" => Ok(QueryResponse::OutlierMask(if some {
+                Some(parse_mask(cur)?)
+            } else {
+                None
+            })),
+            other => Err(WireError::new(format!("unknown response kind `{other}`"))),
+        }
+    }
+
+    /// One round-trip-capable line per [`FleetError`] variant, used by
+    /// `err` replies. I/O and panic details survive as display strings —
+    /// the *classification* round-trips exactly, the embedded
+    /// `std::io::Error` does not (it comes back as
+    /// `ErrorKind::Other`).
+    impl FleetError {
+        /// Serializes the error into its one-line wire form.
+        pub fn to_wire(&self) -> String {
+            match self {
+                FleetError::UnknownStream(id) => {
+                    format!("unknown-stream {}", encode_stream_id(id))
+                }
+                FleetError::DuplicateStream(id) => {
+                    format!("duplicate-stream {}", encode_stream_id(id))
+                }
+                FleetError::ShuttingDown => "shutting-down".to_string(),
+                FleetError::ModelPanicked { stream } => {
+                    format!("model-panicked {}", encode_stream_id(stream))
+                }
+                FleetError::InvalidQuery { reason } => format!("invalid-query {reason}"),
+                FleetError::Io(e) => format!("io {e}"),
+                FleetError::Corrupt { stream, reason } => {
+                    format!("corrupt {} {reason}", encode_stream_id(stream))
+                }
+            }
+        }
+
+        /// Parses the one-line wire form produced by
+        /// [`FleetError::to_wire`].
+        pub fn from_wire(line: &str) -> Result<FleetError, WireError> {
+            let (head, rest) = match line.split_once(' ') {
+                Some((h, r)) => (h, r),
+                None => (line, ""),
+            };
+            let id =
+                || decode_stream_id(rest).ok_or_else(|| WireError::new("undecodable stream id"));
+            match head {
+                "unknown-stream" => Ok(FleetError::UnknownStream(id()?)),
+                "duplicate-stream" => Ok(FleetError::DuplicateStream(id()?)),
+                "shutting-down" => Ok(FleetError::ShuttingDown),
+                "model-panicked" => Ok(FleetError::ModelPanicked { stream: id()? }),
+                "invalid-query" => Ok(FleetError::InvalidQuery {
+                    reason: rest.to_string(),
+                }),
+                "io" => Ok(FleetError::Io(std::io::Error::other(rest.to_string()))),
+                "corrupt" => {
+                    let (stream, reason) = match rest.split_once(' ') {
+                        Some((s, r)) => (s, r),
+                        None => (rest, ""),
+                    };
+                    Ok(FleetError::Corrupt {
+                        stream: decode_stream_id(stream)
+                            .ok_or_else(|| WireError::new("undecodable stream id"))?,
+                        reason: reason.to_string(),
+                    })
+                }
+                other => Err(WireError::new(format!("unknown error code `{other}`"))),
+            }
+        }
+    }
+
+    impl Query {
+        /// Alias of [`Query::from_wire`] returning the transport error
+        /// type, so frame parsers surface one error kind.
+        pub fn from_wire_line(line: &str) -> Result<Query, WireError> {
+            Query::from_wire(line).map_err(|e| WireError::new(e.to_string()))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sofia_tensor::ObservedTensor;
 
     #[test]
     fn wire_round_trips_every_kind() {
@@ -342,6 +837,256 @@ mod tests {
         assert!(matches!(q.validate(), Err(FleetError::InvalidQuery { .. })));
         assert!(Query::Forecast { horizon: 1 }.validate().is_ok());
         assert!(Query::Latest.validate().is_ok());
+    }
+
+    fn sample_responses() -> Vec<QueryResponse> {
+        use sofia_tensor::Shape;
+        let t = DenseTensor::from_vec(
+            Shape::new(&[2, 3]),
+            vec![1.5, -0.0, f64::INFINITY, 2.0f64.powi(-1030), 3.25, -9.5e300],
+        );
+        let mask = Mask::from_vec(
+            Shape::new(&[2, 3]),
+            vec![true, false, true, true, false, false],
+        );
+        vec![
+            QueryResponse::Latest(None),
+            QueryResponse::Latest(Some(StepOutput {
+                completed: t.clone(),
+                outliers: None,
+            })),
+            QueryResponse::Latest(Some(StepOutput {
+                completed: t.clone(),
+                outliers: Some(t.map(|v| v * 0.5)),
+            })),
+            QueryResponse::Forecast(None),
+            QueryResponse::Forecast(Some(t)),
+            QueryResponse::OutlierMask(None),
+            QueryResponse::OutlierMask(Some(mask)),
+            QueryResponse::StreamStats(StreamStats {
+                stream: "sensor net/α-7".to_string(),
+                model: "SOFIA".to_string(),
+                shard: 3,
+                steps: 17,
+                queue_depth: 2,
+                step_latency_ewma_us: Some(123.456),
+                steps_since_checkpoint: 5,
+            }),
+            QueryResponse::StreamStats(StreamStats {
+                stream: String::new(),
+                model: "echo".to_string(),
+                shard: 0,
+                steps: 0,
+                queue_depth: 0,
+                step_latency_ewma_us: None,
+                steps_since_checkpoint: 0,
+            }),
+        ]
+    }
+
+    /// Structural equality for the round-trip assertions (bit-exact on
+    /// floats; `QueryResponse` itself has no `PartialEq` because tensors
+    /// compare bit-wise only on purpose here).
+    fn assert_same(a: &QueryResponse, b: &QueryResponse) {
+        let bits = |t: &DenseTensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        match (a, b) {
+            (QueryResponse::Latest(None), QueryResponse::Latest(None)) => {}
+            (QueryResponse::Latest(Some(x)), QueryResponse::Latest(Some(y))) => {
+                assert_eq!(x.completed.shape().dims(), y.completed.shape().dims());
+                assert_eq!(bits(&x.completed), bits(&y.completed));
+                match (&x.outliers, &y.outliers) {
+                    (None, None) => {}
+                    (Some(xo), Some(yo)) => assert_eq!(bits(xo), bits(yo)),
+                    _ => panic!("outlier presence diverged"),
+                }
+            }
+            (QueryResponse::Forecast(None), QueryResponse::Forecast(None)) => {}
+            (QueryResponse::Forecast(Some(x)), QueryResponse::Forecast(Some(y))) => {
+                assert_eq!(x.shape().dims(), y.shape().dims());
+                assert_eq!(bits(x), bits(y));
+            }
+            (QueryResponse::OutlierMask(None), QueryResponse::OutlierMask(None)) => {}
+            (QueryResponse::OutlierMask(Some(x)), QueryResponse::OutlierMask(Some(y))) => {
+                assert_eq!(x.shape().dims(), y.shape().dims());
+                let obs = |m: &Mask| {
+                    (0..m.shape().len())
+                        .map(|i| m.is_observed_flat(i))
+                        .collect::<Vec<_>>()
+                };
+                assert_eq!(obs(x), obs(y));
+            }
+            (QueryResponse::StreamStats(x), QueryResponse::StreamStats(y)) => {
+                assert_eq!(x.stream, y.stream);
+                assert_eq!(x.model, y.model);
+                assert_eq!(x.shard, y.shard);
+                assert_eq!(x.steps, y.steps);
+                assert_eq!(x.queue_depth, y.queue_depth);
+                assert_eq!(
+                    x.step_latency_ewma_us.map(f64::to_bits),
+                    y.step_latency_ewma_us.map(f64::to_bits)
+                );
+                assert_eq!(x.steps_since_checkpoint, y.steps_since_checkpoint);
+            }
+            (a, b) => panic!("variant diverged: {:?} vs {:?}", a.kind(), b.kind()),
+        }
+    }
+
+    #[test]
+    fn response_wire_round_trips_bit_exactly() {
+        for resp in sample_responses() {
+            let text = resp.to_wire();
+            let back =
+                QueryResponse::from_wire(&text).unwrap_or_else(|e| panic!("{e} parsing:\n{text}"));
+            assert_same(&resp, &back);
+        }
+    }
+
+    #[test]
+    fn observed_slice_wire_round_trips() {
+        use sofia_tensor::Shape;
+        let slice = ObservedTensor::new(
+            DenseTensor::from_vec(Shape::new(&[2, 2]), vec![1.0, -2.5, 0.0, 4.0]),
+            Mask::from_vec(Shape::new(&[2, 2]), vec![true, true, false, true]),
+        );
+        let mut out = String::new();
+        wire::push_observed(&mut out, &slice);
+        let mut cur = wire::LineCursor::new(&out);
+        let back = wire::parse_observed(&mut cur).expect("parse");
+        cur.finish().expect("no trailing lines");
+        assert_eq!(back.values().data(), slice.values().data());
+        assert_eq!(back.count_observed(), 3);
+    }
+
+    #[test]
+    fn response_wire_rejects_malformed_never_panics() {
+        let cases = [
+            "",
+            "latest",
+            "latest maybe",
+            "latest some",
+            "latest some\nshape 2 2\ndata 3ff0000000000000",
+            "forecast some\nshape 0\ndata 0",
+            "forecast some\nshape\ndata 0",
+            "forecast some\nshape 4294967295 4294967295 4294967295\ndata 0",
+            "forecast some\nshape 2\ndata zz zz",
+            "forecast some\nshape 1\ndata 3ff0000000000000\ntrailing",
+            "outlier-mask some\nshape 2\nbits 012",
+            "outlier-mask some\nshape 3\nbits 01",
+            "stream-stats\nstream ok\nmodel m\nshard x\nsteps 1\nqueue-depth 0\nlatency none\nsince-checkpoint 0",
+            "stream-stats\nstream %zz\nmodel m\nshard 0\nsteps 1\nqueue-depth 0\nlatency none\nsince-checkpoint 0",
+            "latest some extra",
+            "bogus some",
+        ];
+        for case in cases {
+            assert!(
+                QueryResponse::from_wire(case).is_err(),
+                "should reject:\n{case}"
+            );
+        }
+    }
+
+    mod roundtrip_property {
+        //! The acceptance property: any tensor payload — arbitrary bit
+        //! patterns, so NaNs, infinities, subnormals, negative zero —
+        //! survives the wire byte-for-byte.
+        use super::*;
+        use proptest::prelude::*;
+        use sofia_tensor::Shape;
+
+        fn assert_bits(a: &DenseTensor, b: &DenseTensor) {
+            assert_eq!(a.shape().dims(), b.shape().dims());
+            for (x, y) in a.data().iter().zip(b.data()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(192))]
+
+            #[test]
+            fn forecast_and_latest_round_trip_any_bit_pattern(
+                bits in prop::collection::vec(0u64..u64::MAX, 1..24)
+            ) {
+                // The vendored proptest has no bool strategy; derive the
+                // outlier toggle from the drawn data instead.
+                let with_outliers = bits.len().is_multiple_of(2);
+                let data: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
+                let t = DenseTensor::from_vec(Shape::new(&[data.len()]), data);
+
+                let forecast = QueryResponse::Forecast(Some(t.clone()));
+                let back = QueryResponse::from_wire(&forecast.to_wire()).expect("parse");
+                let QueryResponse::Forecast(Some(bt)) = back else {
+                    panic!("variant survived");
+                };
+                assert_bits(&t, &bt);
+
+                let latest = QueryResponse::Latest(Some(StepOutput {
+                    completed: t.clone(),
+                    outliers: with_outliers.then(|| t.map(|v| -v)),
+                }));
+                let back = QueryResponse::from_wire(&latest.to_wire()).expect("parse");
+                let QueryResponse::Latest(Some(step)) = back else {
+                    panic!("variant survived");
+                };
+                assert_bits(&t, &step.completed);
+                assert_eq!(step.outliers.is_some(), with_outliers);
+                if let Some(o) = &step.outliers {
+                    assert_bits(&t.map(|v| -v), o);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_error_wire_round_trips_classification() {
+        let errors = [
+            FleetError::UnknownStream("a b/c".into()),
+            FleetError::DuplicateStream("x".into()),
+            FleetError::ShuttingDown,
+            FleetError::ModelPanicked { stream: "s".into() },
+            FleetError::InvalidQuery {
+                reason: "forecast horizon must be at least 1 (got 0)".into(),
+            },
+            FleetError::Io(std::io::Error::other("disk on fire")),
+            FleetError::Corrupt {
+                stream: "s/1".into(),
+                reason: "bad header".into(),
+            },
+        ];
+        for e in errors {
+            let line = e.to_wire();
+            let back = FleetError::from_wire(&line).unwrap_or_else(|w| panic!("{w}: `{line}`"));
+            assert_eq!(
+                std::mem::discriminant(&e),
+                std::mem::discriminant(&back),
+                "`{line}`"
+            );
+            match (&e, &back) {
+                (FleetError::UnknownStream(a), FleetError::UnknownStream(b)) => assert_eq!(a, b),
+                (
+                    FleetError::InvalidQuery { reason: a },
+                    FleetError::InvalidQuery { reason: b },
+                ) => {
+                    assert_eq!(a, b)
+                }
+                (
+                    FleetError::Corrupt {
+                        stream: a,
+                        reason: ra,
+                    },
+                    FleetError::Corrupt {
+                        stream: b,
+                        reason: rb,
+                    },
+                ) => {
+                    assert_eq!(a, b);
+                    assert_eq!(ra, rb);
+                }
+                _ => {}
+            }
+        }
+        assert!(FleetError::from_wire("not-an-error").is_err());
+        assert!(FleetError::from_wire("").is_err());
     }
 
     #[test]

@@ -250,7 +250,7 @@ impl ShardWorker {
             })),
             Query::StreamStats => QueryResponse::StreamStats(StreamStats {
                 stream: stream.to_string(),
-                model: slot.model.name(),
+                model: slot.model.name().to_string(),
                 shard: self.shard,
                 steps: slot.model.model_steps(),
                 queue_depth: self.depth.load(Ordering::Acquire),

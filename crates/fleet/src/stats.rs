@@ -102,8 +102,10 @@ pub struct StreamStats {
     /// Stream id.
     pub stream: String,
     /// Model name serving the stream (as reported by the model itself,
-    /// e.g. `SOFIA`, `SMF`, `OnlineSGD`).
-    pub model: &'static str,
+    /// e.g. `SOFIA`, `SMF`, `OnlineSGD`). Owned, not `&'static`, so the
+    /// struct round-trips through the wire form
+    /// ([`crate::protocol::wire::parse_stream_stats`]).
+    pub model: String,
     /// Shard that owns the stream.
     pub shard: usize,
     /// Streaming steps applied since registration (or recovery/restore;

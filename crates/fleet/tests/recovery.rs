@@ -229,11 +229,11 @@ fn graceful_shutdown_loses_nothing() {
 
     let fleet = Fleet::new(fleet_config()).expect("fleet");
     let (startup, streamed) = slices(0);
-    // The deprecated alias must keep compiling and delegating to the
-    // uniform handle constructor.
-    #[allow(deprecated)]
+    // (The deprecated `register_sofia` alias is covered by the engine's
+    // dedicated legacy-wrapper test; durability scenarios register
+    // through the uniform handle constructors.)
     let key = fleet
-        .register_sofia("solo", init_model(0, &startup))
+        .register("solo", ModelHandle::sofia(init_model(0, &startup)))
         .expect("register");
     for s in streamed.iter().take(PRE_CRASH) {
         fleet.try_ingest(&key, s.clone()).expect("ingest");

@@ -1,0 +1,485 @@
+//! The blocking client: the in-process `Fleet` API, spoken over TCP.
+//!
+//! [`Client`] mirrors the engine surface — `query`, `query_batch`,
+//! `ingest`, `flush`, `stats`, `register` — so code (and tests) exercise
+//! identical semantics in-process and over loopback. The semantics
+//! carried across the wire deliberately match the engine's:
+//!
+//! * queries are **not** FIFO-ordered with in-flight ingests;
+//!   [`Client::flush`] is the read-your-writes barrier, exactly as
+//!   in-process;
+//! * ingest backpressure is a typed hand-back, not an error: the shard's
+//!   bounded queue pushing back returns the **unapplied slices** to the
+//!   caller ([`IngestReport::rejected`]), who decides whether to retry,
+//!   shed, or spill;
+//! * [`Client::query_pipelined`] writes every request frame before
+//!   reading any reply — N requests in flight on one socket, settled in
+//!   order (the server maps them onto `QueryTicket`s internally).
+
+use crate::wire::{
+    self, parse_fleet_stats, read_frame, split_reply, write_frame, FrameError, ReplyHead, Request,
+    ShardMap, MAX_FRAME_BYTES,
+};
+use sofia_fleet::protocol::wire::{self as pwire, LineCursor};
+use sofia_fleet::{FleetError, FleetStats, ModelHandle, Query, QueryResponse};
+use sofia_tensor::ObservedTensor;
+use std::io::{self, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A client-side failure: transport trouble, a protocol violation, or a
+/// typed error the server reported.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed.
+    Io(io::Error),
+    /// A frame could not be read (oversized, truncated, garbage).
+    Frame(FrameError),
+    /// The peer sent something outside the protocol (bad payload,
+    /// mismatched request id, unexpected reply shape).
+    Protocol(String),
+    /// The server answered with a typed fleet error.
+    Fleet(FleetError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client I/O error: {e}"),
+            ClientError::Frame(e) => write!(f, "client frame error: {e}"),
+            ClientError::Protocol(r) => write!(f, "protocol violation: {r}"),
+            ClientError::Fleet(e) => write!(f, "server error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Frame(e) => Some(e),
+            ClientError::Fleet(e) => Some(e),
+            ClientError::Protocol(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<pwire::WireError> for ClientError {
+    fn from(e: pwire::WireError) -> Self {
+        ClientError::Protocol(e.to_string())
+    }
+}
+
+/// Outcome of one [`Client::ingest`]: how many slices the shard
+/// accepted, and the unapplied tail handed back — the wire mirror of
+/// [`sofia_fleet::IngestError::Backpressure`] returning the slice.
+#[derive(Debug)]
+pub struct IngestReport {
+    /// Slices applied (in order) before any pushback.
+    pub accepted: u64,
+    /// `(seq, slice)` pairs the server did **not** apply, in order.
+    /// Slice order within a stream is sacred, so the first backpressure
+    /// rejects the whole remaining tail; retry it in order.
+    pub rejected: Vec<(u64, ObservedTensor)>,
+}
+
+/// A blocking TCP client for one `sofia-net` server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    map: ShardMap,
+    next_id: u64,
+    next_seq: u64,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connects and performs the `hello` handshake, receiving the
+    /// server's [`ShardMap`].
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        Client::connect_as(addr, "sofia-net-client")
+    }
+
+    /// [`Client::connect`] with an explicit client name (diagnostics
+    /// only; shows up in nothing but future server logs).
+    pub fn connect_as(addr: impl ToSocketAddrs, name: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        let mut client = Client {
+            reader: BufReader::new(stream),
+            writer,
+            map: ShardMap::single_node("unknown", 1),
+            next_id: 1,
+            next_seq: 1,
+            max_frame: MAX_FRAME_BYTES,
+        };
+        let hello = Request::Hello {
+            client: name.to_string(),
+        };
+        write_frame(&mut client.writer, &hello.to_body())?;
+        let body = client.read_reply_body()?;
+        let (head, payload) = split_reply(&body)?;
+        match head {
+            ReplyHead::Ok(0) => {
+                let mut cur = LineCursor::new(payload);
+                client.map = ShardMap::parse(&mut cur)?;
+                cur.finish()?;
+                Ok(client)
+            }
+            ReplyHead::Ok(id) => Err(ClientError::Protocol(format!(
+                "handshake answered with id {id}"
+            ))),
+            ReplyHead::Err(_, e) => Err(ClientError::Fleet(e)),
+        }
+    }
+
+    /// The shard-ownership table received at handshake (single-node
+    /// today: every route points at this server).
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Caps the frames this client accepts **and** sizes its ingest
+    /// chunks (a chunk targets half the bound, so large batches split
+    /// into several frames instead of tripping the server's oversize
+    /// rejection). Lower it to match a server running a stricter
+    /// `ServerConfig::max_frame_bytes`. Clamped to at least 1 KiB.
+    pub fn set_max_frame_bytes(&mut self, bytes: usize) {
+        self.max_frame = bytes.max(1024);
+    }
+
+    fn read_reply_body(&mut self) -> Result<String, ClientError> {
+        read_frame(&mut self.reader, self.max_frame)?
+            .ok_or_else(|| ClientError::Protocol("server closed the connection".to_string()))
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Sends one request frame and returns its id.
+    fn send(&mut self, build: impl FnOnce(u64) -> Request) -> Result<u64, ClientError> {
+        let id = self.fresh_id();
+        let req = build(id);
+        write_frame(&mut self.writer, &req.to_body())?;
+        Ok(id)
+    }
+
+    /// Reads the next reply, checks it answers `id`, and returns its
+    /// payload (or the server's typed error).
+    fn expect_reply(&mut self, id: u64) -> Result<Result<String, FleetError>, ClientError> {
+        let body = self.read_reply_body()?;
+        let (head, payload) = split_reply(&body)?;
+        match head {
+            ReplyHead::Ok(got) if got == id => Ok(Ok(payload.to_string())),
+            ReplyHead::Err(got, e) if got == id => Ok(Err(e)),
+            ReplyHead::Ok(got) | ReplyHead::Err(got, _) => Err(ClientError::Protocol(format!(
+                "reply {got} arrived while waiting for {id} (replies are in request order)"
+            ))),
+        }
+    }
+
+    /// One typed query against one stream — the wire form of
+    /// `fleet.query(id, query)?.wait()`.
+    pub fn query(&mut self, stream: &str, query: Query) -> Result<QueryResponse, ClientError> {
+        let stream = stream.to_string();
+        let id = self.send(|id| Request::Query { id, stream, query })?;
+        match self.expect_reply(id)? {
+            Ok(payload) => {
+                let mut cur = LineCursor::new(&payload);
+                let resp = pwire::parse_response(&mut cur)?;
+                cur.finish()?;
+                Ok(resp)
+            }
+            Err(e) => Err(ClientError::Fleet(e)),
+        }
+    }
+
+    /// Many queries over many streams in **one frame**; the server
+    /// answers with one queue round-trip per involved shard, and the
+    /// reply vector aligns with `requests` (per-item failures are
+    /// item-level, exactly like [`sofia_fleet::Fleet::query_batch`]).
+    pub fn query_batch(
+        &mut self,
+        requests: &[(&str, Query)],
+    ) -> Result<Vec<Result<QueryResponse, FleetError>>, ClientError> {
+        let items: Vec<(String, Query)> = requests
+            .iter()
+            .map(|(s, q)| (s.to_string(), q.clone()))
+            .collect();
+        let id = self.send(|id| Request::QueryBatch { id, items })?;
+        let payload = match self.expect_reply(id)? {
+            Ok(p) => p,
+            Err(e) => return Err(ClientError::Fleet(e)),
+        };
+        let mut cur = LineCursor::new(&payload);
+        let head = cur.next("results header")?;
+        let n: usize = head
+            .strip_prefix("results ")
+            .and_then(|d| d.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("bad results header `{head}`")))?;
+        if n != requests.len() {
+            return Err(ClientError::Protocol(format!(
+                "{n} results for {} requests",
+                requests.len()
+            )));
+        }
+        let mut results = Vec::with_capacity(n);
+        for _ in 0..n {
+            let line = cur.next("batch item")?;
+            if line == "item ok" {
+                results.push(Ok(pwire::parse_response(&mut cur)?));
+            } else if let Some(err_line) = line.strip_prefix("item err ") {
+                results.push(Err(FleetError::from_wire(err_line)?));
+            } else {
+                return Err(ClientError::Protocol(format!("bad batch item `{line}`")));
+            }
+        }
+        cur.finish()?;
+        Ok(results)
+    }
+
+    /// Pipelining: writes one `query` frame per request **before reading
+    /// any reply**, then settles them in order. Unlike
+    /// [`Client::query_batch`] (one frame, one shard round-trip per
+    /// shard) this issues independent requests — it is the wire mirror
+    /// of holding several [`sofia_fleet::QueryTicket`]s.
+    pub fn query_pipelined(
+        &mut self,
+        requests: &[(&str, Query)],
+    ) -> Result<Vec<Result<QueryResponse, FleetError>>, ClientError> {
+        let mut ids = Vec::with_capacity(requests.len());
+        for (stream, query) in requests {
+            let stream = stream.to_string();
+            let query = query.clone();
+            ids.push(self.send(|id| Request::Query { id, stream, query })?);
+        }
+        let mut results = Vec::with_capacity(ids.len());
+        for id in ids {
+            results.push(match self.expect_reply(id)? {
+                Ok(payload) => {
+                    let mut cur = LineCursor::new(&payload);
+                    let resp = pwire::parse_response(&mut cur)?;
+                    cur.finish()?;
+                    Ok(resp)
+                }
+                Err(e) => Err(e),
+            });
+        }
+        Ok(results)
+    }
+
+    /// Registers a stream by shipping the model's checkpoint envelope;
+    /// the server restores it through the same bit-exact path crash
+    /// recovery uses. Only snapshot-capable models have a wire form.
+    pub fn register(&mut self, stream: &str, model: &ModelHandle) -> Result<(), ClientError> {
+        let envelope = model.checkpoint_text().ok_or_else(|| {
+            ClientError::Protocol(format!(
+                "model `{}` is transient (no snapshot capability), so it has no \
+                 wire form; register it in-process or make it durable",
+                model.name()
+            ))
+        })?;
+        self.register_envelope(stream, &envelope)
+    }
+
+    /// [`Client::register`] from raw checkpoint-envelope text.
+    pub fn register_envelope(&mut self, stream: &str, envelope: &str) -> Result<(), ClientError> {
+        let stream = stream.to_string();
+        let envelope = envelope.to_string();
+        let id = self.send(|id| Request::Register {
+            id,
+            stream,
+            envelope,
+        })?;
+        match self.expect_reply(id)? {
+            Ok(_) => Ok(()),
+            Err(e) => Err(ClientError::Fleet(e)),
+        }
+    }
+
+    /// Ships a batch of slices for one stream, tagged with sequence
+    /// numbers. The server applies them in order until its shard pushes
+    /// back; the unapplied tail comes back in the report.
+    pub fn ingest(
+        &mut self,
+        stream: &str,
+        slices: Vec<ObservedTensor>,
+    ) -> Result<IngestReport, ClientError> {
+        let tagged: Vec<(u64, ObservedTensor)> = slices
+            .into_iter()
+            .map(|s| {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                (seq, s)
+            })
+            .collect();
+        self.ingest_tagged(stream, tagged)
+    }
+
+    /// Ships `tagged` in frame-bounded chunks (the server rejects
+    /// frames over its byte bound and batches over `MAX_BATCH_ITEMS`;
+    /// chunking client-side turns those hard limits into ordinary
+    /// multi-frame ingest). Slices are **borrowed** for serialization
+    /// — no tensor is cloned — and the unapplied tail is handed back
+    /// from the same vector. On backpressure mid-chunk everything from
+    /// the first rejected slice onward (later chunks included) comes
+    /// back unapplied, preserving per-stream order.
+    fn ingest_tagged(
+        &mut self,
+        stream: &str,
+        tagged: Vec<(u64, ObservedTensor)>,
+    ) -> Result<IngestReport, ClientError> {
+        let mut accepted = 0u64;
+        let mut remaining = tagged;
+        while !remaining.is_empty() {
+            // Take the longest prefix of the unsent slices within both
+            // wire bounds (always at least one slice: a single slice
+            // over the frame bound must still be attempted — the
+            // server's Oversized rejection is the honest answer).
+            let mut count = 0usize;
+            let mut bytes = 64usize;
+            for (_, slice) in &remaining {
+                let est = wire::ingest_slice_wire_bound(slice);
+                if count > 0 && (count >= wire::MAX_BATCH_ITEMS || bytes + est > self.max_frame / 2)
+                {
+                    break;
+                }
+                count += 1;
+                bytes += est;
+            }
+            let id = self.fresh_id();
+            let body = wire::ingest_body(id, stream, &remaining[..count]);
+            write_frame(&mut self.writer, &body)?;
+            let payload = match self.expect_reply(id)? {
+                Ok(p) => p,
+                Err(e) => return Err(ClientError::Fleet(e)),
+            };
+            let (chunk_accepted, rejected_seqs) = parse_ingest_reply(&payload)?;
+            accepted += chunk_accepted;
+            if rejected_seqs.is_empty() {
+                remaining.drain(..count);
+                continue;
+            }
+            // The server rejects a contiguous tail of the chunk; find
+            // where it starts and hand back everything from there on.
+            let first = remaining[..count]
+                .iter()
+                .position(|(seq, _)| rejected_seqs.contains(seq))
+                .ok_or_else(|| {
+                    ClientError::Protocol(
+                        "server handed back seqs this client never sent".to_string(),
+                    )
+                })?;
+            if rejected_seqs.len() != count - first
+                || !remaining[first..count]
+                    .iter()
+                    .all(|(seq, _)| rejected_seqs.contains(seq))
+            {
+                return Err(ClientError::Protocol(
+                    "server's backpressure tail is not contiguous".to_string(),
+                ));
+            }
+            let rejected = remaining.split_off(first);
+            return Ok(IngestReport { accepted, rejected });
+        }
+        Ok(IngestReport {
+            accepted,
+            rejected: Vec::new(),
+        })
+    }
+
+    /// Blocking convenience over [`Client::ingest`]: retries the
+    /// rejected tail (in order) until everything is applied. Returns
+    /// the number of retry round-trips taken.
+    pub fn ingest_blocking(
+        &mut self,
+        stream: &str,
+        slices: Vec<ObservedTensor>,
+    ) -> Result<u64, ClientError> {
+        let mut report = self.ingest(stream, slices)?;
+        let mut retries = 0;
+        while !report.rejected.is_empty() {
+            retries += 1;
+            std::thread::yield_now();
+            let tail = std::mem::take(&mut report.rejected);
+            report = self.ingest_tagged(stream, tail)?;
+        }
+        Ok(retries)
+    }
+
+    /// Read-your-writes barrier over TCP: once this returns, every slice
+    /// this client (or anyone else) ingested before the call is visible
+    /// to every later query — the same contract as
+    /// [`sofia_fleet::Fleet::flush`].
+    pub fn flush(&mut self) -> Result<(), ClientError> {
+        let id = self.send(|id| Request::Flush { id })?;
+        match self.expect_reply(id)? {
+            Ok(_) => Ok(()),
+            Err(e) => Err(ClientError::Fleet(e)),
+        }
+    }
+
+    /// Fleet-wide statistics snapshot.
+    pub fn stats(&mut self) -> Result<FleetStats, ClientError> {
+        let id = self.send(|id| Request::Stats { id })?;
+        let payload = match self.expect_reply(id)? {
+            Ok(p) => p,
+            Err(e) => return Err(ClientError::Fleet(e)),
+        };
+        let mut cur = LineCursor::new(&payload);
+        let stats = parse_fleet_stats(&mut cur)?;
+        cur.finish()?;
+        Ok(stats)
+    }
+
+    /// Asks the server to shut down gracefully (drain queues, write
+    /// final checkpoints, exit). The server acknowledges before it
+    /// starts draining; this connection is closed afterwards, so the
+    /// client is consumed.
+    pub fn shutdown_server(mut self) -> Result<(), ClientError> {
+        let id = self.send(|id| Request::Shutdown { id })?;
+        match self.expect_reply(id)? {
+            Ok(_) => Ok(()),
+            Err(e) => Err(ClientError::Fleet(e)),
+        }
+    }
+}
+
+/// Parses an ingest reply payload (`accepted <n>` + `backpressure
+/// [seq…]`) into the accepted count and the rejected seq set.
+fn parse_ingest_reply(payload: &str) -> Result<(u64, std::collections::HashSet<u64>), ClientError> {
+    let mut cur = LineCursor::new(payload);
+    let accepted: u64 = cur
+        .next("accepted count")?
+        .strip_prefix("accepted ")
+        .and_then(|d| d.parse().ok())
+        .ok_or_else(|| ClientError::Protocol("bad accepted line".to_string()))?;
+    let bp_line = cur.next("backpressure seqs")?;
+    let rest = bp_line
+        .strip_prefix("backpressure")
+        .ok_or_else(|| ClientError::Protocol(format!("bad backpressure line `{bp_line}`")))?;
+    cur.finish()?;
+    let mut rejected = std::collections::HashSet::new();
+    for tok in rest.split_whitespace() {
+        let seq: u64 = tok
+            .parse()
+            .map_err(|_| ClientError::Protocol(format!("bad rejected seq `{tok}`")))?;
+        rejected.insert(seq);
+    }
+    Ok((accepted, rejected))
+}

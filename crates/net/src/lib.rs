@@ -1,0 +1,60 @@
+//! # sofia-net
+//!
+//! A TCP data plane for the SOFIA fleet: the typed query protocol of
+//! [`sofia_fleet::protocol`], framed and served over `std::net` — no
+//! async runtime, no dependencies beyond the workspace.
+//!
+//! PR 3 made the query plane plain data with a text wire form precisely
+//! so a network transport could carry it verbatim; this crate is that
+//! transport:
+//!
+//! * [`wire`] — the frame grammar (`#<len>\n<body>` length-framed UTF-8
+//!   text) and the request/reply bodies: `hello`, `query`, `batch`,
+//!   `register` (a checkpoint envelope *is* a model's wire form),
+//!   `ingest` (batched slices with sequence numbers and a typed
+//!   backpressure hand-back), `flush`, `stats`, `shutdown`. Floats
+//!   travel as IEEE 754 hex bit patterns, so everything that crosses
+//!   the socket round-trips **bit-exactly**. Every parser is total:
+//!   malformed, truncated, oversized, or non-UTF-8 input is a typed
+//!   error, never a panic.
+//! * [`server`] — [`Server`] wraps a running [`sofia_fleet::Fleet`]:
+//!   accept loop, one reader + one responder thread per connection,
+//!   pipelined request ids mapped onto `QueryTicket`s, graceful drain
+//!   on shutdown (and a crash-faithful [`Server::abort`] for recovery
+//!   testing).
+//! * [`client`] — [`Client`] mirrors the in-process `Fleet` API
+//!   (`query` / `query_batch` / `ingest` / `flush` / `stats` /
+//!   `register`), so tests and the CLI exercise identical semantics
+//!   in-process and over loopback. [`Client::query_pipelined`] keeps
+//!   many queries in flight on one socket.
+//! * [`ShardMap`] — the stream-route → endpoint ownership table served
+//!   in the handshake. Single-node today; it is the seam a
+//!   multi-process deployment plugs into (per-shard endpoints + the
+//!   stable cross-process FNV stream route).
+//!
+//! ## Loopback in five lines
+//!
+//! ```no_run
+//! use sofia_fleet::{Fleet, FleetConfig, Query};
+//! use sofia_net::{Client, Server};
+//!
+//! let fleet = Fleet::new(FleetConfig::with_shards(2)).unwrap();
+//! let server = Server::bind("127.0.0.1:0", fleet).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! let stats = client.stats().unwrap();
+//! assert_eq!(stats.shards.len(), 2);
+//! server.shutdown().unwrap();
+//! ```
+//!
+//! Semantics worth repeating from the engine: queries are **not**
+//! FIFO-ordered with in-flight ingests; [`Client::flush`] is the
+//! read-your-writes barrier over TCP, exactly as `Fleet::flush` is
+//! in-process.
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError, IngestReport};
+pub use server::{Server, ServerConfig};
+pub use wire::{FrameError, Request, ShardMap, MAX_FRAME_BYTES};

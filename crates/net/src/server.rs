@@ -1,0 +1,528 @@
+//! The serving side: an accept loop, one handler thread per connection,
+//! and pipelined replies settled off [`QueryTicket`]s.
+//!
+//! ## Threading model
+//!
+//! * **Accept thread** — polls a non-blocking listener, spawning one
+//!   handler per connection.
+//! * **Reader (handler) thread** — parses frames, dispatches them to
+//!   the shared [`Fleet`], and pushes a completion per request onto the
+//!   connection's reply queue. Queries and batches are dispatched
+//!   **without waiting**: the reader hands the unsettled
+//!   [`QueryTicket`]s to the responder and keeps reading, so one client
+//!   can have many queries in flight (that is the pipelining).
+//! * **Responder thread** — settles completions strictly in request
+//!   order and writes the reply frames, so clients correlate replies by
+//!   position (the echoed request id double-checks it).
+//!
+//! ## Shutdown
+//!
+//! A client `shutdown` frame requests a graceful stop:
+//! [`Server::run`] notices, stops accepting, half-closes every
+//! connection's read side (the responders still drain their queued
+//! replies), joins the threads, and finally calls [`Fleet::shutdown`] —
+//! every queue drained, final checkpoints written. [`Server::abort`] is
+//! the crash-faithful opposite (connections torn down, [`Fleet::abort`],
+//! no final checkpoints), which is what the loopback crash-recovery
+//! test exercises.
+
+use crate::wire::{
+    err_body, ok_body, push_fleet_stats, read_frame, write_frame, FrameError, Request, ShardMap,
+    MAX_FRAME_BYTES,
+};
+use sofia_fleet::durability::restore_handle;
+use sofia_fleet::protocol::wire as pwire;
+use sofia_fleet::{Fleet, FleetError, IngestError, QueryTicket};
+use std::collections::HashMap;
+use std::io::{self, BufReader};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tunables of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Reject frames whose announced body exceeds this many bytes.
+    pub max_frame_bytes: usize,
+    /// Endpoint advertised in the handshake's [`ShardMap`] (defaults to
+    /// the bound address; set it when clients reach the server through a
+    /// different name, e.g. a hostname instead of `0.0.0.0`).
+    pub advertise: Option<String>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_frame_bytes: MAX_FRAME_BYTES,
+            advertise: None,
+        }
+    }
+}
+
+/// What the reader dispatched for one request; the responder settles
+/// them in arrival order.
+enum Completion {
+    /// Reply body already known (ingest, flush, stats, errors, …).
+    Ready(String),
+    /// A single query in flight on the typed plane.
+    Query { id: u64, ticket: QueryTicket },
+    /// A staged multi-stream batch (item-level failures already typed).
+    Batch {
+        id: u64,
+        tickets: Vec<Result<QueryTicket, FleetError>>,
+    },
+}
+
+struct Shared {
+    fleet: Fleet,
+    map: ShardMap,
+    config: ServerConfig,
+    /// Tells accept loop and readers to wind down.
+    stop: AtomicBool,
+    /// Set when a client sent a `shutdown` frame; [`Server::run`] polls it.
+    shutdown_requested: AtomicBool,
+    /// Socket clones of **live** connections (keyed by connection id),
+    /// so shutdown can unblock readers parked in `read`. Each handler
+    /// removes its own entry on exit — a long-running server does not
+    /// accumulate one fd per past connection.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    /// Connection-id source.
+    next_conn: AtomicU64,
+}
+
+/// A TCP front end over a running [`Fleet`].
+///
+/// Dropping a live `Server` winds its threads down and lets the fleet's
+/// own `Drop` perform a graceful in-process shutdown; call
+/// [`Server::shutdown`] explicitly to observe the final checkpoint
+/// count, or [`Server::abort`] for a crash-faithful teardown.
+pub struct Server {
+    /// `None` only after wind-down (shutdown/abort/drop).
+    shared: Option<Arc<Shared>>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts serving `fleet`. The fleet keeps all its in-process
+    /// behaviour — this adds a wire on top.
+    pub fn bind(addr: impl ToSocketAddrs, fleet: Fleet) -> io::Result<Server> {
+        Server::bind_with(addr, fleet, ServerConfig::default())
+    }
+
+    /// [`Server::bind`] with explicit tunables.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        fleet: Fleet,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let advertised = config.advertise.clone().unwrap_or_else(|| addr.to_string());
+        // Single-node today: every shard route points at this endpoint.
+        // A future multi-process deployment swaps this table out — the
+        // handshake already carries it.
+        let map = ShardMap::single_node(advertised, fleet.shards());
+        let shared = Arc::new(Shared {
+            fleet,
+            map,
+            config,
+            stop: AtomicBool::new(false),
+            shutdown_requested: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("sofia-net-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .expect("spawn accept thread");
+        Ok(Server {
+            shared: Some(shared),
+            addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (with the ephemeral port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The ownership table clients receive at handshake.
+    pub fn shard_map(&self) -> ShardMap {
+        self.shared().map.clone()
+    }
+
+    /// Whether a client has asked the server to shut down.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared().shutdown_requested.load(Ordering::Acquire)
+    }
+
+    fn shared(&self) -> &Shared {
+        self.shared
+            .as_ref()
+            .expect("server is live until wind-down")
+    }
+
+    /// Serves until a client sends a `shutdown` frame, then drains and
+    /// exits gracefully. Returns the number of final checkpoints
+    /// written.
+    pub fn run(self) -> Result<usize, FleetError> {
+        while !self.shutdown_requested() {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        self.shutdown()
+    }
+
+    /// Graceful shutdown: stop accepting, half-close every connection
+    /// (queued replies still go out), join all threads, then shut the
+    /// fleet down (drains queues, writes final checkpoints). Returns
+    /// the checkpoint count.
+    pub fn shutdown(mut self) -> Result<usize, FleetError> {
+        match self.wind_down(Shutdown::Read) {
+            Some(shared) => shared.fleet.shutdown(),
+            // Unreachable from public API (wind-down runs once); kept
+            // typed rather than panicking.
+            None => Err(FleetError::ShuttingDown),
+        }
+    }
+
+    /// Crash-faithful teardown: connections torn down both ways, the
+    /// fleet aborted with **no** final checkpoints — on-disk state is
+    /// exactly what the periodic policy made durable, as after a real
+    /// crash. Exists so crash recovery can be tested over the wire.
+    pub fn abort(mut self) {
+        if let Some(shared) = self.wind_down(Shutdown::Both) {
+            shared.fleet.abort();
+        }
+    }
+
+    /// Stops threads and returns exclusive ownership of the shared
+    /// state (all other `Arc` holders have exited). `None` if wind-down
+    /// already ran.
+    fn wind_down(&mut self, how: Shutdown) -> Option<Shared> {
+        let accept = self.accept.take()?;
+        let shared = self.shared.take().expect("shared present with accept");
+        shared.stop.store(true, Ordering::Release);
+        let handlers = accept.join().expect("accept thread never panics");
+        for conn in shared.conns.lock().expect("conns lock").values() {
+            // Unblocks the reader; with `Shutdown::Read` the responder
+            // still drains its queue out the write half first.
+            let _ = conn.shutdown(how);
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        // With every thread joined this is the last holder; if it ever
+        // is not, the Arc's own drop still shuts the fleet down
+        // gracefully.
+        Arc::try_unwrap(shared).ok()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Best-effort wind-down when the caller never called
+        // `shutdown()`: stop the threads, then let the fleet's Drop
+        // (running as the Arc releases) do its graceful in-process
+        // shutdown. Errors are unreportable here.
+        let _ = self.wind_down(Shutdown::Read);
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) -> Vec<JoinHandle<()>> {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.stop.load(Ordering::Acquire) {
+        // Reap finished handlers so a long-running server does not grow
+        // a join handle per past connection (finished threads drop
+        // cleanly without a join).
+        handlers.retain(|h| !h.is_finished());
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                // The registry clone is what lets shutdown unblock this
+                // connection's reader; a connection we cannot register
+                // we also must not serve (it would be un-wind-downable).
+                let Ok(registered) = stream.try_clone() else {
+                    continue;
+                };
+                let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .conns
+                    .lock()
+                    .expect("conns lock")
+                    .insert(conn_id, registered);
+                let conn_shared = Arc::clone(&shared);
+                let h = std::thread::Builder::new()
+                    .name(format!("sofia-net-conn-{peer}"))
+                    .spawn(move || serve_conn(stream, conn_shared, conn_id))
+                    .expect("spawn connection handler");
+                handlers.push(h);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    handlers
+}
+
+/// One connection: runs the frame loop, then — on every exit path —
+/// closes the socket and removes the connection's registry entry, so
+/// the peer sees EOF and the server does not retain the fd.
+fn serve_conn(stream: TcpStream, shared: Arc<Shared>, conn_id: u64) {
+    conn_loop(stream, &shared);
+    if let Some(conn) = shared.conns.lock().expect("conns lock").remove(&conn_id) {
+        // The registered clone shares the underlying socket; shutting
+        // it down closes the connection regardless of which halves the
+        // loop dropped.
+        let _ = conn.shutdown(Shutdown::Both);
+    }
+}
+
+/// The frame loop: read, dispatch, hand completions to the responder;
+/// the responder is joined before returning so replies flush first.
+fn conn_loop(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    // Accepted sockets do not inherit the listener's non-blocking mode
+    // portably; pin the mode we rely on.
+    let _ = stream.set_nonblocking(false);
+    let writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let (tx, rx) = mpsc::channel::<Completion>();
+    let responder = std::thread::Builder::new()
+        .name("sofia-net-responder".into())
+        .spawn(move || responder_loop(writer, rx))
+        .expect("spawn responder");
+
+    let max = shared.config.max_frame_bytes;
+    // Handshake: the first frame must be `hello`; the reply carries the
+    // shard map.
+    let handshook = match read_frame(&mut reader, max) {
+        Ok(Some(body)) => match Request::from_body(&body) {
+            Ok(Request::Hello { client: _ }) => {
+                let _ = tx.send(Completion::Ready(ok_body(0, |out| {
+                    shared.map.push_wire(out)
+                })));
+                true
+            }
+            _ => {
+                let _ = tx.send(Completion::Ready(err_body(
+                    0,
+                    &FleetError::InvalidQuery {
+                        reason: "handshake must be a `hello` frame".to_string(),
+                    },
+                )));
+                false
+            }
+        },
+        _ => false,
+    };
+
+    if handshook {
+        while !shared.stop.load(Ordering::Acquire) {
+            let body = match read_frame(&mut reader, max) {
+                Ok(Some(body)) => body,
+                Ok(None) => break, // client hung up between frames
+                Err(FrameError::Io(_)) | Err(FrameError::Truncated) => break,
+                Err(e) => {
+                    // A peer off-protocol (oversized/garbage frame): one
+                    // typed reply, then close — the byte stream can no
+                    // longer be trusted to be frame-aligned.
+                    let _ = tx.send(Completion::Ready(err_body(
+                        0,
+                        &FleetError::InvalidQuery {
+                            reason: e.to_string(),
+                        },
+                    )));
+                    break;
+                }
+            };
+            match Request::from_body(&body) {
+                Ok(req) => {
+                    let keep_going = dispatch(req, shared, &tx);
+                    if !keep_going {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    // The frame was well-formed, so the stream is still
+                    // aligned: report and keep serving.
+                    let _ = tx.send(Completion::Ready(err_body(
+                        0,
+                        &FleetError::InvalidQuery {
+                            reason: e.to_string(),
+                        },
+                    )));
+                }
+            }
+        }
+    }
+    drop(tx);
+    let _ = responder.join();
+}
+
+/// Executes one request against the fleet; `false` ends the connection
+/// (after the queued reply goes out).
+fn dispatch(req: Request, shared: &Shared, tx: &mpsc::Sender<Completion>) -> bool {
+    let fleet = &shared.fleet;
+    match req {
+        Request::Hello { .. } => {
+            // A second handshake is a protocol error; answer and close.
+            let _ = tx.send(Completion::Ready(err_body(
+                0,
+                &FleetError::InvalidQuery {
+                    reason: "duplicate `hello`".to_string(),
+                },
+            )));
+            false
+        }
+        Request::Query { id, stream, query } => {
+            let completion = match fleet.query(&stream, query) {
+                Ok(ticket) => Completion::Query { id, ticket },
+                Err(e) => Completion::Ready(err_body(id, &e)),
+            };
+            let _ = tx.send(completion);
+            true
+        }
+        Request::QueryBatch { id, items } => {
+            let refs: Vec<(&str, sofia_fleet::Query)> =
+                items.iter().map(|(s, q)| (s.as_str(), q.clone())).collect();
+            let completion = match fleet.query_batch_tickets(&refs) {
+                Ok(tickets) => Completion::Batch { id, tickets },
+                Err(e) => Completion::Ready(err_body(id, &e)),
+            };
+            let _ = tx.send(completion);
+            true
+        }
+        Request::Register {
+            id,
+            stream,
+            envelope,
+        } => {
+            let body = match restore_handle(&stream, &envelope)
+                .and_then(|handle| fleet.register(&stream, handle))
+            {
+                Ok(_key) => ok_body(id, |_| {}),
+                Err(e) => err_body(id, &e),
+            };
+            let _ = tx.send(Completion::Ready(body));
+            true
+        }
+        Request::Ingest { id, stream, slices } => {
+            // Slices apply in seq order. The first backpressure stops
+            // the batch — applying later slices would reorder the
+            // stream — and every unapplied seq is handed back, exactly
+            // the information `try_ingest`'s slice hand-back carries
+            // in-process (the client still holds the slices).
+            let mut accepted = 0u64;
+            let mut rejected: Vec<u64> = Vec::new();
+            let mut failure: Option<FleetError> = None;
+            let mut pending = slices.into_iter();
+            for (seq, slice) in pending.by_ref() {
+                match fleet.try_ingest_id(&stream, slice) {
+                    Ok(()) => accepted += 1,
+                    Err(IngestError::Backpressure(_returned)) => {
+                        rejected.push(seq);
+                        break;
+                    }
+                    Err(IngestError::UnknownStream(s)) => {
+                        failure = Some(FleetError::UnknownStream(s));
+                        break;
+                    }
+                    Err(IngestError::ShuttingDown) => {
+                        failure = Some(FleetError::ShuttingDown);
+                        break;
+                    }
+                }
+            }
+            let body = match failure {
+                Some(e) => err_body(id, &e),
+                None => {
+                    rejected.extend(pending.map(|(seq, _)| seq));
+                    ok_body(id, |out| {
+                        use std::fmt::Write as _;
+                        let _ = writeln!(out, "accepted {accepted}");
+                        out.push_str("backpressure");
+                        for seq in &rejected {
+                            let _ = write!(out, " {seq}");
+                        }
+                        out.push('\n');
+                    })
+                }
+            };
+            let _ = tx.send(Completion::Ready(body));
+            true
+        }
+        Request::Flush { id } => {
+            let body = match fleet.flush() {
+                Ok(()) => ok_body(id, |_| {}),
+                Err(e) => err_body(id, &e),
+            };
+            let _ = tx.send(Completion::Ready(body));
+            true
+        }
+        Request::Stats { id } => {
+            let body = match fleet.fleet_stats() {
+                Ok(stats) => ok_body(id, |out| push_fleet_stats(out, &stats)),
+                Err(e) => err_body(id, &e),
+            };
+            let _ = tx.send(Completion::Ready(body));
+            true
+        }
+        Request::Shutdown { id } => {
+            shared.shutdown_requested.store(true, Ordering::Release);
+            let _ = tx.send(Completion::Ready(ok_body(id, |_| {})));
+            // Close this connection; `Server::run` drives the rest.
+            false
+        }
+    }
+}
+
+/// Settles completions in request order and writes the reply frames.
+fn responder_loop(mut writer: TcpStream, rx: mpsc::Receiver<Completion>) {
+    while let Ok(completion) = rx.recv() {
+        let body = match completion {
+            Completion::Ready(body) => body,
+            Completion::Query { id, ticket } => match ticket.wait() {
+                Ok(resp) => ok_body(id, |out| pwire::push_response(out, &resp)),
+                Err(e) => err_body(id, &e),
+            },
+            Completion::Batch { id, tickets } => {
+                let results: Vec<Result<sofia_fleet::QueryResponse, FleetError>> = tickets
+                    .into_iter()
+                    .map(|t| t.and_then(QueryTicket::wait))
+                    .collect();
+                ok_body(id, |out| {
+                    use std::fmt::Write as _;
+                    let _ = writeln!(out, "results {}", results.len());
+                    for r in &results {
+                        match r {
+                            Ok(resp) => {
+                                out.push_str("item ok\n");
+                                pwire::push_response(out, resp);
+                            }
+                            Err(e) => {
+                                let _ = writeln!(out, "item err {}", e.to_wire());
+                            }
+                        }
+                    }
+                })
+            }
+        };
+        if write_frame(&mut writer, &body).is_err() {
+            // The peer is gone; keep settling tickets (dropping them
+            // would be fine too — the shard reply channel tolerates a
+            // dropped receiver) but stop writing.
+            break;
+        }
+    }
+}

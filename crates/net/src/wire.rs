@@ -1,0 +1,962 @@
+//! Frames and request/reply bodies of the TCP data plane.
+//!
+//! ## Frame grammar
+//!
+//! Every message in either direction is one **length-framed** UTF-8 text
+//! body:
+//!
+//! ```text
+//! #<len>\n<len bytes of body>
+//! ```
+//!
+//! The body's first line names the message; further lines carry the
+//! payload in the encodings of [`sofia_fleet::protocol::wire`] (floats
+//! as IEEE 754 hex bit patterns — everything that crosses the socket
+//! round-trips bit-exactly). Stream ids are percent-encoded with the
+//! checkpoint-filename encoding, so ids with spaces or separators stay
+//! one token.
+//!
+//! Client → server bodies ([`Request`]):
+//!
+//! ```text
+//! hello <client>                       handshake (first frame)
+//! query <req-id> <stream> <query…>     one typed query (Query::to_wire)
+//! batch <req-id> <n>                   n lines `<stream> <query…>`
+//! register <req-id> <stream>           rest of body = checkpoint envelope
+//! ingest <req-id> <stream> <n>         n blocks `seq <s>` + shape/data/bits
+//! flush <req-id>                       read-your-writes barrier
+//! stats <req-id>                       fleet-wide statistics
+//! shutdown <req-id>                    graceful server shutdown
+//! ```
+//!
+//! Server → client bodies: `ok <req-id>` followed by the reply payload,
+//! or `err <req-id> <fleet-error…>` ([`FleetError::to_wire`]). Replies
+//! arrive **in request order**, so a client that writes several frames
+//! before reading any reply has that many requests pipelined on one
+//! socket.
+//!
+//! Every parser here is total: oversized, truncated, or non-UTF-8
+//! frames and malformed bodies surface as typed errors
+//! ([`FrameError`], [`WireError`]) — never a panic — because these
+//! functions feed on bytes from the network.
+
+use sofia_fleet::protocol::wire::{self, LineCursor, WireError};
+use sofia_fleet::{shard_of, FleetError, FleetStats, Query, QueryCounters, ShardStats};
+use sofia_tensor::ObservedTensor;
+use std::io::{self, BufRead, Write};
+
+/// Default bound on one frame's body, in bytes (32 MiB). A peer
+/// announcing a bigger frame is rejected before any allocation.
+pub const MAX_FRAME_BYTES: usize = 32 << 20;
+
+/// Longest accepted `#<len>` header (fits any length under 10^16).
+const MAX_HEADER_BYTES: usize = 18;
+
+/// A frame that could not be read: transport trouble or a peer that is
+/// not speaking the protocol.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying socket failed.
+    Io(io::Error),
+    /// The `#<len>\n` header line is missing or malformed.
+    BadHeader(String),
+    /// The announced body length exceeds the receiver's bound.
+    Oversized {
+        /// Announced body length.
+        len: usize,
+        /// The receiver's bound.
+        max: usize,
+    },
+    /// The connection closed mid-frame.
+    Truncated,
+    /// The body is not valid UTF-8.
+    NotUtf8,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
+            FrameError::BadHeader(h) => write!(f, "bad frame header `{h}`"),
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte bound")
+            }
+            FrameError::Truncated => write!(f, "connection closed mid-frame"),
+            FrameError::NotUtf8 => write!(f, "frame body is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one `#<len>\n<body>` frame and flushes.
+pub fn write_frame(w: &mut impl Write, body: &str) -> io::Result<()> {
+    // One buffered write so a frame is one TCP segment when it fits.
+    let mut out = Vec::with_capacity(body.len() + MAX_HEADER_BYTES);
+    out.extend_from_slice(format!("#{}\n", body.len()).as_bytes());
+    out.extend_from_slice(body.as_bytes());
+    w.write_all(&out)?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` on a clean EOF **at a frame boundary**
+/// (the peer hung up between frames); EOF anywhere else is
+/// [`FrameError::Truncated`]. Bodies longer than `max` are rejected
+/// without being read.
+pub fn read_frame(r: &mut impl BufRead, max: usize) -> Result<Option<String>, FrameError> {
+    // Header: `#<digits>\n`, read byte-wise (the reader is buffered).
+    let mut header = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) if header.is_empty() => return Ok(None),
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                header.push(byte[0]);
+                if header.len() > MAX_HEADER_BYTES {
+                    return Err(FrameError::BadHeader(
+                        String::from_utf8_lossy(&header).into(),
+                    ));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let text = std::str::from_utf8(&header).map_err(|_| FrameError::NotUtf8)?;
+    let len: usize = text
+        .strip_prefix('#')
+        .and_then(|d| d.parse().ok())
+        .ok_or_else(|| FrameError::BadHeader(text.to_string()))?;
+    if len > max {
+        return Err(FrameError::Oversized { len, max });
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            FrameError::Truncated
+        } else {
+            FrameError::Io(e)
+        }
+    })?;
+    String::from_utf8(body)
+        .map(Some)
+        .map_err(|_| FrameError::NotUtf8)
+}
+
+/// Percent-encodes a stream id (or other token) for the wire; the
+/// checkpoint-filename encoding, reused so one injective escaping rule
+/// covers disk and socket.
+pub use sofia_fleet::durability::{decode_stream_id, encode_stream_id};
+
+/// One parsed client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Handshake; must be the first frame on a connection.
+    Hello {
+        /// Free-form client name (diagnostics only).
+        client: String,
+    },
+    /// One typed query against one stream.
+    Query {
+        /// Pipelining id, echoed by the reply.
+        id: u64,
+        /// Target stream.
+        stream: String,
+        /// The request, exactly as the in-process plane types it.
+        query: Query,
+    },
+    /// A multi-stream batch, answered with one queue round-trip per
+    /// involved shard (item replies stay aligned with the items).
+    QueryBatch {
+        /// Pipelining id.
+        id: u64,
+        /// `(stream, query)` items, in reply order.
+        items: Vec<(String, Query)>,
+    },
+    /// Install a model for a new stream; the payload is a checkpoint
+    /// envelope (`ModelHandle::checkpoint_text`), restored server-side
+    /// through the same bit-exact path crash recovery uses.
+    Register {
+        /// Pipelining id.
+        id: u64,
+        /// Stream id to register.
+        stream: String,
+        /// The checkpoint envelope, byte-for-byte.
+        envelope: String,
+    },
+    /// Batched data-plane ingest for one stream: slices with client
+    /// sequence numbers, applied in order until the shard pushes back.
+    Ingest {
+        /// Pipelining id.
+        id: u64,
+        /// Target stream.
+        stream: String,
+        /// `(seq, slice)` in ingest order.
+        slices: Vec<(u64, ObservedTensor)>,
+    },
+    /// Read-your-writes barrier ([`sofia_fleet::Fleet::flush`] over TCP).
+    Flush {
+        /// Pipelining id.
+        id: u64,
+    },
+    /// Fleet-wide statistics snapshot.
+    Stats {
+        /// Pipelining id.
+        id: u64,
+    },
+    /// Ask the server to drain and exit gracefully.
+    Shutdown {
+        /// Pipelining id.
+        id: u64,
+    },
+}
+
+impl Request {
+    /// The request's pipelining id (0 for the handshake).
+    pub fn id(&self) -> u64 {
+        match self {
+            Request::Hello { .. } => 0,
+            Request::Query { id, .. }
+            | Request::QueryBatch { id, .. }
+            | Request::Register { id, .. }
+            | Request::Ingest { id, .. }
+            | Request::Flush { id }
+            | Request::Stats { id }
+            | Request::Shutdown { id } => *id,
+        }
+    }
+
+    /// Serializes the request into one frame body.
+    pub fn to_body(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        match self {
+            Request::Hello { client } => {
+                let _ = writeln!(out, "hello {}", encode_stream_id(client));
+            }
+            Request::Query { id, stream, query } => {
+                let _ = writeln!(
+                    out,
+                    "query {id} {} {}",
+                    encode_stream_id(stream),
+                    query.to_wire()
+                );
+            }
+            Request::QueryBatch { id, items } => {
+                let _ = writeln!(out, "batch {id} {}", items.len());
+                for (stream, query) in items {
+                    let _ = writeln!(out, "{} {}", encode_stream_id(stream), query.to_wire());
+                }
+            }
+            Request::Register {
+                id,
+                stream,
+                envelope,
+            } => {
+                let _ = writeln!(out, "register {id} {}", encode_stream_id(stream));
+                out.push_str(envelope);
+            }
+            Request::Ingest { id, stream, slices } => {
+                out.push_str(&ingest_body(*id, stream, slices));
+            }
+            Request::Flush { id } => {
+                let _ = writeln!(out, "flush {id}");
+            }
+            Request::Stats { id } => {
+                let _ = writeln!(out, "stats {id}");
+            }
+            Request::Shutdown { id } => {
+                let _ = writeln!(out, "shutdown {id}");
+            }
+        }
+        out
+    }
+
+    /// Parses a frame body into a request. Total: every malformed body
+    /// is a typed [`WireError`].
+    pub fn from_body(body: &str) -> Result<Request, WireError> {
+        let (head, rest) = match body.find('\n') {
+            Some(i) => (&body[..i], &body[i + 1..]),
+            None => (body, ""),
+        };
+        fn int<'a>(
+            toks: &mut impl Iterator<Item = &'a str>,
+            verb: &str,
+            what: &str,
+        ) -> Result<u64, WireError> {
+            let tok = toks
+                .next()
+                .ok_or_else(|| WireError::new(format!("`{verb}` needs a {what}")))?;
+            tok.parse()
+                .map_err(|_| WireError::new(format!("bad {what} `{tok}`")))
+        }
+        let mut toks = head.split_whitespace();
+        let verb = toks.next().ok_or_else(|| WireError::new("empty request"))?;
+        let req = match verb {
+            "hello" => {
+                let enc = toks.next().unwrap_or("");
+                Request::Hello {
+                    client: decode_stream_id(enc)
+                        .ok_or_else(|| WireError::new("undecodable client name"))?,
+                }
+            }
+            "query" => {
+                let id = int(&mut toks, verb, "request id")?;
+                let stream = toks
+                    .next()
+                    .and_then(decode_stream_id)
+                    .ok_or_else(|| WireError::new("query needs a stream id"))?;
+                let line: Vec<&str> = toks.collect();
+                let query = Query::from_wire_line(&line.join(" "))?;
+                return finish_single_line(rest, Request::Query { id, stream, query });
+            }
+            "batch" => {
+                let id = int(&mut toks, verb, "request id")?;
+                let n = int(&mut toks, verb, "item count")? as usize;
+                if n > MAX_BATCH_ITEMS {
+                    return Err(WireError::new(format!(
+                        "batch of {n} items exceeds the bound of {MAX_BATCH_ITEMS}"
+                    )));
+                }
+                let mut cur = LineCursor::new(rest);
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let line = cur.next("batch item")?;
+                    let (enc, query_line) = line
+                        .split_once(' ')
+                        .ok_or_else(|| WireError::new(format!("bad batch item `{line}`")))?;
+                    let stream = decode_stream_id(enc)
+                        .ok_or_else(|| WireError::new("undecodable stream id"))?;
+                    items.push((stream, Query::from_wire_line(query_line)?));
+                }
+                cur.finish()?;
+                return Ok(Request::QueryBatch { id, items });
+            }
+            "register" => {
+                let id = int(&mut toks, verb, "request id")?;
+                let stream = toks
+                    .next()
+                    .and_then(decode_stream_id)
+                    .ok_or_else(|| WireError::new("register needs a stream id"))?;
+                // The envelope is the rest of the body, byte-for-byte
+                // (its payload must stay bit-exact).
+                return Ok(Request::Register {
+                    id,
+                    stream,
+                    envelope: rest.to_string(),
+                });
+            }
+            "ingest" => {
+                let id = int(&mut toks, verb, "request id")?;
+                let stream = toks
+                    .next()
+                    .and_then(decode_stream_id)
+                    .ok_or_else(|| WireError::new("ingest needs a stream id"))?;
+                let n = int(&mut toks, verb, "slice count")? as usize;
+                if n > MAX_BATCH_ITEMS {
+                    return Err(WireError::new(format!(
+                        "ingest of {n} slices exceeds the bound of {MAX_BATCH_ITEMS}"
+                    )));
+                }
+                let mut cur = LineCursor::new(rest);
+                let mut slices = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let seq_line = cur.next("slice sequence number")?;
+                    let seq = seq_line
+                        .strip_prefix("seq ")
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| WireError::new(format!("bad seq line `{seq_line}`")))?;
+                    slices.push((seq, wire::parse_observed(&mut cur)?));
+                }
+                cur.finish()?;
+                return Ok(Request::Ingest { id, stream, slices });
+            }
+            "flush" => Request::Flush {
+                id: int(&mut toks, verb, "request id")?,
+            },
+            "stats" => Request::Stats {
+                id: int(&mut toks, verb, "request id")?,
+            },
+            "shutdown" => Request::Shutdown {
+                id: int(&mut toks, verb, "request id")?,
+            },
+            other => return Err(WireError::new(format!("unknown request `{other}`"))),
+        };
+        if toks.next().is_some() {
+            return Err(WireError::new(format!("trailing token in `{head}`")));
+        }
+        finish_single_line(rest, req)
+    }
+}
+
+/// Upper bound on items in one batch/ingest frame (a second line of
+/// defence behind the frame-size bound).
+pub const MAX_BATCH_ITEMS: usize = 65_536;
+
+/// Serializes an `ingest` frame body from **borrowed** slices, so a
+/// client can keep the originals as its backpressure hand-back source
+/// without cloning the tensors ([`Request::to_body`] delegates here).
+pub fn ingest_body(id: u64, stream: &str, slices: &[(u64, ObservedTensor)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "ingest {id} {} {}",
+        encode_stream_id(stream),
+        slices.len()
+    );
+    for (seq, slice) in slices {
+        let _ = writeln!(out, "seq {seq}");
+        wire::push_observed(&mut out, slice);
+    }
+    out
+}
+
+/// Upper bound (in bytes) of one slice's encoded ingest block: the
+/// `seq` line, the shape line, 17 bytes per hex float, one bit per
+/// mask entry, and label overhead. Used to chunk client batches under
+/// the frame bound without serializing twice.
+pub fn ingest_slice_wire_bound(slice: &ObservedTensor) -> usize {
+    let elems = slice.shape().len();
+    let dims = slice.shape().order();
+    32 + 8 + 21 * dims + 17 * elems + elems + 16
+}
+
+fn finish_single_line(rest: &str, req: Request) -> Result<Request, WireError> {
+    if rest.is_empty() {
+        Ok(req)
+    } else {
+        Err(WireError::new("unexpected payload after request line"))
+    }
+}
+
+/// The status line of a server reply.
+#[derive(Debug)]
+pub enum ReplyHead {
+    /// `ok <req-id>`; the payload follows.
+    Ok(u64),
+    /// `err <req-id> <fleet-error…>`.
+    Err(u64, FleetError),
+}
+
+/// Builds an `ok` reply body from a payload writer.
+pub fn ok_body(id: u64, write_payload: impl FnOnce(&mut String)) -> String {
+    let mut out = format!("ok {id}\n");
+    write_payload(&mut out);
+    out
+}
+
+/// Builds an `err` reply body.
+pub fn err_body(id: u64, e: &FleetError) -> String {
+    format!("err {id} {}\n", e.to_wire())
+}
+
+/// Splits a reply body into its head and the payload remainder.
+pub fn split_reply(body: &str) -> Result<(ReplyHead, &str), WireError> {
+    let (head, rest) = match body.find('\n') {
+        Some(i) => (&body[..i], &body[i + 1..]),
+        None => (body, ""),
+    };
+    if let Some(rest_head) = head.strip_prefix("ok ") {
+        let id = rest_head
+            .parse()
+            .map_err(|_| WireError::new(format!("bad reply id in `{head}`")))?;
+        return Ok((ReplyHead::Ok(id), rest));
+    }
+    if let Some(rest_head) = head.strip_prefix("err ") {
+        let (id_tok, err_line) = rest_head
+            .split_once(' ')
+            .ok_or_else(|| WireError::new(format!("bad err reply `{head}`")))?;
+        let id = id_tok
+            .parse()
+            .map_err(|_| WireError::new(format!("bad reply id in `{head}`")))?;
+        return Ok((ReplyHead::Err(id, FleetError::from_wire(err_line)?), rest));
+    }
+    Err(WireError::new(format!("bad reply head `{head}`")))
+}
+
+/// The shard-ownership table a server hands its clients at handshake:
+/// stream route → endpoint.
+///
+/// Today every shard maps to the one serving endpoint (single-node), but
+/// the table is what a multi-process deployment changes: give shards
+/// different endpoints and [`ShardMap::endpoint_of`] becomes the
+/// client-side router — the stable FNV stream route
+/// ([`sofia_fleet::shard_of`]) already agrees across processes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    endpoints: Vec<String>,
+}
+
+impl ShardMap {
+    /// A single-node map: all `shards` routes point at `endpoint`.
+    pub fn single_node(endpoint: impl Into<String>, shards: usize) -> ShardMap {
+        assert!(shards > 0, "a shard map needs at least one shard");
+        let endpoint = endpoint.into();
+        ShardMap {
+            endpoints: vec![endpoint; shards],
+        }
+    }
+
+    /// A map with one endpoint per shard (the multi-node seam).
+    pub fn from_endpoints(endpoints: Vec<String>) -> ShardMap {
+        assert!(
+            !endpoints.is_empty(),
+            "a shard map needs at least one shard"
+        );
+        ShardMap { endpoints }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Endpoint serving shard `i`.
+    pub fn endpoints(&self) -> &[String] {
+        &self.endpoints
+    }
+
+    /// The shard a stream id routes to (same stable hash the engine
+    /// uses).
+    pub fn shard_of(&self, stream_id: &str) -> usize {
+        shard_of(stream_id, self.endpoints.len())
+    }
+
+    /// The endpoint serving a stream id.
+    pub fn endpoint_of(&self, stream_id: &str) -> &str {
+        &self.endpoints[self.shard_of(stream_id)]
+    }
+
+    /// Appends the map's wire form (`shardmap <n>` + one `endpoint`
+    /// line per shard).
+    pub fn push_wire(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = writeln!(out, "shardmap {}", self.endpoints.len());
+        for (i, ep) in self.endpoints.iter().enumerate() {
+            let _ = writeln!(out, "endpoint {i} {}", encode_stream_id(ep));
+        }
+    }
+
+    /// Parses the block written by [`ShardMap::push_wire`].
+    pub fn parse(cur: &mut LineCursor<'_>) -> Result<ShardMap, WireError> {
+        let head = cur.next("shardmap header")?;
+        let n: usize = head
+            .strip_prefix("shardmap ")
+            .and_then(|d| d.parse().ok())
+            .filter(|&n| n > 0 && n <= 1 << 20)
+            .ok_or_else(|| WireError::new(format!("bad shardmap header `{head}`")))?;
+        let mut endpoints = Vec::with_capacity(n);
+        for i in 0..n {
+            let line = cur.next("shardmap endpoint")?;
+            let rest = line
+                .strip_prefix(&format!("endpoint {i} "))
+                .ok_or_else(|| WireError::new(format!("bad endpoint line `{line}`")))?;
+            endpoints.push(
+                decode_stream_id(rest).ok_or_else(|| WireError::new("undecodable endpoint"))?,
+            );
+        }
+        Ok(ShardMap { endpoints })
+    }
+}
+
+/// Appends fleet-wide statistics (`shards <n>` + three lines per shard).
+pub fn push_fleet_stats(out: &mut String, stats: &FleetStats) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "shards {}", stats.shards.len());
+    for s in &stats.shards {
+        let _ = writeln!(
+            out,
+            "shard {} {} {} {} {} {} {} {} {} {} {} {}",
+            s.shard,
+            s.streams,
+            s.evicted,
+            s.steps,
+            s.queue_depth,
+            s.batches,
+            s.max_batch,
+            s.dropped,
+            s.evictions,
+            s.restores,
+            s.query_batches,
+            s.query_queue_depth
+        );
+        let _ = writeln!(
+            out,
+            "queries {} {} {} {}",
+            s.queries.latest, s.queries.forecast, s.queries.outlier_mask, s.queries.stream_stats
+        );
+        match s.step_latency_ewma_us {
+            Some(l) => {
+                let _ = writeln!(out, "latency {:016x}", l.to_bits());
+            }
+            None => out.push_str("latency none\n"),
+        }
+    }
+}
+
+/// Parses the block written by [`push_fleet_stats`].
+pub fn parse_fleet_stats(cur: &mut LineCursor<'_>) -> Result<FleetStats, WireError> {
+    let head = cur.next("stats header")?;
+    let n: usize = head
+        .strip_prefix("shards ")
+        .and_then(|d| d.parse().ok())
+        .filter(|&n| n <= 1 << 20)
+        .ok_or_else(|| WireError::new(format!("bad stats header `{head}`")))?;
+    let mut shards = Vec::with_capacity(n);
+    for _ in 0..n {
+        let line = cur.next("shard stats")?;
+        let nums: Vec<&str> = line
+            .strip_prefix("shard ")
+            .ok_or_else(|| WireError::new(format!("bad shard line `{line}`")))?
+            .split_whitespace()
+            .collect();
+        if nums.len() != 12 {
+            return Err(WireError::new(format!(
+                "shard line carries {} fields, expected 12",
+                nums.len()
+            )));
+        }
+        let int = |i: usize| -> Result<u64, WireError> {
+            nums[i]
+                .parse()
+                .map_err(|_| WireError::new(format!("bad shard field `{}`", nums[i])))
+        };
+        let qline = cur.next("shard query counters")?;
+        let qnums: Vec<&str> = qline
+            .strip_prefix("queries ")
+            .ok_or_else(|| WireError::new(format!("bad queries line `{qline}`")))?
+            .split_whitespace()
+            .collect();
+        if qnums.len() != 4 {
+            return Err(WireError::new("queries line needs 4 counters"));
+        }
+        let qint = |i: usize| -> Result<u64, WireError> {
+            qnums[i]
+                .parse()
+                .map_err(|_| WireError::new(format!("bad query counter `{}`", qnums[i])))
+        };
+        let lline = cur.next("shard latency")?;
+        let step_latency_ewma_us = match lline
+            .strip_prefix("latency ")
+            .ok_or_else(|| WireError::new(format!("bad latency line `{lline}`")))?
+        {
+            "none" => None,
+            hex => Some(f64::from_bits(
+                u64::from_str_radix(hex, 16)
+                    .map_err(|_| WireError::new(format!("bad latency `{hex}`")))?,
+            )),
+        };
+        shards.push(ShardStats {
+            shard: int(0)? as usize,
+            streams: int(1)? as usize,
+            evicted: int(2)? as usize,
+            steps: int(3)?,
+            queue_depth: int(4)? as usize,
+            batches: int(5)?,
+            max_batch: int(6)? as usize,
+            dropped: int(7)?,
+            evictions: int(8)?,
+            restores: int(9)?,
+            queries: QueryCounters {
+                latest: qint(0)?,
+                forecast: qint(1)?,
+                outlier_mask: qint(2)?,
+                stream_stats: qint(3)?,
+            },
+            query_batches: int(10)?,
+            query_queue_depth: int(11)? as usize,
+            step_latency_ewma_us,
+        });
+    }
+    Ok(FleetStats { shards })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofia_tensor::{DenseTensor, Mask, Shape};
+
+    fn slice(v: f64) -> ObservedTensor {
+        ObservedTensor::new(
+            DenseTensor::from_vec(Shape::new(&[2, 2]), vec![v, -v, 0.25 * v, f64::INFINITY]),
+            Mask::from_vec(Shape::new(&[2, 2]), vec![true, false, true, true]),
+        )
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "hello world\nsecond line").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        let mut r = io::BufReader::new(&buf[..]);
+        assert_eq!(
+            read_frame(&mut r, MAX_FRAME_BYTES).unwrap().as_deref(),
+            Some("hello world\nsecond line")
+        );
+        assert_eq!(
+            read_frame(&mut r, MAX_FRAME_BYTES).unwrap().as_deref(),
+            Some("")
+        );
+        assert!(read_frame(&mut r, MAX_FRAME_BYTES).unwrap().is_none());
+    }
+
+    #[test]
+    fn frames_reject_oversized_truncated_and_garbage() {
+        // Oversized: announced length above the receiver bound.
+        let mut r = io::BufReader::new(&b"#100\nxxxx"[..]);
+        assert!(matches!(
+            read_frame(&mut r, 10),
+            Err(FrameError::Oversized { len: 100, max: 10 })
+        ));
+        // Truncated body.
+        let mut r = io::BufReader::new(&b"#10\nshort"[..]);
+        assert!(matches!(
+            read_frame(&mut r, 100),
+            Err(FrameError::Truncated)
+        ));
+        // Truncated header.
+        let mut r = io::BufReader::new(&b"#1"[..]);
+        assert!(matches!(
+            read_frame(&mut r, 100),
+            Err(FrameError::Truncated)
+        ));
+        // Garbage headers.
+        for bad in [
+            "nope\n",
+            "#\n",
+            "#-3\n",
+            "#12x\n",
+            "#99999999999999999999\n",
+        ] {
+            let mut r = io::BufReader::new(bad.as_bytes());
+            assert!(
+                matches!(read_frame(&mut r, 100), Err(FrameError::BadHeader(_))),
+                "{bad:?}"
+            );
+        }
+        // Non-UTF-8 body.
+        let mut r = io::BufReader::new(&b"#2\n\xff\xfe"[..]);
+        assert!(matches!(read_frame(&mut r, 100), Err(FrameError::NotUtf8)));
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = vec![
+            Request::Hello {
+                client: "bench client/1".into(),
+            },
+            Request::Query {
+                id: 7,
+                stream: "sensor net/α".into(),
+                query: Query::Forecast { horizon: 12 },
+            },
+            Request::QueryBatch {
+                id: 8,
+                items: vec![
+                    ("a".into(), Query::Latest),
+                    ("b c".into(), Query::StreamStats),
+                    ("d".into(), Query::OutlierMask),
+                ],
+            },
+            Request::Register {
+                id: 9,
+                stream: "new stream".into(),
+                envelope: "sofia-checkpoint v2\nmodel demo\nsteps 3\npayload line\n".into(),
+            },
+            Request::Ingest {
+                id: 10,
+                stream: "s".into(),
+                slices: vec![(41, slice(1.5)), (42, slice(-2.0))],
+            },
+            Request::Flush { id: 11 },
+            Request::Stats { id: 12 },
+            Request::Shutdown { id: 13 },
+        ];
+        for req in requests {
+            let body = req.to_body();
+            let back = Request::from_body(&body).unwrap_or_else(|e| panic!("{e}:\n{body}"));
+            match (&req, &back) {
+                // ObservedTensor has no PartialEq; compare field-wise.
+                (
+                    Request::Ingest {
+                        id: a,
+                        stream: sa,
+                        slices: xa,
+                    },
+                    Request::Ingest {
+                        id: b,
+                        stream: sb,
+                        slices: xb,
+                    },
+                ) => {
+                    assert_eq!((a, sa), (b, sb));
+                    assert_eq!(xa.len(), xb.len());
+                    for ((qa, ta), (qb, tb)) in xa.iter().zip(xb) {
+                        assert_eq!(qa, qb);
+                        assert_eq!(ta.values().data(), tb.values().data());
+                        assert_eq!(ta.count_observed(), tb.count_observed());
+                    }
+                }
+                (a, b) => assert_eq!(a, b, "body:\n{body}"),
+            }
+            assert_eq!(req.id(), back.id());
+        }
+    }
+
+    #[test]
+    fn requests_reject_malformed() {
+        let cases = [
+            "",
+            "warp 1",
+            "query",
+            "query x s latest",
+            "query 1",
+            "query 1 s",
+            "query 1 s bogus",
+            "query 1 %zz latest",
+            "query 1 s latest\ntrailing payload",
+            "batch 1 2\na latest",
+            "batch 1 2\na latest\nb forecast 1\nextra",
+            "batch 1 999999999",
+            "batch 1 1\nmissing-query-token",
+            "ingest 1 s 1\nseq nope\nshape 1\ndata 0\nbits 1",
+            "ingest 1 s 1\nseq 5\nshape 2\ndata 0000000000000000\nbits 10",
+            "ingest 1 s 2\nseq 5\nshape 1\ndata 0000000000000000\nbits 1",
+            "flush",
+            "flush x",
+            "flush 1 2",
+            "stats 1\nstray",
+            "hello %f",
+        ];
+        for case in cases {
+            assert!(Request::from_body(case).is_err(), "should reject:\n{case}");
+        }
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let ok = ok_body(42, |out| out.push_str("payload line\n"));
+        let (head, rest) = split_reply(&ok).unwrap();
+        assert!(matches!(head, ReplyHead::Ok(42)));
+        assert_eq!(rest, "payload line\n");
+
+        let err = err_body(7, &FleetError::UnknownStream("ghost".into()));
+        let (head, rest) = split_reply(&err).unwrap();
+        match head {
+            ReplyHead::Err(7, FleetError::UnknownStream(id)) => assert_eq!(id, "ghost"),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(rest, "");
+
+        for bad in ["", "ok", "ok x", "err 1", "err x shutting-down", "yo 1"] {
+            assert!(split_reply(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn shard_map_routes_and_round_trips() {
+        let map = ShardMap::single_node("127.0.0.1:7000", 4);
+        assert_eq!(map.shards(), 4);
+        assert_eq!(map.endpoint_of("any-stream"), "127.0.0.1:7000");
+        assert_eq!(map.shard_of("s"), shard_of("s", 4));
+
+        let multi = ShardMap::from_endpoints(vec!["h0:1".into(), "h1:2".into()]);
+        let mut out = String::new();
+        multi.push_wire(&mut out);
+        let mut cur = LineCursor::new(&out);
+        let back = ShardMap::parse(&mut cur).unwrap();
+        cur.finish().unwrap();
+        assert_eq!(back, multi);
+        // Routing through the parsed map agrees with the engine hash.
+        for id in ["a", "b", "stream/with spaces"] {
+            assert_eq!(back.endpoint_of(id), multi.endpoint_of(id));
+        }
+
+        for bad in [
+            "shardmap 0",
+            "shardmap x",
+            "shardmap 2\nendpoint 0 a",
+            "shardmap 1\nendpoint 1 a",
+            "shardmap 1\nendpoint 0 %zz",
+        ] {
+            let mut cur = LineCursor::new(bad);
+            assert!(ShardMap::parse(&mut cur).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn fleet_stats_round_trip() {
+        let stats = FleetStats {
+            shards: vec![
+                ShardStats {
+                    shard: 0,
+                    streams: 3,
+                    evicted: 1,
+                    steps: 100,
+                    queue_depth: 2,
+                    batches: 40,
+                    max_batch: 9,
+                    dropped: 1,
+                    evictions: 2,
+                    restores: 1,
+                    queries: QueryCounters {
+                        latest: 5,
+                        forecast: 6,
+                        outlier_mask: 7,
+                        stream_stats: 8,
+                    },
+                    query_batches: 11,
+                    query_queue_depth: 1,
+                    step_latency_ewma_us: Some(321.125),
+                },
+                ShardStats {
+                    shard: 1,
+                    streams: 0,
+                    evicted: 0,
+                    steps: 0,
+                    queue_depth: 0,
+                    batches: 0,
+                    max_batch: 0,
+                    dropped: 0,
+                    evictions: 0,
+                    restores: 0,
+                    queries: QueryCounters::default(),
+                    query_batches: 0,
+                    query_queue_depth: 0,
+                    step_latency_ewma_us: None,
+                },
+            ],
+        };
+        let mut out = String::new();
+        push_fleet_stats(&mut out, &stats);
+        let mut cur = LineCursor::new(&out);
+        let back = parse_fleet_stats(&mut cur).unwrap();
+        cur.finish().unwrap();
+        assert_eq!(back.shards.len(), 2);
+        assert_eq!(back.steps(), 100);
+        assert_eq!(back.queries().total(), 26);
+        assert_eq!(
+            back.shards[0].step_latency_ewma_us.map(f64::to_bits),
+            Some(321.125f64.to_bits())
+        );
+        assert_eq!(back.shards[1].step_latency_ewma_us, None);
+    }
+}

@@ -12,7 +12,9 @@
 //!   ([`sofia_datagen`]);
 //! * [`eval`] — metrics and streaming evaluation ([`sofia_eval`]);
 //! * [`fleet`] — the sharded multi-stream serving engine
-//!   ([`sofia_fleet`]).
+//!   ([`sofia_fleet`]);
+//! * [`net`] — the TCP data plane over the fleet's typed query
+//!   protocol ([`sofia_net`]).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour,
 //! `examples/fleet_serving.rs` for the serving engine, and the repository
@@ -23,6 +25,7 @@ pub use sofia_core as core;
 pub use sofia_datagen as datagen;
 pub use sofia_eval as eval;
 pub use sofia_fleet as fleet;
+pub use sofia_net as net;
 pub use sofia_tensor as tensor;
 pub use sofia_timeseries as timeseries;
 
