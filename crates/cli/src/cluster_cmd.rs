@@ -1,0 +1,289 @@
+//! The `cluster` subcommand: launch N `serve` **processes** from one
+//! spec, then prove multi-process sharding end to end — a stream
+//! registered on its owning node is unreachable on any other node, a
+//! migration ships its checkpoint envelope over the wire and flips the
+//! routing entry, and the whole cluster shuts down cleanly.
+//!
+//! ```text
+//! sofia-cli cluster [--nodes 2] [--base-port 7421] [--shards 2]
+//!                   [--checkpoint-dir DIR]
+//! ```
+//!
+//! Each node is a real OS process (`sofia-cli serve --empty true
+//! --cluster <all endpoints>`) with its own fleet, its own checkpoint
+//! directory (`<dir>/node-<i>`), and the full spec map in its
+//! handshake; this command is the single-writer coordinator driving
+//! them through a [`ClusterClient`]. Exits nonzero if any step — or the
+//! bit-exactness of the migrated forecast — fails, so CI can run it as
+//! the cluster smoke test.
+
+use crate::commands::CmdResult;
+use sofia_baselines::Smf;
+use sofia_datagen::seasonal::SeasonalStream;
+use sofia_datagen::stream::TensorStream;
+use sofia_fleet::{FleetError, ModelHandle, Query};
+use sofia_net::{Client, ClientError, ClusterClient};
+use sofia_tensor::ObservedTensor;
+use std::error::Error;
+use std::path::PathBuf;
+use std::process::Child;
+use std::time::{Duration, Instant};
+
+/// Parameters of one `cluster` invocation.
+pub struct ClusterOpts {
+    /// Number of `serve` processes to launch.
+    pub nodes: usize,
+    /// Node `i` binds `127.0.0.1:(base_port + i)`.
+    pub base_port: u16,
+    /// Route slots per node in the spec map (also each node's internal
+    /// shard count).
+    pub shards: usize,
+    /// Base checkpoint directory (`node-<i>` per node); a temp
+    /// directory when omitted.
+    pub checkpoint_dir: Option<PathBuf>,
+}
+
+impl Default for ClusterOpts {
+    fn default() -> Self {
+        ClusterOpts {
+            nodes: 2,
+            base_port: 7421,
+            shards: 2,
+            checkpoint_dir: None,
+        }
+    }
+}
+
+/// Kills every `serve` process still in `children` when dropped, so no
+/// error path leaves orphan nodes holding their ports. Reaped children
+/// are popped out as they exit cleanly; an empty guard drops as a
+/// no-op.
+struct NodeGuard {
+    children: Vec<(String, Child)>,
+}
+
+impl NodeGuard {
+    /// Waits for every node to exit and checks the exit codes (the
+    /// graceful path after a cluster-wide shutdown frame). A node that
+    /// exits nonzero aborts the join — the guard's drop then kills the
+    /// not-yet-reaped remainder instead of orphaning it.
+    fn join(mut self) -> CmdResult {
+        while let Some((endpoint, mut child)) = self.children.pop() {
+            let status = child.wait()?;
+            if !status.success() {
+                return Err(format!("node {endpoint} exited with {status}").into());
+            }
+            println!("cluster: node {endpoint} exited cleanly");
+        }
+        Ok(())
+    }
+}
+
+impl Drop for NodeGuard {
+    fn drop(&mut self) {
+        for (endpoint, child) in &mut self.children {
+            eprintln!("cluster: killing node {endpoint}");
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Polls an endpoint until its handshake answers (the child binds and
+/// warms asynchronously). A child that already exited — e.g. its port
+/// was taken — fails fast with the real exit status instead of
+/// spinning out the timeout on connection errors.
+fn await_node(endpoint: &str, child: &mut Child, timeout: Duration) -> CmdResult {
+    let start = Instant::now();
+    loop {
+        if let Some(status) = child.try_wait()? {
+            return Err(format!("node {endpoint} exited early with {status}").into());
+        }
+        match Client::connect_as(endpoint, "cluster-probe") {
+            Ok(_) => return Ok(()),
+            Err(_) if start.elapsed() < timeout => {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(e) => return Err(format!("node {endpoint} never came up: {e}").into()),
+        }
+    }
+}
+
+/// One forecast through the router, as raw bit patterns — both sides
+/// of the pre/post-migration comparison must use the identical
+/// extraction for "bit-exact" to mean anything.
+fn forecast_bits(router: &mut ClusterClient, stream: &str) -> Result<Vec<u64>, Box<dyn Error>> {
+    Ok(router
+        .query(stream, Query::Forecast { horizon: 4 })?
+        .expect_forecast()
+        .ok_or("SMF forecasts")?
+        .data()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect())
+}
+
+/// Entry point of `sofia-cli cluster`.
+pub fn cluster(opts: &ClusterOpts) -> CmdResult {
+    if opts.nodes < 2 {
+        return Err("a cluster needs at least 2 nodes (use `serve` for one)".into());
+    }
+    if opts.shards == 0 {
+        return Err("shards must be positive".into());
+    }
+    // The ports are base_port..base_port+nodes; reject a spec that
+    // walks off either end of the port space (port 0 would make node 0
+    // bind an ephemeral port the spec map doesn't name).
+    if opts.base_port == 0 {
+        return Err("--base-port must be positive (port 0 binds an ephemeral port)".into());
+    }
+    if opts.base_port as u64 + opts.nodes as u64 - 1 > u16::MAX as u64 {
+        return Err(format!(
+            "--base-port {} with --nodes {} exceeds port {}",
+            opts.base_port,
+            opts.nodes,
+            u16::MAX
+        )
+        .into());
+    }
+    let endpoints: Vec<String> = (0..opts.nodes)
+        .map(|i| format!("127.0.0.1:{}", opts.base_port as u64 + i as u64))
+        .collect();
+    let base_dir = opts.checkpoint_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("sofia-cluster-cli-{}", std::process::id()))
+    });
+
+    // --- Launch: one real `serve` process per node, each told the full
+    // spec so every handshake advertises the same ownership map.
+    let exe = std::env::current_exe()?;
+    let spec = endpoints.join(",");
+    let mut guard = NodeGuard {
+        children: Vec::new(),
+    };
+    for (i, endpoint) in endpoints.iter().enumerate() {
+        let dir = base_dir.join(format!("node-{i}"));
+        let child = std::process::Command::new(&exe)
+            .args([
+                "serve",
+                "--bind",
+                endpoint,
+                "--empty",
+                "true",
+                "--shards",
+                &opts.shards.to_string(),
+                "--cluster",
+                &spec,
+                "--checkpoint-dir",
+                dir.to_str().ok_or("unrepresentable checkpoint path")?,
+                "--checkpoint-every",
+                "2",
+            ])
+            .spawn()?;
+        guard.children.push((endpoint.clone(), child));
+    }
+    for (endpoint, child) in &mut guard.children {
+        let endpoint = endpoint.clone();
+        await_node(&endpoint, child, Duration::from_secs(30))?;
+    }
+    println!(
+        "cluster: {} nodes up on {spec} ({} route slots)",
+        opts.nodes,
+        opts.nodes * opts.shards
+    );
+
+    // --- Bootstrap the router from one seed member's handshake.
+    let mut router = ClusterClient::connect_as(endpoints[0].clone(), "sofia-cli-cluster")?;
+    if router.map().distinct_endpoints().len() != opts.nodes {
+        return Err("seed handshake did not advertise the full cluster map".into());
+    }
+
+    // --- A deterministic demo stream (SMF: cheap, durable, forecasts)
+    // on whichever node its id hashes to.
+    let stream_id = "cluster-demo";
+    let owner = router.endpoint_of(stream_id).to_string();
+    let other = endpoints
+        .iter()
+        .find(|ep| **ep != owner)
+        .expect("at least 2 nodes")
+        .clone();
+    let period = 4;
+    let source = SeasonalStream::paper_fig2(&[6, 5], 2, period, 2021);
+    let startup: Vec<ObservedTensor> = (0..3 * period)
+        .map(|t| ObservedTensor::fully_observed(source.clean_slice(t)))
+        .collect();
+    let model = ModelHandle::durable(Smf::init(&startup, 2, period, 0.1, 2021));
+    router.register(stream_id, &model)?;
+    println!("cluster: registered `{stream_id}` on its owner {owner}");
+
+    // --- Sharding is real: the stream exists on exactly one process.
+    let mut direct = Client::connect_as(&other, "cluster-direct-probe")?;
+    match direct.query(stream_id, Query::StreamStats) {
+        Err(ClientError::Fleet(FleetError::UnknownStream(_))) => {
+            println!("cluster: `{stream_id}` is (correctly) unknown on {other}");
+        }
+        other_result => {
+            return Err(
+                format!("`{stream_id}` should be unknown on {other}, got {other_result:?}").into(),
+            )
+        }
+    }
+
+    // --- Traffic, then a forecast to compare across the migration.
+    let slices: Vec<ObservedTensor> = (3 * period..3 * period + 8)
+        .map(|t| ObservedTensor::fully_observed(source.clean_slice(t)))
+        .collect();
+    let ingested = slices.len();
+    router.ingest_blocking(stream_id, slices)?;
+    router.flush()?;
+    let before = forecast_bits(&mut router, stream_id)?;
+
+    // --- Migrate: envelope over the wire, map entry flipped, old copy
+    // unloaded (and its checkpoint file deleted on the old owner).
+    router.migrate(stream_id, &other)?;
+    println!("cluster: migrated `{stream_id}` {owner} -> {other}");
+    let after = forecast_bits(&mut router, stream_id)?;
+    if before != after {
+        return Err("post-migration forecast diverged from pre-migration bits".into());
+    }
+    println!(
+        "cluster: post-migration forecast is bit-exact ({} floats)",
+        after.len()
+    );
+    let mut direct_old = Client::connect_as(&owner, "cluster-direct-probe")?;
+    match direct_old.query(stream_id, Query::StreamStats) {
+        Err(ClientError::Fleet(FleetError::UnknownStream(_))) => {
+            println!("cluster: old owner {owner} no longer serves `{stream_id}`");
+        }
+        other_result => {
+            return Err(
+                format!("`{stream_id}` should be gone from {owner}, got {other_result:?}").into(),
+            )
+        }
+    }
+    let steps = router
+        .query(stream_id, Query::StreamStats)?
+        .expect_stream_stats()
+        .steps;
+    if steps != ingested as u64 {
+        return Err(format!("migrated stream reports {steps} steps, expected {ingested}").into());
+    }
+
+    let merged = router.stats()?;
+    println!(
+        "cluster: merged stats — {} resident streams over {} shards on {} nodes, {} steps",
+        merged.streams(),
+        merged.shards.len(),
+        opts.nodes,
+        merged.steps()
+    );
+
+    // --- Cluster-wide graceful shutdown, then reap the processes.
+    let stopped = router.shutdown_all()?;
+    println!("cluster: {stopped} nodes acknowledged shutdown");
+    guard.join()?;
+    if opts.checkpoint_dir.is_none() {
+        let _ = std::fs::remove_dir_all(&base_dir);
+    }
+    println!("cluster: register -> shard-miss -> migrate -> bit-exact forecast -> clean shutdown all proven");
+    Ok(())
+}

@@ -13,11 +13,14 @@
 //!                    [--checkpoint-dir DIR] [--checkpoint-every 25]
 //!                    [--evict-idle N] [--mix smf,online-sgd]
 //!                    [--compare-shards 1,2]
-//! sofia-cli serve    --bind 127.0.0.1:7411 [--recover true]
-//!                    [fleet workload flags]
+//! sofia-cli serve    --bind 127.0.0.1:7411 [--advertise ADDR]
+//!                    [--recover true] [--empty true]
+//!                    [--cluster EP0,EP1,...] [fleet workload flags]
 //! sofia-cli client   --connect 127.0.0.1:7411 [--stats true]
 //!                    [--stream stream-0000] [--query "forecast 4"]
 //!                    [--ingest N] [--shutdown true]
+//! sofia-cli cluster  [--nodes 2] [--base-port 7421] [--shards 2]
+//!                    [--checkpoint-dir DIR]
 //! ```
 //!
 //! The stream directory format is documented in [`mod@format`]; `fleet` serves
@@ -26,9 +29,12 @@
 //! (idle eviction + lazy restore), and — when a checkpoint directory is
 //! given — a mixed-kind crash-recovery breakdown. `serve` exposes the
 //! same warm fleet over TCP (the `sofia-net` data plane) until a client
-//! sends a shutdown frame; `client` drives a remote fleet from the
-//! shell.
+//! sends a shutdown frame — or an empty fleet (`--empty`) as one member
+//! of a cluster spec (`--cluster`); `client` drives a remote fleet from
+//! the shell; `cluster` launches N `serve` processes from one spec and
+//! proves sharding + stream migration across them.
 
+mod cluster_cmd;
 mod commands;
 mod fleet_cmd;
 mod format;
@@ -46,14 +52,26 @@ fn usage() -> &'static str {
      sofia-cli fleet [--streams N] [--shards N] [--steps N] [--rank R] [--period M] \
      [--dims X,Y] [--queue N] [--seed N] [--checkpoint-dir DIR] [--checkpoint-every N] \
      [--evict-idle N] [--mix smf,online-sgd] [--compare-shards A,B]\n  \
-     sofia-cli serve --bind ADDR [--recover true] [fleet workload flags]\n  \
+     sofia-cli serve --bind ADDR [--advertise ADDR] [--recover true] [--empty true] \
+     [--cluster EP0,EP1,...] [fleet workload flags]\n  \
      sofia-cli client --connect ADDR [--stats true] [--stream ID] [--query \"forecast 4\"] \
-     [--ingest N] [--shutdown true]"
+     [--ingest N] [--shutdown true]\n  \
+     sofia-cli cluster [--nodes 2] [--base-port 7421] [--shards 2] [--checkpoint-dir DIR]"
 }
 
 fn bad_flag(flag: &str, value: &str) -> ExitCode {
     eprintln!("error: bad value `{value}` for --{flag}\n{}", usage());
     ExitCode::from(2)
+}
+
+/// Parses an optional boolean flag (`--recover true`); absent = false.
+/// Shared by every command that takes one.
+fn parse_bool_flag(flags: &HashMap<String, String>, flag: &str) -> Result<bool, ExitCode> {
+    match flags.get(flag).map(String::as_str) {
+        None | Some("false") => Ok(false),
+        Some("true") => Ok(true),
+        Some(v) => Err(bad_flag(flag, v)),
+    }
 }
 
 /// Parses a comma-separated list of numbers (`--dims 12,10`,
@@ -64,26 +82,28 @@ fn parse_usize_list(s: &str) -> Result<Vec<usize>, String> {
         .collect()
 }
 
+/// Overwrites `target` with the parsed flag value when the flag is
+/// present; reports the malformed value otherwise. Shared by every
+/// command that takes scalar flags.
+fn set_parsed<T: std::str::FromStr>(
+    value: Option<String>,
+    flag: &str,
+    target: &mut T,
+) -> Result<(), ExitCode> {
+    if let Some(v) = value {
+        match v.parse() {
+            Ok(n) => *target = n,
+            Err(_) => return Err(bad_flag(flag, &v)),
+        }
+    }
+    Ok(())
+}
+
 /// Parses the shared fleet-workload flags (`fleet` and `serve` size
 /// their synthetic fleets identically).
 fn parse_fleet_opts(flags: &HashMap<String, String>) -> Result<fleet_cmd::FleetOpts, ExitCode> {
     let get = |k: &str| flags.get(k).cloned();
     let mut opts = fleet_cmd::FleetOpts::default();
-    // Overwrites `target` with the parsed flag value when the flag is
-    // present; reports the malformed value otherwise.
-    fn set_parsed<T: std::str::FromStr>(
-        value: Option<String>,
-        flag: &str,
-        target: &mut T,
-    ) -> Result<(), ExitCode> {
-        if let Some(v) = value {
-            match v.parse() {
-                Ok(n) => *target = n,
-                Err(_) => return Err(bad_flag(flag, &v)),
-            }
-        }
-        Ok(())
-    }
     let scalar_flags = [
         ("streams", &mut opts.streams as &mut usize),
         ("shards", &mut opts.shards),
@@ -232,29 +252,50 @@ fn main() -> ExitCode {
                 eprintln!("serve needs --bind ADDR\n{}", usage());
                 return ExitCode::from(2);
             };
-            let recover = match get("recover").as_deref() {
-                None | Some("false") => false,
-                Some("true") => true,
-                Some(v) => return bad_flag("recover", v),
+            let (recover, empty) = match (
+                parse_bool_flag(&flags, "recover"),
+                parse_bool_flag(&flags, "empty"),
+            ) {
+                (Ok(r), Ok(e)) => (r, e),
+                (Err(code), _) | (_, Err(code)) => return code,
+            };
+            let cluster: Vec<String> = match get("cluster") {
+                None => Vec::new(),
+                Some(v) => {
+                    let eps: Vec<String> = v.split(',').map(|e| e.trim().to_string()).collect();
+                    if eps.iter().any(String::is_empty) {
+                        return bad_flag("cluster", &v);
+                    }
+                    eps
+                }
             };
             match parse_fleet_opts(&flags) {
-                Ok(opts) => net_cmd::serve(&opts, &bind, recover),
+                Ok(opts) => {
+                    net_cmd::serve(&opts, &bind, get("advertise"), recover, &cluster, empty)
+                }
                 Err(code) => return code,
             }
+        }
+        "cluster" => {
+            let mut opts = cluster_cmd::ClusterOpts::default();
+            let parsed = set_parsed(get("nodes"), "nodes", &mut opts.nodes)
+                .and_then(|()| set_parsed(get("shards"), "shards", &mut opts.shards))
+                .and_then(|()| set_parsed(get("base-port"), "base-port", &mut opts.base_port));
+            if let Err(code) = parsed {
+                return code;
+            }
+            opts.checkpoint_dir = get("checkpoint-dir").map(PathBuf::from);
+            cluster_cmd::cluster(&opts)
         }
         "client" => {
             let Some(connect) = get("connect") else {
                 eprintln!("client needs --connect ADDR\n{}", usage());
                 return ExitCode::from(2);
             };
-            let parse_bool = |flag: &str| -> Result<bool, ExitCode> {
-                match get(flag).as_deref() {
-                    None | Some("false") => Ok(false),
-                    Some("true") => Ok(true),
-                    Some(v) => Err(bad_flag(flag, v)),
-                }
-            };
-            let (stats, shutdown) = match (parse_bool("stats"), parse_bool("shutdown")) {
+            let (stats, shutdown) = match (
+                parse_bool_flag(&flags, "stats"),
+                parse_bool_flag(&flags, "shutdown"),
+            ) {
                 (Ok(s), Ok(d)) => (s, d),
                 (Err(code), _) | (_, Err(code)) => return code,
             };

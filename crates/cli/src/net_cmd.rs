@@ -2,14 +2,18 @@
 //! endpoint, and a shell client driving a remote fleet.
 //!
 //! ```text
-//! sofia-cli serve  --bind 127.0.0.1:7411 [--recover] [fleet workload flags]
+//! sofia-cli serve  --bind 127.0.0.1:7411 [--advertise ADDR] [--recover]
+//!                  [--empty] [--cluster EP0,EP1,...] [fleet workload flags]
 //! sofia-cli client --connect 127.0.0.1:7411 [--stats] [--stream ID]
 //!                  [--query "forecast 4"] [--ingest N] [--shutdown]
 //! ```
 //!
 //! `serve` warm-starts the same synthetic workload `fleet` uses (or
-//! recovers a previous run's checkpoint directory with `--recover`),
-//! registers it, and serves until a client sends a `shutdown` frame.
+//! recovers a previous run's checkpoint directory with `--recover`, or
+//! starts empty with `--empty` — cluster members receive their streams
+//! over the wire), registers it, and serves until a client sends a
+//! `shutdown` frame; `--cluster` makes the handshake advertise the
+//! deployment spec's full shard map.
 //! `client` connects, runs its requested operations in a fixed order
 //! (stats → ingest → query → shutdown, so a query in the same
 //! invocation observes the ingested slices), and prints what came
@@ -19,7 +23,7 @@ use crate::commands::CmdResult;
 use crate::fleet_cmd::{validate, warm_start, FleetOpts};
 use sofia_datagen::stream::TensorStream;
 use sofia_fleet::{CheckpointPolicy, Fleet, FleetConfig, Query, QueryResponse};
-use sofia_net::{Client, Server};
+use sofia_net::{Client, Server, ServerConfig, ShardMap};
 use sofia_tensor::ObservedTensor;
 
 /// Builds the serve-side engine config from the shared workload opts.
@@ -36,10 +40,43 @@ fn engine_config(opts: &FleetOpts) -> FleetConfig {
 }
 
 /// Entry point of `sofia-cli serve`.
-pub fn serve(opts: &FleetOpts, bind: &str, recover: bool) -> CmdResult {
+///
+/// `cluster` is the deployment spec's full endpoint list (empty for a
+/// standalone server): when given, the handshake advertises the
+/// deterministic round-robin [`ShardMap`] over those endpoints —
+/// `opts.shards` route slots per node — so a `ClusterClient` can
+/// bootstrap from any member. `advertise` is the name clients reach
+/// this node by when it differs from `bind` (a server bound to
+/// `0.0.0.0` or behind a hostname); the cluster membership check runs
+/// against it. `empty` starts with no warm streams (cluster members
+/// usually receive their streams over the wire).
+pub fn serve(
+    opts: &FleetOpts,
+    bind: &str,
+    advertise: Option<String>,
+    recover: bool,
+    cluster: &[String],
+    empty: bool,
+) -> CmdResult {
     validate(opts)?;
     if recover && opts.checkpoint_dir.is_none() {
         return Err("--recover requires --checkpoint-dir".into());
+    }
+    if recover && empty {
+        return Err("--recover and --empty conflict: recovery restores the \
+                    checkpointed streams, an empty server starts with none"
+            .into());
+    }
+    // The name this node goes by in shard maps: --advertise when
+    // given (multi-host deployments bind 0.0.0.0 but are reached by
+    // hostname), the bind address otherwise.
+    let advertised = advertise.as_deref().unwrap_or(bind);
+    if !cluster.is_empty() && !cluster.iter().any(|ep| ep == advertised) {
+        return Err(format!(
+            "--cluster list must contain this node's advertised address `{advertised}` \
+             (set --advertise when it differs from --bind)"
+        )
+        .into());
     }
 
     let fleet = if recover {
@@ -49,6 +86,9 @@ pub fn serve(opts: &FleetOpts, bind: &str, recover: bool) -> CmdResult {
             opts.checkpoint_dir.as_ref().expect("checked").display()
         );
         fleet
+    } else if empty {
+        println!("serve: starting empty (streams register over the wire)");
+        Fleet::new(engine_config(opts))?
     } else {
         let fleet = Fleet::new(engine_config(opts))?;
         let (models, _streams, startup_len) = warm_start(opts);
@@ -63,7 +103,28 @@ pub fn serve(opts: &FleetOpts, bind: &str, recover: bool) -> CmdResult {
         fleet
     };
 
-    let server = Server::bind(bind, fleet)?;
+    // When a name was validated above (explicit --advertise, or a
+    // cluster spec naming this node), hand the server that exact name —
+    // re-deriving it from the resolved bind address could disagree
+    // (`localhost` vs `127.0.0.1`). A plain standalone serve passes
+    // None so the server advertises its *resolved* address (an
+    // ephemeral `--bind 127.0.0.1:0` must not advertise port 0).
+    let config = ServerConfig {
+        advertise: (advertise.is_some() || !cluster.is_empty()).then(|| advertised.to_string()),
+        cluster: (!cluster.is_empty()).then(|| ShardMap::round_robin(cluster, opts.shards)),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind_with(bind, fleet, config)?;
+    if let Some(map) = (!cluster.is_empty()).then(|| server.shard_map()) {
+        println!(
+            "serve: cluster member {advertised} ({} of {} route slots here)",
+            map.endpoints()
+                .iter()
+                .filter(|ep| *ep == advertised)
+                .count(),
+            map.shards()
+        );
+    }
     println!(
         "serve: listening on {} ({} shards); send a `shutdown` frame \
          (sofia-cli client --connect {} --shutdown) to stop",

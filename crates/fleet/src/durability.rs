@@ -119,6 +119,20 @@ pub fn write_checkpoint(dir: &Path, stream_id: &str, text: &str) -> Result<(), F
     Ok(())
 }
 
+/// Removes a stream's checkpoint file (and any stale temp next to it)
+/// from `dir`, if present. Used when a stream is deregistered — e.g.
+/// migrated to another process — so a later recovery cannot resurrect
+/// it here; a missing file is not an error (transient models never had
+/// one).
+pub fn remove_checkpoint(dir: &Path, stream_id: &str) -> Result<(), FleetError> {
+    let _ = std::fs::remove_file(temp_path(dir, stream_id));
+    match std::fs::remove_file(checkpoint_path(dir, stream_id)) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(e.into()),
+    }
+}
+
 /// Restores a model handle from raw checkpoint text (v2 envelope or bare
 /// v1 SOFIA), dispatching on the envelope's `model` kind tag.
 ///

@@ -340,7 +340,8 @@ impl Fleet {
     /// pipelines ([`QueryTicket`]), batches ([`Fleet::query_batch`]),
     /// and travels the wire (`Query::to_wire` /
     /// `QueryResponse::to_wire`, carried verbatim by the `sofia-net`
-    /// TCP data plane) — this wrapper reaches none of that.
+    /// TCP data plane and routed across processes by its cluster
+    /// layer) — this wrapper reaches none of that.
     #[deprecated(
         since = "0.1.0",
         note = "use `query(id, Query::Latest)` — the typed form pipelines, \
@@ -435,6 +436,72 @@ impl Fleet {
             done.recv().map_err(|_| FleetError::ShuttingDown)?;
         }
         Ok(())
+    }
+
+    /// Serializes a stream's current model as checkpoint-envelope text —
+    /// the same bit-exact form the durability layer writes to disk and a
+    /// `sofia-net` `register` frame accepts.
+    ///
+    /// The command rides the owning shard's FIFO command queue, so the
+    /// returned envelope includes every slice accepted by
+    /// [`Fleet::try_ingest`] before this call. Together with
+    /// [`Fleet::deregister`] this is the engine half of **stream
+    /// migration**: export here, register the envelope on another
+    /// process (over the wire or in-process), then deregister the
+    /// original. Transient models (no snapshot capability) have no
+    /// exportable form and fail with [`FleetError::InvalidQuery`];
+    /// evicted streams are exported from their checkpoint file without
+    /// being restored.
+    pub fn export_stream(&self, id: &str) -> Result<String, FleetError> {
+        self.shard_call(id, |stream, reply| Command::Export { stream, reply })
+    }
+
+    /// Routes one per-stream control command to the owning shard and
+    /// waits for its typed reply — the shared shape of
+    /// [`Fleet::export_stream`], [`Fleet::deregister`], and
+    /// [`Fleet::checkpoint_stream`].
+    fn shard_call<T>(
+        &self,
+        id: &str,
+        command: impl FnOnce(std::sync::Arc<str>, mpsc::Sender<Result<T, FleetError>>) -> Command,
+    ) -> Result<T, FleetError> {
+        let key = self
+            .registry
+            .get(id)
+            .ok_or_else(|| FleetError::UnknownStream(id.to_string()))?;
+        let (reply, result) = mpsc::channel();
+        self.shards[key.shard()].send(command(key.interned(), reply))?;
+        result.recv().map_err(|_| FleetError::ShuttingDown)?
+    }
+
+    /// Removes a stream from serving entirely: the model is unloaded
+    /// (resident or evicted), the id freed for re-registration, and the
+    /// stream's checkpoint file deleted — a later [`Fleet::recover`]
+    /// over the same directory will *not* bring it back. This is the
+    /// hand-off half of a migration (see [`Fleet::export_stream`]);
+    /// slices already queued for the stream are applied first (the
+    /// command is FIFO with ingests), slices sent through a stale
+    /// [`StreamKey`] afterwards are counted as drops, exactly like a
+    /// quarantine.
+    pub fn deregister(&self, id: &str) -> Result<(), FleetError> {
+        self.shard_call(id, |stream, reply| Command::Deregister { stream, reply })
+    }
+
+    /// Checkpoints one stream immediately: `Ok(true)` when its state is
+    /// durable on disk after the call (written now, or already current
+    /// for an evicted stream), `Ok(false)` when there is nothing to
+    /// persist (no checkpoint policy, or a transient model).
+    ///
+    /// This is the durability handshake a migration needs: the
+    /// `sofia-net` server persists a wire-registered stream through
+    /// this before the coordinator deletes the source's copy, so there
+    /// is no window in which the stream's only durable state is a file
+    /// that is about to be removed.
+    pub fn checkpoint_stream(&self, id: &str) -> Result<bool, FleetError> {
+        self.shard_call(id, |stream, reply| Command::CheckpointStream {
+            stream,
+            reply,
+        })
     }
 
     /// Checkpoints every checkpointable stream now; returns how many
@@ -865,6 +932,107 @@ mod tests {
         fleet.try_ingest(&key, slice(2.0)).unwrap();
         fleet.flush().unwrap();
         assert_eq!(stream_stats(&fleet, "s").unwrap().steps, 2);
+    }
+
+    #[test]
+    fn export_and_deregister_migrate_a_stream_between_fleets() {
+        use crate::durability::{checkpoint_path, restore_handle, CheckpointPolicy};
+        use sofia_baselines::OnlineSgd;
+
+        let dir = std::env::temp_dir().join(format!("sofia-fleet-migrate-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let make_model = || {
+            let f = |s: u64| {
+                sofia_tensor::Matrix::from_fn(2, 2, |i, j| {
+                    1.0 + (i + 2 * j) as f64 * 0.1 + s as f64
+                })
+            };
+            OnlineSgd::new(vec![f(3), f(4)], 0.1)
+        };
+
+        // Source engine with durability; the stream steps 3 times and is
+        // checkpointed so deregister has a file to delete.
+        let source = Fleet::new(FleetConfig {
+            shards: 2,
+            queue_capacity: 64,
+            checkpoint: Some(CheckpointPolicy::new(&dir, 1_000)),
+            evict_idle_after: None,
+        })
+        .unwrap();
+        let key = source
+            .register("mig", ModelHandle::durable(make_model()))
+            .unwrap();
+        for t in 0..3 {
+            source.try_ingest(&key, slice(0.5 + t as f64)).unwrap();
+        }
+        source.flush().unwrap();
+        assert_eq!(source.checkpoint_now().unwrap(), 1);
+        assert!(checkpoint_path(&dir, "mig").exists());
+
+        // Export rides the command queue, so it reflects all 3 steps.
+        let envelope = source.export_stream("mig").unwrap();
+
+        // The envelope registers on a second engine through the same
+        // restore path crash recovery (and the wire) uses…
+        let target = small_fleet(1);
+        target
+            .register("mig", restore_handle("mig", &envelope).unwrap())
+            .unwrap();
+        assert_eq!(stream_stats(&target, "mig").unwrap().steps, 3);
+
+        // …and the source lets go completely: model unloaded, id freed,
+        // checkpoint file gone (recovery cannot resurrect the stream).
+        source.deregister("mig").unwrap();
+        assert!(!checkpoint_path(&dir, "mig").exists());
+        assert!(matches!(
+            latest(&source, "mig"),
+            Err(FleetError::UnknownStream(_))
+        ));
+        assert!(matches!(
+            source.deregister("mig"),
+            Err(FleetError::UnknownStream(_))
+        ));
+        // The freed id is immediately reusable.
+        source
+            .register("mig", ModelHandle::boxed(Box::new(Counter::new())))
+            .unwrap();
+
+        // Continuing on the target is bit-exact against a control model
+        // that never migrated.
+        let control = small_fleet(1);
+        let ckey = control
+            .register("mig", ModelHandle::durable(make_model()))
+            .unwrap();
+        for t in 0..5 {
+            control.try_ingest(&ckey, slice(0.5 + t as f64)).unwrap();
+        }
+        for t in 3..5 {
+            target.try_ingest_id("mig", slice(0.5 + t as f64)).unwrap();
+        }
+        control.flush().unwrap();
+        target.flush().unwrap();
+        let a = latest(&control, "mig").unwrap().expect("stepped");
+        let b = latest(&target, "mig").unwrap().expect("stepped");
+        assert_eq!(a.completed.data(), b.completed.data(), "migration diverged");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn export_rejects_unknown_and_transient_streams() {
+        let fleet = small_fleet(1);
+        assert!(matches!(
+            fleet.export_stream("ghost"),
+            Err(FleetError::UnknownStream(_))
+        ));
+        // A transient model has no snapshot capability, hence no
+        // exportable envelope — typed rejection, not a panic.
+        fleet
+            .register("t", ModelHandle::boxed(Box::new(Counter::new())))
+            .unwrap();
+        assert!(matches!(
+            fleet.export_stream("t"),
+            Err(FleetError::InvalidQuery { .. })
+        ));
     }
 
     #[test]

@@ -6,9 +6,10 @@
 //! module replaces that with a single routable protocol:
 //!
 //! * [`Query`] — what a caller asks of one stream. Plain data: no trait
-//!   objects, no channels, no lifetimes, so the future network data
-//!   plane can serialize it verbatim ([`Query::to_wire`] /
-//!   [`Query::from_wire`] pin down a line-based text form today).
+//!   objects, no channels, no lifetimes, so the `sofia-net` TCP data
+//!   plane carries it verbatim ([`Query::to_wire`] /
+//!   [`Query::from_wire`] pin down the line-based text form framed onto
+//!   the socket).
 //! * [`QueryResponse`] — one variant per [`Query`] variant, carrying the
 //!   answer.
 //! * [`QueryTicket`] — the completion handle [`crate::Fleet::query`]
@@ -111,9 +112,9 @@ impl Query {
     /// [`FleetError::InvalidQuery`].
     ///
     /// Runs at the API boundary ([`crate::Fleet::query`] /
-    /// [`crate::Fleet::query_batch`]) and again shard-side, so a future
-    /// network data plane feeding decoded wire queries straight into a
-    /// shard gets the same guarantee.
+    /// [`crate::Fleet::query_batch`]) and again shard-side, so the
+    /// `sofia-net` server — which feeds decoded wire queries straight
+    /// into shards — gets the same guarantee.
     pub fn validate(&self) -> Result<(), FleetError> {
         match self {
             Query::Forecast { horizon: 0 } => Err(FleetError::InvalidQuery {

@@ -85,6 +85,30 @@ pub(crate) enum Command {
     /// (the queue is FIFO), so a reply means the shard has applied all
     /// previously ingested slices.
     Flush { reply: Sender<()> },
+    /// Serialize a stream's current model as checkpoint-envelope text.
+    /// Rides the FIFO command queue, so the snapshot includes every
+    /// slice enqueued before it — the read half of a migration
+    /// (`register` over the wire is the write half).
+    Export {
+        stream: Arc<str>,
+        reply: Sender<Result<String, FleetError>>,
+    },
+    /// Remove a stream from serving entirely: drop the model (resident
+    /// or evicted), free the registry id, and delete its checkpoint
+    /// file so a later recovery cannot resurrect it here — the final
+    /// step of a migration hand-off.
+    Deregister {
+        stream: Arc<str>,
+        reply: Sender<Result<(), FleetError>>,
+    },
+    /// Checkpoint one stream now (no-op `Ok(false)` without a policy or
+    /// for a transient model). The durability handshake of a migration:
+    /// the target persists the received envelope before the source's
+    /// copy is deleted.
+    CheckpointStream {
+        stream: Arc<str>,
+        reply: Sender<Result<bool, FleetError>>,
+    },
     /// Final checkpoint (if configured) and exit.
     Shutdown {
         reply: Sender<Result<usize, FleetError>>,
@@ -216,9 +240,9 @@ impl ShardWorker {
     /// first ("restored on the next ingest or query").
     fn answer(&mut self, stream: &Arc<str>, query: &Query) -> Result<QueryResponse, FleetError> {
         self.queries.record(query.kind());
-        // The engine validates at the API boundary; revalidate here so a
-        // future network data plane feeding decoded wire queries
-        // straight into shards gets the same guarantee.
+        // The engine validates at the API boundary; revalidate here so
+        // the network data plane (`sofia-net` feeds decoded wire queries
+        // straight into shards) gets the same guarantee.
         query.validate()?;
         if !self.slots.contains_key(stream) && self.evicted.contains(stream) {
             // A failed restore fails this query with the typed error
@@ -489,11 +513,97 @@ impl ShardWorker {
                 let _ = reply.send(());
                 false
             }
+            Command::Export { stream, reply } => {
+                let _ = reply.send(self.export_stream(&stream));
+                false
+            }
+            Command::Deregister { stream, reply } => {
+                let _ = reply.send(self.deregister_stream(&stream));
+                false
+            }
+            Command::CheckpointStream { stream, reply } => {
+                let _ = reply.send(self.checkpoint_stream(&stream));
+                false
+            }
             Command::Shutdown { reply } => {
                 let _ = reply.send(self.checkpoint_all());
                 true
             }
         }
+    }
+
+    /// Serializes a stream's model as its checkpoint-envelope text —
+    /// the same bit-exact form the durability layer writes to disk and
+    /// `sofia-net` registration ships over the socket. An evicted
+    /// stream's envelope is read straight from its checkpoint file
+    /// (current by definition: eviction checkpoints before unloading)
+    /// without restoring the model.
+    fn export_stream(&mut self, stream: &Arc<str>) -> Result<String, FleetError> {
+        if let Some(slot) = self.slots.get(stream) {
+            return slot
+                .model
+                .checkpoint_text()
+                .ok_or_else(|| FleetError::InvalidQuery {
+                    reason: format!(
+                        "stream `{stream}` serves a transient model (no snapshot \
+                         capability), so it has no exportable envelope"
+                    ),
+                });
+        }
+        if self.evicted.contains(stream) {
+            let dir = self
+                .policy
+                .as_ref()
+                .map(|p| p.dir.clone())
+                .expect("eviction implies a checkpoint policy");
+            return std::fs::read_to_string(crate::durability::checkpoint_path(&dir, stream))
+                .map_err(FleetError::Io);
+        }
+        Err(FleetError::UnknownStream(stream.to_string()))
+    }
+
+    /// Removes a stream from serving: the model is dropped (resident or
+    /// evicted), the registry id freed for re-registration, and the
+    /// checkpoint file deleted so this process can never resurrect the
+    /// stream on recovery — its state now lives wherever the exported
+    /// envelope was registered. The file goes first: if its deletion
+    /// fails, no in-memory state has changed yet, so the stream keeps
+    /// serving and the caller can simply retry.
+    fn deregister_stream(&mut self, stream: &Arc<str>) -> Result<(), FleetError> {
+        if !self.slots.contains_key(stream) && !self.evicted.contains(stream) {
+            return Err(FleetError::UnknownStream(stream.to_string()));
+        }
+        if let Some(policy) = &self.policy {
+            crate::durability::remove_checkpoint(&policy.dir, stream)?;
+        }
+        self.slots.remove(stream);
+        self.evicted.remove(stream);
+        self.registry.remove(stream);
+        Ok(())
+    }
+
+    /// Checkpoints one stream immediately. `Ok(true)` when a file was
+    /// written (or an evicted stream's file is already current),
+    /// `Ok(false)` when there is nothing to persist (no policy, or a
+    /// transient model), `Err` when the stream is unknown or the write
+    /// failed.
+    fn checkpoint_stream(&mut self, stream: &Arc<str>) -> Result<bool, FleetError> {
+        let Some(policy) = self.policy.clone() else {
+            return Ok(false);
+        };
+        if let Some(slot) = self.slots.get_mut(stream) {
+            let written = Self::checkpoint_slot(&policy.dir, stream, slot)?;
+            if written {
+                slot.steps_since_checkpoint = 0;
+            }
+            return Ok(written);
+        }
+        if self.evicted.contains(stream) {
+            // Eviction checkpointed the stream as it left memory; its
+            // file is the current state by definition.
+            return Ok(true);
+        }
+        Err(FleetError::UnknownStream(stream.to_string()))
     }
 
     fn checkpoint_slot(

@@ -145,8 +145,11 @@ impl Client {
         }
     }
 
-    /// The shard-ownership table received at handshake (single-node
-    /// today: every route points at this server).
+    /// The shard-ownership table received at handshake: a standalone
+    /// server advertises itself as owner of every route; a cluster
+    /// member advertises the full deployment map
+    /// ([`crate::ServerConfig::cluster`]), which is how a
+    /// [`crate::ClusterClient`] bootstraps from one seed.
     pub fn shard_map(&self) -> &ShardMap {
         &self.map
     }
@@ -286,7 +289,10 @@ impl Client {
     /// Registers a stream by shipping the model's checkpoint envelope;
     /// the server restores it through the same bit-exact path crash
     /// recovery uses. Only snapshot-capable models have a wire form.
-    pub fn register(&mut self, stream: &str, model: &ModelHandle) -> Result<(), ClientError> {
+    /// Returns whether the server **persisted** the stream on arrival
+    /// (`false` when it runs no checkpoint policy) — the signal a
+    /// migration coordinator needs before deleting the source's copy.
+    pub fn register(&mut self, stream: &str, model: &ModelHandle) -> Result<bool, ClientError> {
         let envelope = model.checkpoint_text().ok_or_else(|| {
             ClientError::Protocol(format!(
                 "model `{}` is transient (no snapshot capability), so it has no \
@@ -298,7 +304,7 @@ impl Client {
     }
 
     /// [`Client::register`] from raw checkpoint-envelope text.
-    pub fn register_envelope(&mut self, stream: &str, envelope: &str) -> Result<(), ClientError> {
+    pub fn register_envelope(&mut self, stream: &str, envelope: &str) -> Result<bool, ClientError> {
         let stream = stream.to_string();
         let envelope = envelope.to_string();
         let id = self.send(|id| Request::Register {
@@ -306,6 +312,47 @@ impl Client {
             stream,
             envelope,
         })?;
+        match self.expect_reply(id)? {
+            Ok(payload) => {
+                let mut cur = LineCursor::new(&payload);
+                let durable = match cur.next("durable marker")? {
+                    "durable true" => true,
+                    "durable false" => false,
+                    other => {
+                        return Err(ClientError::Protocol(format!(
+                            "bad register reply `{other}`"
+                        )))
+                    }
+                };
+                cur.finish()?;
+                Ok(durable)
+            }
+            Err(e) => Err(ClientError::Fleet(e)),
+        }
+    }
+
+    /// Reads a stream's current model as checkpoint-envelope text — the
+    /// exact payload [`Client::register_envelope`] accepts on another
+    /// server, so `snapshot` here + `register` there (+
+    /// [`Client::deregister`] here) migrates the stream. The envelope
+    /// reflects every slice the server accepted before this call
+    /// answered; callers that ingested concurrently should
+    /// [`Client::flush`] first.
+    pub fn snapshot(&mut self, stream: &str) -> Result<String, ClientError> {
+        let stream = stream.to_string();
+        let id = self.send(|id| Request::Snapshot { id, stream })?;
+        match self.expect_reply(id)? {
+            Ok(envelope) => Ok(envelope),
+            Err(e) => Err(ClientError::Fleet(e)),
+        }
+    }
+
+    /// Removes a stream from the server entirely: model unloaded, id
+    /// freed, checkpoint file deleted — a restart of that server cannot
+    /// resurrect it. The final step of a migration hand-off.
+    pub fn deregister(&mut self, stream: &str) -> Result<(), ClientError> {
+        let stream = stream.to_string();
+        let id = self.send(|id| Request::Deregister { id, stream })?;
         match self.expect_reply(id)? {
             Ok(_) => Ok(()),
             Err(e) => Err(ClientError::Fleet(e)),

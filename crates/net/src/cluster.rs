@@ -1,0 +1,360 @@
+//! Multi-process sharding: a cluster router over a multi-endpoint
+//! [`ShardMap`].
+//!
+//! A cluster is N independent `sofia-net` servers (each wrapping its own
+//! [`sofia_fleet::Fleet`] with its own checkpoint directory) plus one
+//! ownership table: the [`ShardMap`] assigns every route slot — keyed by
+//! the same stable FNV stream hash the engine uses — to one endpoint,
+//! with per-stream **override** entries for migrated streams.
+//! [`ClusterClient`] is the router: it holds the map and one lazy
+//! [`Client`] connection per endpoint, sends `query` / `query_batch` /
+//! `ingest` / `register` / `snapshot` / `deregister` to the owning
+//! server, broadcasts `flush`, and merges `stats` across endpoints.
+//!
+//! ## Migration
+//!
+//! [`ClusterClient::migrate`] moves one stream between processes with
+//! the wire verbs PR 4 already shipped plus the `snapshot` read path:
+//!
+//! 1. `flush` the source (read-your-writes: the snapshot must include
+//!    every slice acknowledged so far);
+//! 2. `snapshot` the stream — its checkpoint envelope, bit-exact;
+//! 3. `register` the envelope on the target — the same restore path
+//!    crash recovery uses, so the model resumes bit-exactly, and the
+//!    target *persists* the arrival before acknowledging (when it runs
+//!    a checkpoint policy), so step 5 never deletes the stream's only
+//!    durable copy;
+//! 4. flip the map entry ([`ShardMap::set_override`]) so routing
+//!    follows the stream;
+//! 5. `deregister` the old copy — unloaded *and* its checkpoint file
+//!    deleted, so a restart of the source cannot resurrect it.
+//!
+//! ## A minimal single-writer coordinator — deliberately no consensus
+//!
+//! The `ClusterClient` performing a migration is the coordinator, and
+//! the correctness argument is single-writer: while a stream is being
+//! moved, no other client may ingest into it (slices raced between
+//! steps 1 and 5 land on the source after its snapshot was taken and
+//! are lost to the target). Likewise, other routers learn the flipped
+//! entry only by rebuilding their map — the launch-time table served in
+//! every member's handshake ([`crate::ServerConfig::cluster`]) is not
+//! updated retroactively. Membership changes follow the same
+//! philosophy: a crashed node is restarted and re-attached with
+//! [`ClusterClient::repoint`] by whoever operates the cluster. This is
+//! the smallest thing that is honest: ownership is consistent because
+//! exactly one writer changes it, not because the processes agree on
+//! anything.
+
+use crate::client::{Client, ClientError, IngestReport};
+use crate::wire::ShardMap;
+use sofia_fleet::{FleetStats, ModelHandle, Query, QueryResponse};
+use sofia_tensor::ObservedTensor;
+use std::collections::HashMap;
+
+/// A routing client over many `sofia-net` servers sharing one
+/// [`ShardMap`].
+///
+/// Mirrors the single-server [`Client`] surface (`query`, `query_batch`,
+/// `ingest`, `flush`, `stats`, `register`, …) so code written against
+/// one server drives a cluster unchanged — the map decides which socket
+/// each stream's requests travel.
+pub struct ClusterClient {
+    map: ShardMap,
+    /// One lazy connection per endpoint, keyed by the map's endpoint
+    /// string (connected on first use, kept for the client's lifetime).
+    conns: HashMap<String, Client>,
+    name: String,
+}
+
+impl ClusterClient {
+    /// Bootstraps from one **seed** member: connects, takes the
+    /// handshake's [`ShardMap`] (a cluster member advertises the full
+    /// table — [`crate::ServerConfig::cluster`]), and routes through it.
+    /// The seed connection is kept when the seed address appears in the
+    /// map.
+    pub fn connect(seed: impl Into<String>) -> Result<ClusterClient, ClientError> {
+        ClusterClient::connect_as(seed, "sofia-cluster-client")
+    }
+
+    /// [`ClusterClient::connect`] with an explicit client name.
+    pub fn connect_as(seed: impl Into<String>, name: &str) -> Result<ClusterClient, ClientError> {
+        let seed = seed.into();
+        let client = Client::connect_as(&seed, name)?;
+        let map = client.shard_map().clone();
+        let mut cluster = ClusterClient::with_map(map, name);
+        // Reuse the seed connection when the map names the seed by the
+        // address we dialed; otherwise it is dropped and the map's own
+        // endpoint names are dialed lazily.
+        if cluster.map.distinct_endpoints().contains(&seed.as_str()) {
+            cluster.conns.insert(seed, client);
+        }
+        Ok(cluster)
+    }
+
+    /// A router over an explicit ownership table (no seed handshake —
+    /// connections open lazily as streams route to each endpoint).
+    pub fn from_map(map: ShardMap) -> ClusterClient {
+        ClusterClient::with_map(map, "sofia-cluster-client")
+    }
+
+    fn with_map(map: ShardMap, name: &str) -> ClusterClient {
+        ClusterClient {
+            map,
+            conns: HashMap::new(),
+            name: name.to_string(),
+        }
+    }
+
+    /// The routing table (slots + overrides) this client is using.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// The endpoint currently owning a stream (override entry first,
+    /// hashed slot otherwise).
+    pub fn endpoint_of(&self, stream: &str) -> &str {
+        self.map.endpoint_of(stream)
+    }
+
+    /// The connection to `endpoint`, dialing it on first use.
+    fn client_for(&mut self, endpoint: &str) -> Result<&mut Client, ClientError> {
+        if !self.conns.contains_key(endpoint) {
+            let client = Client::connect_as(endpoint, &self.name)?;
+            self.conns.insert(endpoint.to_string(), client);
+        }
+        Ok(self.conns.get_mut(endpoint).expect("just inserted"))
+    }
+
+    /// The connection owning `stream`.
+    fn owner(&mut self, stream: &str) -> Result<&mut Client, ClientError> {
+        let ep = self.map.endpoint_of(stream).to_string();
+        self.client_for(&ep)
+    }
+
+    /// One typed query, routed to the stream's owner.
+    pub fn query(&mut self, stream: &str, query: Query) -> Result<QueryResponse, ClientError> {
+        self.owner(stream)?.query(stream, query)
+    }
+
+    /// Many queries over many streams: requests are grouped by owning
+    /// endpoint, each group travels as **one** `batch` frame (one shard
+    /// round-trip per involved shard on that server), and the reply
+    /// vector aligns with `requests` exactly like
+    /// [`sofia_fleet::Fleet::query_batch`] — per-item failures stay
+    /// item-level.
+    pub fn query_batch(
+        &mut self,
+        requests: &[(&str, Query)],
+    ) -> Result<Vec<Result<QueryResponse, sofia_fleet::FleetError>>, ClientError> {
+        // Group request indices by endpoint, preserving request order
+        // within each group (and a deterministic endpoint order).
+        let mut groups: Vec<(String, Vec<usize>)> = Vec::new();
+        for (i, (stream, _)) in requests.iter().enumerate() {
+            let ep = self.map.endpoint_of(stream).to_string();
+            match groups.iter_mut().find(|(e, _)| *e == ep) {
+                Some((_, idxs)) => idxs.push(i),
+                None => groups.push((ep, vec![i])),
+            }
+        }
+        let mut out: Vec<Option<Result<QueryResponse, sofia_fleet::FleetError>>> =
+            (0..requests.len()).map(|_| None).collect();
+        for (ep, idxs) in groups {
+            let sub: Vec<(&str, Query)> = idxs
+                .iter()
+                .map(|&i| (requests[i].0, requests[i].1.clone()))
+                .collect();
+            let answers = self.client_for(&ep)?.query_batch(&sub)?;
+            for (&i, answer) in idxs.iter().zip(answers) {
+                out[i] = Some(answer);
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|slot| slot.expect("every request slot is answered"))
+            .collect())
+    }
+
+    /// Registers a stream on its owning endpoint by shipping the
+    /// model's checkpoint envelope (see [`Client::register`]); returns
+    /// whether the owner persisted it on arrival.
+    pub fn register(&mut self, stream: &str, model: &ModelHandle) -> Result<bool, ClientError> {
+        self.owner(stream)?.register(stream, model)
+    }
+
+    /// [`ClusterClient::register`] from raw envelope text.
+    pub fn register_envelope(&mut self, stream: &str, envelope: &str) -> Result<bool, ClientError> {
+        self.owner(stream)?.register_envelope(stream, envelope)
+    }
+
+    /// Batched, seq-tagged ingest routed to the stream's owner; the
+    /// backpressure hand-back semantics are [`Client::ingest`]'s.
+    pub fn ingest(
+        &mut self,
+        stream: &str,
+        slices: Vec<ObservedTensor>,
+    ) -> Result<IngestReport, ClientError> {
+        self.owner(stream)?.ingest(stream, slices)
+    }
+
+    /// Blocking ingest (retries the rejected tail in order) routed to
+    /// the stream's owner; returns the retry round-trips taken.
+    pub fn ingest_blocking(
+        &mut self,
+        stream: &str,
+        slices: Vec<ObservedTensor>,
+    ) -> Result<u64, ClientError> {
+        self.owner(stream)?.ingest_blocking(stream, slices)
+    }
+
+    /// The map's endpoints, owned — broadcast operations iterate these
+    /// while `client_for` borrows `self` mutably.
+    fn broadcast_endpoints(&self) -> Vec<String> {
+        self.map
+            .distinct_endpoints()
+            .into_iter()
+            .map(str::to_string)
+            .collect()
+    }
+
+    /// Cluster-wide read-your-writes barrier: flushes **every** endpoint
+    /// in the map, so anything ingested anywhere before this returns is
+    /// visible to every later query anywhere.
+    pub fn flush(&mut self) -> Result<(), ClientError> {
+        for ep in self.broadcast_endpoints() {
+            self.client_for(&ep)?.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Merged statistics across every endpoint in the map. Shard
+    /// indices are re-numbered to stay unique in the merged view (each
+    /// endpoint's shards keep their relative order), so the aggregate
+    /// counters ([`FleetStats::steps`] etc.) sum over the whole cluster.
+    pub fn stats(&mut self) -> Result<FleetStats, ClientError> {
+        let mut shards = Vec::new();
+        for ep in self.broadcast_endpoints() {
+            let stats = self.client_for(&ep)?.stats()?;
+            let base = shards.len();
+            for mut shard in stats.shards {
+                shard.shard += base;
+                shards.push(shard);
+            }
+        }
+        Ok(FleetStats { shards })
+    }
+
+    /// Reads a stream's checkpoint envelope from its owner (see
+    /// [`Client::snapshot`]).
+    pub fn snapshot(&mut self, stream: &str) -> Result<String, ClientError> {
+        self.owner(stream)?.snapshot(stream)
+    }
+
+    /// Removes a stream from its owner and drops its override entry if
+    /// one existed (a later registration of the same id routes by hash
+    /// again).
+    pub fn deregister(&mut self, stream: &str) -> Result<(), ClientError> {
+        self.owner(stream)?.deregister(stream)?;
+        self.map.clear_override(stream);
+        Ok(())
+    }
+
+    /// Moves one stream to another endpoint: flush the source, ship its
+    /// checkpoint envelope over the wire into the target's `register`
+    /// path, flip the map entry, and unload (+ delete) the old copy.
+    /// See the module docs for the ordering and the single-writer
+    /// assumption; the target may be any reachable `sofia-net` server,
+    /// in the map or not.
+    ///
+    /// The target must **persist** the arrived stream (run a checkpoint
+    /// policy): the final step deletes the source's checkpoint file, so
+    /// a memory-only target would leave the stream one crash away from
+    /// total loss. A non-durable target rolls the registration back and
+    /// fails the migration with the source untouched.
+    pub fn migrate(&mut self, stream: &str, to: &str) -> Result<(), ClientError> {
+        let from = self.map.endpoint_of(stream).to_string();
+        if from == to {
+            return Err(ClientError::Protocol(format!(
+                "stream `{stream}` is already served by `{to}`"
+            )));
+        }
+        // 1–2: barrier, then read the envelope (bit-exact, includes
+        // every acknowledged slice).
+        let envelope = {
+            let source = self.client_for(&from)?;
+            source.flush()?;
+            source.snapshot(stream)?
+        };
+        // 3: the envelope IS the registration payload on the target,
+        // which persists it before acknowledging (or reports that it
+        // cannot).
+        let durable = self.client_for(to)?.register_envelope(stream, &envelope)?;
+        if !durable {
+            // Deleting the source's (possibly only) durable copy on the
+            // word of a target that persisted nothing would let a
+            // target crash destroy the stream everywhere. Roll back.
+            let _ = self.client_for(to)?.deregister(stream);
+            return Err(ClientError::Protocol(format!(
+                "target `{to}` did not persist `{stream}` (no checkpoint policy); \
+                 migration aborted, the source still serves the stream"
+            )));
+        }
+        // 4: flip the map entry *before* unloading the source, so a
+        // failure below leaves the stream reachable at its new home
+        // (worst case: a stale copy lingers on the source). Moving a
+        // stream back to its hashed slot owner needs no entry at all.
+        if self.map.endpoints()[self.map.shard_of(stream)] == to {
+            self.map.clear_override(stream);
+        } else {
+            self.map.set_override(stream, to);
+        }
+        // 5: unload the old copy; its checkpoint file goes with it, so
+        // a source restart cannot resurrect the stream.
+        self.client_for(&from)?.deregister(stream)?;
+        Ok(())
+    }
+
+    /// Follows a restarted node to its new address: rewrites every map
+    /// entry owned by `from` (slots and overrides) to `to` and drops
+    /// the dead connection. Returns how many entries changed.
+    pub fn repoint(&mut self, from: &str, to: &str) -> usize {
+        self.conns.remove(from);
+        self.map.repoint(from, to)
+    }
+
+    /// Drops the cached connection to an endpoint (it is re-dialed on
+    /// next use). Useful after a server restart on the *same* address.
+    pub fn disconnect(&mut self, endpoint: &str) -> bool {
+        self.conns.remove(endpoint).is_some()
+    }
+
+    /// Asks every endpoint in the map to shut down gracefully (each
+    /// drains its queues and writes final checkpoints). **Best-effort
+    /// across the whole membership**: an unreachable node (e.g. one
+    /// that already crashed) does not stop the remaining nodes from
+    /// receiving their shutdown frames — every endpoint is attempted,
+    /// and the first failure is reported afterwards. Returns the number
+    /// of servers that acknowledged; consumes the router, since every
+    /// connection dies with its server.
+    pub fn shutdown_all(mut self) -> Result<usize, ClientError> {
+        let mut stopped = 0;
+        let mut first_error = None;
+        for ep in self.broadcast_endpoints() {
+            let client = match self.conns.remove(&ep) {
+                Some(client) => Ok(client),
+                None => Client::connect_as(&ep, &self.name),
+            };
+            match client.and_then(Client::shutdown_server) {
+                Ok(()) => stopped += 1,
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(stopped),
+        }
+    }
+}

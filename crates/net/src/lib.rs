@@ -28,9 +28,18 @@
 //!   in-process and over loopback. [`Client::query_pipelined`] keeps
 //!   many queries in flight on one socket.
 //! * [`ShardMap`] — the stream-route → endpoint ownership table served
-//!   in the handshake. Single-node today; it is the seam a
-//!   multi-process deployment plugs into (per-shard endpoints + the
-//!   stable cross-process FNV stream route).
+//!   in the handshake: route slots (stable cross-process FNV stream
+//!   hash) assigned to endpoints, plus per-stream override entries for
+//!   migrated streams. A standalone server advertises a single-node
+//!   map; cluster members advertise the full spec
+//!   ([`ServerConfig::cluster`]).
+//! * [`cluster`] — multi-process sharding over that table:
+//!   [`ClusterClient`] routes `query`/`ingest`/`register` to the owning
+//!   server, merges `stats`, broadcasts `flush`, and **migrates**
+//!   streams between processes (flush → `snapshot` the checkpoint
+//!   envelope → `register` it on the target → flip the map entry →
+//!   `deregister` the old copy) — a minimal single-writer coordinator,
+//!   deliberately without consensus.
 //!
 //! ## Loopback in five lines
 //!
@@ -52,9 +61,11 @@
 //! in-process.
 
 pub mod client;
+pub mod cluster;
 pub mod server;
 pub mod wire;
 
 pub use client::{Client, ClientError, IngestReport};
+pub use cluster::ClusterClient;
 pub use server::{Server, ServerConfig};
 pub use wire::{FrameError, Request, ShardMap, MAX_FRAME_BYTES};

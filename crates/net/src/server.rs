@@ -46,10 +46,25 @@ use std::time::Duration;
 pub struct ServerConfig {
     /// Reject frames whose announced body exceeds this many bytes.
     pub max_frame_bytes: usize,
-    /// Endpoint advertised in the handshake's [`ShardMap`] (defaults to
-    /// the bound address; set it when clients reach the server through a
-    /// different name, e.g. a hostname instead of `0.0.0.0`).
+    /// The name this node goes by: the endpoint advertised in a
+    /// single-node handshake map, and the name checked against a
+    /// [`ServerConfig::cluster`] map's membership. Defaults to the
+    /// bound address; set it when clients reach the server through a
+    /// different name, e.g. a hostname instead of `0.0.0.0`.
     pub advertise: Option<String>,
+    /// The full cluster ownership table to advertise in the handshake
+    /// instead of the default single-node map. A node launched from a
+    /// cluster spec (`sofia-cli cluster` passes each `serve` process
+    /// the whole endpoint list) serves the same multi-endpoint map from
+    /// every member, so a [`crate::ClusterClient`] can bootstrap its
+    /// routing from any one seed address. The map must contain this
+    /// node's advertised name ([`ServerConfig::advertise`], default the
+    /// bound address) — advertising a map that never routes here would
+    /// strand every stream this node owns, so [`Server::bind_with`]
+    /// rejects it. The table is the launch-time spec: this minimal
+    /// single-writer coordinator does not push later migrations back
+    /// into it (see [`crate::cluster`]).
+    pub cluster: Option<ShardMap>,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +72,7 @@ impl Default for ServerConfig {
         ServerConfig {
             max_frame_bytes: MAX_FRAME_BYTES,
             advertise: None,
+            cluster: None,
         }
     }
 }
@@ -122,11 +138,29 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        // A cluster member advertises the spec's full ownership table;
+        // a standalone server advertises itself as the owner of every
+        // route.
         let advertised = config.advertise.clone().unwrap_or_else(|| addr.to_string());
-        // Single-node today: every shard route points at this endpoint.
-        // A future multi-process deployment swaps this table out — the
-        // handshake already carries it.
-        let map = ShardMap::single_node(advertised, fleet.shards());
+        let map = match config.cluster.clone() {
+            Some(map) => {
+                // A map that never routes to this node would strand its
+                // streams behind wrong addresses on every bootstrapped
+                // client; refuse at the API boundary.
+                if !map.distinct_endpoints().contains(&advertised.as_str()) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!(
+                            "cluster map does not contain this node's advertised \
+                             address `{advertised}` (set ServerConfig::advertise \
+                             when it differs from the bound address)"
+                        ),
+                    ));
+                }
+                map
+            }
+            None => ShardMap::single_node(advertised, fleet.shards()),
+        };
         let shared = Arc::new(Shared {
             fleet,
             map,
@@ -408,10 +442,27 @@ fn dispatch(req: Request, shared: &Shared, tx: &mpsc::Sender<Completion>) -> boo
             stream,
             envelope,
         } => {
-            let body = match restore_handle(&stream, &envelope)
-                .and_then(|handle| fleet.register(&stream, handle))
-            {
-                Ok(_key) => ok_body(id, |_| {}),
+            let registered = restore_handle(&stream, &envelope)
+                .and_then(|handle| fleet.register(&stream, handle));
+            let body = match registered {
+                // Persist the arrival before acknowledging, and tell
+                // the client whether that happened: a migration
+                // coordinator deletes the source's checkpoint on this
+                // reply, so it must know if this fleet persisted
+                // nothing (no checkpoint policy / transient model). A
+                // failed write undoes the registration — better a typed
+                // error (and an aborted migration) than a stream whose
+                // only durable copy is about to be removed.
+                Ok(_key) => match fleet.checkpoint_stream(&stream) {
+                    Ok(durable) => ok_body(id, |out| {
+                        use std::fmt::Write as _;
+                        let _ = writeln!(out, "durable {durable}");
+                    }),
+                    Err(e) => {
+                        let _ = fleet.deregister(&stream);
+                        err_body(id, &e)
+                    }
+                },
                 Err(e) => err_body(id, &e),
             };
             let _ = tx.send(Completion::Ready(body));
@@ -458,6 +509,25 @@ fn dispatch(req: Request, shared: &Shared, tx: &mpsc::Sender<Completion>) -> boo
                         out.push('\n');
                     })
                 }
+            };
+            let _ = tx.send(Completion::Ready(body));
+            true
+        }
+        Request::Snapshot { id, stream } => {
+            // The reply payload IS the checkpoint envelope — exactly
+            // what a `register` frame on another server accepts, so
+            // snapshot → register → deregister moves a stream.
+            let body = match fleet.export_stream(&stream) {
+                Ok(envelope) => ok_body(id, |out| out.push_str(&envelope)),
+                Err(e) => err_body(id, &e),
+            };
+            let _ = tx.send(Completion::Ready(body));
+            true
+        }
+        Request::Deregister { id, stream } => {
+            let body = match fleet.deregister(&stream) {
+                Ok(()) => ok_body(id, |_| {}),
+                Err(e) => err_body(id, &e),
             };
             let _ = tx.send(Completion::Ready(body));
             true

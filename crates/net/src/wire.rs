@@ -24,6 +24,8 @@
 //! batch <req-id> <n>                   n lines `<stream> <query…>`
 //! register <req-id> <stream>           rest of body = checkpoint envelope
 //! ingest <req-id> <stream> <n>         n blocks `seq <s>` + shape/data/bits
+//! snapshot <req-id> <stream>           read the model as an envelope (migration)
+//! deregister <req-id> <stream>         unload + delete the stream here
 //! flush <req-id>                       read-your-writes barrier
 //! stats <req-id>                       fleet-wide statistics
 //! shutdown <req-id>                    graceful server shutdown
@@ -211,6 +213,25 @@ pub enum Request {
         /// `(seq, slice)` in ingest order.
         slices: Vec<(u64, ObservedTensor)>,
     },
+    /// Read a stream's current model as its checkpoint envelope — the
+    /// exact payload [`Request::Register`] accepts, so `snapshot` here
+    /// and `register` there is a migration; the read half of
+    /// [`sofia_fleet::Fleet::export_stream`].
+    Snapshot {
+        /// Pipelining id.
+        id: u64,
+        /// Stream to export.
+        stream: String,
+    },
+    /// Remove a stream from this server entirely (model unloaded, id
+    /// freed, checkpoint file deleted) — the final step of a migration
+    /// hand-off ([`sofia_fleet::Fleet::deregister`] over TCP).
+    Deregister {
+        /// Pipelining id.
+        id: u64,
+        /// Stream to remove.
+        stream: String,
+    },
     /// Read-your-writes barrier ([`sofia_fleet::Fleet::flush`] over TCP).
     Flush {
         /// Pipelining id.
@@ -237,6 +258,8 @@ impl Request {
             | Request::QueryBatch { id, .. }
             | Request::Register { id, .. }
             | Request::Ingest { id, .. }
+            | Request::Snapshot { id, .. }
+            | Request::Deregister { id, .. }
             | Request::Flush { id }
             | Request::Stats { id }
             | Request::Shutdown { id } => *id,
@@ -275,6 +298,12 @@ impl Request {
             }
             Request::Ingest { id, stream, slices } => {
                 out.push_str(&ingest_body(*id, stream, slices));
+            }
+            Request::Snapshot { id, stream } => {
+                let _ = writeln!(out, "snapshot {id} {}", encode_stream_id(stream));
+            }
+            Request::Deregister { id, stream } => {
+                let _ = writeln!(out, "deregister {id} {}", encode_stream_id(stream));
             }
             Request::Flush { id } => {
                 let _ = writeln!(out, "flush {id}");
@@ -388,6 +417,18 @@ impl Request {
                 cur.finish()?;
                 return Ok(Request::Ingest { id, stream, slices });
             }
+            "snapshot" | "deregister" => {
+                let id = int(&mut toks, verb, "request id")?;
+                let stream = toks
+                    .next()
+                    .and_then(decode_stream_id)
+                    .ok_or_else(|| WireError::new(format!("`{verb}` needs a stream id")))?;
+                if verb == "snapshot" {
+                    Request::Snapshot { id, stream }
+                } else {
+                    Request::Deregister { id, stream }
+                }
+            }
             "flush" => Request::Flush {
                 id: int(&mut toks, verb, "request id")?,
             },
@@ -493,16 +534,31 @@ pub fn split_reply(body: &str) -> Result<(ReplyHead, &str), WireError> {
 }
 
 /// The shard-ownership table a server hands its clients at handshake:
-/// stream route → endpoint.
+/// stream route → endpoint, plus per-stream **overrides** for migrated
+/// streams.
 ///
-/// Today every shard maps to the one serving endpoint (single-node), but
-/// the table is what a multi-process deployment changes: give shards
-/// different endpoints and [`ShardMap::endpoint_of`] becomes the
-/// client-side router — the stable FNV stream route
-/// ([`sofia_fleet::shard_of`]) already agrees across processes.
+/// Routing is two-layered:
+///
+/// 1. **Slots** — the stable FNV stream route
+///    ([`sofia_fleet::shard_of`]) picks a slot, and each slot names the
+///    endpoint owning it. A single-node map points every slot at the
+///    one server; a cluster map spreads slots over many endpoints
+///    (multiple slots per endpoint is the normal shape —
+///    [`ShardMap::round_robin`] builds one from a spec). The route
+///    agrees across processes, so every router holding the same map
+///    picks the same owner.
+/// 2. **Overrides** — an explicit stream-id → endpoint entry that beats
+///    the slot table. Migration flips exactly one such entry
+///    ([`ShardMap::set_override`]): the stream's envelope moves to the
+///    new owner, the entry records it, everything else stays hashed.
+///
+/// A slot count need not match any server's internal shard count: slots
+/// route *between* processes; each fleet re-hashes over its own shards
+/// internally.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardMap {
     endpoints: Vec<String>,
+    overrides: std::collections::BTreeMap<String, String>,
 }
 
 impl ShardMap {
@@ -512,57 +568,173 @@ impl ShardMap {
         let endpoint = endpoint.into();
         ShardMap {
             endpoints: vec![endpoint; shards],
+            overrides: std::collections::BTreeMap::new(),
         }
     }
 
-    /// A map with one endpoint per shard (the multi-node seam).
+    /// A map with one endpoint per slot (the multi-node seam).
     pub fn from_endpoints(endpoints: Vec<String>) -> ShardMap {
         assert!(
             !endpoints.is_empty(),
             "a shard map needs at least one shard"
         );
-        ShardMap { endpoints }
+        ShardMap {
+            endpoints,
+            overrides: std::collections::BTreeMap::new(),
+        }
     }
 
-    /// Number of shards.
+    /// The deterministic cluster layout a spec expands to:
+    /// `endpoints.len() × slots_per_endpoint` slots, slot `i` owned by
+    /// `endpoints[i % endpoints.len()]`. Every process given the same
+    /// endpoint list builds the identical map, so `sofia-cli cluster`
+    /// nodes and their clients agree on ownership without exchanging
+    /// anything beyond the spec.
+    pub fn round_robin(endpoints: &[String], slots_per_endpoint: usize) -> ShardMap {
+        assert!(!endpoints.is_empty(), "a cluster needs at least one node");
+        assert!(slots_per_endpoint > 0, "need at least one slot per node");
+        let slots = endpoints.len() * slots_per_endpoint;
+        ShardMap {
+            endpoints: (0..slots)
+                .map(|i| endpoints[i % endpoints.len()].clone())
+                .collect(),
+            overrides: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Number of route slots.
     pub fn shards(&self) -> usize {
         self.endpoints.len()
     }
 
-    /// Endpoint serving shard `i`.
+    /// Endpoint owning each slot.
     pub fn endpoints(&self) -> &[String] {
         &self.endpoints
     }
 
-    /// The shard a stream id routes to (same stable hash the engine
-    /// uses).
+    /// Per-stream overrides (migrated streams), stream id → endpoint.
+    pub fn overrides(&self) -> &std::collections::BTreeMap<String, String> {
+        &self.overrides
+    }
+
+    /// Every endpoint the map can route to, in first-appearance order
+    /// (slot owners first, then override-only endpoints), deduplicated.
+    /// Membership is hashed, not scanned — a handshake-supplied map may
+    /// legitimately carry up to 2^20 slots.
+    pub fn distinct_endpoints(&self) -> Vec<&str> {
+        let mut seen = std::collections::HashSet::new();
+        let mut ordered = Vec::new();
+        for ep in self.endpoints.iter().chain(self.overrides.values()) {
+            if seen.insert(ep.as_str()) {
+                ordered.push(ep.as_str());
+            }
+        }
+        ordered
+    }
+
+    /// The slot a stream id routes to (same stable hash the engine
+    /// uses). Overrides bypass the slot table — check
+    /// [`ShardMap::endpoint_of`] for actual ownership.
     pub fn shard_of(&self, stream_id: &str) -> usize {
         shard_of(stream_id, self.endpoints.len())
     }
 
-    /// The endpoint serving a stream id.
+    /// The endpoint serving a stream id: its override entry if one
+    /// exists (the stream was migrated), its hashed slot's owner
+    /// otherwise.
     pub fn endpoint_of(&self, stream_id: &str) -> &str {
+        if let Some(ep) = self.overrides.get(stream_id) {
+            return ep;
+        }
         &self.endpoints[self.shard_of(stream_id)]
     }
 
-    /// Appends the map's wire form (`shardmap <n>` + one `endpoint`
-    /// line per shard).
+    /// Records that `stream_id` is now served by `endpoint` regardless
+    /// of its hashed slot — the map half of a migration.
+    pub fn set_override(&mut self, stream_id: impl Into<String>, endpoint: impl Into<String>) {
+        self.overrides.insert(stream_id.into(), endpoint.into());
+    }
+
+    /// Drops a stream's override (it routes by hash again); returns
+    /// whether one existed.
+    pub fn clear_override(&mut self, stream_id: &str) -> bool {
+        self.overrides.remove(stream_id).is_some()
+    }
+
+    /// Replaces every occurrence of endpoint `from` (slot owners and
+    /// overrides) with `to`; returns how many entries changed. This is
+    /// how a router follows a restarted node to its new address.
+    pub fn repoint(&mut self, from: &str, to: &str) -> usize {
+        let mut changed = 0;
+        for ep in &mut self.endpoints {
+            if ep == from {
+                *ep = to.to_string();
+                changed += 1;
+            }
+        }
+        for ep in self.overrides.values_mut() {
+            if ep == from {
+                *ep = to.to_string();
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// Appends the map's wire form. With no overrides this is exactly
+    /// the original single-header form (`shardmap <n>` + one `endpoint`
+    /// line per slot), byte-identical to what pre-cluster servers sent;
+    /// overrides extend the header to `shardmap <n> overrides <m>` and
+    /// append one `override` line each.
     pub fn push_wire(&self, out: &mut String) {
         use std::fmt::Write as _;
-        let _ = writeln!(out, "shardmap {}", self.endpoints.len());
+        if self.overrides.is_empty() {
+            let _ = writeln!(out, "shardmap {}", self.endpoints.len());
+        } else {
+            let _ = writeln!(
+                out,
+                "shardmap {} overrides {}",
+                self.endpoints.len(),
+                self.overrides.len()
+            );
+        }
         for (i, ep) in self.endpoints.iter().enumerate() {
             let _ = writeln!(out, "endpoint {i} {}", encode_stream_id(ep));
         }
+        for (stream, ep) in &self.overrides {
+            let _ = writeln!(
+                out,
+                "override {} {}",
+                encode_stream_id(stream),
+                encode_stream_id(ep)
+            );
+        }
     }
 
-    /// Parses the block written by [`ShardMap::push_wire`].
+    /// Parses the block written by [`ShardMap::push_wire`] — both the
+    /// extended form and the plain pre-cluster handshake form (no
+    /// `overrides` clause, no `override` lines).
     pub fn parse(cur: &mut LineCursor<'_>) -> Result<ShardMap, WireError> {
         let head = cur.next("shardmap header")?;
-        let n: usize = head
-            .strip_prefix("shardmap ")
-            .and_then(|d| d.parse().ok())
-            .filter(|&n| n > 0 && n <= 1 << 20)
-            .ok_or_else(|| WireError::new(format!("bad shardmap header `{head}`")))?;
+        let bad = || WireError::new(format!("bad shardmap header `{head}`"));
+        let mut toks = head.split_whitespace();
+        if toks.next() != Some("shardmap") {
+            return Err(bad());
+        }
+        let parse_count = |tok: Option<&str>| -> Result<usize, WireError> {
+            tok.and_then(|d| d.parse().ok())
+                .filter(|&n| n <= 1 << 20)
+                .ok_or_else(bad)
+        };
+        let n = parse_count(toks.next()).and_then(|n| if n > 0 { Ok(n) } else { Err(bad()) })?;
+        let m = match toks.next() {
+            None => 0,
+            Some("overrides") => parse_count(toks.next())?,
+            Some(_) => return Err(bad()),
+        };
+        if toks.next().is_some() {
+            return Err(bad());
+        }
         let mut endpoints = Vec::with_capacity(n);
         for i in 0..n {
             let line = cur.next("shardmap endpoint")?;
@@ -573,7 +745,24 @@ impl ShardMap {
                 decode_stream_id(rest).ok_or_else(|| WireError::new("undecodable endpoint"))?,
             );
         }
-        Ok(ShardMap { endpoints })
+        let mut overrides = std::collections::BTreeMap::new();
+        for _ in 0..m {
+            let line = cur.next("shardmap override")?;
+            let (stream, ep) = line
+                .strip_prefix("override ")
+                .and_then(|r| r.split_once(' '))
+                .ok_or_else(|| WireError::new(format!("bad override line `{line}`")))?;
+            overrides.insert(
+                decode_stream_id(stream)
+                    .ok_or_else(|| WireError::new("undecodable override stream"))?,
+                decode_stream_id(ep)
+                    .ok_or_else(|| WireError::new("undecodable override endpoint"))?,
+            );
+        }
+        Ok(ShardMap {
+            endpoints,
+            overrides,
+        })
     }
 }
 
@@ -786,6 +975,14 @@ mod tests {
                 stream: "s".into(),
                 slices: vec![(41, slice(1.5)), (42, slice(-2.0))],
             },
+            Request::Snapshot {
+                id: 14,
+                stream: "mig/α".into(),
+            },
+            Request::Deregister {
+                id: 15,
+                stream: "mig/α".into(),
+            },
             Request::Flush { id: 11 },
             Request::Stats { id: 12 },
             Request::Shutdown { id: 13 },
@@ -845,6 +1042,14 @@ mod tests {
             "flush 1 2",
             "stats 1\nstray",
             "hello %f",
+            "snapshot",
+            "snapshot 1",
+            "snapshot x s",
+            "snapshot 1 %zz",
+            "snapshot 1 s extra",
+            "snapshot 1 s\ntrailing payload",
+            "deregister 1",
+            "deregister 1 s\ntrailing payload",
         ];
         for case in cases {
             assert!(Request::from_body(case).is_err(), "should reject:\n{case}");
@@ -896,10 +1101,86 @@ mod tests {
             "shardmap 2\nendpoint 0 a",
             "shardmap 1\nendpoint 1 a",
             "shardmap 1\nendpoint 0 %zz",
+            "shardmap 1 overrides",
+            "shardmap 1 overrides x",
+            "shardmap 1 overrides 1 extra",
+            "shardmap 1 bogus 1",
+            "shardmap 1 overrides 1\nendpoint 0 a\noverride onlyonetoken",
+            "shardmap 1 overrides 1\nendpoint 0 a\noverride %zz b",
+            "shardmap 1 overrides 2\nendpoint 0 a\noverride s b",
         ] {
             let mut cur = LineCursor::new(bad);
             assert!(ShardMap::parse(&mut cur).is_err(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn multi_endpoint_map_with_overrides_round_trips() {
+        // Two nodes, two slots each, plus two migrated streams — ids
+        // with spaces and separators to exercise the shared
+        // percent-encoding on every field.
+        let mut map = ShardMap::round_robin(&["host-a:7421".into(), "host b:7422".into()], 2);
+        assert_eq!(map.shards(), 4);
+        assert_eq!(map.endpoints()[0], "host-a:7421");
+        assert_eq!(map.endpoints()[1], "host b:7422");
+        assert_eq!(map.endpoints()[2], "host-a:7421");
+        map.set_override("moved/α", "host b:7422");
+        map.set_override("also moved", "host-c:7");
+
+        let mut out = String::new();
+        map.push_wire(&mut out);
+        assert!(out.starts_with("shardmap 4 overrides 2\n"), "{out}");
+        let mut cur = LineCursor::new(&out);
+        let back = ShardMap::parse(&mut cur).unwrap();
+        cur.finish().unwrap();
+        assert_eq!(back, map);
+        assert_eq!(back.endpoint_of("moved/α"), "host b:7422");
+        assert_eq!(back.endpoint_of("also moved"), "host-c:7");
+        // Non-overridden streams route by hash, agreeing across copies.
+        for id in ["x", "y", "z"] {
+            assert_eq!(back.endpoint_of(id), map.endpoint_of(id));
+            assert_eq!(back.endpoint_of(id), back.endpoints()[shard_of(id, 4)]);
+        }
+        // Distinct endpoints: slot owners first, override-only last.
+        assert_eq!(
+            back.distinct_endpoints(),
+            vec!["host-a:7421", "host b:7422", "host-c:7"]
+        );
+
+        // Clearing the override returns the stream to its hashed slot.
+        let mut cleared = back.clone();
+        assert!(cleared.clear_override("moved/α"));
+        assert!(!cleared.clear_override("moved/α"));
+        assert_eq!(
+            cleared.endpoint_of("moved/α"),
+            cleared.endpoints()[shard_of("moved/α", 4)]
+        );
+
+        // Repointing follows a restarted node to its new address in
+        // both layers.
+        let mut repointed = back.clone();
+        let changed = repointed.repoint("host b:7422", "host-b:9999");
+        assert_eq!(changed, 3, "two slots + one override");
+        assert_eq!(repointed.endpoint_of("moved/α"), "host-b:9999");
+    }
+
+    #[test]
+    fn shard_map_parse_accepts_the_pre_cluster_handshake_form() {
+        // Byte-for-byte what a PR 4 server sends in its handshake
+        // (endpoints percent-encoded, `:` → `%3A`): no `overrides`
+        // clause, no `override` lines. The parser must keep accepting
+        // it, and a map without overrides must keep *writing* it, so
+        // old and new peers interoperate in both directions.
+        let legacy = "shardmap 2\nendpoint 0 127.0.0.1%3A7411\nendpoint 1 127.0.0.1%3A7411\n";
+        let mut cur = LineCursor::new(legacy);
+        let map = ShardMap::parse(&mut cur).unwrap();
+        cur.finish().unwrap();
+        assert_eq!(map, ShardMap::single_node("127.0.0.1:7411", 2));
+        assert!(map.overrides().is_empty());
+
+        let mut out = String::new();
+        map.push_wire(&mut out);
+        assert_eq!(out, legacy, "override-free wire form is unchanged");
     }
 
     #[test]

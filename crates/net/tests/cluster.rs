@@ -1,0 +1,484 @@
+//! Cluster integration tests: two real `Server` processes' worth of
+//! state (independent fleets, independent checkpoint directories,
+//! independent sockets — everything separate except the test's address
+//! space) routed by one [`ClusterClient`], and the engine's strongest
+//! guarantee re-proven at cluster scope:
+//!
+//! * a stream registered on node A is **unreachable** on node B (a
+//!   direct client gets a typed `UnknownStream`, the router finds it);
+//! * [`ClusterClient::migrate`] moves the stream to node B by shipping
+//!   its checkpoint envelope through the wire `snapshot` → `register`
+//!   path, after which node A serves `UnknownStream` and node B serves
+//!   the stream at its full pre-migration step count;
+//! * node A then **crash-aborts** and restarts from its checkpoint
+//!   directory: the migrated stream does *not* resurrect there (its
+//!   checkpoint file left with it), the surviving streams replay their
+//!   lost tail, and every forecast served through the router is
+//!   **bit-exact** against a single-process fleet that never migrated,
+//!   never crashed, and never touched a socket.
+//!
+//! The same scenario across OS processes (spawned `serve` binaries) is
+//! driven by `sofia-cli cluster`, which CI runs as a smoke test.
+
+use sofia_baselines::Smf;
+use sofia_core::config::SofiaConfig;
+use sofia_core::Sofia;
+use sofia_datagen::seasonal::SeasonalStream;
+use sofia_datagen::stream::TensorStream;
+use sofia_fleet::{
+    CheckpointPolicy, Fleet, FleetConfig, FleetError, ModelHandle, Query, QueryResponse,
+};
+use sofia_net::{Client, ClientError, ClusterClient, Server, ServerConfig, ShardMap};
+use sofia_tensor::ObservedTensor;
+use std::path::PathBuf;
+
+const PERIOD: usize = 4;
+const RANK: usize = 2;
+const PRE_CRASH: usize = 5;
+const TOTAL: usize = 9;
+/// Not dividing PRE_CRASH, so node A's crash loses a tail that recovery
+/// must replay (checkpoint boundary: floor(5/2)*2 = 4).
+const EVERY: u64 = 2;
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sofia-cluster-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config() -> SofiaConfig {
+    SofiaConfig::new(RANK, PERIOD)
+        .with_lambdas(0.01, 0.01, 10.0)
+        .with_als_limits(1e-4, 2, 50)
+}
+
+fn slices(i: usize) -> (Vec<ObservedTensor>, Vec<ObservedTensor>) {
+    let s = SeasonalStream::paper_fig2(&[4, 3], RANK, PERIOD, 500 + i as u64);
+    let t0 = 3 * PERIOD;
+    let startup = (0..t0)
+        .map(|t| ObservedTensor::fully_observed(s.clean_slice(t)))
+        .collect();
+    let streamed = (t0..t0 + TOTAL)
+        .map(|t| ObservedTensor::fully_observed(s.clean_slice(t)))
+        .collect();
+    (startup, streamed)
+}
+
+/// Stream `i`'s model, deterministic so the cluster and the in-process
+/// control fleet start identical (SOFIA on even, SMF on odd).
+fn handle(i: usize, startup: &[ObservedTensor]) -> ModelHandle {
+    if i.is_multiple_of(2) {
+        ModelHandle::sofia(Sofia::init(&config(), startup, 40 + i as u64).expect("init"))
+    } else {
+        ModelHandle::durable(Smf::init(startup, RANK, PERIOD, 0.1, 40 + i as u64))
+    }
+}
+
+fn node_config(dir: &PathBuf) -> FleetConfig {
+    FleetConfig {
+        shards: 2,
+        queue_capacity: 64,
+        checkpoint: Some(CheckpointPolicy::new(dir, EVERY)),
+        evict_idle_after: None,
+    }
+}
+
+fn forecast_bits(resp: QueryResponse) -> Vec<u64> {
+    resp.expect_forecast()
+        .expect("these models forecast")
+        .data()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect()
+}
+
+fn expect_unknown(result: Result<QueryResponse, ClientError>, what: &str) {
+    match result {
+        Err(ClientError::Fleet(FleetError::UnknownStream(_))) => {}
+        other => panic!("{what}: expected UnknownStream, got {other:?}"),
+    }
+}
+
+/// The acceptance scenario: register on A → unreachable on B → migrate
+/// to B → crash A → recover A → bit-exact vs an unmigrated, uncrashed
+/// single-process fleet.
+#[test]
+fn migrate_then_crash_then_recover_is_bit_exact_vs_single_process_fleet() {
+    let dir_a = tempdir("node-a");
+    let dir_b = tempdir("node-b");
+
+    // --- Two independent nodes (own fleet, own checkpoint dir, own
+    // socket), and the ownership table a deployment spec expands to:
+    // four route slots round-robined over both endpoints.
+    let server_a = Server::bind(
+        "127.0.0.1:0",
+        Fleet::new(node_config(&dir_a)).expect("fleet a"),
+    )
+    .expect("a");
+    let server_b = Server::bind(
+        "127.0.0.1:0",
+        Fleet::new(node_config(&dir_b)).expect("fleet b"),
+    )
+    .expect("b");
+    let ep_a = server_a.local_addr().to_string();
+    let ep_b = server_b.local_addr().to_string();
+    let mut cluster =
+        ClusterClient::from_map(ShardMap::round_robin(&[ep_a.clone(), ep_b.clone()], 2));
+
+    // Pick two stream ids hashed onto each node (the route is the
+    // stable FNV hash, so ownership is a property of the id).
+    let (mut ids_a, mut ids_b) = (Vec::new(), Vec::new());
+    for k in 0.. {
+        let id = format!("stream-{k}");
+        let owner = cluster.map().endpoint_of(&id).to_string();
+        if owner == ep_a && ids_a.len() < 2 {
+            ids_a.push(id);
+        } else if owner == ep_b && ids_b.len() < 2 {
+            ids_b.push(id);
+        }
+        if ids_a.len() == 2 && ids_b.len() == 2 {
+            break;
+        }
+    }
+    // Fixed registration order: [A, B, A, B] → SOFIA, SMF, SOFIA, SMF.
+    let ids = [
+        ids_a[0].clone(),
+        ids_b[0].clone(),
+        ids_a[1].clone(),
+        ids_b[1].clone(),
+    ];
+
+    // --- Single-process control fleet: same ids, same models, same
+    // slices; never migrated, never crashed, never serialized.
+    let control = Fleet::new(FleetConfig {
+        shards: 2,
+        queue_capacity: 64,
+        checkpoint: None,
+        evict_idle_after: None,
+    })
+    .expect("control");
+    let mut streamed_slices = Vec::new();
+    for (i, id) in ids.iter().enumerate() {
+        let (startup, streamed) = slices(i);
+        cluster
+            .register(id, &handle(i, &startup))
+            .expect("register through the router");
+        control.register(id, handle(i, &startup)).expect("control");
+        streamed_slices.push(streamed);
+    }
+    for (i, id) in ids.iter().enumerate() {
+        for slice in &streamed_slices[i] {
+            control
+                .try_ingest_id(id, slice.clone())
+                .expect("control ingest");
+        }
+    }
+    control.flush().expect("control flush");
+
+    // --- The sharding claim: a stream registered on node A exists on
+    // node A only. A client talking to node B directly gets the typed
+    // UnknownStream; the router finds it because the map routes it.
+    {
+        let mut direct_b = Client::connect(server_b.local_addr()).expect("direct b");
+        expect_unknown(
+            direct_b.query(&ids_a[0], Query::StreamStats),
+            "A-owned stream on node B",
+        );
+    }
+    let stats = cluster
+        .query(&ids_a[0], Query::StreamStats)
+        .expect("routed")
+        .expect_stream_stats();
+    assert_eq!(stats.model, "SOFIA");
+
+    // --- Pre-crash traffic through the router; cluster flush is the
+    // read-your-writes barrier across every node.
+    for (i, id) in ids.iter().enumerate() {
+        cluster
+            .ingest_blocking(id, streamed_slices[i][..PRE_CRASH].to_vec())
+            .expect("routed ingest");
+    }
+    cluster.flush().expect("cluster flush");
+
+    // Merged stats: both nodes' shards, re-numbered uniquely, counters
+    // summing over the whole cluster.
+    let merged = cluster.stats().expect("merged stats");
+    assert_eq!(merged.shards.len(), 4, "2 shards x 2 nodes");
+    let mut shard_ids: Vec<usize> = merged.shards.iter().map(|s| s.shard).collect();
+    shard_ids.sort_unstable();
+    assert_eq!(shard_ids, vec![0, 1, 2, 3], "unique merged shard ids");
+    assert_eq!(merged.streams(), 4);
+    assert_eq!(merged.steps(), (4 * PRE_CRASH) as u64);
+
+    // Batched queries group by owning endpoint and stay aligned with
+    // the request vector, per-item failures included.
+    let batch = cluster
+        .query_batch(&[
+            (&ids[0], Query::StreamStats),
+            (&ids[1], Query::StreamStats),
+            ("ghost", Query::Latest),
+            (&ids[3], Query::Forecast { horizon: 2 }),
+        ])
+        .expect("cluster batch");
+    assert_eq!(batch.len(), 4);
+    assert_eq!(
+        batch[0]
+            .as_ref()
+            .expect("stats")
+            .clone()
+            .expect_stream_stats()
+            .steps,
+        PRE_CRASH as u64
+    );
+    assert_eq!(
+        batch[1]
+            .as_ref()
+            .expect("stats")
+            .clone()
+            .expect_stream_stats()
+            .steps,
+        PRE_CRASH as u64
+    );
+    assert!(matches!(batch[2], Err(FleetError::UnknownStream(_))));
+    assert!(matches!(batch[3], Ok(QueryResponse::Forecast(Some(_)))));
+
+    // --- Migration: ship the SOFIA stream from A to B over the wire.
+    // The snapshot is taken from the *live* model (5 steps), not the
+    // last periodic checkpoint (4) — nothing is lost to checkpoint lag.
+    let mig = ids_a[0].clone();
+    cluster.migrate(&mig, &ep_b).expect("migrate");
+    assert_eq!(cluster.endpoint_of(&mig), ep_b, "map entry flipped");
+    // No durability window: the target persisted the arrived envelope
+    // before the coordinator deleted the source's file, so a crash of
+    // EITHER node right now cannot lose the stream.
+    assert!(
+        sofia_fleet::durability::checkpoint_path(&dir_b, &mig).exists(),
+        "target persisted the migrated stream on arrival"
+    );
+    assert!(
+        !sofia_fleet::durability::checkpoint_path(&dir_a, &mig).exists(),
+        "source's checkpoint left with the stream"
+    );
+    {
+        let mut direct_a = Client::connect(server_a.local_addr()).expect("direct a");
+        expect_unknown(
+            direct_a.query(&mig, Query::StreamStats),
+            "migrated stream on its old node",
+        );
+        let mut direct_b = Client::connect(server_b.local_addr()).expect("direct b");
+        let stats = direct_b
+            .query(&mig, Query::StreamStats)
+            .expect("served by b")
+            .expect_stream_stats();
+        assert_eq!(stats.steps, PRE_CRASH as u64, "live steps survived");
+        assert_eq!(stats.model, "SOFIA");
+    }
+    // A memory-only target cannot accept a migration: the coordinator
+    // would delete the source's durable copy on the word of a node that
+    // persisted nothing. The attempt rolls back — typed error, map
+    // unchanged, source still serving.
+    let transient = Server::bind(
+        "127.0.0.1:0",
+        Fleet::new(FleetConfig::with_shards(1)).expect("transient fleet"),
+    )
+    .expect("bind transient");
+    let ep_t = transient.local_addr().to_string();
+    match cluster.migrate(&ids_b[0], &ep_t) {
+        Err(ClientError::Protocol(msg)) => {
+            assert!(msg.contains("did not persist"), "{msg}")
+        }
+        other => panic!("expected a durability abort, got {other:?}"),
+    }
+    assert_eq!(cluster.endpoint_of(&ids_b[0]), ep_b, "map unchanged");
+    assert_eq!(
+        cluster
+            .query(&ids_b[0], Query::StreamStats)
+            .expect("source still serves after the aborted migration")
+            .expect_stream_stats()
+            .steps,
+        PRE_CRASH as u64
+    );
+    transient.shutdown().expect("transient down");
+
+    // Migrating to the current owner is a typed error, and migrating an
+    // unknown stream surfaces the server's UnknownStream.
+    assert!(matches!(
+        cluster.migrate(&mig, &ep_b),
+        Err(ClientError::Protocol(_))
+    ));
+    match cluster.migrate("ghost", &ep_b) {
+        Err(ClientError::Fleet(FleetError::UnknownStream(_))) => {}
+        Err(ClientError::Protocol(_)) => {} // "ghost" may hash to B already
+        other => panic!("expected a typed failure, got {other:?}"),
+    }
+
+    // --- Crash node A (no drain, no final checkpoints), restart it
+    // from its checkpoint directory on a fresh socket.
+    server_a.abort();
+    let (recovered, n) = Fleet::recover(node_config(&dir_a)).expect("recover a");
+    assert_eq!(
+        n, 1,
+        "exactly the surviving A stream recovers — the migrated \
+         stream's checkpoint left with it"
+    );
+    assert_eq!(recovered.stream_ids(), vec![ids_a[1].clone()]);
+    let server_a2 = Server::bind("127.0.0.1:0", recovered).expect("rebind a");
+    let ep_a2 = server_a2.local_addr().to_string();
+    // The router follows the restarted node to its new address; the
+    // migrated stream's override keeps pointing at B.
+    let changed = cluster.repoint(&ep_a, &ep_a2);
+    assert_eq!(changed, 2, "node A owned two route slots");
+    assert_eq!(cluster.endpoint_of(&mig), ep_b);
+
+    // --- Replay and continue: the surviving A stream resumes at the
+    // checkpoint boundary (the crash lost its tail); everything on B —
+    // the migrated stream included — kept its full step count.
+    let boundary = ((PRE_CRASH as u64 / EVERY) * EVERY) as usize;
+    for (i, id) in ids.iter().enumerate() {
+        let steps = cluster
+            .query(id, Query::StreamStats)
+            .expect("stats")
+            .expect_stream_stats()
+            .steps as usize;
+        let resume = if *id == ids_a[1] { boundary } else { PRE_CRASH };
+        assert_eq!(steps, resume, "{id} resumed at the right step");
+        cluster
+            .ingest_blocking(id, streamed_slices[i][resume..].to_vec())
+            .expect("replay + continue");
+    }
+    cluster.flush().expect("final flush");
+
+    // --- The decisive assertion: after register-over-wire, migration,
+    // a crash, and a recovery, every forecast and latest slice served
+    // through the router is bit-identical to the single-process fleet.
+    for (i, id) in ids.iter().enumerate() {
+        let routed = forecast_bits(
+            cluster
+                .query(id, Query::Forecast { horizon: 3 })
+                .expect("routed forecast"),
+        );
+        let local = forecast_bits(
+            control
+                .query(id, Query::Forecast { horizon: 3 })
+                .expect("query")
+                .wait()
+                .expect("control forecast"),
+        );
+        assert_eq!(routed, local, "{id}: cluster vs single-process forecast");
+        let routed_latest = cluster
+            .query(id, Query::Latest)
+            .expect("latest")
+            .expect_latest()
+            .expect("stepped");
+        let control_latest = control
+            .query(id, Query::Latest)
+            .expect("query")
+            .wait()
+            .expect("latest")
+            .expect_latest()
+            .expect("stepped");
+        assert_eq!(
+            routed_latest.completed.data(),
+            control_latest.completed.data(),
+            "{id}: latest diverged (stream {i})"
+        );
+    }
+
+    // Migrating the stream back to its hashed slot owner clears the
+    // override instead of accumulating a redundant entry, and the
+    // forecast survives the round trip bit-exactly (`latest` resets,
+    // as after any restore — which is why this runs after the latest
+    // comparisons above).
+    let home_before = forecast_bits(
+        cluster
+            .query(&mig, Query::Forecast { horizon: 3 })
+            .expect("pre-move forecast"),
+    );
+    cluster.migrate(&mig, &ep_a2).expect("migrate home");
+    assert!(
+        cluster.map().overrides().is_empty(),
+        "no residual override after a round trip"
+    );
+    assert_eq!(cluster.endpoint_of(&mig), ep_a2);
+    let home_after = forecast_bits(
+        cluster
+            .query(&mig, Query::Forecast { horizon: 3 })
+            .expect("post-move forecast"),
+    );
+    assert_eq!(home_before, home_after, "round-trip migration diverged");
+
+    // --- Graceful cluster-wide shutdown: every node acknowledges,
+    // drains, and writes final checkpoints.
+    assert_eq!(cluster.shutdown_all().expect("shutdown frames"), 2);
+    assert!(server_a2.shutdown_requested());
+    assert!(server_b.shutdown_requested());
+    server_a2.shutdown().expect("drain a");
+    server_b.shutdown().expect("drain b");
+    control.shutdown().expect("control shutdown");
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+/// A cluster member advertises the full spec map in its handshake, so a
+/// router can bootstrap from any one seed address.
+#[test]
+fn cluster_client_bootstraps_from_a_member_handshake() {
+    // A spec must name the server before it binds (deployments use
+    // fixed ports; ephemeral binds cannot be in a pre-agreed map), so
+    // reserve a free port, drop the probe, and re-bind it. Another
+    // process can grab the port in that window — retry the whole
+    // reserve-and-bind rather than flake.
+    let (server, ep_self, spec) = (0..10)
+        .find_map(|_| {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").ok()?;
+            let ep = probe.local_addr().ok()?.to_string();
+            drop(probe);
+            let spec = ShardMap::round_robin(&[ep.clone(), "127.0.0.1:1".into()], 1);
+            let fleet = Fleet::new(FleetConfig::with_shards(2)).expect("fleet");
+            Server::bind_with(
+                &ep,
+                fleet,
+                ServerConfig {
+                    cluster: Some(spec.clone()),
+                    ..ServerConfig::default()
+                },
+            )
+            .ok()
+            .map(|server| (server, ep, spec))
+        })
+        .expect("a reserved port stays free within 10 attempts");
+
+    let mut cluster = ClusterClient::connect(&ep_self).expect("bootstrap from seed");
+    assert_eq!(cluster.map(), &spec, "handshake carried the full spec");
+
+    // A stream hashed onto the seed's slot is servable immediately over
+    // the reused seed connection (the other endpoint is never dialed).
+    let own = (0..)
+        .map(|k| format!("s-{k}"))
+        .find(|id| cluster.map().endpoint_of(id) == ep_self)
+        .expect("some id routes to the seed");
+    let (startup, _) = slices(0);
+    cluster
+        .register(&own, &handle(1, &startup))
+        .expect("register through the bootstrapped router");
+    let stats = cluster
+        .query(&own, Query::StreamStats)
+        .expect("routed query")
+        .expect_stream_stats();
+    assert_eq!(stats.model, "SMF");
+
+    // A cluster map that never routes to the node is refused at the
+    // API boundary — advertising it would strand every stream this
+    // node owns behind wrong addresses.
+    let stranded = Server::bind_with(
+        "127.0.0.1:0",
+        Fleet::new(FleetConfig::with_shards(1)).expect("fleet"),
+        ServerConfig {
+            cluster: Some(ShardMap::round_robin(&["10.255.0.1:1".into()], 1)),
+            ..ServerConfig::default()
+        },
+    );
+    assert!(stranded.is_err(), "self-less cluster map must be refused");
+
+    server.shutdown().expect("shutdown");
+}

@@ -60,9 +60,10 @@ fn main() {
     let addr = server.local_addr();
     println!("server listening on {addr}");
 
-    // --- 2. Connect; the handshake carries the shard-ownership map —
-    // the seam a multi-process deployment plugs into (today every
-    // route points at this one server).
+    // --- 2. Connect; the handshake carries the shard-ownership map.
+    // A standalone server owns every route; a cluster member would
+    // advertise the full multi-endpoint map here (see
+    // examples/cluster_migration.rs for that layer).
     let mut client = Client::connect(addr).expect("connect");
     println!(
         "handshake shard map: {} shards, stream `net-0` routes to {}",

@@ -31,3 +31,13 @@ pub use sofia_timeseries as timeseries;
 
 pub use sofia_core::{Sofia, SofiaConfig, StepOutput, StreamingFactorizer};
 pub use sofia_tensor::{DenseTensor, Mask, Matrix, ObservedTensor, Shape};
+
+/// The README's Rust code blocks compile **and run** as doctests, so
+/// the quickstart cannot rot silently: `cargo test` fails when a
+/// snippet stops compiling or its assertions stop holding. Compiled
+/// only under `rustdoc --test` (`cfg(doctest)`), so ordinary builds
+/// and `cargo doc` never see this module.
+#[cfg(doctest)]
+mod readme_doctests {
+    #![doc = include_str!("../README.md")]
+}
