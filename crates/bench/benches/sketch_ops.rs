@@ -1,0 +1,79 @@
+//! Criterion bench: the observability sketch hot paths — per-slice
+//! `observe` (paid on every ingest, twice: stream + shard), shard
+//! merge (paid per stats rollup), quantile estimation, and the wire
+//! round-trip a stats reply pays per sketch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sofia_sketch::{metric::METRIC_WIRE_LINES, MetricSummary};
+
+/// A summary holding `n` log-normal-ish latency samples (the shape the
+/// ingest path actually produces: a tight body with a long tail).
+fn summary_of(n: usize, seed: u64) -> MetricSummary {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut m = MetricSummary::new();
+    for _ in 0..n {
+        let u: f64 = rng.gen();
+        m.observe(20.0 + 500.0 * u * u * u);
+    }
+    m
+}
+
+fn bench_observe(c: &mut Criterion) {
+    c.bench_function("sketch_observe_10k", |b| {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let samples: Vec<f64> = (0..10_000).map(|_| rng.gen_range(1.0..1e4)).collect();
+        b.iter(|| {
+            let mut m = MetricSummary::new();
+            for &x in &samples {
+                m.observe(x);
+            }
+            m
+        })
+    });
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch_merge");
+    for shards in [2usize, 8, 32] {
+        let parts: Vec<MetricSummary> = (0..shards).map(|i| summary_of(5_000, i as u64)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, _| {
+            b.iter(|| {
+                let mut acc = MetricSummary::new();
+                for p in &parts {
+                    acc.merge(p);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_quantile(c: &mut Criterion) {
+    let m = summary_of(50_000, 11);
+    c.bench_function("sketch_quantile_p999", |b| b.iter(|| m.quantile(0.999)));
+}
+
+fn bench_wire_round_trip(c: &mut Criterion) {
+    let m = summary_of(50_000, 13);
+    c.bench_function("sketch_wire_round_trip", |b| {
+        b.iter(|| {
+            let mut text = String::new();
+            m.push_wire(&mut text);
+            let lines: Vec<&str> = text.lines().collect();
+            let fixed: [&str; METRIC_WIRE_LINES] = lines[..].try_into().expect("six lines");
+            MetricSummary::from_lines(fixed).expect("round-trip")
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_observe,
+    bench_merge,
+    bench_quantile,
+    bench_wire_round_trip
+);
+criterion_main!(benches);

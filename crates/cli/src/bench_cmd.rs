@@ -1,0 +1,329 @@
+//! The `bench` subcommand: a pinned-seed micro-benchmark of the fleet
+//! engine and the TCP data plane, with machine-readable output.
+//!
+//! ```text
+//! sofia-cli bench [--json] [--out DIR] [--streams N] [--steps N]
+//!                 [--shards N] [--seed N]
+//! ```
+//!
+//! Two passes over the same warm-started synthetic workload:
+//!
+//! 1. **fleet** — in-process ingest throughput, sketch-backed latency
+//!    quantiles (p50/p99/p999 from the mergeable t-digest, exact mean
+//!    from the moment partials), forecast-drift quantiles, and
+//!    single/batched query latency.
+//! 2. **net** — the same fleet behind a loopback [`Server`]: wire
+//!    ingest throughput, per-query round-trip latency, a stats
+//!    (sketch-carrying) round-trip, and a drift-quantile query over
+//!    the wire.
+//!
+//! `--json` additionally writes `BENCH_fleet.json` and
+//! `BENCH_net.json` into `--out` (default `.`). The seed pins the
+//! workload — identical streams, models, and slices every run — so
+//! the recorded figures are comparable across machines and commits;
+//! the wall-clock numbers themselves naturally vary.
+
+use crate::commands::CmdResult;
+use crate::fleet_cmd::{fmt_q, fmt_us, warm_start, FleetOpts};
+use sofia_datagen::stream::TensorStream;
+use sofia_fleet::{Fleet, FleetConfig, MetricKind, Query, QueryResponse, StreamKey};
+use sofia_net::{Client, Server};
+use sofia_tensor::ObservedTensor;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Parameters of one `bench` invocation. Defaults are the pinned
+/// baseline workload committed as `BENCH_fleet.json`/`BENCH_net.json`.
+pub struct BenchOpts {
+    /// Streams served concurrently.
+    pub streams: usize,
+    /// Slices ingested per stream (after warm-up).
+    pub steps: usize,
+    /// Shard count of both benched engines.
+    pub shards: usize,
+    /// Workload seed (stream `i` uses `seed + i`).
+    pub seed: u64,
+    /// Directory `--json` writes the reports into.
+    pub out: PathBuf,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        BenchOpts {
+            streams: 8,
+            steps: 60,
+            shards: 2,
+            seed: 2021,
+            out: PathBuf::from("."),
+        }
+    }
+}
+
+/// Single-query repetitions (per-query latency is the mean over these).
+const QUERY_REPS: usize = 200;
+/// Batched-query rounds (each round queries every stream in one batch).
+const BATCH_ROUNDS: usize = 25;
+/// Stats round-trip repetitions for the net pass.
+const STATS_REPS: usize = 20;
+
+/// Entry point of `sofia-cli bench`.
+pub fn bench(opts: &BenchOpts, json: bool) -> CmdResult {
+    if opts.streams == 0 || opts.steps == 0 || opts.shards == 0 {
+        return Err("streams, steps, and shards must be positive".into());
+    }
+    let workload = FleetOpts {
+        streams: opts.streams,
+        shards: opts.shards,
+        steps: opts.steps,
+        seed: opts.seed,
+        rank: 3,
+        period: 4,
+        dims: vec![8, 6],
+        ..FleetOpts::default()
+    };
+    println!(
+        "bench: {} streams x {} slices of {:?} over {} shards, seed {}",
+        workload.streams, workload.steps, workload.dims, workload.shards, workload.seed
+    );
+    let (models, streams, startup_len) = warm_start(&workload);
+    // Pre-materialized so neither pass measures workload generation.
+    let slices: Vec<Vec<ObservedTensor>> = streams
+        .iter()
+        .map(|s| {
+            (startup_len..startup_len + workload.steps)
+                .map(|t| ObservedTensor::fully_observed(s.clean_slice(t)))
+                .collect()
+        })
+        .collect();
+
+    let fleet_report = bench_fleet(&workload, &models, &slices)?;
+    let net_report = bench_net(&workload, &models, &slices)?;
+    if json {
+        std::fs::create_dir_all(&opts.out)?;
+        let fleet_path = opts.out.join("BENCH_fleet.json");
+        let net_path = opts.out.join("BENCH_net.json");
+        std::fs::write(&fleet_path, &fleet_report)?;
+        std::fs::write(&net_path, &net_report)?;
+        println!(
+            "bench: wrote {} and {}",
+            fleet_path.display(),
+            net_path.display()
+        );
+    }
+    Ok(())
+}
+
+fn config(opts: &FleetOpts) -> FleetConfig {
+    FleetConfig {
+        shards: opts.shards,
+        queue_capacity: opts.queue,
+        checkpoint: None,
+        evict_idle_after: None,
+    }
+}
+
+fn register_all(
+    fleet: &Fleet,
+    models: &[crate::fleet_cmd::MixModel],
+) -> Result<Vec<StreamKey>, Box<dyn std::error::Error>> {
+    Ok(models
+        .iter()
+        .enumerate()
+        .map(|(i, m)| fleet.register(&format!("stream-{i:04}"), m.handle()))
+        .collect::<Result<_, _>>()?)
+}
+
+/// In-process pass: ingest throughput, sketch quantiles, query latency.
+/// Returns the JSON report body.
+fn bench_fleet(
+    opts: &FleetOpts,
+    models: &[crate::fleet_cmd::MixModel],
+    slices: &[Vec<ObservedTensor>],
+) -> Result<String, Box<dyn std::error::Error>> {
+    let fleet = Fleet::new(config(opts))?;
+    let keys = register_all(&fleet, models)?;
+
+    let start = Instant::now();
+    for t in 0..opts.steps {
+        for (key, stream_slices) in keys.iter().zip(slices.iter()) {
+            fleet.ingest_blocking(key, stream_slices[t].clone())?;
+        }
+    }
+    fleet.flush()?;
+    let ingest_secs = start.elapsed().as_secs_f64();
+
+    let stats = fleet.fleet_stats()?;
+    let latency = stats.ingest_latency();
+    let drift = stats.forecast_error();
+    let slices_done = stats.steps();
+    let slices_per_sec = slices_done as f64 / ingest_secs;
+
+    let sample = "stream-0000";
+    let start = Instant::now();
+    for _ in 0..QUERY_REPS {
+        fleet.query(sample, Query::Latest)?.wait()?;
+    }
+    let single_us = start.elapsed().as_secs_f64() * 1e6 / QUERY_REPS as f64;
+
+    let requests: Vec<(String, Query)> = (0..opts.streams)
+        .map(|i| (format!("stream-{i:04}"), Query::StreamStats))
+        .collect();
+    let borrowed: Vec<(&str, Query)> = requests
+        .iter()
+        .map(|(id, q)| (id.as_str(), q.clone()))
+        .collect();
+    let start = Instant::now();
+    for _ in 0..BATCH_ROUNDS {
+        for response in fleet.query_batch(&borrowed)? {
+            response?;
+        }
+    }
+    let batched_per_item_us =
+        start.elapsed().as_secs_f64() * 1e6 / (BATCH_ROUNDS * opts.streams) as f64;
+
+    fleet.shutdown()?;
+
+    println!(
+        "bench[fleet]: {slices_done} slices in {ingest_secs:.3}s ({slices_per_sec:.0} slices/s), \
+         latency p50 {} / p99 {} / p999 {} (mean {}), drift p99 {} over {} residuals",
+        fmt_us(latency.p50()),
+        fmt_us(latency.p99()),
+        fmt_us(latency.p999()),
+        fmt_us(latency.mean()),
+        fmt_q(drift.p99()),
+        drift.count()
+    );
+    println!(
+        "bench[fleet]: single query {single_us:.1}us, batched query {batched_per_item_us:.1}us \
+         per item ({BATCH_ROUNDS} rounds over {} streams)",
+        opts.streams
+    );
+
+    Ok(format!(
+        "{{\n  \"bench\": \"fleet\",\n  \"seed\": {seed},\n  \"workload\": {workload},\n  \
+         \"ingest\": {{\n    \"slices\": {slices_done},\n    \"wall_secs\": {wall},\n    \
+         \"slices_per_sec\": {rate},\n    \"latency_us\": {{ \"count\": {lcount}, \
+         \"mean\": {lmean}, \"p50\": {lp50}, \"p99\": {lp99}, \"p999\": {lp999} }}\n  }},\n  \
+         \"drift\": {{ \"count\": {dcount}, \"p50\": {dp50}, \"p99\": {dp99} }},\n  \
+         \"query\": {{ \"single_us\": {single}, \"batched_per_item_us\": {batched} }}\n}}\n",
+        seed = opts.seed,
+        workload = workload_json(opts),
+        wall = jnum(ingest_secs),
+        rate = jnum(slices_per_sec),
+        lcount = latency.count(),
+        lmean = jopt(latency.mean()),
+        lp50 = jopt(latency.p50()),
+        lp99 = jopt(latency.p99()),
+        lp999 = jopt(latency.p999()),
+        dcount = drift.count(),
+        dp50 = jopt(drift.p50()),
+        dp99 = jopt(drift.p99()),
+        single = jnum(single_us),
+        batched = jnum(batched_per_item_us),
+    ))
+}
+
+/// Loopback pass: the same workload through a TCP server, measuring
+/// wire ingest, query round-trips, and the sketch-carrying stats
+/// reply. Returns the JSON report body.
+fn bench_net(
+    opts: &FleetOpts,
+    models: &[crate::fleet_cmd::MixModel],
+    slices: &[Vec<ObservedTensor>],
+) -> Result<String, Box<dyn std::error::Error>> {
+    let fleet = Fleet::new(config(opts))?;
+    register_all(&fleet, models)?;
+    let server = Server::bind("127.0.0.1:0", fleet)?;
+    let addr = server.local_addr().to_string();
+    let server_thread = std::thread::spawn(move || server.run());
+    let mut client = Client::connect_as(&addr, "sofia-bench")?;
+
+    let start = Instant::now();
+    for (i, stream_slices) in slices.iter().enumerate() {
+        client.ingest_blocking(&format!("stream-{i:04}"), stream_slices.clone())?;
+    }
+    client.flush()?;
+    let ingest_secs = start.elapsed().as_secs_f64();
+    let slices_sent = (opts.streams * opts.steps) as u64;
+    let slices_per_sec = slices_sent as f64 / ingest_secs;
+
+    let sample = "stream-0000";
+    let start = Instant::now();
+    for _ in 0..QUERY_REPS {
+        client.query(sample, Query::Latest)?;
+    }
+    let query_us = start.elapsed().as_secs_f64() * 1e6 / QUERY_REPS as f64;
+
+    let start = Instant::now();
+    for _ in 0..STATS_REPS {
+        client.stats()?;
+    }
+    let stats_us = start.elapsed().as_secs_f64() * 1e6 / STATS_REPS as f64;
+
+    let drift_p99 = match client.query(
+        sample,
+        Query::Quantile {
+            metric: MetricKind::ForecastError,
+            q: 0.99,
+        },
+    )? {
+        QueryResponse::Quantile(v) => v,
+        other => return Err(format!("expected a quantile response, got {other:?}").into()),
+    };
+
+    client.shutdown_server()?;
+    server_thread.join().expect("server thread")?;
+
+    println!(
+        "bench[net]: {slices_sent} slices over the wire in {ingest_secs:.3}s \
+         ({slices_per_sec:.0} slices/s), query round-trip {query_us:.1}us, \
+         stats round-trip {stats_us:.1}us, drift p99 {} via wire quantile query",
+        fmt_q(drift_p99)
+    );
+
+    Ok(format!(
+        "{{\n  \"bench\": \"net\",\n  \"seed\": {seed},\n  \"workload\": {workload},\n  \
+         \"ingest\": {{ \"slices\": {slices_sent}, \"wall_secs\": {wall}, \
+         \"slices_per_sec\": {rate} }},\n  \
+         \"round_trip\": {{ \"query_us\": {query}, \"stats_us\": {stats}, \
+         \"drift_p99\": {drift} }}\n}}\n",
+        seed = opts.seed,
+        workload = workload_json(opts),
+        wall = jnum(ingest_secs),
+        rate = jnum(slices_per_sec),
+        query = jnum(query_us),
+        stats = jnum(stats_us),
+        drift = jopt(drift_p99),
+    ))
+}
+
+fn workload_json(opts: &FleetOpts) -> String {
+    let dims = opts
+        .dims
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{ \"streams\": {}, \"shards\": {}, \"steps\": {}, \"rank\": {}, \
+         \"period\": {}, \"dims\": [{dims}] }}",
+        opts.streams, opts.shards, opts.steps, opts.rank, opts.period
+    )
+}
+
+/// A finite f64 as a JSON number (`null` otherwise — JSON has no NaN).
+fn jnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".into()
+    }
+}
+
+/// An optional metric as a JSON number or `null`.
+fn jopt(v: Option<f64>) -> String {
+    match v {
+        Some(v) if v.is_finite() => format!("{v:.6}"),
+        _ => "null".into(),
+    }
+}

@@ -8,11 +8,26 @@ use sofia_core::model::Sofia;
 use sofia_core::SofiaConfig;
 use sofia_datagen::seasonal::SeasonalStream;
 use sofia_datagen::stream::TensorStream;
-use sofia_fleet::{CheckpointPolicy, Fleet, FleetConfig, ModelHandle, Query, StreamKey};
+use sofia_fleet::{
+    CheckpointPolicy, Fleet, FleetConfig, MetricKind, ModelHandle, Query, StreamKey,
+};
 use sofia_tensor::ObservedTensor;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::time::Instant;
+
+/// Renders an optional microsecond figure (`123.4us`, `-` when the
+/// summary is empty). Shared by every command that prints latency
+/// quantiles.
+pub(crate) fn fmt_us(v: Option<f64>) -> String {
+    v.map(|l| format!("{l:.1}us")).unwrap_or_else(|| "-".into())
+}
+
+/// Renders an optional dimensionless quantile (forecast drift is a
+/// relative residual norm), `-` when the summary is empty.
+pub(crate) fn fmt_q(v: Option<f64>) -> String {
+    v.map(|q| format!("{q:.4}")).unwrap_or_else(|| "-".into())
+}
 
 /// Parameters of one `fleet` invocation.
 pub struct FleetOpts {
@@ -95,6 +110,7 @@ struct RunOutcome {
     slices: u64,
     backpressure_retries: u64,
     mean_latency_us: Option<f64>,
+    p99_latency_us: Option<f64>,
     max_batch: usize,
     checkpoints: usize,
     evictions: u64,
@@ -244,22 +260,26 @@ pub fn fleet(opts: &FleetOpts) -> CmdResult {
     }
 
     println!(
-        "\n{:>6}  {:>8}  {:>10}  {:>16}  {:>12}  {:>9}  {:>11}",
+        "\n{:>6}  {:>8}  {:>10}  {:>12}  {:>11}  {:>12}  {:>9}  {:>11}",
         "shards",
         "wall(s)",
         "slices/s",
-        "latency-ewma(us)",
+        "mean-lat(us)",
+        "p99-lat(us)",
         "backpressure",
         "max-batch",
         "checkpoints"
     );
     for o in &outcomes {
         println!(
-            "{:>6}  {:>8.3}  {:>10.0}  {:>16}  {:>12}  {:>9}  {:>11}",
+            "{:>6}  {:>8.3}  {:>10.0}  {:>12}  {:>11}  {:>12}  {:>9}  {:>11}",
             o.shards,
             o.wall_secs,
             o.slices as f64 / o.wall_secs,
             o.mean_latency_us
+                .map(|l| format!("{l:.1}"))
+                .unwrap_or_else(|| "-".into()),
+            o.p99_latency_us
                 .map(|l| format!("{l:.1}"))
                 .unwrap_or_else(|| "-".into()),
             o.backpressure_retries,
@@ -345,14 +365,19 @@ fn run_once(
 
     let stats = fleet.fleet_stats()?;
     let slices_done = stats.steps();
-    let mean_latency_us = stats.mean_step_latency_us();
+    // Exact moments and mergeable quantiles from the latency sketch —
+    // the EWMA this table used to print could not be folded across
+    // shards without step-weighting bias.
+    let latency = stats.ingest_latency();
+    let mean_latency_us = latency.mean();
+    let p99_latency_us = latency.p99();
     let max_batch = stats.shards.iter().map(|s| s.max_batch).max().unwrap_or(0);
     let evictions = stats.evictions();
     let restores = stats.restores();
 
     // Exercise the typed query plane once per run on a sample stream:
-    // both requests travel to the owning shard in one batched
-    // round-trip.
+    // all three requests travel to the owning shard in one batched
+    // round-trip (the third is the sketch-backed drift quantile).
     let sample = "stream-0000";
     let mut responses = fleet
         .query_batch(&[
@@ -363,6 +388,13 @@ fn run_once(
                 },
             ),
             (sample, Query::StreamStats),
+            (
+                sample,
+                Query::Quantile {
+                    metric: MetricKind::ForecastError,
+                    q: 0.99,
+                },
+            ),
         ])?
         .into_iter();
     let forecast = responses
@@ -371,18 +403,21 @@ fn run_once(
         .expect_forecast()
         .expect("SOFIA forecasts");
     let sample_stats = responses.next().expect("aligned")?.expect_stream_stats();
+    let drift_p99 = match responses.next().expect("aligned")? {
+        sofia_fleet::QueryResponse::Quantile(v) => v,
+        other => return Err(format!("expected a quantile response, got {other:?}").into()),
+    };
     println!(
         "[{shards} shard(s)] {sample} ({}): {} steps on shard {}, \
-         forecast(h={}) |x| = {:.3}, latency ewma {}",
+         forecast(h={}) |x| = {:.3}, latency p50 {} / p99 {}, drift p99 {}",
         sample_stats.model,
         sample_stats.steps,
         sample_stats.shard,
         opts.period / 2,
         forecast.frobenius_norm(),
-        sample_stats
-            .step_latency_ewma_us
-            .map(|l| format!("{l:.1}us"))
-            .unwrap_or_else(|| "-".into()),
+        fmt_us(sample_stats.ingest_latency.p50()),
+        fmt_us(sample_stats.ingest_latency.p99()),
+        fmt_q(drift_p99),
     );
 
     let checkpoints = fleet.shutdown()?;
@@ -392,6 +427,7 @@ fn run_once(
         slices: slices_done,
         backpressure_retries: retries,
         mean_latency_us,
+        p99_latency_us,
         max_batch,
         checkpoints,
         evictions,

@@ -21,7 +21,12 @@
 //!                    [--ingest N] [--shutdown true]
 //! sofia-cli cluster  [--nodes 2] [--base-port 7421] [--shards 2]
 //!                    [--checkpoint-dir DIR]
+//! sofia-cli bench    [--json] [--out DIR] [--streams 8] [--steps 60]
+//!                    [--shards 2] [--seed 2021]
 //! ```
+//!
+//! Boolean flags (`--stats`, `--shutdown`, `--recover`, `--empty`,
+//! `--json`) may be given bare — `--stats` is `--stats true`.
 //!
 //! The stream directory format is documented in [`mod@format`]; `fleet` serves
 //! many synthetic streams through the sharded `sofia-fleet` engine and
@@ -32,8 +37,11 @@
 //! sends a shutdown frame — or an empty fleet (`--empty`) as one member
 //! of a cluster spec (`--cluster`); `client` drives a remote fleet from
 //! the shell; `cluster` launches N `serve` processes from one spec and
-//! proves sharding + stream migration across them.
+//! proves sharding + stream migration across them; `bench` runs a
+//! pinned-seed micro-benchmark of both the engine and the TCP plane,
+//! writing `BENCH_fleet.json`/`BENCH_net.json` with `--json`.
 
+mod bench_cmd;
 mod cluster_cmd;
 mod commands;
 mod fleet_cmd;
@@ -56,7 +64,9 @@ fn usage() -> &'static str {
      [--cluster EP0,EP1,...] [fleet workload flags]\n  \
      sofia-cli client --connect ADDR [--stats true] [--stream ID] [--query \"forecast 4\"] \
      [--ingest N] [--shutdown true]\n  \
-     sofia-cli cluster [--nodes 2] [--base-port 7421] [--shards 2] [--checkpoint-dir DIR]"
+     sofia-cli cluster [--nodes 2] [--base-port 7421] [--shards 2] [--checkpoint-dir DIR]\n  \
+     sofia-cli bench [--json] [--out DIR] [--streams 8] [--steps 60] [--shards 2] [--seed 2021]\n\
+     boolean flags may be given bare: --stats means --stats true"
 }
 
 fn bad_flag(flag: &str, value: &str) -> ExitCode {
@@ -146,15 +156,23 @@ fn parse_fleet_opts(flags: &HashMap<String, String>) -> Result<fleet_cmd::FleetO
     Ok(opts)
 }
 
+/// Parses `--flag value` pairs. A flag immediately followed by another
+/// `--flag` (or by the end of the arguments) is a bare boolean and reads
+/// as `true`, so `--stats`, `--shutdown`, and `--json` work without the
+/// noise word — while the explicit `--stats true`/`--stats false` forms
+/// keep working.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut map = HashMap::new();
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(flag) = it.next() {
         let key = flag
             .strip_prefix("--")
             .ok_or_else(|| format!("expected a --flag, got `{flag}`"))?;
-        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
-        map.insert(key.to_string(), value.clone());
+        let value = match it.peek() {
+            Some(next) if !next.starts_with("--") => it.next().expect("peeked").clone(),
+            _ => "true".to_string(),
+        };
+        map.insert(key.to_string(), value);
     }
     Ok(map)
 }
@@ -286,6 +304,24 @@ fn main() -> ExitCode {
             }
             opts.checkpoint_dir = get("checkpoint-dir").map(PathBuf::from);
             cluster_cmd::cluster(&opts)
+        }
+        "bench" => {
+            let json = match parse_bool_flag(&flags, "json") {
+                Ok(j) => j,
+                Err(code) => return code,
+            };
+            let mut opts = bench_cmd::BenchOpts::default();
+            let parsed = set_parsed(get("streams"), "streams", &mut opts.streams)
+                .and_then(|()| set_parsed(get("steps"), "steps", &mut opts.steps))
+                .and_then(|()| set_parsed(get("shards"), "shards", &mut opts.shards))
+                .and_then(|()| set_parsed(get("seed"), "seed", &mut opts.seed));
+            if let Err(code) = parsed {
+                return code;
+            }
+            if let Some(dir) = get("out") {
+                opts.out = PathBuf::from(dir);
+            }
+            bench_cmd::bench(&opts, json)
         }
         "client" => {
             let Some(connect) = get("connect") else {

@@ -20,7 +20,7 @@
 //! back.
 
 use crate::commands::CmdResult;
-use crate::fleet_cmd::{validate, warm_start, FleetOpts};
+use crate::fleet_cmd::{fmt_q, fmt_us, validate, warm_start, FleetOpts};
 use sofia_datagen::stream::TensorStream;
 use sofia_fleet::{CheckpointPolicy, Fleet, FleetConfig, Query, QueryResponse};
 use sofia_net::{Client, Server, ServerConfig, ShardMap};
@@ -178,6 +178,19 @@ pub fn client(opts: &ClientOpts) -> CmdResult {
             stats.query_batches(),
             stats.dropped()
         );
+        let latency = stats.ingest_latency();
+        let drift = stats.forecast_error();
+        println!(
+            "stats: ingest latency p50 {} / p99 {} / p999 {} over {} steps; \
+             forecast drift p50 {} / p99 {} over {} residuals",
+            fmt_us(latency.p50()),
+            fmt_us(latency.p99()),
+            fmt_us(latency.p999()),
+            latency.count(),
+            fmt_q(drift.p50()),
+            fmt_q(drift.p99()),
+            drift.count()
+        );
     }
 
     if opts.ingest > 0 {
@@ -229,16 +242,19 @@ pub fn client(opts: &ClientOpts) -> CmdResult {
             },
             QueryResponse::StreamStats(stats) => println!(
                 "stream-stats: `{}` served by {} on shard {}, {} steps, \
-                 latency ewma {}",
+                 latency p50 {} / p99 {}, drift p99 {}",
                 stats.stream,
                 stats.model,
                 stats.shard,
                 stats.steps,
-                stats
-                    .step_latency_ewma_us
-                    .map(|l| format!("{l:.1}us"))
-                    .unwrap_or_else(|| "-".into())
+                fmt_us(stats.ingest_latency.p50()),
+                fmt_us(stats.ingest_latency.p99()),
+                fmt_q(stats.forecast_error.p99())
             ),
+            QueryResponse::Quantile(value) => match value {
+                Some(v) => println!("quantile: {v}"),
+                None => println!("quantile: none (no observations yet)"),
+            },
         }
     }
 

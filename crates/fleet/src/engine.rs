@@ -583,6 +583,7 @@ impl Drop for Fleet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stats::MetricKind;
     use sofia_core::traits::StreamingFactorizer;
     use sofia_tensor::Shape;
     use std::time::Duration;
@@ -684,7 +685,84 @@ mod tests {
         assert_eq!(fc.get(&[0]), 5.0);
         let stats = stream_stats(&fleet, "s1").unwrap();
         assert_eq!(stats.steps, 5);
-        assert!(stats.step_latency_ewma_us.is_some());
+        #[allow(deprecated)]
+        let ewma = stats.step_latency_ewma_us;
+        assert!(ewma.is_some());
+        assert_eq!(stats.ingest_latency.count(), 5);
+        assert!(stats.ingest_latency.p99().is_some());
+        // Counter forecasts shape [1] against [2, 2] slices: the drift
+        // probe's shape guard must keep the sketch empty, not poison it.
+        assert!(stats.forecast_error.is_empty());
+    }
+
+    #[test]
+    fn drift_sketch_records_prediction_residuals() {
+        /// Forecasts the value of its last slice, shaped like it — so
+        /// the residual of the pre-step forecast against the next slice
+        /// is exactly the step-to-step relative change.
+        struct Echo {
+            last: Option<DenseTensor>,
+        }
+        impl StreamingFactorizer for Echo {
+            fn name(&self) -> &'static str {
+                "echo-forecast"
+            }
+            fn step(&mut self, slice: &ObservedTensor) -> StepOutput {
+                self.last = Some(slice.values().clone());
+                StepOutput {
+                    completed: slice.values().clone(),
+                    outliers: None,
+                }
+            }
+            fn forecast(&self, _h: usize) -> Option<DenseTensor> {
+                self.last.clone()
+            }
+        }
+
+        let fleet = small_fleet(1);
+        let key = fleet
+            .register("drift", ModelHandle::boxed(Box::new(Echo { last: None })))
+            .unwrap();
+        // Constant stream of 2s after the first slice: every recorded
+        // residual is ‖2−2‖/‖2‖ = 0 except the second step's ‖1−2‖/‖2‖.
+        fleet.try_ingest(&key, slice(1.0)).unwrap();
+        for _ in 0..4 {
+            fleet.try_ingest(&key, slice(2.0)).unwrap();
+        }
+        fleet.flush().unwrap();
+        let stats = stream_stats(&fleet, "drift").unwrap();
+        // Slice 1 has no forecast yet; slices 2..=5 each record one.
+        assert_eq!(stats.forecast_error.count(), 4);
+        assert_eq!(stats.forecast_error.max(), Some(0.5));
+        assert_eq!(stats.forecast_error.min(), Some(0.0));
+        // The same numbers answer as a typed quantile query.
+        let p_max = fleet
+            .query(
+                "drift",
+                Query::Quantile {
+                    metric: MetricKind::ForecastError,
+                    q: 1.0,
+                },
+            )
+            .unwrap()
+            .wait()
+            .unwrap()
+            .expect_quantile();
+        assert_eq!(p_max, Some(0.5));
+        let empty_metric = fleet
+            .query(
+                "drift",
+                Query::Quantile {
+                    metric: MetricKind::IngestLatency,
+                    q: 0.5,
+                },
+            )
+            .unwrap()
+            .wait()
+            .unwrap()
+            .expect_quantile();
+        assert!(empty_metric.is_some(), "latency sketch has samples");
+        fleet.shutdown().unwrap();
     }
 
     #[test]

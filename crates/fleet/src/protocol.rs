@@ -24,7 +24,7 @@
 //! model assert.
 
 use crate::error::FleetError;
-use crate::stats::StreamStats;
+use crate::stats::{MetricKind, StreamStats};
 use sofia_core::traits::StepOutput;
 use sofia_tensor::{DenseTensor, Mask};
 use std::sync::mpsc;
@@ -41,15 +41,18 @@ pub enum QueryKind {
     OutlierMask,
     /// Per-stream serving statistics.
     StreamStats,
+    /// A quantile of one of the stream's metric sketches.
+    Quantile,
 }
 
 impl QueryKind {
     /// Every kind, in wire order.
-    pub const ALL: [QueryKind; 4] = [
+    pub const ALL: [QueryKind; 5] = [
         QueryKind::Latest,
         QueryKind::Forecast,
         QueryKind::OutlierMask,
         QueryKind::StreamStats,
+        QueryKind::Quantile,
     ];
 
     /// Stable wire/display name of the kind.
@@ -59,6 +62,7 @@ impl QueryKind {
             QueryKind::Forecast => "forecast",
             QueryKind::OutlierMask => "outlier-mask",
             QueryKind::StreamStats => "stream-stats",
+            QueryKind::Quantile => "quantile",
         }
     }
 }
@@ -74,7 +78,7 @@ impl std::fmt::Display for QueryKind {
 /// Send it with [`crate::Fleet::query`] (one stream, returns a
 /// [`QueryTicket`]) or [`crate::Fleet::query_batch`] (many streams,
 /// grouped by shard, one queue round-trip per involved shard).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Query {
     /// Latest completed slice (with outliers, if the model reports
     /// them). Answered with [`QueryResponse::Latest`]; `None` before the
@@ -95,6 +99,17 @@ pub enum Query {
     /// Per-stream serving statistics. Answered with
     /// [`QueryResponse::StreamStats`].
     StreamStats,
+    /// The `q`-quantile of one of the stream's metric sketches —
+    /// ingest latency (µs) or one-step forecast error. Answered with
+    /// [`QueryResponse::Quantile`]; `None` while the sketch is empty
+    /// (no step yet, or a model that never forecasts). A non-finite or
+    /// out-of-`[0, 1]` `q` fails [`Query::validate`].
+    Quantile {
+        /// Which metric sketch to probe.
+        metric: MetricKind,
+        /// Quantile in `[0, 1]` (e.g. `0.99` for p99).
+        q: f64,
+    },
 }
 
 impl Query {
@@ -105,6 +120,7 @@ impl Query {
             Query::Forecast { .. } => QueryKind::Forecast,
             Query::OutlierMask => QueryKind::OutlierMask,
             Query::StreamStats => QueryKind::StreamStats,
+            Query::Quantile { .. } => QueryKind::Quantile,
         }
     }
 
@@ -120,15 +136,25 @@ impl Query {
             Query::Forecast { horizon: 0 } => Err(FleetError::InvalidQuery {
                 reason: "forecast horizon must be at least 1 (got 0)".to_string(),
             }),
+            Query::Quantile { q, .. } if !(0.0..=1.0).contains(q) => {
+                Err(FleetError::InvalidQuery {
+                    reason: format!("quantile must be a finite value in [0, 1] (got {q})"),
+                })
+            }
             _ => Ok(()),
         }
     }
 
-    /// Serializes the request into its one-line wire form
-    /// (`latest`, `forecast <h>`, `outlier-mask`, `stream-stats`).
+    /// Serializes the request into its one-line wire form (`latest`,
+    /// `forecast <h>`, `outlier-mask`, `stream-stats`, or
+    /// `quantile <metric> <q>` with `q` as a 16-hex-digit IEEE 754 bit
+    /// pattern so the round-trip is bit-exact).
     pub fn to_wire(&self) -> String {
         match self {
             Query::Forecast { horizon } => format!("forecast {horizon}"),
+            Query::Quantile { metric, q } => {
+                format!("quantile {} {:016x}", metric.name(), q.to_bits())
+            }
             other => other.kind().name().to_string(),
         }
     }
@@ -157,6 +183,26 @@ impl Query {
             }
             "outlier-mask" => Query::OutlierMask,
             "stream-stats" => Query::StreamStats,
+            "quantile" => {
+                let name = parts
+                    .next()
+                    .ok_or_else(|| invalid("quantile needs a metric name".to_string()))?;
+                let metric = MetricKind::from_name(name)
+                    .ok_or_else(|| invalid(format!("unknown quantile metric `{name}`")))?;
+                let tok = parts
+                    .next()
+                    .ok_or_else(|| invalid("quantile needs a q value".to_string()))?;
+                // `to_wire` emits q as a 16-hex-digit bit pattern
+                // (bit-exact); hand-written clients may send a plain
+                // decimal like `0.99` instead.
+                let q = if tok.len() == 16 && tok.bytes().all(|b| b.is_ascii_hexdigit()) {
+                    f64::from_bits(u64::from_str_radix(tok, 16).expect("16 hex digits parse"))
+                } else {
+                    tok.parse()
+                        .map_err(|_| invalid(format!("bad quantile `{tok}`")))?
+                };
+                Query::Quantile { metric, q }
+            }
             other => return Err(invalid(format!("unknown query `{other}`"))),
         };
         match parts.next() {
@@ -177,6 +223,9 @@ pub enum QueryResponse {
     OutlierMask(Option<Mask>),
     /// Answer to [`Query::StreamStats`].
     StreamStats(StreamStats),
+    /// Answer to [`Query::Quantile`]: the estimated quantile, `None`
+    /// while the probed sketch is empty.
+    Quantile(Option<f64>),
 }
 
 impl QueryResponse {
@@ -188,6 +237,7 @@ impl QueryResponse {
             QueryResponse::Forecast(_) => QueryKind::Forecast,
             QueryResponse::OutlierMask(_) => QueryKind::OutlierMask,
             QueryResponse::StreamStats(_) => QueryKind::StreamStats,
+            QueryResponse::Quantile(_) => QueryKind::Quantile,
         }
     }
 
@@ -226,6 +276,14 @@ impl QueryResponse {
         match self {
             QueryResponse::StreamStats(s) => s,
             other => panic!("expected a stream-stats response, got {}", other.kind()),
+        }
+    }
+
+    /// Payload of a [`QueryResponse::Quantile`] answer.
+    pub fn expect_quantile(self) -> Option<f64> {
+        match self {
+            QueryResponse::Quantile(v) => v,
+            other => panic!("expected a quantile response, got {}", other.kind()),
         }
     }
 }
@@ -345,9 +403,10 @@ pub mod wire {
     use super::{Query, QueryResponse};
     use crate::durability::{decode_stream_id, encode_stream_id};
     use crate::error::FleetError;
-    use crate::stats::StreamStats;
+    use crate::stats::{MetricKind, StreamStats};
     use sofia_core::snapshot::wire as hexwire;
     use sofia_core::traits::StepOutput;
+    use sofia_sketch::{metric::METRIC_WIRE_LINES, MetricSummary};
     use sofia_tensor::{DenseTensor, Mask, ObservedTensor, Shape};
 
     /// Upper bound on the element count of any tensor accepted off the
@@ -410,6 +469,14 @@ pub mod wire {
         /// framing).
         pub fn try_next(&mut self) -> Option<&'a str> {
             self.lines.next()
+        }
+
+        /// The next line **without consuming it** — the probe for
+        /// optional trailing blocks (back-compat extensions like the
+        /// stream-stats sketch block), which must not eat a line that
+        /// belongs to the next concatenated response.
+        pub fn peek(&self) -> Option<&'a str> {
+            self.lines.clone().next()
         }
 
         /// Rejects trailing content after a complete parse.
@@ -604,9 +671,78 @@ pub mod wire {
         })
     }
 
+    /// Appends one named metric sketch: a `sketch <name>` header plus
+    /// the summary's six wire lines ([`MetricSummary::push_wire`]).
+    pub fn push_metric_sketch(out: &mut String, metric: MetricKind, summary: &MetricSummary) {
+        out.push_str("sketch ");
+        out.push_str(metric.name());
+        out.push('\n');
+        summary.push_wire(out);
+    }
+
+    /// Parses the optional trailing sketch block of a stats record:
+    ///
+    /// ```text
+    /// sketches <n>
+    /// sketch <name>
+    /// <six MetricSummary lines>
+    /// …                      (n named sketches total)
+    /// ```
+    ///
+    /// Absent block (`peek` shows no `sketches` header — the
+    /// pre-sketch wire form, or the record simply ends) parses as
+    /// empty summaries, so old replies stay readable. Unknown or
+    /// duplicated sketch names are errors: the block is versioned by
+    /// its names, not silently skipped.
+    pub fn parse_sketch_block(
+        cur: &mut LineCursor<'_>,
+    ) -> Result<(MetricSummary, MetricSummary), WireError> {
+        let mut ingest_latency = MetricSummary::new();
+        let mut forecast_error = MetricSummary::new();
+        let Some(probe) = cur.peek() else {
+            return Ok((ingest_latency, forecast_error));
+        };
+        if probe != "sketches" && !probe.starts_with("sketches ") {
+            return Ok((ingest_latency, forecast_error));
+        }
+        let n: usize = parse_int(field(cur, "sketches")?, "sketch count")?;
+        if n > MetricKind::ALL.len() {
+            return Err(WireError::new(format!(
+                "stats block claims {n} sketches (max {})",
+                MetricKind::ALL.len()
+            )));
+        }
+        let mut seen = [false; MetricKind::ALL.len()];
+        for _ in 0..n {
+            let name = field(cur, "sketch")?;
+            let metric = MetricKind::from_name(name)
+                .ok_or_else(|| WireError::new(format!("unknown sketch `{name}`")))?;
+            let slot = MetricKind::ALL
+                .iter()
+                .position(|m| *m == metric)
+                .expect("metric is in ALL");
+            if seen[slot] {
+                return Err(WireError::new(format!("duplicate sketch `{name}`")));
+            }
+            seen[slot] = true;
+            let mut lines = [""; METRIC_WIRE_LINES];
+            for line in &mut lines {
+                *line = cur.next("metric sketch line")?;
+            }
+            let summary =
+                MetricSummary::from_lines(lines).map_err(|e| WireError::new(e.to_string()))?;
+            match metric {
+                MetricKind::IngestLatency => ingest_latency = summary,
+                MetricKind::ForecastError => forecast_error = summary,
+            }
+        }
+        Ok((ingest_latency, forecast_error))
+    }
+
     /// Appends per-stream stats as `key value` lines (the id is
     /// percent-encoded with the checkpoint-filename encoding, the
-    /// latency EWMA as a hex float so the round-trip is bit-exact).
+    /// latency EWMA as a hex float so the round-trip is bit-exact),
+    /// followed by the metric sketch block ([`parse_sketch_block`]).
     pub fn push_stream_stats(out: &mut String, stats: &StreamStats) {
         use std::fmt::Write as _;
         let _ = writeln!(out, "stream {}", encode_stream_id(&stats.stream));
@@ -614,16 +750,23 @@ pub mod wire {
         let _ = writeln!(out, "shard {}", stats.shard);
         let _ = writeln!(out, "steps {}", stats.steps);
         let _ = writeln!(out, "queue-depth {}", stats.queue_depth);
-        match stats.step_latency_ewma_us {
+        #[allow(deprecated)]
+        let ewma = stats.step_latency_ewma_us;
+        match ewma {
             Some(l) => {
                 let _ = writeln!(out, "latency {:016x}", l.to_bits());
             }
             None => out.push_str("latency none\n"),
         }
         let _ = writeln!(out, "since-checkpoint {}", stats.steps_since_checkpoint);
+        out.push_str("sketches 2\n");
+        push_metric_sketch(out, MetricKind::IngestLatency, &stats.ingest_latency);
+        push_metric_sketch(out, MetricKind::ForecastError, &stats.forecast_error);
     }
 
-    /// Parses the block written by [`push_stream_stats`].
+    /// Parses the block written by [`push_stream_stats`]. The sketch
+    /// block is optional on input (pre-sketch replies parse with empty
+    /// summaries).
     pub fn parse_stream_stats(cur: &mut LineCursor<'_>) -> Result<StreamStats, WireError> {
         let stream = decode_stream_id(field(cur, "stream")?)
             .ok_or_else(|| WireError::new("undecodable stream id"))?;
@@ -640,7 +783,9 @@ pub mod wire {
         };
         let steps_since_checkpoint =
             parse_int(field(cur, "since-checkpoint")?, "checkpoint counter")?;
-        Ok(StreamStats {
+        let (ingest_latency, forecast_error) = parse_sketch_block(cur)?;
+        #[allow(deprecated)]
+        let stats = StreamStats {
             stream,
             model,
             shard,
@@ -648,7 +793,10 @@ pub mod wire {
             queue_depth,
             step_latency_ewma_us,
             steps_since_checkpoint,
-        })
+            ingest_latency,
+            forecast_error,
+        };
+        Ok(stats)
     }
 
     /// Appends one [`QueryResponse`] (kind header + payload). The block
@@ -681,6 +829,14 @@ pub mod wire {
                 out.push_str("stream-stats\n");
                 push_stream_stats(out, s);
             }
+            QueryResponse::Quantile(v) => match v {
+                None => out.push_str("quantile none\n"),
+                Some(q) => {
+                    use std::fmt::Write as _;
+                    out.push_str("quantile some\n");
+                    let _ = writeln!(out, "value {:016x}", q.to_bits());
+                }
+            },
         }
     }
 
@@ -714,6 +870,14 @@ pub mod wire {
             })),
             "outlier-mask" => Ok(QueryResponse::OutlierMask(if some {
                 Some(parse_mask(cur)?)
+            } else {
+                None
+            })),
+            "quantile" => Ok(QueryResponse::Quantile(if some {
+                let hex = field(cur, "value")?;
+                Some(f64::from_bits(u64::from_str_radix(hex, 16).map_err(
+                    |_| WireError::new(format!("bad quantile value `{hex}`")),
+                )?))
             } else {
                 None
             })),
@@ -794,6 +958,7 @@ pub mod wire {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sofia_sketch::MetricSummary;
     use sofia_tensor::ObservedTensor;
 
     #[test]
@@ -803,10 +968,54 @@ mod tests {
             Query::Forecast { horizon: 12 },
             Query::OutlierMask,
             Query::StreamStats,
+            Query::Quantile {
+                metric: MetricKind::IngestLatency,
+                q: 0.99,
+            },
+            Query::Quantile {
+                metric: MetricKind::ForecastError,
+                q: 0.5,
+            },
         ];
         for q in queries {
             let line = q.to_wire();
             assert_eq!(Query::from_wire(&line).unwrap(), q, "wire `{line}`");
+        }
+    }
+
+    #[test]
+    fn quantile_query_accepts_decimal_and_hex_q() {
+        // `to_wire` emits the 16-hex-digit bit pattern; a hand-written
+        // client may send a plain decimal instead.
+        let hex = Query::from_wire(&format!(
+            "quantile ingest-latency {:016x}",
+            0.99f64.to_bits()
+        ))
+        .unwrap();
+        let dec = Query::from_wire("quantile ingest-latency 0.99").unwrap();
+        assert_eq!(hex, dec);
+        assert!(hex.validate().is_ok());
+        // Parse/validate split: NaN and out-of-range q parse but fail
+        // validation; a bad metric or missing q fails the parse.
+        for line in [
+            "quantile forecast-error 1.5",
+            "quantile forecast-error -0.25",
+            &format!("quantile forecast-error {:016x}", f64::NAN.to_bits()),
+        ] {
+            let q = Query::from_wire(line).unwrap();
+            assert!(
+                matches!(q.validate(), Err(FleetError::InvalidQuery { .. })),
+                "{line}"
+            );
+        }
+        for line in [
+            "quantile",
+            "quantile latency 0.99",
+            "quantile ingest-latency",
+            "quantile ingest-latency x",
+            "quantile ingest-latency 0.99 extra",
+        ] {
+            assert!(Query::from_wire(line).is_err(), "{line}");
         }
     }
 
@@ -840,6 +1049,7 @@ mod tests {
         assert!(Query::Latest.validate().is_ok());
     }
 
+    #[allow(deprecated)]
     fn sample_responses() -> Vec<QueryResponse> {
         use sofia_tensor::Shape;
         let t = DenseTensor::from_vec(
@@ -850,6 +1060,12 @@ mod tests {
             Shape::new(&[2, 3]),
             vec![true, false, true, true, false, false],
         );
+        let mut latency = MetricSummary::new();
+        let mut drift = MetricSummary::new();
+        for i in 0..250 {
+            latency.observe(80.0 + (i as f64).sin().abs() * 900.0);
+            drift.observe(2.0f64.powi(-(i % 40)) * if i % 7 == 0 { -0.0 } else { 1.0 });
+        }
         vec![
             QueryResponse::Latest(None),
             QueryResponse::Latest(Some(StepOutput {
@@ -872,6 +1088,8 @@ mod tests {
                 queue_depth: 2,
                 step_latency_ewma_us: Some(123.456),
                 steps_since_checkpoint: 5,
+                ingest_latency: latency,
+                forecast_error: drift,
             }),
             QueryResponse::StreamStats(StreamStats {
                 stream: String::new(),
@@ -881,13 +1099,20 @@ mod tests {
                 queue_depth: 0,
                 step_latency_ewma_us: None,
                 steps_since_checkpoint: 0,
+                ingest_latency: MetricSummary::new(),
+                forecast_error: MetricSummary::new(),
             }),
+            QueryResponse::Quantile(None),
+            QueryResponse::Quantile(Some(987.654321)),
+            QueryResponse::Quantile(Some(-0.0)),
+            QueryResponse::Quantile(Some(2.0f64.powi(-1040))),
         ]
     }
 
     /// Structural equality for the round-trip assertions (bit-exact on
     /// floats; `QueryResponse` itself has no `PartialEq` because tensors
     /// compare bit-wise only on purpose here).
+    #[allow(deprecated)]
     fn assert_same(a: &QueryResponse, b: &QueryResponse) {
         let bits = |t: &DenseTensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
         match (a, b) {
@@ -927,6 +1152,25 @@ mod tests {
                     y.step_latency_ewma_us.map(f64::to_bits)
                 );
                 assert_eq!(x.steps_since_checkpoint, y.steps_since_checkpoint);
+                // Emission compresses a digest's pending buffer, so the
+                // in-memory structs may differ; the wire form is the
+                // canonical bit pattern and must match exactly.
+                let sketch_wire = |m: &MetricSummary| {
+                    let mut s = String::new();
+                    m.push_wire(&mut s);
+                    s
+                };
+                assert_eq!(
+                    sketch_wire(&x.ingest_latency),
+                    sketch_wire(&y.ingest_latency)
+                );
+                assert_eq!(
+                    sketch_wire(&x.forecast_error),
+                    sketch_wire(&y.forecast_error)
+                );
+            }
+            (QueryResponse::Quantile(x), QueryResponse::Quantile(y)) => {
+                assert_eq!(x.map(f64::to_bits), y.map(f64::to_bits));
             }
             (a, b) => panic!("variant diverged: {:?} vs {:?}", a.kind(), b.kind()),
         }
@@ -975,6 +1219,20 @@ mod tests {
             "outlier-mask some\nshape 3\nbits 01",
             "stream-stats\nstream ok\nmodel m\nshard x\nsteps 1\nqueue-depth 0\nlatency none\nsince-checkpoint 0",
             "stream-stats\nstream %zz\nmodel m\nshard 0\nsteps 1\nqueue-depth 0\nlatency none\nsince-checkpoint 0",
+            // Sketch block present but structurally broken: bad count,
+            // unknown metric name, duplicate metric, truncated summary.
+            "stream-stats\nstream s\nmodel m\nshard 0\nsteps 1\nqueue-depth 0\nlatency none\nsince-checkpoint 0\nsketches 9",
+            "stream-stats\nstream s\nmodel m\nshard 0\nsteps 1\nqueue-depth 0\nlatency none\nsince-checkpoint 0\nsketches x",
+            "stream-stats\nstream s\nmodel m\nshard 0\nsteps 1\nqueue-depth 0\nlatency none\nsince-checkpoint 0\nsketches 1\nsketch bogus-metric\ntdigest 0\ntmeans\ntweights\ntrange 7ff8000000000000 7ff8000000000000\nmoments 0\nmstate 7ff8000000000000 7ff8000000000000 0000000000000000 0000000000000000",
+            "stream-stats\nstream s\nmodel m\nshard 0\nsteps 1\nqueue-depth 0\nlatency none\nsince-checkpoint 0\nsketches 2\nsketch ingest-latency\ntdigest 0\ntmeans\ntweights\ntrange 7ff8000000000000 7ff8000000000000\nmoments 0\nmstate 7ff8000000000000 7ff8000000000000 0000000000000000 0000000000000000\nsketch ingest-latency\ntdigest 0\ntmeans\ntweights\ntrange 7ff8000000000000 7ff8000000000000\nmoments 0\nmstate 7ff8000000000000 7ff8000000000000 0000000000000000 0000000000000000",
+            "stream-stats\nstream s\nmodel m\nshard 0\nsteps 1\nqueue-depth 0\nlatency none\nsince-checkpoint 0\nsketches 1\nsketch ingest-latency\ntdigest 0",
+            // Quantile responses with a broken payload.
+            "quantile",
+            "quantile maybe",
+            "quantile some",
+            "quantile some\nvalue",
+            "quantile some\nvalue zz",
+            "quantile some\nvalue 3ff0000000000000 extra",
             "latest some extra",
             "bogus some",
         ];
@@ -984,6 +1242,30 @@ mod tests {
                 "should reject:\n{case}"
             );
         }
+    }
+
+    /// Back-compat: a stats reply from a peer that predates sketches (no
+    /// `sketches` block at all) still parses, with empty summaries.
+    #[test]
+    #[allow(deprecated)]
+    fn sketchless_stream_stats_reply_still_parses() {
+        let legacy = "stream-stats\nstream old%20peer\nmodel SOFIA\nshard 4\nsteps 9\n\
+                      queue-depth 1\nlatency 3ff0000000000000\nsince-checkpoint 2\n";
+        let resp = QueryResponse::from_wire(legacy).expect("legacy reply parses");
+        let stats = resp.expect_stream_stats();
+        assert_eq!(stats.stream, "old peer");
+        assert_eq!(stats.shard, 4);
+        assert_eq!(stats.step_latency_ewma_us, Some(1.0));
+        assert!(stats.ingest_latency.is_empty());
+        assert!(stats.forecast_error.is_empty());
+        // Re-emission upgrades the reply to the sketch-bearing form, and
+        // that form round-trips.
+        let modern = QueryResponse::StreamStats(stats.clone()).to_wire();
+        assert!(modern.contains("sketches 2\n"), "{modern}");
+        assert_same(
+            &QueryResponse::StreamStats(stats),
+            &QueryResponse::from_wire(&modern).unwrap(),
+        );
     }
 
     mod roundtrip_property {

@@ -48,9 +48,10 @@ use crate::error::FleetError;
 use crate::model::ModelHandle;
 use crate::protocol::{Query, QueryResponse};
 use crate::registry::Registry;
-use crate::stats::{Ewma, QueryCounters, ShardStats, StreamStats};
+use crate::stats::{Ewma, MetricKind, QueryCounters, ShardStats, StreamStats};
 use sofia_core::traits::StepOutput;
-use sofia_tensor::{Mask, ObservedTensor};
+use sofia_sketch::MetricSummary;
+use sofia_tensor::{DenseTensor, Mask, ObservedTensor};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
@@ -128,10 +129,69 @@ struct StreamSlot {
     model: ModelHandle,
     steps_since_checkpoint: u64,
     latency: Ewma,
+    /// Mergeable ingest-latency summary (µs per applied slice). Like the
+    /// EWMA it is in-memory observability state, not model state: it is
+    /// not checkpointed and starts fresh on restore.
+    ingest_latency: MetricSummary,
+    /// Mergeable one-step-ahead forecast-error summary: the relative
+    /// residual of the model's own pre-step forecast against the slice
+    /// it then ingested, over the slice's observed entries.
+    forecast_error: MetricSummary,
     last: Option<StepOutput>,
     /// Shard step-clock reading at this stream's last ingest (or its
     /// registration/restore); the eviction sweep compares against it.
     last_active: u64,
+}
+
+impl StreamSlot {
+    fn new(model: ModelHandle, last_active: u64) -> StreamSlot {
+        StreamSlot {
+            model,
+            steps_since_checkpoint: 0,
+            latency: Ewma::default(),
+            ingest_latency: MetricSummary::new(),
+            forecast_error: MetricSummary::new(),
+            last: None,
+            last_active,
+        }
+    }
+
+    /// The slot's summary for one observable metric.
+    fn metric(&self, kind: MetricKind) -> &MetricSummary {
+        match kind {
+            MetricKind::IngestLatency => &self.ingest_latency,
+            MetricKind::ForecastError => &self.forecast_error,
+        }
+    }
+}
+
+/// Relative residual of a one-step forecast against the slice that was
+/// actually ingested, over the slice's **observed** entries only:
+/// `‖pred − obs‖_Ω / ‖obs‖_Ω` (the raw residual norm when the observed
+/// values are all zero). `None` when the shapes disagree — a reshaped
+/// stream's first post-reshape slice is not a forecast failure.
+fn forecast_residual(prediction: &DenseTensor, slice: &ObservedTensor) -> Option<f64> {
+    if prediction.shape().dims() != slice.values().shape().dims() {
+        return None;
+    }
+    let pred = prediction.data();
+    let mut num = 0.0;
+    let mut den = 0.0;
+    let mut any = false;
+    for (idx, obs) in slice.observed_entries() {
+        any = true;
+        let d = pred[idx] - obs;
+        num += d * d;
+        den += obs * obs;
+    }
+    if !any {
+        return None;
+    }
+    Some(if den > 0.0 {
+        (num / den).sqrt()
+    } else {
+        num.sqrt()
+    })
 }
 
 /// The worker-side state of one shard.
@@ -154,6 +214,13 @@ pub(crate) struct ShardWorker {
     /// registered, restored lazily on the next ingest/query.
     evicted: HashSet<Arc<str>>,
     latency: Ewma,
+    /// Shard-level mergeable summaries, observed directly by this worker
+    /// (not folded from slots, so they also cover streams that were
+    /// since evicted or quarantined). These are the canonical per-shard
+    /// partials: every rollup — fleet-wide, cluster-wide, over the wire —
+    /// merges these, which is what makes the cluster totals bit-exact.
+    ingest_latency: MetricSummary,
+    forecast_error: MetricSummary,
     steps: u64,
     batches: u64,
     max_batch: usize,
@@ -272,15 +339,24 @@ impl ShardWorker {
                     )
                 })
             })),
-            Query::StreamStats => QueryResponse::StreamStats(StreamStats {
-                stream: stream.to_string(),
-                model: slot.model.name().to_string(),
-                shard: self.shard,
-                steps: slot.model.model_steps(),
-                queue_depth: self.depth.load(Ordering::Acquire),
-                step_latency_ewma_us: slot.latency.value(),
-                steps_since_checkpoint: slot.steps_since_checkpoint,
-            }),
+            Query::StreamStats => {
+                #[allow(deprecated)]
+                let stats = StreamStats {
+                    stream: stream.to_string(),
+                    model: slot.model.name().to_string(),
+                    shard: self.shard,
+                    steps: slot.model.model_steps(),
+                    queue_depth: self.depth.load(Ordering::Acquire),
+                    step_latency_ewma_us: slot.latency.value(),
+                    steps_since_checkpoint: slot.steps_since_checkpoint,
+                    ingest_latency: slot.ingest_latency.clone(),
+                    forecast_error: slot.forecast_error.clone(),
+                };
+                QueryResponse::StreamStats(stats)
+            }
+            Query::Quantile { metric, q } => {
+                QueryResponse::Quantile(slot.metric(*metric).quantile(*q))
+            }
         })
     }
 
@@ -310,16 +386,8 @@ impl ShardWorker {
         self.evicted.remove(stream);
         self.restores += 1;
         self.note_residency_deadline();
-        self.slots.insert(
-            Arc::clone(stream),
-            StreamSlot {
-                model: handle,
-                steps_since_checkpoint: 0,
-                latency: Ewma::default(),
-                last: None,
-                last_active: self.steps,
-            },
-        );
+        self.slots
+            .insert(Arc::clone(stream), StreamSlot::new(handle, self.steps));
         Ok(())
     }
 
@@ -417,6 +485,12 @@ impl ShardWorker {
                     }
                 }
                 let slot = self.slots.get_mut(&stream).expect("resident");
+                // One-step-ahead drift probe: what the model would have
+                // predicted for this slice, captured *before* the slice
+                // updates it. `forecast_guarded` already shields the
+                // shard from a panicking model; a model that cannot
+                // forecast (or has not warmed up) contributes nothing.
+                let prediction = slot.model.forecast_guarded(1).ok().flatten();
                 let start = Instant::now();
                 // A panicking model (e.g. a shape assert on a malformed
                 // slice) must quarantine only its own stream — never take
@@ -443,6 +517,15 @@ impl ShardWorker {
                         let us = start.elapsed().as_secs_f64() * 1e6;
                         slot.latency.observe(us);
                         self.latency.observe(us);
+                        slot.ingest_latency.observe(us);
+                        self.ingest_latency.observe(us);
+                        if let Some(residual) = prediction
+                            .as_ref()
+                            .and_then(|pred| forecast_residual(pred, &slice))
+                        {
+                            slot.forecast_error.observe(residual);
+                            self.forecast_error.observe(residual);
+                        }
                         slot.steps_since_checkpoint += 1;
                         self.steps += 1;
                         slot.last_active = self.steps;
@@ -469,16 +552,8 @@ impl ShardWorker {
                 reply,
             } => {
                 self.note_residency_deadline();
-                self.slots.insert(
-                    stream,
-                    StreamSlot {
-                        model,
-                        steps_since_checkpoint: 0,
-                        latency: Ewma::default(),
-                        last: None,
-                        last_active: self.steps,
-                    },
-                );
+                self.slots
+                    .insert(stream, StreamSlot::new(model, self.steps));
                 let _ = reply.send(());
                 false
             }
@@ -487,7 +562,8 @@ impl ShardWorker {
             // worker.
             Command::PumpQueries => false,
             Command::ShardStats { reply } => {
-                let _ = reply.send(ShardStats {
+                #[allow(deprecated)]
+                let stats = ShardStats {
                     shard: self.shard,
                     streams: self.slots.len(),
                     evicted: self.evicted.len(),
@@ -502,7 +578,11 @@ impl ShardWorker {
                     query_batches: self.query_batches,
                     query_queue_depth: self.query_depth.load(Ordering::Acquire),
                     step_latency_ewma_us: self.latency.value(),
-                });
+                    ingest_latency: self.ingest_latency.clone(),
+                    forecast_error: self.forecast_error.clone(),
+                    endpoint: None,
+                };
+                let _ = reply.send(stats);
                 false
             }
             Command::Checkpoint { reply } => {
@@ -687,6 +767,8 @@ impl ShardHandle {
             slots: HashMap::new(),
             evicted: HashSet::new(),
             latency: Ewma::default(),
+            ingest_latency: MetricSummary::new(),
+            forecast_error: MetricSummary::new(),
             steps: 0,
             batches: 0,
             max_batch: 0,

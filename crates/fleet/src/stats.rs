@@ -1,6 +1,54 @@
 //! Per-stream and fleet-wide serving statistics.
+//!
+//! Latency and forecast-error observations land in mergeable
+//! [`MetricSummary`] sketches (see `sofia-sketch`): unlike the legacy
+//! EWMAs, sketches from different shards — or different processes —
+//! merge into exactly the summary a single observer would have built,
+//! so p99/p99.9 questions have one answer at every aggregation level.
+//! The sketches live in memory only: they cover the current process
+//! lifetime and reset on evict/restore and restart.
 
 use crate::protocol::QueryKind;
+use sofia_sketch::MetricSummary;
+
+/// The observed metrics the fleet keeps sketches for (a
+/// [`crate::Query::Quantile`] names one of these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetricKind {
+    /// Per-step ingest latency, in microseconds (wall time of one
+    /// `model.step` on the shard worker).
+    IngestLatency,
+    /// One-step-ahead forecast error: the relative residual
+    /// `‖pred − obs‖_Ω / ‖obs‖_Ω` over the slice's *observed* entries,
+    /// where `pred` is the model's `forecast(1)` taken just before the
+    /// step (the raw residual norm when the observed entries are all
+    /// zero). Recorded only for models that forecast.
+    ForecastError,
+}
+
+impl MetricKind {
+    /// Every metric, in wire order.
+    pub const ALL: [MetricKind; 2] = [MetricKind::IngestLatency, MetricKind::ForecastError];
+
+    /// Stable wire/display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricKind::IngestLatency => "ingest-latency",
+            MetricKind::ForecastError => "forecast-error",
+        }
+    }
+
+    /// Parses a wire/display name back to the metric.
+    pub fn from_name(name: &str) -> Option<MetricKind> {
+        MetricKind::ALL.into_iter().find(|m| m.name() == name)
+    }
+}
+
+impl std::fmt::Display for MetricKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Exponentially weighted moving average of step latency.
 ///
@@ -53,6 +101,8 @@ pub struct QueryCounters {
     pub outlier_mask: u64,
     /// `Query::StreamStats` requests served.
     pub stream_stats: u64,
+    /// `Query::Quantile` requests served.
+    pub quantile: u64,
 }
 
 impl QueryCounters {
@@ -67,6 +117,7 @@ impl QueryCounters {
             QueryKind::Forecast => &mut self.forecast,
             QueryKind::OutlierMask => &mut self.outlier_mask,
             QueryKind::StreamStats => &mut self.stream_stats,
+            QueryKind::Quantile => &mut self.quantile,
         }
     }
 
@@ -77,6 +128,7 @@ impl QueryCounters {
             QueryKind::Forecast => self.forecast,
             QueryKind::OutlierMask => self.outlier_mask,
             QueryKind::StreamStats => self.stream_stats,
+            QueryKind::Quantile => self.quantile,
         }
     }
 
@@ -92,6 +144,7 @@ impl QueryCounters {
             forecast: self.forecast + other.forecast,
             outlier_mask: self.outlier_mask + other.outlier_mask,
             stream_stats: self.stream_stats + other.stream_stats,
+            quantile: self.quantile + other.quantile,
         }
     }
 }
@@ -116,12 +169,25 @@ pub struct StreamStats {
     /// is per shard, not per stream).
     pub queue_depth: usize,
     /// EWMA of per-step latency in microseconds, `None` before the first
-    /// step.
+    /// step. Still populated for existing dashboards, but step-weighted
+    /// EWMA averages cannot merge exactly across shards or nodes.
+    #[deprecated(
+        note = "read `ingest_latency` instead: its p50/p99/p999 quantiles and \
+                exact moments merge losslessly across shards and nodes"
+    )]
     pub step_latency_ewma_us: Option<f64>,
     /// Steps applied since the last durable checkpoint (0 right after one;
     /// `u64::MAX` sentinel is never used — non-checkpointable models just
     /// keep counting).
     pub steps_since_checkpoint: u64,
+    /// Mergeable summary of this stream's per-step ingest latency in
+    /// microseconds: t-digest quantiles (p50/p99/p999) plus exact
+    /// moments. In-memory only — resets on evict/restore and restart.
+    pub ingest_latency: MetricSummary,
+    /// Mergeable summary of this stream's one-step-ahead forecast error
+    /// (see [`MetricKind::ForecastError`]); empty for models that do not
+    /// forecast. In-memory only, like `ingest_latency`.
+    pub forecast_error: MetricSummary,
 }
 
 /// A snapshot of one shard's serving state.
@@ -162,8 +228,28 @@ pub struct ShardStats {
     /// worker drains them between ingest batches.
     pub query_queue_depth: usize,
     /// EWMA of per-step latency in microseconds across the shard's
-    /// streams.
+    /// streams. Still populated, but see the deprecation note.
+    #[deprecated(
+        note = "read `ingest_latency` instead: its p50/p99/p999 quantiles and \
+                exact moments merge losslessly across shards and nodes"
+    )]
     pub step_latency_ewma_us: Option<f64>,
+    /// Mergeable shard-level summary of per-step ingest latency (µs),
+    /// fed by the same observations as every resident stream's own
+    /// summary. This is the canonical per-shard partial: fleet- and
+    /// cluster-level rollups merge these, in shard-index order, and the
+    /// moment halves come out bit-exact. In-memory only.
+    pub ingest_latency: MetricSummary,
+    /// Mergeable shard-level summary of one-step-ahead forecast error
+    /// (see [`MetricKind::ForecastError`]). In-memory only.
+    pub forecast_error: MetricSummary,
+    /// Which endpoint served this shard's stats, when the snapshot was
+    /// merged across processes by `sofia-net`'s cluster client (shard
+    /// indices are renumbered into one flat namespace there, so the
+    /// index alone no longer identifies the node). `None` for
+    /// single-process [`crate::Fleet::fleet_stats`] snapshots; not part
+    /// of the wire form.
+    pub endpoint: Option<String>,
 }
 
 /// A snapshot of the whole fleet.
@@ -227,11 +313,37 @@ impl FleetStats {
         self.shards.iter().map(|s| s.query_queue_depth).sum()
     }
 
+    /// Fleet-wide ingest-latency summary: the shard summaries merged in
+    /// shard-index order. The fixed fold order makes the moment halves
+    /// bit-reproducible (and bit-identical to what `sofia-net`'s
+    /// cluster client computes from per-node wire replies, which fold
+    /// the same renumbered shard sequence).
+    pub fn ingest_latency(&self) -> MetricSummary {
+        let mut acc = MetricSummary::new();
+        for s in &self.shards {
+            acc.merge(&s.ingest_latency);
+        }
+        acc
+    }
+
+    /// Fleet-wide forecast-error summary, folded like
+    /// [`FleetStats::ingest_latency`].
+    pub fn forecast_error(&self) -> MetricSummary {
+        let mut acc = MetricSummary::new();
+        for s in &self.shards {
+            acc.merge(&s.forecast_error);
+        }
+        acc
+    }
+
     /// Step-weighted mean of the shard latency EWMAs, in microseconds.
+    #[deprecated(note = "read `ingest_latency()` instead: `.mean()` is the exact mean \
+                and `.quantile(q)` answers the tail questions an EWMA cannot")]
     pub fn mean_step_latency_us(&self) -> Option<f64> {
         let mut num = 0.0;
         let mut den = 0.0;
         for s in &self.shards {
+            #[allow(deprecated)]
             if let Some(l) = s.step_latency_ewma_us {
                 num += l * s.steps as f64;
                 den += s.steps as f64;
@@ -278,54 +390,72 @@ mod tests {
         Ewma::new(0.0);
     }
 
+    /// A shard snapshot with the given counters and a latency summary
+    /// built from `latencies` (both sketch and EWMA halves populated,
+    /// like the worker does).
+    #[allow(deprecated)]
+    fn shard_stats(shard: usize, latencies: &[f64]) -> ShardStats {
+        let mut ingest_latency = MetricSummary::new();
+        let mut ewma = Ewma::default();
+        for &l in latencies {
+            ingest_latency.observe(l);
+            ewma.observe(l);
+        }
+        ShardStats {
+            shard,
+            streams: 0,
+            evicted: 0,
+            steps: latencies.len() as u64,
+            queue_depth: 0,
+            batches: 0,
+            max_batch: 0,
+            dropped: 0,
+            evictions: 0,
+            restores: 0,
+            queries: QueryCounters::default(),
+            query_batches: 0,
+            query_queue_depth: 0,
+            step_latency_ewma_us: ewma.value(),
+            ingest_latency,
+            forecast_error: MetricSummary::new(),
+            endpoint: None,
+        }
+    }
+
     #[test]
+    #[allow(deprecated)]
     fn fleet_stats_aggregates() {
-        let stats = FleetStats {
-            shards: vec![
-                ShardStats {
-                    shard: 0,
-                    streams: 2,
-                    evicted: 1,
-                    steps: 30,
-                    queue_depth: 1,
-                    batches: 10,
-                    max_batch: 4,
-                    dropped: 0,
-                    evictions: 3,
-                    restores: 2,
-                    queries: QueryCounters {
-                        latest: 4,
-                        forecast: 2,
-                        outlier_mask: 0,
-                        stream_stats: 1,
-                    },
-                    query_batches: 3,
-                    query_queue_depth: 2,
-                    step_latency_ewma_us: Some(100.0),
-                },
-                ShardStats {
-                    shard: 1,
-                    streams: 1,
-                    evicted: 0,
-                    steps: 10,
-                    queue_depth: 0,
-                    batches: 5,
-                    max_batch: 2,
-                    dropped: 1,
-                    evictions: 0,
-                    restores: 0,
-                    queries: QueryCounters {
-                        latest: 1,
-                        forecast: 0,
-                        outlier_mask: 3,
-                        stream_stats: 0,
-                    },
-                    query_batches: 2,
-                    query_queue_depth: 0,
-                    step_latency_ewma_us: Some(200.0),
-                },
-            ],
+        let mut a = shard_stats(0, &[100.0; 30]);
+        a.streams = 2;
+        a.evicted = 1;
+        a.queue_depth = 1;
+        a.batches = 10;
+        a.max_batch = 4;
+        a.evictions = 3;
+        a.restores = 2;
+        a.queries = QueryCounters {
+            latest: 4,
+            forecast: 2,
+            outlier_mask: 0,
+            stream_stats: 1,
+            quantile: 2,
         };
+        a.query_batches = 3;
+        a.query_queue_depth = 2;
+        let mut b = shard_stats(1, &[200.0; 10]);
+        b.streams = 1;
+        b.batches = 5;
+        b.max_batch = 2;
+        b.dropped = 1;
+        b.queries = QueryCounters {
+            latest: 1,
+            forecast: 0,
+            outlier_mask: 3,
+            stream_stats: 0,
+            quantile: 0,
+        };
+        b.query_batches = 2;
+        let stats = FleetStats { shards: vec![a, b] };
         assert_eq!(stats.streams(), 3);
         assert_eq!(stats.evicted(), 1);
         assert_eq!(stats.steps(), 40);
@@ -340,13 +470,46 @@ mod tests {
                 forecast: 2,
                 outlier_mask: 3,
                 stream_stats: 1,
+                quantile: 2,
             }
         );
-        assert_eq!(stats.queries().total(), 11);
+        assert_eq!(stats.queries().total(), 13);
         assert_eq!(stats.query_batches(), 5);
         assert_eq!(stats.query_queue_depth(), 2);
         let mean = stats.mean_step_latency_us().unwrap();
         assert!((mean - 125.0).abs() < 1e-9, "step-weighted mean {mean}");
+    }
+
+    #[test]
+    fn fleet_latency_rollup_is_exact_and_order_fixed() {
+        let stats = FleetStats {
+            shards: vec![
+                shard_stats(0, &[100.0, 300.0, 50.0]),
+                shard_stats(1, &[200.0]),
+                shard_stats(2, &[]),
+            ],
+        };
+        let merged = stats.ingest_latency();
+        assert_eq!(merged.count(), 4);
+        assert_eq!(merged.min(), Some(50.0));
+        assert_eq!(merged.max(), Some(300.0));
+        // The moment partials are the fold of the shard partials in
+        // index order — bit-exact.
+        let manual = (stats.shards[0].ingest_latency.moments().sum()
+            + stats.shards[1].ingest_latency.moments().sum())
+        .to_bits();
+        assert_eq!(merged.moments().sum().to_bits(), manual);
+        // Two identical rollups produce identical bits (digest included).
+        assert_eq!(stats.ingest_latency(), stats.ingest_latency());
+        assert!(stats.forecast_error().is_empty());
+    }
+
+    #[test]
+    fn metric_kind_names_round_trip() {
+        for m in MetricKind::ALL {
+            assert_eq!(MetricKind::from_name(m.name()), Some(m), "{m}");
+        }
+        assert_eq!(MetricKind::from_name("latency"), None);
     }
 
     #[test]
@@ -371,8 +534,10 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn fleet_stats_latency_none_when_no_steps() {
         let stats = FleetStats { shards: vec![] };
         assert_eq!(stats.mean_step_latency_us(), None);
+        assert!(stats.ingest_latency().is_empty());
     }
 }

@@ -4,7 +4,9 @@
 //! concurrent `query_batch` callers racing a live ingest thread.
 
 use sofia_core::traits::{StepOutput, StreamingFactorizer};
-use sofia_fleet::{Fleet, FleetConfig, ModelHandle, Query, QueryKind, QueryResponse, StreamKey};
+use sofia_fleet::{
+    Fleet, FleetConfig, MetricKind, ModelHandle, Query, QueryKind, QueryResponse, StreamKey,
+};
 use sofia_tensor::{DenseTensor, ObservedTensor, Shape};
 use std::collections::HashSet;
 
@@ -178,6 +180,10 @@ fn concurrent_query_batches_under_ingest_load() {
                         },
                         QueryKind::OutlierMask => Query::OutlierMask,
                         QueryKind::StreamStats => Query::StreamStats,
+                        QueryKind::Quantile => Query::Quantile {
+                            metric: MetricKind::IngestLatency,
+                            q: 0.99,
+                        },
                     };
                     let requests: Vec<(&str, Query)> =
                         ids.iter().map(|id| (id.as_str(), query.clone())).collect();

@@ -230,6 +230,17 @@ impl ClusterClient {
     /// indices are re-numbered to stay unique in the merged view (each
     /// endpoint's shards keep their relative order), so the aggregate
     /// counters ([`FleetStats::steps`] etc.) sum over the whole cluster.
+    /// Each re-numbered entry is tagged with the endpoint it came from
+    /// ([`sofia_fleet::ShardStats::endpoint`]), so the merged view keeps
+    /// the shard → process attribution the re-numbering would otherwise
+    /// lose.
+    ///
+    /// The per-shard sketch partials ride along untouched, so the
+    /// cluster-wide rollups ([`FleetStats::ingest_latency`],
+    /// [`FleetStats::forecast_error`]) *merge* the members' summaries —
+    /// the moment half is bit-exact against a single process serving the
+    /// same streams, and quantiles stay within the t-digest's documented
+    /// bound. No step-count weighting, no averaging of averages.
     pub fn stats(&mut self) -> Result<FleetStats, ClientError> {
         let mut shards = Vec::new();
         for ep in self.broadcast_endpoints() {
@@ -237,6 +248,7 @@ impl ClusterClient {
             let base = shards.len();
             for mut shard in stats.shards {
                 shard.shard += base;
+                shard.endpoint = Some(ep.clone());
                 shards.push(shard);
             }
         }

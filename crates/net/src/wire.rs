@@ -43,7 +43,7 @@
 //! functions feed on bytes from the network.
 
 use sofia_fleet::protocol::wire::{self, LineCursor, WireError};
-use sofia_fleet::{shard_of, FleetError, FleetStats, Query, QueryCounters, ShardStats};
+use sofia_fleet::{shard_of, FleetError, FleetStats, MetricKind, Query, QueryCounters, ShardStats};
 use sofia_tensor::ObservedTensor;
 use std::io::{self, BufRead, Write};
 
@@ -766,7 +766,13 @@ impl ShardMap {
     }
 }
 
-/// Appends fleet-wide statistics (`shards <n>` + three lines per shard).
+/// Appends fleet-wide statistics: `shards <n>`, then per shard the
+/// `shard`/`queries`/`latency` lines followed by the mergeable sketch
+/// block (`sketches 2` + one [`wire::push_metric_sketch`] block per
+/// metric). The sketch lines carry the shard's canonical summary
+/// partials, so a cluster client can merge them without loss; the
+/// shard's `endpoint` attribution is a client-side label and is *not*
+/// emitted — the receiver knows which connection the reply came in on.
 pub fn push_fleet_stats(out: &mut String, stats: &FleetStats) {
     use std::fmt::Write as _;
     let _ = writeln!(out, "shards {}", stats.shards.len());
@@ -789,15 +795,24 @@ pub fn push_fleet_stats(out: &mut String, stats: &FleetStats) {
         );
         let _ = writeln!(
             out,
-            "queries {} {} {} {}",
-            s.queries.latest, s.queries.forecast, s.queries.outlier_mask, s.queries.stream_stats
+            "queries {} {} {} {} {}",
+            s.queries.latest,
+            s.queries.forecast,
+            s.queries.outlier_mask,
+            s.queries.stream_stats,
+            s.queries.quantile
         );
-        match s.step_latency_ewma_us {
+        #[allow(deprecated)]
+        let ewma = s.step_latency_ewma_us;
+        match ewma {
             Some(l) => {
                 let _ = writeln!(out, "latency {:016x}", l.to_bits());
             }
             None => out.push_str("latency none\n"),
         }
+        out.push_str("sketches 2\n");
+        wire::push_metric_sketch(out, MetricKind::IngestLatency, &s.ingest_latency);
+        wire::push_metric_sketch(out, MetricKind::ForecastError, &s.forecast_error);
     }
 }
 
@@ -834,8 +849,10 @@ pub fn parse_fleet_stats(cur: &mut LineCursor<'_>) -> Result<FleetStats, WireErr
             .ok_or_else(|| WireError::new(format!("bad queries line `{qline}`")))?
             .split_whitespace()
             .collect();
-        if qnums.len() != 4 {
-            return Err(WireError::new("queries line needs 4 counters"));
+        // 4 counters from a peer that predates the quantile query kind,
+        // 5 from a current one.
+        if qnums.len() != 4 && qnums.len() != 5 {
+            return Err(WireError::new("queries line needs 4 or 5 counters"));
         }
         let qint = |i: usize| -> Result<u64, WireError> {
             qnums[i]
@@ -853,7 +870,10 @@ pub fn parse_fleet_stats(cur: &mut LineCursor<'_>) -> Result<FleetStats, WireErr
                     .map_err(|_| WireError::new(format!("bad latency `{hex}`")))?,
             )),
         };
-        shards.push(ShardStats {
+        // Absent on replies from a pre-sketch peer: empty summaries.
+        let (ingest_latency, forecast_error) = wire::parse_sketch_block(cur)?;
+        #[allow(deprecated)]
+        let stats = ShardStats {
             shard: int(0)? as usize,
             streams: int(1)? as usize,
             evicted: int(2)? as usize,
@@ -869,11 +889,16 @@ pub fn parse_fleet_stats(cur: &mut LineCursor<'_>) -> Result<FleetStats, WireErr
                 forecast: qint(1)?,
                 outlier_mask: qint(2)?,
                 stream_stats: qint(3)?,
+                quantile: if qnums.len() == 5 { qint(4)? } else { 0 },
             },
             query_batches: int(10)?,
             query_queue_depth: int(11)? as usize,
             step_latency_ewma_us,
-        });
+            ingest_latency,
+            forecast_error,
+            endpoint: None,
+        };
+        shards.push(stats);
     }
     Ok(FleetStats { shards })
 }
@@ -1183,9 +1208,16 @@ mod tests {
         assert_eq!(out, legacy, "override-free wire form is unchanged");
     }
 
-    #[test]
-    fn fleet_stats_round_trip() {
-        let stats = FleetStats {
+    #[allow(deprecated)]
+    fn sample_shard_stats() -> FleetStats {
+        use sofia_sketch::MetricSummary;
+        let mut latency = MetricSummary::new();
+        let mut drift = MetricSummary::new();
+        for i in 0..300 {
+            latency.observe(50.0 + ((i * 37) % 101) as f64 * 13.5);
+            drift.observe(((i * 53) % 89) as f64 * 0.01);
+        }
+        FleetStats {
             shards: vec![
                 ShardStats {
                     shard: 0,
@@ -1203,10 +1235,14 @@ mod tests {
                         forecast: 6,
                         outlier_mask: 7,
                         stream_stats: 8,
+                        quantile: 9,
                     },
                     query_batches: 11,
                     query_queue_depth: 1,
                     step_latency_ewma_us: Some(321.125),
+                    ingest_latency: latency,
+                    forecast_error: drift,
+                    endpoint: None,
                 },
                 ShardStats {
                     shard: 1,
@@ -1223,9 +1259,18 @@ mod tests {
                     query_batches: 0,
                     query_queue_depth: 0,
                     step_latency_ewma_us: None,
+                    ingest_latency: sofia_sketch::MetricSummary::new(),
+                    forecast_error: sofia_sketch::MetricSummary::new(),
+                    endpoint: None,
                 },
             ],
-        };
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn fleet_stats_round_trip() {
+        let stats = sample_shard_stats();
         let mut out = String::new();
         push_fleet_stats(&mut out, &stats);
         let mut cur = LineCursor::new(&out);
@@ -1233,11 +1278,51 @@ mod tests {
         cur.finish().unwrap();
         assert_eq!(back.shards.len(), 2);
         assert_eq!(back.steps(), 100);
-        assert_eq!(back.queries().total(), 26);
+        assert_eq!(back.queries().total(), 35);
+        assert_eq!(back.queries().quantile, 9);
         assert_eq!(
             back.shards[0].step_latency_ewma_us.map(f64::to_bits),
             Some(321.125f64.to_bits())
         );
         assert_eq!(back.shards[1].step_latency_ewma_us, None);
+        // The sketch block is on the wire and the parsed summaries emit
+        // byte-identical wire forms (the moment partials are bit-exact).
+        assert_eq!(
+            back.shards[0].ingest_latency.count(),
+            stats.shards[0].ingest_latency.count()
+        );
+        assert_eq!(
+            back.shards[0].forecast_error.moments().sum().to_bits(),
+            stats.shards[0].forecast_error.moments().sum().to_bits()
+        );
+        let mut again = String::new();
+        push_fleet_stats(&mut again, &back);
+        assert_eq!(again, out, "stats reply re-emits byte-identically");
+        assert!(back.shards[1].ingest_latency.is_empty());
+    }
+
+    /// A stats reply from a peer that predates sketches — 4 query
+    /// counters, no `sketches` block — still parses, with a zero
+    /// quantile counter and empty summaries.
+    #[test]
+    #[allow(deprecated)]
+    fn fleet_stats_parse_accepts_the_pre_sketch_reply_form() {
+        let legacy = "shards 2\n\
+                      shard 0 3 1 100 2 40 9 1 2 1 11 1\n\
+                      queries 5 6 7 8\n\
+                      latency 4074120000000000\n\
+                      shard 1 0 0 0 0 0 0 0 0 0 0 0\n\
+                      queries 0 0 0 0\n\
+                      latency none\n";
+        let mut cur = LineCursor::new(legacy);
+        let back = parse_fleet_stats(&mut cur).unwrap();
+        cur.finish().unwrap();
+        assert_eq!(back.shards.len(), 2);
+        assert_eq!(back.steps(), 100);
+        assert_eq!(back.queries().quantile, 0);
+        assert_eq!(back.queries().total(), 26);
+        assert_eq!(back.shards[0].step_latency_ewma_us, Some(321.125));
+        assert!(back.shards[0].ingest_latency.is_empty());
+        assert!(back.shards[0].forecast_error.is_empty());
     }
 }

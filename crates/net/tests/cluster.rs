@@ -26,7 +26,7 @@ use sofia_core::Sofia;
 use sofia_datagen::seasonal::SeasonalStream;
 use sofia_datagen::stream::TensorStream;
 use sofia_fleet::{
-    CheckpointPolicy, Fleet, FleetConfig, FleetError, ModelHandle, Query, QueryResponse,
+    CheckpointPolicy, Fleet, FleetConfig, FleetError, MetricKind, ModelHandle, Query, QueryResponse,
 };
 use sofia_net::{Client, ClientError, ClusterClient, Server, ServerConfig, ShardMap};
 use sofia_tensor::ObservedTensor;
@@ -201,7 +201,9 @@ fn migrate_then_crash_then_recover_is_bit_exact_vs_single_process_fleet() {
     cluster.flush().expect("cluster flush");
 
     // Merged stats: both nodes' shards, re-numbered uniquely, counters
-    // summing over the whole cluster.
+    // summing over the whole cluster, every entry tagged with the
+    // endpoint it came from (the attribution the re-numbering would
+    // otherwise lose).
     let merged = cluster.stats().expect("merged stats");
     assert_eq!(merged.shards.len(), 4, "2 shards x 2 nodes");
     let mut shard_ids: Vec<usize> = merged.shards.iter().map(|s| s.shard).collect();
@@ -209,6 +211,13 @@ fn migrate_then_crash_then_recover_is_bit_exact_vs_single_process_fleet() {
     assert_eq!(shard_ids, vec![0, 1, 2, 3], "unique merged shard ids");
     assert_eq!(merged.streams(), 4);
     assert_eq!(merged.steps(), (4 * PRE_CRASH) as u64);
+    assert_eq!(merged.shards[0].endpoint.as_deref(), Some(ep_a.as_str()));
+    assert_eq!(merged.shards[3].endpoint.as_deref(), Some(ep_b.as_str()));
+    // The sketch partials crossed the wire: every applied step is in the
+    // merged latency sketch, and its extremes are real measurements.
+    let latency = merged.ingest_latency();
+    assert_eq!(latency.count(), (4 * PRE_CRASH) as u64);
+    assert!(latency.min().expect("non-empty") > 0.0);
 
     // Batched queries group by owning endpoint and stay aligned with
     // the request vector, per-item failures included.
@@ -481,4 +490,167 @@ fn cluster_client_bootstraps_from_a_member_handshake() {
     assert!(stranded.is_err(), "self-less cluster map must be refused");
 
     server.shutdown().expect("shutdown");
+}
+
+/// The observability acceptance criterion: a cluster of two single-shard
+/// nodes and a single-process two-shard fleet serve the same streams,
+/// the same slices, in the same order — and the cluster-merged
+/// forecast-error **moment partials are bit-exact** against the single
+/// process. The topology makes the partitions line up: the route slot is
+/// `hash % 2` and the control fleet's shard is `hash % 2`, so merged
+/// shard *i* holds exactly the control's shard-*i* streams and each
+/// worker accumulates the same residuals in the same order.
+///
+/// Wall-clock latency cannot be compared across runs, but its *count* is
+/// exact; the deterministic drift metric is compared to the bit.
+#[test]
+fn cluster_merged_drift_sketches_are_bit_exact_vs_single_process_fleet() {
+    let server_a = Server::bind(
+        "127.0.0.1:0",
+        Fleet::new(FleetConfig::with_shards(1)).expect("fleet a"),
+    )
+    .expect("a");
+    let server_b = Server::bind(
+        "127.0.0.1:0",
+        Fleet::new(FleetConfig::with_shards(1)).expect("fleet b"),
+    )
+    .expect("b");
+    let ep_a = server_a.local_addr().to_string();
+    let ep_b = server_b.local_addr().to_string();
+    let mut cluster =
+        ClusterClient::from_map(ShardMap::round_robin(&[ep_a.clone(), ep_b.clone()], 1));
+    let control = Fleet::new(FleetConfig::with_shards(2)).expect("control");
+
+    // Two streams per node, registered and fed in one fixed global
+    // order on both sides.
+    let (mut ids_a, mut ids_b) = (Vec::new(), Vec::new());
+    for k in 0.. {
+        let id = format!("drift-{k}");
+        if cluster.map().endpoint_of(&id) == ep_a && ids_a.len() < 2 {
+            ids_a.push(id);
+        } else if cluster.map().endpoint_of(&id) == ep_b && ids_b.len() < 2 {
+            ids_b.push(id);
+        }
+        if ids_a.len() == 2 && ids_b.len() == 2 {
+            break;
+        }
+    }
+    let ids = [
+        ids_a[0].clone(),
+        ids_b[0].clone(),
+        ids_a[1].clone(),
+        ids_b[1].clone(),
+    ];
+    let mut streamed_slices = Vec::new();
+    for (i, id) in ids.iter().enumerate() {
+        let (startup, streamed) = slices(i);
+        cluster.register(id, &handle(i, &startup)).expect("routed");
+        control.register(id, handle(i, &startup)).expect("control");
+        streamed_slices.push(streamed);
+    }
+    for (i, id) in ids.iter().enumerate() {
+        cluster
+            .ingest_blocking(id, streamed_slices[i].clone())
+            .expect("routed ingest");
+        for slice in &streamed_slices[i] {
+            control
+                .try_ingest_id(id, slice.clone())
+                .expect("control ingest");
+        }
+        control.flush().expect("order barrier");
+    }
+    cluster.flush().expect("cluster flush");
+
+    let merged = cluster.stats().expect("merged stats");
+    let local = control.fleet_stats().expect("control stats");
+    assert_eq!(merged.shards.len(), 2);
+    assert_eq!(merged.steps(), local.steps());
+
+    // Fleet-wide drift rollup: the two moment partials folded in the
+    // same shard order must agree to the bit — sums, extremes, counts.
+    let over_wire = merged.forecast_error();
+    let in_process = local.forecast_error();
+    assert!(over_wire.count() > 0, "the models forecast, drift recorded");
+    assert_eq!(over_wire.count(), in_process.count());
+    assert_eq!(
+        over_wire.moments().sum().to_bits(),
+        in_process.moments().sum().to_bits(),
+        "merged drift sum must be bit-exact across the wire"
+    );
+    assert_eq!(
+        over_wire.moments().sum_sq().to_bits(),
+        in_process.moments().sum_sq().to_bits()
+    );
+    assert_eq!(
+        over_wire.min().map(f64::to_bits),
+        in_process.min().map(f64::to_bits)
+    );
+    assert_eq!(
+        over_wire.max().map(f64::to_bits),
+        in_process.max().map(f64::to_bits)
+    );
+    // Latency is wall-clock — only its bookkeeping is comparable.
+    assert_eq!(
+        merged.ingest_latency().count(),
+        local.ingest_latency().count()
+    );
+
+    // Per-stream: the full drift summary (digest included) emits a
+    // byte-identical wire form on both sides, and the typed quantile
+    // query answers with the same bits the in-process fleet computes.
+    for id in &ids {
+        let routed = cluster
+            .query(id, Query::StreamStats)
+            .expect("routed stats")
+            .expect_stream_stats();
+        let direct = control
+            .query(id, Query::StreamStats)
+            .expect("query")
+            .wait()
+            .expect("control stats")
+            .expect_stream_stats();
+        let wire_form = |m: &sofia_sketch::MetricSummary| {
+            let mut s = String::new();
+            m.push_wire(&mut s);
+            s
+        };
+        assert_eq!(
+            wire_form(&routed.forecast_error),
+            wire_form(&direct.forecast_error),
+            "{id}: per-stream drift summary diverged across the wire"
+        );
+        for q in [0.5, 0.99, 0.999] {
+            let over_wire = cluster
+                .query(
+                    id,
+                    Query::Quantile {
+                        metric: MetricKind::ForecastError,
+                        q,
+                    },
+                )
+                .expect("routed quantile")
+                .expect_quantile();
+            let in_process = control
+                .query(
+                    id,
+                    Query::Quantile {
+                        metric: MetricKind::ForecastError,
+                        q,
+                    },
+                )
+                .expect("query")
+                .wait()
+                .expect("control quantile")
+                .expect_quantile();
+            assert_eq!(
+                over_wire.map(f64::to_bits),
+                in_process.map(f64::to_bits),
+                "{id}: p{q} drift quantile diverged across the wire"
+            );
+        }
+    }
+
+    server_a.shutdown().expect("a down");
+    server_b.shutdown().expect("b down");
+    control.shutdown().expect("control down");
 }

@@ -1,0 +1,221 @@
+//! Property tests for the sketch algebra: merge order-insensitivity,
+//! agreement with summaries built from the concatenated samples, and
+//! bit-exact wire round-trips over hostile f64 bit patterns.
+
+use proptest::prelude::*;
+use sofia_sketch::{MetricSummary, StatsSummary, TDigest};
+
+fn digest_of(values: &[f64]) -> TDigest {
+    let mut d = TDigest::new();
+    for &v in values {
+        d.observe(v);
+    }
+    d
+}
+
+fn summary_of(values: &[f64]) -> StatsSummary {
+    let mut s = StatsSummary::new();
+    for &v in values {
+        s.observe(v);
+    }
+    s
+}
+
+fn metric_of(values: &[f64]) -> MetricSummary {
+    let mut m = MetricSummary::new();
+    for &v in values {
+        m.observe(v);
+    }
+    m
+}
+
+/// Rank interval of `value` in `sorted`: `[strictly below, at or
+/// below]` — duplicated sample values occupy a whole range of ranks.
+fn rank_interval(sorted: &[f64], value: f64) -> (f64, f64) {
+    let lo = sorted.partition_point(|&s| s < value);
+    let hi = sorted.partition_point(|&s| s <= value);
+    (lo as f64, hi as f64)
+}
+
+/// Bits → f64 but skewed toward interesting magnitudes: raw bit
+/// patterns alone almost always decode to huge exponents.
+fn sample_from_bits(bits: u64) -> f64 {
+    let v = f64::from_bits(bits);
+    if v.is_finite() {
+        // Fold extreme magnitudes into a bench-like range, keeping the
+        // low mantissa bits for variety.
+        (v.abs() % 1.0e6) * if bits & 1 == 0 { 1.0 } else { -1.0 }
+    } else {
+        (bits % 1000) as f64
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `merge(a, b)` and `merge(b, a)` are bit-identical, and the merged
+    /// digest answers quantiles within the documented rank bound of the
+    /// concatenated samples (as does a digest built from them directly).
+    #[test]
+    fn digest_merge_is_order_insensitive_and_agrees_with_concat(
+        abits in prop::collection::vec(0u64..u64::MAX, 1..400),
+        bbits in prop::collection::vec(0u64..u64::MAX, 1..400),
+    ) {
+        let a_samples: Vec<f64> = abits.iter().map(|&b| sample_from_bits(b)).collect();
+        let b_samples: Vec<f64> = bbits.iter().map(|&b| sample_from_bits(b)).collect();
+        let (a, b) = (digest_of(&a_samples), digest_of(&b_samples));
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba, "digest merge must be commutative bit-exactly");
+
+        let mut all: Vec<f64> = a_samples.iter().chain(&b_samples).copied().collect();
+        let concat = digest_of(&all);
+        all.sort_by(f64::total_cmp);
+        let n = all.len() as f64;
+        for q in [0.0f64, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            // Documented bound: 3 k-units of rank at the probed q,
+            // Δq(q) = (2π/δ)·√(q(1−q)) — tightest at the tails.
+            let tol = 3.0 * (2.0 * std::f64::consts::PI / 100.0) * (q * (1.0 - q)).sqrt() * n
+                + 3.0;
+            for (d, label) in [(&ab, "merged"), (&concat, "concat")] {
+                let est = d.quantile(q).expect("non-empty");
+                let (lo, hi) = rank_interval(&all, est);
+                let target = q * n;
+                prop_assert!(
+                    lo - tol <= target && target <= hi + tol,
+                    "{} digest: q={} ranks=[{}, {}] target={} n={}",
+                    label, q, lo, hi, target, n
+                );
+            }
+        }
+    }
+
+    /// Moment partials merge exactly: counts/min/max match the
+    /// concatenated samples, sums are the bit-exact sum of the partials,
+    /// and merge is commutative bit-exactly.
+    #[test]
+    fn moments_merge_is_exact(
+        abits in prop::collection::vec(0u64..u64::MAX, 1..200),
+        bbits in prop::collection::vec(0u64..u64::MAX, 1..200),
+    ) {
+        let a_samples: Vec<f64> = abits.iter().map(|&b| sample_from_bits(b)).collect();
+        let b_samples: Vec<f64> = bbits.iter().map(|&b| sample_from_bits(b)).collect();
+        let (a, b) = (summary_of(&a_samples), summary_of(&b_samples));
+
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba, "moments merge must be commutative bit-exactly");
+
+        let concat = summary_of(
+            &a_samples.iter().chain(&b_samples).copied().collect::<Vec<_>>(),
+        );
+        prop_assert_eq!(ab.count(), concat.count());
+        prop_assert_eq!(ab.min().map(f64::to_bits), concat.min().map(f64::to_bits));
+        prop_assert_eq!(ab.max().map(f64::to_bits), concat.max().map(f64::to_bits));
+        prop_assert_eq!(
+            ab.sum().to_bits(),
+            (a.sum() + b.sum()).to_bits(),
+            "merged sum must be the exact sum of the partials"
+        );
+        prop_assert_eq!(ab.sum_sq().to_bits(), (a.sum_sq() + b.sum_sq()).to_bits());
+    }
+
+    /// Moment wire lines round-trip ARBITRARY f64 bit patterns (NaNs,
+    /// infinities, subnormals) bit-exactly, and the parser never panics.
+    #[test]
+    fn moments_wire_round_trips_hostile_bits(
+        n in 0usize..1_000_000,
+        bits in prop::collection::vec(0u64..u64::MAX, 4..5),
+    ) {
+        let line0 = format!("moments {n}");
+        let line1 = format!(
+            "mstate {:016x} {:016x} {:016x} {:016x}",
+            bits[0], bits[1], bits[2], bits[3]
+        );
+        let parsed = StatsSummary::from_lines([&line0, &line1]).expect("structurally valid");
+        let mut out = String::new();
+        parsed.push_wire(&mut out);
+        prop_assert_eq!(out, format!("{line0}\n{line1}\n"));
+    }
+
+    /// Digest and metric wire forms: emit → parse → emit is the byte
+    /// identity for digests built from arbitrary sample bits (folded to
+    /// finite), including subnormals and signed zeros.
+    #[test]
+    fn metric_wire_round_trips_bit_exactly(
+        bits in prop::collection::vec(0u64..u64::MAX, 0..300),
+    ) {
+        let samples: Vec<f64> = bits
+            .iter()
+            .map(|&b| {
+                let v = f64::from_bits(b);
+                if v.is_finite() { v } else { f64::from_bits(b & !0x7ff0000000000000) }
+            })
+            .collect();
+        let m = metric_of(&samples);
+        let mut text = String::new();
+        m.push_wire(&mut text);
+        let lines: Vec<&str> = text.lines().collect();
+        prop_assert_eq!(lines.len(), 6);
+        let back = MetricSummary::from_lines([
+            lines[0], lines[1], lines[2], lines[3], lines[4], lines[5],
+        ])
+        .expect("own emission parses");
+        let mut again = String::new();
+        back.push_wire(&mut again);
+        prop_assert_eq!(again, text);
+    }
+
+    /// Hostile digest lines either parse (and then round-trip) or fail
+    /// with a typed error — never a panic.
+    #[test]
+    fn digest_parser_is_total_over_garbage(
+        k in 0usize..6,
+        bits in prop::collection::vec(0u64..u64::MAX, 12..16),
+    ) {
+        let hex = |i: usize| format!("{:016x}", bits[i % bits.len()]);
+        let line0 = format!("tdigest {k}");
+        let line1 = format!("tmeans {} {} {}", hex(0), hex(1), hex(2));
+        let line2 = format!("tweights {} {} {}", hex(3), hex(4), hex(5));
+        let line3 = format!("trange {} {}", hex(6), hex(7));
+        let result = TDigest::from_lines([&line0, &line1, &line2, &line3]);
+        if let Ok(d) = result {
+            let mut text = String::new();
+            d.push_wire(&mut text);
+            let lines: Vec<&str> = text.lines().collect();
+            let back = TDigest::from_lines([lines[0], lines[1], lines[2], lines[3]])
+                .expect("re-parse own emission");
+            prop_assert_eq!(back, d);
+            // Quantiles on a parsed digest must be panic-free too.
+            let _ = d.quantile(0.99);
+        }
+    }
+}
+
+/// Folding many summaries in a fixed order is deterministic: two
+/// independent fold runs over the same parts produce identical bits.
+#[test]
+fn fixed_order_folds_are_reproducible() {
+    let parts: Vec<MetricSummary> = (0..8)
+        .map(|p| {
+            let mut m = MetricSummary::new();
+            for i in 0..500 {
+                m.observe(((p * 131 + i) as f64).sin() * 1e3);
+            }
+            m
+        })
+        .collect();
+    let fold = || {
+        let mut acc = MetricSummary::new();
+        for p in &parts {
+            acc.merge(p);
+        }
+        acc
+    };
+    assert_eq!(fold(), fold());
+}

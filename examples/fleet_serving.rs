@@ -123,13 +123,19 @@ fn main() {
             panic!("responses align with requests, in order");
         };
         println!(
-            "{} ({}): shard {}, {} steps, latency ewma {}, forecast(h={}) |x| = {}",
+            "{} ({}): shard {}, {} steps, latency p50 {} / p99 {}, forecast(h={}) |x| = {}",
             key.id(),
             stats.model,
             stats.shard,
             stats.steps,
             stats
-                .step_latency_ewma_us
+                .ingest_latency
+                .p50()
+                .map(|l| format!("{l:.1}us"))
+                .unwrap_or_else(|| "-".into()),
+            stats
+                .ingest_latency
+                .p99()
                 .map(|l| format!("{l:.1}us"))
                 .unwrap_or_else(|| "-".into()),
             period / 2,
