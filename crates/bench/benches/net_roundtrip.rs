@@ -2,10 +2,13 @@
 //! answered (a) in-process through `Fleet::query`/`query_batch` and
 //! (b) over a loopback TCP connection through `sofia_net::Client` —
 //! identical semantics, so the spread is pure transport: framing,
-//! hex-float encode/decode, two socket hops, and the server's
-//! reader→responder hand-off. Batched mode amortizes all of that over
-//! M streams in one frame, so the single-vs-batched gap is wider over
-//! the wire than in-process.
+//! hex-float encode/decode, two socket hops, and one pass through the
+//! server's event loop (readiness poll, incremental decode, ticket
+//! settlement). Batched mode amortizes all of that over M streams in
+//! one frame, so the single-vs-batched gap is wider over the wire than
+//! in-process. A pipelined case keeps 32 queries in flight on one
+//! socket — the event loop's steady state, where per-frame overhead
+//! overlaps with model settlement.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sofia_core::traits::{StepOutput, StreamingFactorizer};
@@ -118,6 +121,28 @@ fn bench_in_process_vs_loopback(c: &mut Criterion) {
                 let mut acc = 0.0;
                 for resp in client.query_batch(&requests).expect("batch") {
                     acc += expect_forecast_value(resp.expect("answered"));
+                }
+                acc
+            })
+        });
+        // 32 individually framed queries in flight at once on the one
+        // socket: unlike `batched_*` (one frame, one reply) this keeps
+        // the decoder, write buffer, and ticket queue all busy
+        // simultaneously — the event loop's steady state.
+        group.bench_function("pipelined_loopback", |b| {
+            b.iter(|| {
+                let mut pending = Vec::with_capacity(32);
+                for i in 0..32 {
+                    pending.push(
+                        client
+                            .start_query(&ids[i % ids.len()], Query::Forecast { horizon: 1 })
+                            .expect("start"),
+                    );
+                }
+                let mut acc = 0.0;
+                for qid in pending {
+                    let resp = client.finish_query(qid).expect("finish").expect("answered");
+                    acc += expect_forecast_value(resp);
                 }
                 acc
             })

@@ -3,19 +3,28 @@
 //!
 //! ```text
 //! sofia-cli bench [--json] [--out DIR] [--streams N] [--steps N]
-//!                 [--shards N] [--seed N]
+//!                 [--shards N] [--seed N] [--conns C1,C2,..] [--pipeline Q]
 //! ```
 //!
-//! Two passes over the same warm-started synthetic workload:
+//! Four passes over the same warm-started synthetic workload:
 //!
 //! 1. **fleet** — in-process ingest throughput, sketch-backed latency
 //!    quantiles (p50/p99/p999 from the mergeable t-digest, exact mean
 //!    from the moment partials), forecast-drift quantiles, and
 //!    single/batched query latency.
-//! 2. **net** — the same fleet behind a loopback [`Server`]: wire
+//! 2. **concurrency** — the evented server under `--conns` concurrent
+//!    connections (default 1, 64, 1024), each keeping `--pipeline`
+//!    queries in flight: per-query latency p50/p99 and aggregate
+//!    throughput per level, with a hard assertion (via
+//!    `/proc/self/status`) that connections never add server threads.
+//! 3. **migrate** — one stream bounced between two in-process durable
+//!    nodes; wall time per flush → snapshot → register → flip →
+//!    deregister hop.
+//! 4. **net** — the same fleet behind a loopback [`Server`]: wire
 //!    ingest throughput, per-query round-trip latency, a stats
 //!    (sketch-carrying) round-trip, and a drift-quantile query over
-//!    the wire.
+//!    the wire. The concurrency and migrate sections are folded into
+//!    this pass's `BENCH_net.json`.
 //!
 //! `--json` additionally writes `BENCH_fleet.json` and
 //! `BENCH_net.json` into `--out` (default `.`). The seed pins the
@@ -26,8 +35,11 @@
 use crate::commands::CmdResult;
 use crate::fleet_cmd::{fmt_q, fmt_us, warm_start, FleetOpts};
 use sofia_datagen::stream::TensorStream;
-use sofia_fleet::{Fleet, FleetConfig, MetricKind, Query, QueryResponse, StreamKey};
-use sofia_net::{Client, Server};
+use sofia_fleet::{
+    CheckpointPolicy, Fleet, FleetConfig, MetricKind, Query, QueryResponse, StreamKey,
+};
+use sofia_net::wire::ShardMap;
+use sofia_net::{Client, ClusterClient, Server};
 use sofia_tensor::ObservedTensor;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -45,6 +57,12 @@ pub struct BenchOpts {
     pub seed: u64,
     /// Directory `--json` writes the reports into.
     pub out: PathBuf,
+    /// Connection counts of the concurrency pass (`--conns`), each
+    /// level timed separately against one server.
+    pub conns: Vec<usize>,
+    /// Queries kept in flight per connection in the concurrency pass
+    /// (`--pipeline`).
+    pub pipeline: usize,
 }
 
 impl Default for BenchOpts {
@@ -55,6 +73,8 @@ impl Default for BenchOpts {
             shards: 2,
             seed: 2021,
             out: PathBuf::from("."),
+            conns: vec![1, 64, 1024],
+            pipeline: 32,
         }
     }
 }
@@ -65,6 +85,12 @@ const QUERY_REPS: usize = 200;
 const BATCH_ROUNDS: usize = 25;
 /// Stats round-trip repetitions for the net pass.
 const STATS_REPS: usize = 20;
+/// Per-level query target of the concurrency pass: rounds are scaled so
+/// every level answers about this many queries (floored at one round).
+const CONC_TARGET_QUERIES: usize = 16_384;
+/// Migration round-trips timed by the migrate pass (each hop is
+/// flush → snapshot → register → flip → deregister between two nodes).
+const MIGRATE_HOPS: usize = 6;
 
 /// Entry point of `sofia-cli bench`.
 pub fn bench(opts: &BenchOpts, json: bool) -> CmdResult {
@@ -97,7 +123,10 @@ pub fn bench(opts: &BenchOpts, json: bool) -> CmdResult {
         .collect();
 
     let fleet_report = bench_fleet(&workload, &models, &slices)?;
-    let net_report = bench_net(&workload, &models, &slices)?;
+    let concurrency = bench_concurrency(&workload, &models, &opts.conns, opts.pipeline)?;
+    let migrate = bench_migrate(&workload, &models)?;
+    let extra = format!(",\n  \"concurrency\": {concurrency},\n  \"migrate\": {migrate}");
+    let net_report = bench_net(&workload, &models, &slices, &extra)?;
     if json {
         std::fs::create_dir_all(&opts.out)?;
         let fleet_path = opts.out.join("BENCH_fleet.json");
@@ -230,6 +259,7 @@ fn bench_net(
     opts: &FleetOpts,
     models: &[crate::fleet_cmd::MixModel],
     slices: &[Vec<ObservedTensor>],
+    extra: &str,
 ) -> Result<String, Box<dyn std::error::Error>> {
     let fleet = Fleet::new(config(opts))?;
     register_all(&fleet, models)?;
@@ -286,7 +316,7 @@ fn bench_net(
          \"ingest\": {{ \"slices\": {slices_sent}, \"wall_secs\": {wall}, \
          \"slices_per_sec\": {rate} }},\n  \
          \"round_trip\": {{ \"query_us\": {query}, \"stats_us\": {stats}, \
-         \"drift_p99\": {drift} }}\n}}\n",
+         \"drift_p99\": {drift} }}{extra}\n}}\n",
         seed = opts.seed,
         workload = workload_json(opts),
         wall = jnum(ingest_secs),
@@ -294,6 +324,188 @@ fn bench_net(
         query = jnum(query_us),
         stats = jnum(stats_us),
         drift = jopt(drift_p99),
+    ))
+}
+
+/// Threads of this process, per the kernel (`None` off Linux) — the
+/// concurrency pass asserts connections never add server threads.
+fn os_thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample set.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    match sorted.len() {
+        0 => f64::NAN,
+        n => sorted[(((n - 1) as f64) * q).round() as usize],
+    }
+}
+
+/// Concurrency pass: one evented server, `conns` connections each
+/// keeping `pipeline` queries in flight, per-query latency p50/p99 and
+/// aggregate throughput per level. Returns the JSON fragment for the
+/// `"concurrency"` key.
+fn bench_concurrency(
+    opts: &FleetOpts,
+    models: &[crate::fleet_cmd::MixModel],
+    levels: &[usize],
+    pipeline: usize,
+) -> Result<String, Box<dyn std::error::Error>> {
+    if levels.is_empty() || pipeline == 0 {
+        return Err("conns and pipeline must be positive".into());
+    }
+    let fleet = Fleet::new(config(opts))?;
+    register_all(&fleet, models)?;
+    let server = Server::bind("127.0.0.1:0", fleet)?;
+    let addr = server.local_addr().to_string();
+    let streams: Vec<String> = (0..opts.streams)
+        .map(|i| format!("stream-{i:04}"))
+        .collect();
+
+    let mut level_json = Vec::with_capacity(levels.len());
+    for &conns in levels {
+        if conns == 0 {
+            return Err("conns levels must be positive".into());
+        }
+        let rounds = (CONC_TARGET_QUERIES / (conns * pipeline)).clamp(1, 512);
+        let before = os_thread_count();
+        let mut clients = Vec::with_capacity(conns);
+        for _ in 0..conns {
+            clients.push(Client::connect_as(&addr, "sofia-bench-conc")?);
+        }
+        // The whole point of the event loop: piling on connections must
+        // not pile on threads. `/proc` is the kernel's word for it.
+        if let (Some(b), Some(d)) = (before, os_thread_count()) {
+            if d != b {
+                return Err(format!(
+                    "server thread count changed with {conns} connections \
+                     ({b} -> {d}); expected O(pool), not O(connections)"
+                )
+                .into());
+            }
+        }
+        let mut samples: Vec<f64> = Vec::with_capacity(conns * rounds);
+        let level_start = Instant::now();
+        for _ in 0..rounds {
+            // Write phase: every connection fills its pipeline before
+            // any reply is read — conns × pipeline queries in flight.
+            let mut in_flight = Vec::with_capacity(conns);
+            for (c, client) in clients.iter_mut().enumerate() {
+                let t0 = Instant::now();
+                let mut ids = Vec::with_capacity(pipeline);
+                for q in 0..pipeline {
+                    let stream = &streams[(c + q) % streams.len()];
+                    ids.push(client.start_query(stream, Query::Latest)?);
+                }
+                in_flight.push((t0, ids));
+            }
+            // Read phase: settle per connection, in request order.
+            for (client, (t0, ids)) in clients.iter_mut().zip(in_flight) {
+                for id in ids {
+                    client
+                        .finish_query(id)?
+                        .map_err(|e| format!("concurrency query failed: {e}"))?;
+                }
+                samples.push(t0.elapsed().as_secs_f64() * 1e6 / pipeline as f64);
+            }
+        }
+        let wall = level_start.elapsed().as_secs_f64();
+        let queries = conns * pipeline * rounds;
+        let qps = queries as f64 / wall;
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let p50 = percentile(&samples, 0.50);
+        let p99 = percentile(&samples, 0.99);
+        println!(
+            "bench[net/concurrency]: {conns} conns x {pipeline} pipelined: \
+             {queries} queries in {wall:.3}s ({qps:.0} q/s), \
+             per-query p50 {p50:.1}us / p99 {p99:.1}us"
+        );
+        level_json.push(format!(
+            "{{ \"connections\": {conns}, \"pipeline\": {pipeline}, \
+             \"rounds\": {rounds}, \"queries\": {queries}, \
+             \"per_query_us\": {{ \"p50\": {}, \"p99\": {} }}, \
+             \"throughput_qps\": {} }}",
+            jnum(p50),
+            jnum(p99),
+            jnum(qps),
+        ));
+        drop(clients);
+    }
+    let threads = server.thread_count();
+    let pool = server.event_threads();
+    server.shutdown()?;
+    Ok(format!(
+        "{{\n    \"server_threads\": {threads}, \"event_threads\": {pool},\n    \
+         \"levels\": [\n      {}\n    ]\n  }}",
+        level_json.join(",\n      ")
+    ))
+}
+
+/// Migrate pass: two in-process nodes with durable checkpoint dirs, one
+/// stream bounced between them, each hop's flush → snapshot → register
+/// → flip → deregister wall time recorded. Returns the JSON fragment
+/// for the `"migrate"` key.
+fn bench_migrate(
+    opts: &FleetOpts,
+    models: &[crate::fleet_cmd::MixModel],
+) -> Result<String, Box<dyn std::error::Error>> {
+    let base = std::env::temp_dir().join(format!("sofia-bench-migrate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let durable_fleet = |dir: PathBuf| -> Result<Fleet, Box<dyn std::error::Error>> {
+        Ok(Fleet::new(FleetConfig {
+            checkpoint: Some(CheckpointPolicy::new(dir, 1)),
+            ..config(opts)
+        })?)
+    };
+    let server_a = Server::bind("127.0.0.1:0", durable_fleet(base.join("a"))?)?;
+    let server_b = Server::bind("127.0.0.1:0", durable_fleet(base.join("b"))?)?;
+    let addr_a = server_a.local_addr().to_string();
+    let addr_b = server_b.local_addr().to_string();
+    let mut cluster = ClusterClient::from_map(ShardMap::from_endpoints(vec![
+        addr_a.clone(),
+        addr_b.clone(),
+    ]));
+
+    let stream = "stream-0000";
+    cluster
+        .register(stream, &models[0].handle())
+        .map_err(|e| format!("migrate-bench register failed: {e}"))?;
+    let mut hops_us = Vec::with_capacity(MIGRATE_HOPS);
+    let mut here = cluster.map().endpoint_of(stream).to_string();
+    for _ in 0..MIGRATE_HOPS {
+        let to = if here == addr_a {
+            addr_b.clone()
+        } else {
+            addr_a.clone()
+        };
+        let t0 = Instant::now();
+        cluster
+            .migrate(stream, &to)
+            .map_err(|e| format!("migrate-bench hop failed: {e}"))?;
+        hops_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        here = to;
+    }
+    server_a.shutdown()?;
+    server_b.shutdown()?;
+    let _ = std::fs::remove_dir_all(&base);
+
+    let mean = hops_us.iter().sum::<f64>() / hops_us.len() as f64;
+    let min = hops_us.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = hops_us.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "bench[net/migrate]: {MIGRATE_HOPS} hops between two nodes: \
+         mean {mean:.0}us, min {min:.0}us, max {max:.0}us per \
+         flush+snapshot+register+flip+deregister"
+    );
+    Ok(format!(
+        "{{ \"hops\": {MIGRATE_HOPS}, \"hop_us\": {{ \"mean\": {}, \"min\": {}, \"max\": {} }} }}",
+        jnum(mean),
+        jnum(min),
+        jnum(max),
     ))
 }
 

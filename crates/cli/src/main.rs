@@ -18,11 +18,12 @@
 //!                    [--cluster EP0,EP1,...] [fleet workload flags]
 //! sofia-cli client   --connect 127.0.0.1:7411 [--stats true]
 //!                    [--stream stream-0000] [--query "forecast 4"]
-//!                    [--ingest N] [--shutdown true]
+//!                    [--ingest N] [--top-drift K] [--shutdown true]
 //! sofia-cli cluster  [--nodes 2] [--base-port 7421] [--shards 2]
 //!                    [--checkpoint-dir DIR]
 //! sofia-cli bench    [--json] [--out DIR] [--streams 8] [--steps 60]
-//!                    [--shards 2] [--seed 2021]
+//!                    [--shards 2] [--seed 2021] [--conns 1,64,1024]
+//!                    [--pipeline 32]
 //! ```
 //!
 //! Boolean flags (`--stats`, `--shutdown`, `--recover`, `--empty`,
@@ -63,9 +64,10 @@ fn usage() -> &'static str {
      sofia-cli serve --bind ADDR [--advertise ADDR] [--recover true] [--empty true] \
      [--cluster EP0,EP1,...] [fleet workload flags]\n  \
      sofia-cli client --connect ADDR [--stats true] [--stream ID] [--query \"forecast 4\"] \
-     [--ingest N] [--shutdown true]\n  \
+     [--ingest N] [--top-drift K] [--shutdown true]\n  \
      sofia-cli cluster [--nodes 2] [--base-port 7421] [--shards 2] [--checkpoint-dir DIR]\n  \
-     sofia-cli bench [--json] [--out DIR] [--streams 8] [--steps 60] [--shards 2] [--seed 2021]\n\
+     sofia-cli bench [--json] [--out DIR] [--streams 8] [--steps 60] [--shards 2] [--seed 2021] \
+     [--conns 1,64,1024] [--pipeline 32]\n\
      boolean flags may be given bare: --stats means --stats true"
 }
 
@@ -315,8 +317,16 @@ fn main() -> ExitCode {
                 .and_then(|()| set_parsed(get("steps"), "steps", &mut opts.steps))
                 .and_then(|()| set_parsed(get("shards"), "shards", &mut opts.shards))
                 .and_then(|()| set_parsed(get("seed"), "seed", &mut opts.seed));
-            if let Err(code) = parsed {
+            if let Err(code) =
+                parsed.and_then(|()| set_parsed(get("pipeline"), "pipeline", &mut opts.pipeline))
+            {
                 return code;
+            }
+            if let Some(v) = get("conns") {
+                opts.conns = match parse_usize_list(&v) {
+                    Ok(c) if !c.is_empty() && !c.contains(&0) => c,
+                    _ => return bad_flag("conns", &v),
+                };
             }
             if let Some(dir) = get("out") {
                 opts.out = PathBuf::from(dir);
@@ -347,6 +357,13 @@ fn main() -> ExitCode {
                     _ => return bad_flag("dims", &v),
                 },
             };
+            let top_drift = match get("top-drift").map(|v| v.parse::<usize>()) {
+                None => 0,
+                Some(Ok(k)) => k,
+                Some(Err(_)) => {
+                    return bad_flag("top-drift", &get("top-drift").unwrap_or_default())
+                }
+            };
             net_cmd::client(&net_cmd::ClientOpts {
                 connect,
                 stats,
@@ -354,6 +371,7 @@ fn main() -> ExitCode {
                 query: get("query"),
                 ingest,
                 dims,
+                top_drift,
                 shutdown,
             })
         }

@@ -5,7 +5,8 @@
 //! sofia-cli serve  --bind 127.0.0.1:7411 [--advertise ADDR] [--recover]
 //!                  [--empty] [--cluster EP0,EP1,...] [fleet workload flags]
 //! sofia-cli client --connect 127.0.0.1:7411 [--stats] [--stream ID]
-//!                  [--query "forecast 4"] [--ingest N] [--shutdown]
+//!                  [--query "forecast 4"] [--ingest N] [--top-drift K]
+//!                  [--shutdown]
 //! ```
 //!
 //! `serve` warm-starts the same synthetic workload `fleet` uses (or
@@ -15,15 +16,18 @@
 //! `shutdown` frame; `--cluster` makes the handshake advertise the
 //! deployment spec's full shard map.
 //! `client` connects, runs its requested operations in a fixed order
-//! (stats → ingest → query → shutdown, so a query in the same
-//! invocation observes the ingested slices), and prints what came
-//! back.
+//! (stats → ingest → query → top-drift → shutdown, so a query in the
+//! same invocation observes the ingested slices), and prints what came
+//! back. `--top-drift K` sweeps every warm stream with one batched
+//! `quantile forecast_error 0.99` — routed through the cluster-capable
+//! path, so it spans all members of a sharded deployment — and prints
+//! the K streams drifting hardest.
 
 use crate::commands::CmdResult;
 use crate::fleet_cmd::{fmt_q, fmt_us, validate, warm_start, FleetOpts};
 use sofia_datagen::stream::TensorStream;
-use sofia_fleet::{CheckpointPolicy, Fleet, FleetConfig, Query, QueryResponse};
-use sofia_net::{Client, Server, ServerConfig, ShardMap};
+use sofia_fleet::{CheckpointPolicy, Fleet, FleetConfig, MetricKind, Query, QueryResponse};
+use sofia_net::{Client, ClusterClient, Server, ServerConfig, ShardMap};
 use sofia_tensor::ObservedTensor;
 
 /// Builds the serve-side engine config from the shared workload opts.
@@ -153,6 +157,10 @@ pub struct ClientOpts {
     /// Slice dimensions for `--ingest`; must match what the serving
     /// model expects (defaults to the `serve` default of 12,10).
     pub dims: Vec<usize>,
+    /// Print the K streams with the highest forecast-error p99 (0 =
+    /// off). Sweeps the whole fleet with one batched quantile query
+    /// through the cluster-capable path.
+    pub top_drift: usize,
     /// Ask the server to shut down gracefully at the end.
     pub shutdown: bool,
 }
@@ -258,9 +266,67 @@ pub fn client(opts: &ClientOpts) -> CmdResult {
         }
     }
 
+    if opts.top_drift > 0 {
+        top_drift(&opts.connect, opts.top_drift)?;
+    }
+
     if opts.shutdown {
         client.shutdown_server()?;
         println!("shutdown: server acknowledged and is draining");
+    }
+    Ok(())
+}
+
+/// The `--top-drift K` sweep: one `quantile forecast_error 0.99` per
+/// warm stream, batched and routed through [`ClusterClient`] so the
+/// sweep spans every member of a sharded deployment, then the K
+/// hardest-drifting streams printed in descending order.
+///
+/// Stream ids follow the `serve` warm-start naming (`stream-0000`,
+/// `stream-0001`, ...); streams a deployment registered under other
+/// names simply come back as routing errors and are skipped, as are
+/// streams with no residuals yet.
+fn top_drift(seed: &str, k: usize) -> CmdResult {
+    let mut cluster = ClusterClient::connect_as(seed, "sofia-cli")?;
+    let stats = cluster.stats()?;
+    // Evicted streams are still registered (and lazily restored by a
+    // query), so the sweep covers them too.
+    let total = stats.streams() + stats.evicted();
+    if total == 0 {
+        println!("top-drift: no streams registered");
+        return Ok(());
+    }
+    let ids: Vec<String> = (0..total).map(|i| format!("stream-{i:04}")).collect();
+    let requests: Vec<(&str, Query)> = ids
+        .iter()
+        .map(|id| {
+            (
+                id.as_str(),
+                Query::Quantile {
+                    metric: MetricKind::ForecastError,
+                    q: 0.99,
+                },
+            )
+        })
+        .collect();
+    let replies = cluster.query_batch(&requests)?;
+
+    let mut ranked: Vec<(f64, &str)> = Vec::new();
+    let mut skipped = 0usize;
+    for (id, reply) in ids.iter().zip(replies) {
+        match reply {
+            Ok(QueryResponse::Quantile(Some(v))) if v.is_finite() => ranked.push((v, id)),
+            _ => skipped += 1,
+        }
+    }
+    ranked.sort_by(|a, b| b.0.total_cmp(&a.0));
+    println!(
+        "top-drift: forecast-error p99 across {} streams ({} without \
+         residuals or unknown)",
+        total, skipped
+    );
+    for (rank, (v, id)) in ranked.iter().take(k).enumerate() {
+        println!("top-drift: #{:<2} {id}  p99 {}", rank + 1, fmt_q(Some(*v)));
     }
     Ok(())
 }

@@ -25,6 +25,14 @@ use sofia_fleet::{FleetError, FleetStats, ModelHandle, Query, QueryResponse};
 use sofia_tensor::ObservedTensor;
 use std::io::{self, BufReader};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Default bound on waiting for one reply frame. A server that died
+/// mid-reply (crash, kill -9, network partition) surfaces as a typed
+/// [`FrameError::TimedOut`] instead of a read that hangs until the OS
+/// gives up; raise it via [`Client::set_read_timeout`] for genuinely
+/// slow operations.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// A client-side failure: transport trouble, a protocol violation, or a
 /// typed error the server reported.
@@ -116,6 +124,7 @@ impl Client {
     pub fn connect_as(addr: impl ToSocketAddrs, name: &str) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(DEFAULT_READ_TIMEOUT))?;
         let writer = stream.try_clone()?;
         let mut client = Client {
             reader: BufReader::new(stream),
@@ -161,6 +170,15 @@ impl Client {
     /// `ServerConfig::max_frame_bytes`. Clamped to at least 1 KiB.
     pub fn set_max_frame_bytes(&mut self, bytes: usize) {
         self.max_frame = bytes.max(1024);
+    }
+
+    /// Bounds how long any reply read may block
+    /// ([`DEFAULT_READ_TIMEOUT`] unless changed); an expired wait
+    /// surfaces as [`FrameError::TimedOut`]. `None` restores unbounded
+    /// blocking reads.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        Ok(())
     }
 
     fn read_reply_body(&mut self) -> Result<String, ClientError> {
@@ -267,23 +285,40 @@ impl Client {
     ) -> Result<Vec<Result<QueryResponse, FleetError>>, ClientError> {
         let mut ids = Vec::with_capacity(requests.len());
         for (stream, query) in requests {
-            let stream = stream.to_string();
-            let query = query.clone();
-            ids.push(self.send(|id| Request::Query { id, stream, query })?);
+            ids.push(self.start_query(stream, query.clone())?);
         }
         let mut results = Vec::with_capacity(ids.len());
         for id in ids {
-            results.push(match self.expect_reply(id)? {
-                Ok(payload) => {
-                    let mut cur = LineCursor::new(&payload);
-                    let resp = pwire::parse_response(&mut cur)?;
-                    cur.finish()?;
-                    Ok(resp)
-                }
-                Err(e) => Err(e),
-            });
+            results.push(self.finish_query(id)?);
         }
         Ok(results)
+    }
+
+    /// Writes one `query` frame without reading its reply — the send
+    /// half of [`Client::query_pipelined`], split out so callers (the
+    /// concurrency bench, multi-connection drivers) can put many
+    /// sockets' queries in flight before settling any. Returns the
+    /// request id to pass to [`Client::finish_query`].
+    pub fn start_query(&mut self, stream: &str, query: Query) -> Result<u64, ClientError> {
+        let stream = stream.to_string();
+        self.send(|id| Request::Query { id, stream, query })
+    }
+
+    /// Reads the reply to a [`Client::start_query`] id. Replies arrive
+    /// in request order, so settle ids in the order they were started.
+    pub fn finish_query(
+        &mut self,
+        id: u64,
+    ) -> Result<Result<QueryResponse, FleetError>, ClientError> {
+        match self.expect_reply(id)? {
+            Ok(payload) => {
+                let mut cur = LineCursor::new(&payload);
+                let resp = pwire::parse_response(&mut cur)?;
+                cur.finish()?;
+                Ok(Ok(resp))
+            }
+            Err(e) => Ok(Err(e)),
+        }
     }
 
     /// Registers a stream by shipping the model's checkpoint envelope;

@@ -1,0 +1,596 @@
+//! Per-connection state machines of the evented server: an incremental
+//! frame decoder, a bounded write buffer with backpressure, and
+//! in-order settlement of pipelined completions — everything one
+//! connection owns between readiness events.
+//!
+//! The old server gave each connection two blocking threads (reader +
+//! responder); here a connection is plain state driven by whichever
+//! event-loop thread owns it. The contracts it upholds are the wire
+//! contracts PR 4 pinned:
+//!
+//! * **Frames are byte-stream-safe.** `#<len>\n<body>` frames may be
+//!   split at any byte boundary (one byte per segment is legal);
+//!   [`FrameDecoder`] carries partial frames across reads and yields
+//!   bodies only when complete.
+//! * **Replies settle strictly in request order.** Completions queue in
+//!   arrival order; only the front may settle, even when a later
+//!   query's ticket resolves first.
+//! * **Write buffering is bounded.** Once a connection's outgoing
+//!   buffer crosses the configured high-water mark the server stops
+//!   reading from it (and stops settling replies into it) until the
+//!   peer drains — a slow reader backpressures itself, never the
+//!   server's memory.
+//! * **Reply serialization reuses per-connection scratch.** Settling a
+//!   query reply encodes into the connection's scratch `String` and
+//!   appends the frame straight into the write buffer — no fresh
+//!   allocation per settled frame on the hot path.
+
+use crate::server::{dispatch, Shared};
+use crate::wire::{err_body, ok_body, FrameError};
+use sofia_fleet::protocol::wire as pwire;
+use sofia_fleet::{FleetError, QueryResponse, QueryTicket};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io::{self, Read as _, Write as _};
+use std::net::{Shutdown, TcpStream};
+
+/// Longest accepted `#<len>` frame header (shared with the blocking
+/// reader in [`crate::wire`]).
+use crate::wire::MAX_HEADER_BYTES;
+
+/// Bytes read from one connection per pump pass — the fairness quantum.
+/// A firehose sender gets this much service, then the loop moves on;
+/// level-triggered readiness brings the connection straight back.
+const READ_BUDGET: usize = 64 * 1024;
+
+/// Upper bound on queued (unsettled) completions per connection. A peer
+/// that pipelines past it stops being read until replies drain —
+/// the request-side twin of the write buffer's byte bound.
+const MAX_PENDING_REPLIES: usize = 1024;
+
+/// Shrink-back threshold for per-connection buffers: one burst (a big
+/// snapshot envelope, a flood of pipelined frames) must not pin its
+/// peak allocation for the connection's lifetime.
+const BUF_SHRINK_BYTES: usize = 1 << 20;
+
+/// Incremental decoder for `#<len>\n<body>` frames: bytes go in as they
+/// arrive, complete bodies come out; partial frames (header or body cut
+/// at any byte) simply wait for more input.
+#[derive(Default)]
+pub(crate) struct FrameDecoder {
+    buf: Vec<u8>,
+}
+
+impl FrameDecoder {
+    /// Appends freshly read bytes.
+    pub(crate) fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Whether any partial frame is buffered (EOF now would be
+    /// [`FrameError::Truncated`] rather than a clean close).
+    #[cfg(test)]
+    pub(crate) fn is_mid_frame(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// The buffered bytes; index with the range [`FrameDecoder::peek`]
+    /// returned.
+    pub(crate) fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// If a complete frame is buffered, its body's byte range.
+    /// `Ok(None)` means "need more bytes"; errors mean the byte stream
+    /// is off-protocol and cannot be trusted to be frame-aligned again.
+    pub(crate) fn peek(&self, max: usize) -> Result<Option<(usize, usize)>, FrameError> {
+        let probe = &self.buf[..self.buf.len().min(MAX_HEADER_BYTES + 1)];
+        let hdr_end = match probe.iter().position(|&b| b == b'\n') {
+            Some(i) => i,
+            None if self.buf.len() > MAX_HEADER_BYTES => {
+                return Err(FrameError::BadHeader(
+                    String::from_utf8_lossy(probe).into_owned(),
+                ));
+            }
+            None => return Ok(None),
+        };
+        let text = std::str::from_utf8(&self.buf[..hdr_end]).map_err(|_| FrameError::NotUtf8)?;
+        let len: usize = text
+            .strip_prefix('#')
+            .and_then(|d| d.parse().ok())
+            .ok_or_else(|| FrameError::BadHeader(text.to_string()))?;
+        if len > max {
+            return Err(FrameError::Oversized { len, max });
+        }
+        let start = hdr_end + 1;
+        if self.buf.len() < start + len {
+            return Ok(None);
+        }
+        Ok(Some((start, start + len)))
+    }
+
+    /// Discards everything up to `end` (a consumed frame), keeping the
+    /// following bytes — the start of the next frame, wherever the last
+    /// read happened to cut it.
+    pub(crate) fn consume(&mut self, end: usize) {
+        self.buf.copy_within(end.., 0);
+        self.buf.truncate(self.buf.len() - end);
+        if self.buf.is_empty() && self.buf.capacity() > BUF_SHRINK_BYTES {
+            self.buf.shrink_to(READ_BUDGET);
+        }
+    }
+}
+
+/// Outgoing bytes with a consumed-prefix cursor, so partial socket
+/// writes don't memmove the remainder on every call.
+#[derive(Default)]
+struct WriteBuf {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl WriteBuf {
+    /// Appends one `#<len>\n<body>` frame (header written straight into
+    /// the buffer — no intermediate allocation).
+    fn append_frame(&mut self, body: &str) {
+        let _ = writeln!(self.buf, "#{}", body.len());
+        self.buf.extend_from_slice(body.as_bytes());
+    }
+
+    fn pending(&self) -> &[u8] {
+        &self.buf[self.pos..]
+    }
+
+    fn pending_len(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn advance(&mut self, n: usize) {
+        self.pos += n;
+        debug_assert!(self.pos <= self.buf.len());
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+            if self.buf.capacity() > BUF_SHRINK_BYTES {
+                self.buf.shrink_to(READ_BUDGET);
+            }
+        } else if self.pos >= READ_BUDGET && self.pos * 2 >= self.buf.len() {
+            self.buf.copy_within(self.pos.., 0);
+            let len = self.buf.len() - self.pos;
+            self.buf.truncate(len);
+            self.pos = 0;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.buf.clear();
+        self.pos = 0;
+    }
+}
+
+/// What the dispatcher produced for one request; settled strictly in
+/// arrival order.
+pub(crate) enum Completion {
+    /// Reply body already known (ingest, flush, stats, errors, …).
+    Ready(String),
+    /// A single query in flight on the typed plane.
+    Query {
+        /// Echoed request id.
+        id: u64,
+        /// The unsettled in-process handle, polled with `try_take`.
+        ticket: QueryTicket,
+    },
+    /// A staged multi-stream batch; the reply needs every slot.
+    Batch {
+        /// Echoed request id.
+        id: u64,
+        /// One slot per item, each settling independently.
+        slots: Vec<BatchSlot>,
+    },
+}
+
+/// One item of a staged batch: still in flight, or resolved (item-level
+/// failures arrive resolved).
+// `Done` dwarfs `Pending`, but the slots are written in place inside an
+// already-sized Vec and die as soon as the batch serializes; boxing
+// would buy nothing except an allocation per settled item.
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum BatchSlot {
+    /// Ticket not yet answered by its shard.
+    Pending(QueryTicket),
+    /// Answered (or failed at staging); held until the whole batch is.
+    Done(Result<QueryResponse, FleetError>),
+}
+
+/// What one [`Conn::pump`] pass left behind, so the event loop can pick
+/// its poll timeout and know whether to come straight back.
+pub(crate) struct PumpOutcome {
+    /// The read budget ran out with the socket still hot — re-pump
+    /// before sleeping.
+    pub(crate) read_hungry: bool,
+    /// The front completion is blocked on an unsettled ticket — poll
+    /// again soon (tickets resolve off-loop, nothing wakes the poller).
+    pub(crate) ticket_blocked: bool,
+}
+
+/// One live connection: socket, decoder, completion queue, write
+/// buffer, and the scratch reply string reused across settlements.
+pub(crate) struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    pending: VecDeque<Completion>,
+    write: WriteBuf,
+    scratch: String,
+    /// Level-triggered readiness hint; starts true (bytes may predate
+    /// the first poll registration).
+    readable: bool,
+    handshook: bool,
+    /// No more requests will be read: EOF, protocol fault, a `shutdown`
+    /// frame, or server drain. Queued replies still go out.
+    read_closed: bool,
+    /// The write side failed; nothing further can reach the peer, so
+    /// queued work is dropped and the connection is finished.
+    peer_gone: bool,
+}
+
+impl Conn {
+    pub(crate) fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            decoder: FrameDecoder::default(),
+            pending: VecDeque::new(),
+            write: WriteBuf::default(),
+            scratch: String::new(),
+            readable: true,
+            handshook: false,
+            read_closed: false,
+            peer_gone: false,
+        }
+    }
+
+    /// A poll event reported this connection ready.
+    pub(crate) fn on_event(&mut self, readable: bool) {
+        if readable {
+            self.readable = true;
+        }
+    }
+
+    /// Whether the loop should read from this socket: not draining, and
+    /// neither the write buffer nor the completion queue is over its
+    /// bound (the backpressure contract: a peer outrunning its replies
+    /// stops being read, never buffers unboundedly).
+    pub(crate) fn wants_read(&self, shared: &Shared) -> bool {
+        !self.read_closed
+            && self.write.pending_len() < shared.config.write_buffer_bytes
+            && self.pending.len() < MAX_PENDING_REPLIES
+    }
+
+    /// Whether the socket should be polled for writability (bytes are
+    /// queued that a previous write could not flush).
+    pub(crate) fn wants_write(&self) -> bool {
+        !self.peer_gone && self.write.pending_len() > 0
+    }
+
+    /// Stop reading (server drain): queued replies still settle and
+    /// flush, then the connection finishes.
+    pub(crate) fn begin_drain(&mut self) {
+        self.read_closed = true;
+    }
+
+    /// Nothing left to do: torn down by the loop.
+    pub(crate) fn finished(&self) -> bool {
+        self.peer_gone
+            || (self.read_closed && self.pending.is_empty() && self.write.pending_len() == 0)
+    }
+
+    /// Closes the socket both ways (the peer sees EOF / reset).
+    pub(crate) fn teardown(&mut self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+
+    /// One service pass: decode + dispatch buffered frames, read the
+    /// socket (budget-bounded), settle what the front of the queue
+    /// allows, flush. Everything a connection does happens here.
+    pub(crate) fn pump(&mut self, shared: &Shared, buf: &mut [u8]) -> PumpOutcome {
+        self.drain_frames(shared);
+        let mut budget = READ_BUDGET;
+        while self.readable && self.wants_read(shared) && budget > 0 {
+            match self.stream.read(buf) {
+                Ok(0) => {
+                    // Clean EOF between frames is the normal hang-up;
+                    // EOF mid-frame is a truncation — either way the
+                    // read side is done (a truncated frame gets no
+                    // reply, matching the blocking server).
+                    self.read_closed = true;
+                    self.readable = false;
+                    break;
+                }
+                Ok(n) => {
+                    budget = budget.saturating_sub(n);
+                    self.decoder.extend(&buf[..n]);
+                    self.drain_frames(shared);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.readable = false;
+                    break;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.read_closed = true;
+                    self.readable = false;
+                    break;
+                }
+            }
+        }
+        let ticket_blocked = self.settle(shared);
+        self.flush();
+        PumpOutcome {
+            read_hungry: self.readable && self.wants_read(shared),
+            ticket_blocked,
+        }
+    }
+
+    /// Re-settle and flush without touching the socket's read side —
+    /// the ticket-polling half of [`Conn::pump`], cheap enough to spin.
+    pub(crate) fn settle_and_flush(&mut self, shared: &Shared) -> bool {
+        let ticket_blocked = self.settle(shared);
+        self.flush();
+        ticket_blocked
+    }
+
+    /// Decodes every complete buffered frame the bounds allow and
+    /// dispatches it, queueing one completion per request.
+    fn drain_frames(&mut self, shared: &Shared) {
+        while !self.read_closed
+            && self.pending.len() < MAX_PENDING_REPLIES
+            && self.write.pending_len() < shared.config.write_buffer_bytes
+        {
+            let (start, end) = match self.decoder.peek(shared.config.max_frame_bytes) {
+                Ok(Some(range)) => range,
+                Ok(None) => break,
+                Err(e) => {
+                    // Off-protocol peer (oversized/garbage frame): one
+                    // typed reply if the handshake happened, then stop
+                    // reading — the stream is no longer frame-aligned.
+                    if self.handshook {
+                        self.push_ready(err_body(
+                            0,
+                            &FleetError::InvalidQuery {
+                                reason: e.to_string(),
+                            },
+                        ));
+                    }
+                    self.read_closed = true;
+                    break;
+                }
+            };
+            let parsed = match std::str::from_utf8(&self.decoder.bytes()[start..end]) {
+                Ok(body) => crate::wire::Request::from_body(body),
+                Err(_) => {
+                    self.decoder.consume(end);
+                    if self.handshook {
+                        self.push_ready(err_body(
+                            0,
+                            &FleetError::InvalidQuery {
+                                reason: FrameError::NotUtf8.to_string(),
+                            },
+                        ));
+                    }
+                    self.read_closed = true;
+                    break;
+                }
+            };
+            self.decoder.consume(end);
+            match parsed {
+                Ok(crate::wire::Request::Hello { .. }) if !self.handshook => {
+                    self.handshook = true;
+                    self.push_ready(ok_body(0, |out| shared.map.push_wire(out)));
+                }
+                Ok(_) | Err(_) if !self.handshook => {
+                    // First frame was well-formed but not a `hello`.
+                    self.push_ready(err_body(
+                        0,
+                        &FleetError::InvalidQuery {
+                            reason: "handshake must be a `hello` frame".to_string(),
+                        },
+                    ));
+                    self.read_closed = true;
+                }
+                Ok(req) => {
+                    let (completion, keep_going) = dispatch(req, shared);
+                    self.pending.push_back(completion);
+                    if !keep_going {
+                        self.read_closed = true;
+                    }
+                }
+                Err(e) => {
+                    // The frame was well-formed, so the stream is still
+                    // aligned: report and keep serving.
+                    self.push_ready(err_body(
+                        0,
+                        &FleetError::InvalidQuery {
+                            reason: e.to_string(),
+                        },
+                    ));
+                }
+            }
+        }
+    }
+
+    fn push_ready(&mut self, body: String) {
+        self.pending.push_back(Completion::Ready(body));
+    }
+
+    /// Settles completions **from the front only** (replies are in
+    /// request order) while the write buffer has room. Returns whether
+    /// the front is blocked on an in-flight ticket.
+    fn settle(&mut self, shared: &Shared) -> bool {
+        loop {
+            if self.peer_gone {
+                // Nothing can reach the peer; drop queued work (the
+                // shard reply channels tolerate dropped receivers).
+                self.pending.clear();
+                self.write.clear();
+                return false;
+            }
+            if self.write.pending_len() >= shared.config.write_buffer_bytes {
+                return false;
+            }
+            let Some(front) = self.pending.front_mut() else {
+                return false;
+            };
+            match front {
+                Completion::Ready(_) => {
+                    let Some(Completion::Ready(body)) = self.pending.pop_front() else {
+                        unreachable!("front was Ready");
+                    };
+                    self.write.append_frame(&body);
+                }
+                Completion::Query { id, ticket } => {
+                    let Some(result) = ticket.try_take() else {
+                        return true;
+                    };
+                    let id = *id;
+                    self.scratch.clear();
+                    let _ = writeln!(self.scratch, "ok {id}");
+                    match result {
+                        Ok(resp) => pwire::push_response(&mut self.scratch, &resp),
+                        Err(e) => {
+                            self.scratch.clear();
+                            let _ = writeln!(self.scratch, "err {id} {}", e.to_wire());
+                        }
+                    }
+                    self.write.append_frame(&self.scratch);
+                    self.pending.pop_front();
+                }
+                Completion::Batch { id, slots } => {
+                    let mut all_done = true;
+                    for slot in slots.iter_mut() {
+                        if let BatchSlot::Pending(ticket) = slot {
+                            match ticket.try_take() {
+                                Some(result) => *slot = BatchSlot::Done(result),
+                                None => all_done = false,
+                            }
+                        }
+                    }
+                    if !all_done {
+                        return true;
+                    }
+                    let id = *id;
+                    self.scratch.clear();
+                    let _ = write!(self.scratch, "ok {id}\nresults {}\n", slots.len());
+                    for slot in slots.iter() {
+                        match slot {
+                            BatchSlot::Done(Ok(resp)) => {
+                                self.scratch.push_str("item ok\n");
+                                pwire::push_response(&mut self.scratch, resp);
+                            }
+                            BatchSlot::Done(Err(e)) => {
+                                let _ = writeln!(self.scratch, "item err {}", e.to_wire());
+                            }
+                            BatchSlot::Pending(_) => unreachable!("all slots done"),
+                        }
+                    }
+                    self.write.append_frame(&self.scratch);
+                    self.pending.pop_front();
+                }
+            }
+        }
+    }
+
+    /// Writes queued bytes until the socket would block.
+    fn flush(&mut self) {
+        while self.write.pending_len() > 0 && !self.peer_gone {
+            match self.stream.write(self.write.pending()) {
+                Ok(0) => self.peer_gone = true,
+                Ok(n) => self.write.advance(n),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => self.peer_gone = true,
+            }
+        }
+    }
+
+    /// The socket, for poll registration.
+    pub(crate) fn socket(&self) -> &TcpStream {
+        &self.stream
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decoder_handles_split_and_coalesced_frames() {
+        let mut dec = FrameDecoder::default();
+        // Two frames arriving one byte at a time.
+        let wire = b"#5\nhello#3\nab\n";
+        let mut seen = Vec::new();
+        for &b in wire.iter() {
+            dec.extend(&[b]);
+            while let Some((s, e)) = dec.peek(1024).unwrap() {
+                seen.push(String::from_utf8(dec.bytes()[s..e].to_vec()).unwrap());
+                dec.consume(e);
+            }
+        }
+        assert_eq!(seen, vec!["hello".to_string(), "ab\n".to_string()]);
+        assert!(!dec.is_mid_frame());
+
+        // Both frames in one push.
+        dec.extend(b"#2\nxy#0\n");
+        let (s, e) = dec.peek(1024).unwrap().unwrap();
+        assert_eq!(&dec.bytes()[s..e], b"xy");
+        dec.consume(e);
+        let (s, e) = dec.peek(1024).unwrap().unwrap();
+        assert_eq!(s, e, "empty body");
+        dec.consume(e);
+        assert!(dec.peek(1024).unwrap().is_none());
+    }
+
+    #[test]
+    fn decoder_rejects_oversized_and_garbage_headers() {
+        let mut dec = FrameDecoder::default();
+        dec.extend(b"#100\nxx");
+        assert!(matches!(
+            dec.peek(10),
+            Err(FrameError::Oversized { len: 100, max: 10 })
+        ));
+
+        let mut dec = FrameDecoder::default();
+        dec.extend(b"nope\n");
+        assert!(matches!(dec.peek(10), Err(FrameError::BadHeader(_))));
+
+        // A header that never terminates is rejected once it cannot
+        // possibly be valid, not buffered forever.
+        let mut dec = FrameDecoder::default();
+        dec.extend(&[b'#'; MAX_HEADER_BYTES + 2]);
+        assert!(matches!(dec.peek(1024), Err(FrameError::BadHeader(_))));
+    }
+
+    #[test]
+    fn decoder_waits_for_partial_headers_and_bodies() {
+        let mut dec = FrameDecoder::default();
+        dec.extend(b"#1");
+        assert!(dec.peek(1024).unwrap().is_none());
+        assert!(dec.is_mid_frame());
+        dec.extend(b"0\n12345");
+        assert!(dec.peek(1024).unwrap().is_none(), "body incomplete");
+        dec.extend(b"67890");
+        let (s, e) = dec.peek(1024).unwrap().unwrap();
+        assert_eq!(&dec.bytes()[s..e], b"1234567890");
+    }
+
+    #[test]
+    fn write_buf_tracks_partial_writes() {
+        let mut wb = WriteBuf::default();
+        wb.append_frame("abc");
+        assert_eq!(wb.pending(), b"#3\nabc");
+        wb.advance(2);
+        assert_eq!(wb.pending(), b"\nabc");
+        wb.append_frame("");
+        assert_eq!(wb.pending(), b"\nabc#0\n");
+        wb.advance(wb.pending_len());
+        assert_eq!(wb.pending_len(), 0);
+    }
+}

@@ -18,10 +18,17 @@
 //!   malformed, truncated, oversized, or non-UTF-8 input is a typed
 //!   error, never a panic.
 //! * [`server`] — [`Server`] wraps a running [`sofia_fleet::Fleet`]:
-//!   accept loop, one reader + one responder thread per connection,
-//!   pipelined request ids mapped onto `QueryTicket`s, graceful drain
-//!   on shutdown (and a crash-faithful [`Server::abort`] for recovery
-//!   testing).
+//!   one acceptor plus a fixed pool of event-loop threads driving
+//!   nonblocking sockets (readiness via [`poll`], per-connection state
+//!   machines with incremental frame decoding and bounded write
+//!   buffers), pipelined request ids mapped onto `QueryTicket`s,
+//!   graceful drain on shutdown (and a crash-faithful
+//!   [`Server::abort`] for recovery testing). Thread count is
+//!   O(pool), never O(connections).
+//! * [`poll`] — the std-only readiness layer under the server: a
+//!   level-triggered poller (`ppoll(2)` via a local FFI declaration on
+//!   Linux, a bounded-sleep fallback elsewhere) with a wake pipe, no
+//!   tokio/mio.
 //! * [`client`] — [`Client`] mirrors the in-process `Fleet` API
 //!   (`query` / `query_batch` / `ingest` / `flush` / `stats` /
 //!   `register`), so tests and the CLI exercise identical semantics
@@ -62,10 +69,12 @@
 
 pub mod client;
 pub mod cluster;
+mod conn;
+pub mod poll;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, ClientError, IngestReport};
+pub use client::{Client, ClientError, IngestReport, DEFAULT_READ_TIMEOUT};
 pub use cluster::ClusterClient;
 pub use server::{Server, ServerConfig};
 pub use wire::{FrameError, Request, ShardMap, MAX_FRAME_BYTES};

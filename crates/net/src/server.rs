@@ -1,45 +1,89 @@
-//! The serving side: an accept loop, one handler thread per connection,
-//! and pipelined replies settled off [`QueryTicket`]s.
+//! The serving side: one acceptor plus a small fixed pool of event-loop
+//! threads, each driving many connections' state machines over
+//! nonblocking sockets — thousands of connections cost buffers, not
+//! threads.
 //!
 //! ## Threading model
 //!
-//! * **Accept thread** — polls a non-blocking listener, spawning one
-//!   handler per connection.
-//! * **Reader (handler) thread** — parses frames, dispatches them to
-//!   the shared [`Fleet`], and pushes a completion per request onto the
-//!   connection's reply queue. Queries and batches are dispatched
-//!   **without waiting**: the reader hands the unsettled
-//!   [`QueryTicket`]s to the responder and keeps reading, so one client
-//!   can have many queries in flight (that is the pipelining).
-//! * **Responder thread** — settles completions strictly in request
-//!   order and writes the reply frames, so clients correlate replies by
-//!   position (the echoed request id double-checks it).
+//! * **Accept thread** — polls a nonblocking listener (via
+//!   [`crate::poll::Poller`]), sets each accepted socket nonblocking,
+//!   and deals it round-robin to a worker's inbox.
+//! * **Event-loop workers** — a fixed pool ([`ServerConfig::event_threads`],
+//!   default = available parallelism). Each worker owns its
+//!   connections outright (no locks on the data path) and, per
+//!   readiness cycle: reads whatever arrived, feeds the incremental
+//!   frame decoder, dispatches complete requests to the shared
+//!   [`Fleet`] **without waiting** (queries hand back unsettled
+//!   [`sofia_fleet::QueryTicket`]s — that is the pipelining), settles
+//!   completions strictly in request order via `try_take`, and flushes reply
+//!   bytes until the socket would block. Between cycles it parks in a
+//!   single `poll`, woken early by the acceptor or wind-down.
+//!
+//! Total server threads are `pool + 1` regardless of connection count
+//! ([`Server::thread_count`]); the old model spent two threads per
+//! connection.
+//!
+//! ## Backpressure
+//!
+//! A connection's outgoing bytes and unsettled completions are both
+//! bounded: past either bound the server stops reading from that
+//! connection until the peer drains its replies. A slow reader
+//! therefore throttles itself — it can never grow server memory
+//! without bound or starve other connections (each gets a bounded
+//! read budget per cycle).
 //!
 //! ## Shutdown
 //!
-//! A client `shutdown` frame requests a graceful stop:
-//! [`Server::run`] notices, stops accepting, half-closes every
-//! connection's read side (the responders still drain their queued
-//! replies), joins the threads, and finally calls [`Fleet::shutdown`] —
-//! every queue drained, final checkpoints written. [`Server::abort`] is
-//! the crash-faithful opposite (connections torn down, [`Fleet::abort`],
-//! no final checkpoints), which is what the loopback crash-recovery
-//! test exercises.
+//! A client `shutdown` frame requests a graceful stop: [`Server::run`]
+//! notices, stops accepting, marks every connection draining (no more
+//! reads; queued replies still settle and flush, bounded by
+//! [`ServerConfig::drain_timeout`]), joins the pool, and finally calls
+//! [`Fleet::shutdown`] — every queue drained, final checkpoints
+//! written. [`Server::abort`] is the crash-faithful opposite
+//! (connections torn down both ways, [`Fleet::abort`], no final
+//! checkpoints), which is what the loopback crash-recovery test
+//! exercises.
 
-use crate::wire::{
-    err_body, ok_body, push_fleet_stats, read_frame, write_frame, FrameError, Request, ShardMap,
-    MAX_FRAME_BYTES,
-};
+use crate::conn::{BatchSlot, Completion, Conn};
+use crate::poll::{listener_id, socket_id, Event, Interest, Poller, Waker};
+use crate::wire::{err_body, ok_body, push_fleet_stats, Request, ShardMap, MAX_FRAME_BYTES};
 use sofia_fleet::durability::restore_handle;
-use sofia_fleet::protocol::wire as pwire;
-use sofia_fleet::{Fleet, FleetError, IngestError, QueryTicket};
-use std::collections::HashMap;
-use std::io::{self, BufReader};
+use sofia_fleet::{Fleet, FleetError, IngestError};
+use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// How long a worker parks when nothing is in flight (a waker or
+/// readiness event interrupts it early).
+const IDLE_POLL: Duration = Duration::from_millis(200);
+
+/// Poll timeout while some connection's front completion waits on an
+/// in-flight ticket: tickets settle on shard threads, which nothing in
+/// this loop observes, so the worker re-polls on a short leash.
+const TICKET_POLL: Duration = Duration::from_micros(500);
+
+/// Poll timeout while draining on shutdown (replies still settling).
+const DRAIN_TICK: Duration = Duration::from_millis(5);
+
+/// Accept-loop park time (the wind-down waker interrupts it).
+const ACCEPT_POLL: Duration = Duration::from_millis(200);
+
+/// Bounded busy-wait (sched-yield) on unsettled tickets before parking
+/// in the poller: a single pipelined query settles in tens of
+/// microseconds, and going straight to a timed sleep would put that
+/// whole sleep on the round-trip.
+const SPIN_YIELDS: usize = 128;
+
+/// Cap on back-to-back service passes when sockets stay read-hungry
+/// (budget exhausted with bytes still buffered); after this many the
+/// worker re-polls with a zero timeout so other events get noticed.
+const MAX_SERVICE_ROUNDS: usize = 8;
+
+/// Read chunk size (one `read(2)` call's buffer, reused per worker).
+const READ_CHUNK: usize = 16 * 1024;
 
 /// Tunables of a [`Server`].
 #[derive(Debug, Clone)]
@@ -65,6 +109,18 @@ pub struct ServerConfig {
     /// single-writer coordinator does not push later migrations back
     /// into it (see [`crate::cluster`]).
     pub cluster: Option<ShardMap>,
+    /// Event-loop worker threads. `None` (the default) uses available
+    /// parallelism; the count is fixed at bind time — connections never
+    /// add threads.
+    pub event_threads: Option<usize>,
+    /// High-water mark for one connection's buffered outgoing bytes.
+    /// Past it the server stops reading from (and settling replies
+    /// into) that connection until the peer drains; the buffer may
+    /// overshoot by at most one frame.
+    pub write_buffer_bytes: usize,
+    /// Bound on the graceful-shutdown drain: connections whose queued
+    /// replies have not settled and flushed by then are torn down.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -73,39 +129,47 @@ impl Default for ServerConfig {
             max_frame_bytes: MAX_FRAME_BYTES,
             advertise: None,
             cluster: None,
+            event_threads: None,
+            write_buffer_bytes: 256 * 1024,
+            drain_timeout: Duration::from_secs(5),
         }
     }
 }
 
-/// What the reader dispatched for one request; the responder settles
-/// them in arrival order.
-enum Completion {
-    /// Reply body already known (ingest, flush, stats, errors, …).
-    Ready(String),
-    /// A single query in flight on the typed plane.
-    Query { id: u64, ticket: QueryTicket },
-    /// A staged multi-stream batch (item-level failures already typed).
-    Batch {
-        id: u64,
-        tickets: Vec<Result<QueryTicket, FleetError>>,
-    },
-}
-
-struct Shared {
-    fleet: Fleet,
-    map: ShardMap,
-    config: ServerConfig,
-    /// Tells accept loop and readers to wind down.
+pub(crate) struct Shared {
+    pub(crate) fleet: Fleet,
+    pub(crate) map: ShardMap,
+    pub(crate) config: ServerConfig,
+    /// Tells the acceptor and workers to wind down (gracefully).
     stop: AtomicBool,
+    /// Crash-faithful teardown: workers drop connections immediately,
+    /// queued replies and all.
+    hard_stop: AtomicBool,
     /// Set when a client sent a `shutdown` frame; [`Server::run`] polls it.
     shutdown_requested: AtomicBool,
-    /// Socket clones of **live** connections (keyed by connection id),
-    /// so shutdown can unblock readers parked in `read`. Each handler
-    /// removes its own entry on exit — a long-running server does not
-    /// accumulate one fd per past connection.
-    conns: Mutex<HashMap<u64, TcpStream>>,
-    /// Connection-id source.
-    next_conn: AtomicU64,
+}
+
+/// Streams the acceptor dealt to one worker, awaiting adoption.
+#[derive(Default)]
+struct Inbox {
+    queue: Mutex<Vec<TcpStream>>,
+}
+
+impl Inbox {
+    fn push(&self, stream: TcpStream) {
+        self.queue.lock().expect("inbox lock").push(stream);
+    }
+
+    fn drain(&self) -> Vec<TcpStream> {
+        std::mem::take(&mut *self.queue.lock().expect("inbox lock"))
+    }
+}
+
+/// The acceptor's handle on one worker: where to put a new connection,
+/// and how to wake the worker to adopt it.
+struct WorkerHandle {
+    inbox: Arc<Inbox>,
+    waker: Waker,
 }
 
 /// A TCP front end over a running [`Fleet`].
@@ -118,7 +182,11 @@ pub struct Server {
     /// `None` only after wind-down (shutdown/abort/drop).
     shared: Option<Arc<Shared>>,
     addr: SocketAddr,
-    accept: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+    /// Workers first, acceptor last.
+    threads: Vec<JoinHandle<()>>,
+    /// One waker per thread, so wind-down interrupts parked polls.
+    wakers: Vec<Waker>,
+    pool: usize,
 }
 
 impl Server {
@@ -161,24 +229,57 @@ impl Server {
             }
             None => ShardMap::single_node(advertised, fleet.shards()),
         };
+        let pool = config
+            .event_threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .max(1);
         let shared = Arc::new(Shared {
             fleet,
             map,
             config,
             stop: AtomicBool::new(false),
+            hard_stop: AtomicBool::new(false),
             shutdown_requested: AtomicBool::new(false),
-            conns: Mutex::new(HashMap::new()),
-            next_conn: AtomicU64::new(0),
         });
+        let mut threads = Vec::with_capacity(pool + 1);
+        let mut wakers = Vec::with_capacity(pool + 1);
+        let mut handles = Vec::with_capacity(pool);
+        for i in 0..pool {
+            // The poller (and its waker) is created here so the
+            // acceptor can wake the worker; the poller then moves into
+            // the worker thread.
+            let poller = Poller::new()?;
+            let inbox = Arc::new(Inbox::default());
+            wakers.push(poller.waker());
+            handles.push(WorkerHandle {
+                inbox: Arc::clone(&inbox),
+                waker: poller.waker(),
+            });
+            let worker_shared = Arc::clone(&shared);
+            let t = std::thread::Builder::new()
+                .name(format!("sofia-net-loop-{i}"))
+                .spawn(move || worker_loop(worker_shared, poller, inbox))
+                .expect("spawn event-loop worker");
+            threads.push(t);
+        }
+        let accept_poller = Poller::new()?;
+        wakers.push(accept_poller.waker());
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
             .name("sofia-net-accept".into())
-            .spawn(move || accept_loop(listener, accept_shared))
+            .spawn(move || accept_loop(listener, accept_shared, handles, accept_poller))
             .expect("spawn accept thread");
+        threads.push(accept);
         Ok(Server {
             shared: Some(shared),
             addr,
-            accept: Some(accept),
+            threads,
+            wakers,
+            pool,
         })
     }
 
@@ -197,6 +298,18 @@ impl Server {
         self.shared().shutdown_requested.load(Ordering::Acquire)
     }
 
+    /// Size of the event-loop pool.
+    pub fn event_threads(&self) -> usize {
+        self.pool
+    }
+
+    /// Total serving threads: the pool plus the acceptor. Constant for
+    /// the server's lifetime — connections never add threads (the soak
+    /// test and the concurrency bench assert exactly this).
+    pub fn thread_count(&self) -> usize {
+        self.pool + 1
+    }
+
     fn shared(&self) -> &Shared {
         self.shared
             .as_ref()
@@ -213,10 +326,10 @@ impl Server {
         self.shutdown()
     }
 
-    /// Graceful shutdown: stop accepting, half-close every connection
-    /// (queued replies still go out), join all threads, then shut the
-    /// fleet down (drains queues, writes final checkpoints). Returns
-    /// the checkpoint count.
+    /// Graceful shutdown: stop accepting, drain every connection
+    /// (queued replies still settle and go out), join the pool, then
+    /// shut the fleet down (drains queues, writes final checkpoints).
+    /// Returns the checkpoint count.
     pub fn shutdown(mut self) -> Result<usize, FleetError> {
         match self.wind_down(Shutdown::Read) {
             Some(shared) => shared.fleet.shutdown(),
@@ -226,10 +339,11 @@ impl Server {
         }
     }
 
-    /// Crash-faithful teardown: connections torn down both ways, the
-    /// fleet aborted with **no** final checkpoints — on-disk state is
-    /// exactly what the periodic policy made durable, as after a real
-    /// crash. Exists so crash recovery can be tested over the wire.
+    /// Crash-faithful teardown: connections torn down both ways
+    /// (queued replies discarded), the fleet aborted with **no** final
+    /// checkpoints — on-disk state is exactly what the periodic policy
+    /// made durable, as after a real crash. Exists so crash recovery
+    /// can be tested over the wire.
     pub fn abort(mut self) {
         if let Some(shared) = self.wind_down(Shutdown::Both) {
             shared.fleet.abort();
@@ -240,17 +354,16 @@ impl Server {
     /// state (all other `Arc` holders have exited). `None` if wind-down
     /// already ran.
     fn wind_down(&mut self, how: Shutdown) -> Option<Shared> {
-        let accept = self.accept.take()?;
-        let shared = self.shared.take().expect("shared present with accept");
-        shared.stop.store(true, Ordering::Release);
-        let handlers = accept.join().expect("accept thread never panics");
-        for conn in shared.conns.lock().expect("conns lock").values() {
-            // Unblocks the reader; with `Shutdown::Read` the responder
-            // still drains its queue out the write half first.
-            let _ = conn.shutdown(how);
+        let shared = self.shared.take()?;
+        if how == Shutdown::Both {
+            shared.hard_stop.store(true, Ordering::Release);
         }
-        for h in handlers {
-            let _ = h.join();
+        shared.stop.store(true, Ordering::Release);
+        for waker in &self.wakers {
+            waker.wake();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
         }
         // With every thread joined this is the last holder; if it ever
         // is not, the Arc's own drop still shuts the fleet down
@@ -269,173 +382,214 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>) -> Vec<JoinHandle<()>> {
-    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+/// Accepts connections and deals them round-robin to worker inboxes.
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    workers: Vec<WorkerHandle>,
+    mut poller: Poller,
+) {
+    let interests = [Interest {
+        token: 0,
+        socket: listener_id(&listener),
+        read: true,
+        write: false,
+    }];
+    let mut events: Vec<Event> = Vec::new();
+    let mut next = 0usize;
     while !shared.stop.load(Ordering::Acquire) {
-        // Reap finished handlers so a long-running server does not grow
-        // a join handle per past connection (finished threads drop
-        // cleanly without a join).
-        handlers.retain(|h| !h.is_finished());
-        match listener.accept() {
-            Ok((stream, peer)) => {
-                // The registry clone is what lets shutdown unblock this
-                // connection's reader; a connection we cannot register
-                // we also must not serve (it would be un-wind-downable).
-                let Ok(registered) = stream.try_clone() else {
-                    continue;
-                };
-                let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
-                shared
-                    .conns
-                    .lock()
-                    .expect("conns lock")
-                    .insert(conn_id, registered);
-                let conn_shared = Arc::clone(&shared);
-                let h = std::thread::Builder::new()
-                    .name(format!("sofia-net-conn-{peer}"))
-                    .spawn(move || serve_conn(stream, conn_shared, conn_id))
-                    .expect("spawn connection handler");
-                handlers.push(h);
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(5)),
-        }
-    }
-    handlers
-}
-
-/// One connection: runs the frame loop, then — on every exit path —
-/// closes the socket and removes the connection's registry entry, so
-/// the peer sees EOF and the server does not retain the fd.
-fn serve_conn(stream: TcpStream, shared: Arc<Shared>, conn_id: u64) {
-    conn_loop(stream, &shared);
-    if let Some(conn) = shared.conns.lock().expect("conns lock").remove(&conn_id) {
-        // The registered clone shares the underlying socket; shutting
-        // it down closes the connection regardless of which halves the
-        // loop dropped.
-        let _ = conn.shutdown(Shutdown::Both);
-    }
-}
-
-/// The frame loop: read, dispatch, hand completions to the responder;
-/// the responder is joined before returning so replies flush first.
-fn conn_loop(stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_nodelay(true);
-    // Accepted sockets do not inherit the listener's non-blocking mode
-    // portably; pin the mode we rely on.
-    let _ = stream.set_nonblocking(false);
-    let writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    let (tx, rx) = mpsc::channel::<Completion>();
-    let responder = std::thread::Builder::new()
-        .name("sofia-net-responder".into())
-        .spawn(move || responder_loop(writer, rx))
-        .expect("spawn responder");
-
-    let max = shared.config.max_frame_bytes;
-    // Handshake: the first frame must be `hello`; the reply carries the
-    // shard map.
-    let handshook = match read_frame(&mut reader, max) {
-        Ok(Some(body)) => match Request::from_body(&body) {
-            Ok(Request::Hello { client: _ }) => {
-                let _ = tx.send(Completion::Ready(ok_body(0, |out| {
-                    shared.map.push_wire(out)
-                })));
-                true
-            }
-            _ => {
-                let _ = tx.send(Completion::Ready(err_body(
-                    0,
-                    &FleetError::InvalidQuery {
-                        reason: "handshake must be a `hello` frame".to_string(),
-                    },
-                )));
-                false
-            }
-        },
-        _ => false,
-    };
-
-    if handshook {
-        while !shared.stop.load(Ordering::Acquire) {
-            let body = match read_frame(&mut reader, max) {
-                Ok(Some(body)) => body,
-                Ok(None) => break, // client hung up between frames
-                Err(FrameError::Io(_)) | Err(FrameError::Truncated) => break,
-                Err(e) => {
-                    // A peer off-protocol (oversized/garbage frame): one
-                    // typed reply, then close — the byte stream can no
-                    // longer be trusted to be frame-aligned.
-                    let _ = tx.send(Completion::Ready(err_body(
-                        0,
-                        &FleetError::InvalidQuery {
-                            reason: e.to_string(),
-                        },
-                    )));
-                    break;
-                }
-            };
-            match Request::from_body(&body) {
-                Ok(req) => {
-                    let keep_going = dispatch(req, shared, &tx);
-                    if !keep_going {
-                        break;
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let _ = stream.set_nodelay(true);
+                    // Accepted sockets do not inherit the listener's
+                    // nonblocking mode portably, and the event loop is
+                    // built on nonblocking I/O: a socket we cannot
+                    // configure we must not serve.
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
                     }
+                    let worker = &workers[next];
+                    worker.inbox.push(stream);
+                    worker.waker.wake();
+                    next = (next + 1) % workers.len();
                 }
-                Err(e) => {
-                    // The frame was well-formed, so the stream is still
-                    // aligned: report and keep serving.
-                    let _ = tx.send(Completion::Ready(err_body(
-                        0,
-                        &FleetError::InvalidQuery {
-                            reason: e.to_string(),
-                        },
-                    )));
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                // Transient accept failure (e.g. fd pressure): back off
+                // to the poll below rather than spinning.
+                Err(_) => break,
+            }
+        }
+        let _ = poller.poll(&interests, ACCEPT_POLL, &mut events);
+    }
+}
+
+/// One event-loop worker: owns a slab of connections and drives their
+/// state machines off readiness events.
+fn worker_loop(shared: Arc<Shared>, mut poller: Poller, inbox: Arc<Inbox>) {
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut interests: Vec<Interest> = Vec::new();
+    let mut events: Vec<Event> = Vec::new();
+    let mut read_buf = vec![0u8; READ_CHUNK];
+    let mut draining = false;
+    let mut drain_deadline = Instant::now();
+    loop {
+        // Adopt newly accepted connections (slab slot index = token).
+        for stream in inbox.drain() {
+            if shared.stop.load(Ordering::Acquire) {
+                let _ = stream.shutdown(Shutdown::Both);
+                continue;
+            }
+            let conn = Conn::new(stream);
+            match conns.iter().position(Option::is_none) {
+                Some(slot) => conns[slot] = Some(conn),
+                None => conns.push(Some(conn)),
+            }
+        }
+        if shared.stop.load(Ordering::Acquire) && !draining {
+            draining = true;
+            drain_deadline = Instant::now() + shared.config.drain_timeout;
+            for conn in conns.iter_mut().flatten() {
+                conn.begin_drain();
+            }
+        }
+        if shared.hard_stop.load(Ordering::Acquire)
+            || (draining && Instant::now() >= drain_deadline)
+        {
+            for conn in conns.iter_mut().flatten() {
+                conn.teardown();
+            }
+            conns.clear();
+        }
+        // Service passes: each connection reads (budget-bounded, for
+        // fairness), decodes, dispatches, settles, flushes. Re-pass
+        // while any socket's budget ran out with bytes still pending.
+        let mut read_hungry = false;
+        let mut ticket_blocked = false;
+        for round in 0..MAX_SERVICE_ROUNDS {
+            read_hungry = false;
+            ticket_blocked = false;
+            for conn in conns.iter_mut().flatten() {
+                let outcome = conn.pump(&shared, &mut read_buf);
+                read_hungry |= outcome.read_hungry;
+                ticket_blocked |= outcome.ticket_blocked;
+            }
+            if !read_hungry || round + 1 == MAX_SERVICE_ROUNDS {
+                break;
+            }
+        }
+        // Tickets settle on shard threads within microseconds under
+        // load; a bounded yield-spin picks those up without putting a
+        // timed sleep on every round-trip.
+        let mut spins = 0;
+        while ticket_blocked && spins < SPIN_YIELDS {
+            spins += 1;
+            std::thread::yield_now();
+            ticket_blocked = false;
+            for conn in conns.iter_mut().flatten() {
+                ticket_blocked |= conn.settle_and_flush(&shared);
+            }
+        }
+        // Reap finished connections; the peer sees EOF.
+        for slot in conns.iter_mut() {
+            if slot.as_ref().is_some_and(Conn::finished) {
+                if let Some(mut conn) = slot.take() {
+                    conn.teardown();
                 }
             }
         }
+        while conns.last().is_some_and(Option::is_none) {
+            conns.pop();
+        }
+        if draining && conns.is_empty() {
+            break;
+        }
+        // Register interests and park. Backpressured connections drop
+        // their read interest here — that is the "stop reading" half of
+        // the write-buffer contract.
+        interests.clear();
+        for (token, slot) in conns.iter().enumerate() {
+            let Some(conn) = slot else { continue };
+            let read = conn.wants_read(&shared);
+            let write = conn.wants_write();
+            if read || write {
+                interests.push(Interest {
+                    token,
+                    socket: socket_id(conn.socket()),
+                    read,
+                    write,
+                });
+            }
+        }
+        let timeout = if read_hungry {
+            Duration::ZERO
+        } else if ticket_blocked {
+            TICKET_POLL
+        } else if draining {
+            DRAIN_TICK
+        } else {
+            IDLE_POLL
+        };
+        if poller.poll(&interests, timeout, &mut events).is_err() {
+            // Poll failures are not actionable here; back off so a
+            // persistent one cannot spin the core.
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for ev in &events {
+            if let Some(Some(conn)) = conns.get_mut(ev.token) {
+                conn.on_event(ev.readable);
+            }
+        }
     }
-    drop(tx);
-    let _ = responder.join();
+    // Streams dealt to this worker after it began draining close as the
+    // inbox drops (the peer sees EOF).
+    for stream in inbox.drain() {
+        let _ = stream.shutdown(Shutdown::Both);
+    }
 }
 
-/// Executes one request against the fleet; `false` ends the connection
-/// (after the queued reply goes out).
-fn dispatch(req: Request, shared: &Shared, tx: &mpsc::Sender<Completion>) -> bool {
+/// Executes one request against the fleet, returning the queued
+/// completion and whether the connection keeps reading (`false` ends it
+/// after the queued reply goes out).
+pub(crate) fn dispatch(req: Request, shared: &Shared) -> (Completion, bool) {
     let fleet = &shared.fleet;
     match req {
         Request::Hello { .. } => {
             // A second handshake is a protocol error; answer and close.
-            let _ = tx.send(Completion::Ready(err_body(
-                0,
-                &FleetError::InvalidQuery {
-                    reason: "duplicate `hello`".to_string(),
-                },
-            )));
-            false
+            (
+                Completion::Ready(err_body(
+                    0,
+                    &FleetError::InvalidQuery {
+                        reason: "duplicate `hello`".to_string(),
+                    },
+                )),
+                false,
+            )
         }
         Request::Query { id, stream, query } => {
             let completion = match fleet.query(&stream, query) {
                 Ok(ticket) => Completion::Query { id, ticket },
                 Err(e) => Completion::Ready(err_body(id, &e)),
             };
-            let _ = tx.send(completion);
-            true
+            (completion, true)
         }
         Request::QueryBatch { id, items } => {
             let refs: Vec<(&str, sofia_fleet::Query)> =
                 items.iter().map(|(s, q)| (s.as_str(), q.clone())).collect();
             let completion = match fleet.query_batch_tickets(&refs) {
-                Ok(tickets) => Completion::Batch { id, tickets },
+                Ok(tickets) => Completion::Batch {
+                    id,
+                    slots: tickets
+                        .into_iter()
+                        .map(|t| match t {
+                            Ok(ticket) => BatchSlot::Pending(ticket),
+                            Err(e) => BatchSlot::Done(Err(e)),
+                        })
+                        .collect(),
+                },
                 Err(e) => Completion::Ready(err_body(id, &e)),
             };
-            let _ = tx.send(completion);
-            true
+            (completion, true)
         }
         Request::Register {
             id,
@@ -465,8 +619,7 @@ fn dispatch(req: Request, shared: &Shared, tx: &mpsc::Sender<Completion>) -> boo
                 },
                 Err(e) => err_body(id, &e),
             };
-            let _ = tx.send(Completion::Ready(body));
-            true
+            (Completion::Ready(body), true)
         }
         Request::Ingest { id, stream, slices } => {
             // Slices apply in seq order. The first backpressure stops
@@ -510,8 +663,7 @@ fn dispatch(req: Request, shared: &Shared, tx: &mpsc::Sender<Completion>) -> boo
                     })
                 }
             };
-            let _ = tx.send(Completion::Ready(body));
-            true
+            (Completion::Ready(body), true)
         }
         Request::Snapshot { id, stream } => {
             // The reply payload IS the checkpoint envelope — exactly
@@ -521,78 +673,34 @@ fn dispatch(req: Request, shared: &Shared, tx: &mpsc::Sender<Completion>) -> boo
                 Ok(envelope) => ok_body(id, |out| out.push_str(&envelope)),
                 Err(e) => err_body(id, &e),
             };
-            let _ = tx.send(Completion::Ready(body));
-            true
+            (Completion::Ready(body), true)
         }
         Request::Deregister { id, stream } => {
             let body = match fleet.deregister(&stream) {
                 Ok(()) => ok_body(id, |_| {}),
                 Err(e) => err_body(id, &e),
             };
-            let _ = tx.send(Completion::Ready(body));
-            true
+            (Completion::Ready(body), true)
         }
         Request::Flush { id } => {
             let body = match fleet.flush() {
                 Ok(()) => ok_body(id, |_| {}),
                 Err(e) => err_body(id, &e),
             };
-            let _ = tx.send(Completion::Ready(body));
-            true
+            (Completion::Ready(body), true)
         }
         Request::Stats { id } => {
             let body = match fleet.fleet_stats() {
                 Ok(stats) => ok_body(id, |out| push_fleet_stats(out, &stats)),
                 Err(e) => err_body(id, &e),
             };
-            let _ = tx.send(Completion::Ready(body));
-            true
+            (Completion::Ready(body), true)
         }
         Request::Shutdown { id } => {
             shared.shutdown_requested.store(true, Ordering::Release);
-            let _ = tx.send(Completion::Ready(ok_body(id, |_| {})));
-            // Close this connection; `Server::run` drives the rest.
-            false
-        }
-    }
-}
-
-/// Settles completions in request order and writes the reply frames.
-fn responder_loop(mut writer: TcpStream, rx: mpsc::Receiver<Completion>) {
-    while let Ok(completion) = rx.recv() {
-        let body = match completion {
-            Completion::Ready(body) => body,
-            Completion::Query { id, ticket } => match ticket.wait() {
-                Ok(resp) => ok_body(id, |out| pwire::push_response(out, &resp)),
-                Err(e) => err_body(id, &e),
-            },
-            Completion::Batch { id, tickets } => {
-                let results: Vec<Result<sofia_fleet::QueryResponse, FleetError>> = tickets
-                    .into_iter()
-                    .map(|t| t.and_then(QueryTicket::wait))
-                    .collect();
-                ok_body(id, |out| {
-                    use std::fmt::Write as _;
-                    let _ = writeln!(out, "results {}", results.len());
-                    for r in &results {
-                        match r {
-                            Ok(resp) => {
-                                out.push_str("item ok\n");
-                                pwire::push_response(out, resp);
-                            }
-                            Err(e) => {
-                                let _ = writeln!(out, "item err {}", e.to_wire());
-                            }
-                        }
-                    }
-                })
-            }
-        };
-        if write_frame(&mut writer, &body).is_err() {
-            // The peer is gone; keep settling tickets (dropping them
-            // would be fine too — the shard reply channel tolerates a
-            // dropped receiver) but stop writing.
-            break;
+            // Close this connection (after the queued ok flushes);
+            // `Server::run` drives the rest.
+            (Completion::Ready(ok_body(id, |_| {})), false)
         }
     }
 }

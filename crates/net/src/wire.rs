@@ -52,7 +52,7 @@ use std::io::{self, BufRead, Write};
 pub const MAX_FRAME_BYTES: usize = 32 << 20;
 
 /// Longest accepted `#<len>` header (fits any length under 10^16).
-const MAX_HEADER_BYTES: usize = 18;
+pub(crate) const MAX_HEADER_BYTES: usize = 18;
 
 /// A frame that could not be read: transport trouble or a peer that is
 /// not speaking the protocol.
@@ -73,6 +73,10 @@ pub enum FrameError {
     Truncated,
     /// The body is not valid UTF-8.
     NotUtf8,
+    /// No frame arrived within the reader's timeout (see
+    /// [`crate::Client::set_read_timeout`]) — the typed alternative to
+    /// hanging forever on a peer that died mid-reply.
+    TimedOut,
 }
 
 impl std::fmt::Display for FrameError {
@@ -85,6 +89,7 @@ impl std::fmt::Display for FrameError {
             }
             FrameError::Truncated => write!(f, "connection closed mid-frame"),
             FrameError::NotUtf8 => write!(f, "frame body is not valid UTF-8"),
+            FrameError::TimedOut => write!(f, "timed out waiting for a frame"),
         }
     }
 }
@@ -138,6 +143,13 @@ pub fn read_frame(r: &mut impl BufRead, max: usize) -> Result<Option<String>, Fr
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            // A blocking socket with a read timeout reports an expired
+            // wait as `WouldBlock`/`TimedOut` depending on platform.
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Err(FrameError::TimedOut)
+            }
             Err(e) => return Err(FrameError::Io(e)),
         }
     }
@@ -150,12 +162,10 @@ pub fn read_frame(r: &mut impl BufRead, max: usize) -> Result<Option<String>, Fr
         return Err(FrameError::Oversized { len, max });
     }
     let mut body = vec![0u8; len];
-    r.read_exact(&mut body).map_err(|e| {
-        if e.kind() == io::ErrorKind::UnexpectedEof {
-            FrameError::Truncated
-        } else {
-            FrameError::Io(e)
-        }
+    r.read_exact(&mut body).map_err(|e| match e.kind() {
+        io::ErrorKind::UnexpectedEof => FrameError::Truncated,
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => FrameError::TimedOut,
+        _ => FrameError::Io(e),
     })?;
     String::from_utf8(body)
         .map(Some)

@@ -1,0 +1,333 @@
+//! Event-loop behaviours the blocking server could not even express:
+//!
+//! * frames dribbled one byte at a time across many sockets decode
+//!   incrementally and do not starve well-behaved clients (slowloris
+//!   resistance — only pinnable now that decoding is incremental);
+//! * 256 concurrent connections leave the server's thread count at
+//!   pool size (the O(pool), not O(connections), guarantee);
+//! * a client whose server went silent or died mid-pipelined-batch
+//!   errors **promptly and typed** ([`FrameError::TimedOut`] /
+//!   truncation) instead of hanging on the read side.
+
+use sofia_core::traits::{StepOutput, StreamingFactorizer};
+use sofia_fleet::{Fleet, FleetConfig, ModelHandle, Query, QueryResponse};
+use sofia_net::wire::{ok_body, read_frame, write_frame, Request, ShardMap};
+use sofia_net::{Client, ClientError, FrameError, Server, ServerConfig};
+use sofia_tensor::{DenseTensor, ObservedTensor, Shape};
+use std::io::{BufReader, Read as _, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Cheapest possible served model: these tests measure the I/O layer,
+/// not model work.
+struct Echo;
+
+impl StreamingFactorizer for Echo {
+    fn name(&self) -> &'static str {
+        "echo"
+    }
+    fn step(&mut self, slice: &ObservedTensor) -> StepOutput {
+        StepOutput {
+            completed: slice.values().clone(),
+            outliers: None,
+        }
+    }
+    fn forecast(&self, h: usize) -> Option<DenseTensor> {
+        Some(DenseTensor::full(Shape::new(&[1]), h as f64))
+    }
+}
+
+fn serving_fleet(streams: usize) -> (Fleet, Vec<String>) {
+    let fleet = Fleet::new(FleetConfig {
+        shards: 2,
+        queue_capacity: 1024,
+        checkpoint: None,
+        evict_idle_after: None,
+    })
+    .expect("fleet");
+    let ids: Vec<String> = (0..streams).map(|i| format!("stream-{i:03}")).collect();
+    for id in &ids {
+        fleet
+            .register(id, ModelHandle::serve(Echo))
+            .expect("register");
+    }
+    (fleet, ids)
+}
+
+fn expect_forecast_value(resp: QueryResponse) -> f64 {
+    let QueryResponse::Forecast(Some(f)) = resp else {
+        panic!("echo forecasts");
+    };
+    f.get(&[0])
+}
+
+/// Threads of this process, per the kernel. `None` off Linux.
+fn os_thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// A raw (non-`Client`) socket that has completed the handshake, so a
+/// test can control the byte stream exactly.
+fn raw_handshaken(server: &Server) -> TcpStream {
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut w = stream.try_clone().expect("clone");
+    write_frame(
+        &mut w,
+        &Request::Hello {
+            client: "raw".to_string(),
+        }
+        .to_body(),
+    )
+    .expect("hello");
+    let mut r = BufReader::new(stream.try_clone().expect("clone"));
+    let reply = read_frame(&mut r, 1 << 20).expect("handshake reply");
+    assert!(reply.expect("handshake frame").starts_with("ok 0"));
+    stream
+}
+
+#[test]
+fn slowloris_dribble_does_not_starve_other_clients() {
+    const DRIBBLERS: usize = 16;
+    let (fleet, ids) = serving_fleet(4);
+    let server = Server::bind("127.0.0.1:0", fleet).expect("bind");
+
+    // Each dribbler handshakes, then sends HALF a query frame and
+    // stalls — sixteen connections parked mid-frame.
+    let mut dribblers = Vec::new();
+    for i in 0..DRIBBLERS {
+        let stream = raw_handshaken(&server);
+        let body = Request::Query {
+            id: 100 + i as u64,
+            stream: ids[i % ids.len()].clone(),
+            query: Query::Forecast { horizon: 1 },
+        }
+        .to_body();
+        let framed = format!("#{}\n{}", body.len(), body);
+        let bytes = framed.as_bytes();
+        let half = bytes.len() / 2;
+        let mut w = stream.try_clone().expect("clone");
+        w.write_all(&bytes[..half]).expect("first half");
+        w.flush().expect("flush");
+        dribblers.push((stream, bytes[half..].to_vec()));
+    }
+
+    // A well-behaved client must get full service while those sixteen
+    // partial frames sit in the decoders.
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let started = Instant::now();
+    for round in 0..50 {
+        let id = &ids[round % ids.len()];
+        let resp = client
+            .query(id, Query::Forecast { horizon: 1 })
+            .expect("query while dribblers stall");
+        assert_eq!(expect_forecast_value(resp), 1.0);
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "dribbling connections starved a well-behaved client \
+         ({:?} for 50 round-trips)",
+        started.elapsed()
+    );
+
+    // Now finish every dribbled frame ONE BYTE AT A TIME; each must
+    // still decode into the correct, individually addressed reply.
+    for (i, (stream, rest)) in dribblers.into_iter().enumerate() {
+        let mut w = stream.try_clone().expect("clone");
+        for b in rest {
+            w.write_all(&[b]).expect("dribble byte");
+            w.flush().expect("flush");
+        }
+        let mut r = BufReader::new(stream);
+        let reply = read_frame(&mut r, 1 << 20)
+            .expect("dribbled reply")
+            .expect("dribbled reply frame");
+        assert!(
+            reply.starts_with(&format!("ok {}\n", 100 + i)),
+            "dribbler {i} got `{}`",
+            reply.lines().next().unwrap_or("")
+        );
+    }
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn soak_256_connections_keep_thread_count_at_pool_size() {
+    const CONNS: usize = 256;
+    let (fleet, ids) = serving_fleet(8);
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        fleet,
+        ServerConfig {
+            event_threads: Some(2),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    assert_eq!(server.event_threads(), 2);
+    assert_eq!(server.thread_count(), 3, "pool + acceptor, nothing else");
+
+    let baseline = os_thread_count();
+    let mut clients = Vec::with_capacity(CONNS);
+    for c in 0..CONNS {
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        // A little pipelined work per connection so every socket has
+        // actually been served, not merely accepted.
+        let id = &ids[c % ids.len()];
+        let mut pending = Vec::new();
+        for _ in 0..4 {
+            pending.push(
+                client
+                    .start_query(id, Query::Forecast { horizon: 1 })
+                    .expect("start"),
+            );
+        }
+        for qid in pending {
+            let resp = client.finish_query(qid).expect("finish").expect("forecast");
+            assert_eq!(expect_forecast_value(resp), 1.0);
+        }
+        clients.push(client);
+    }
+
+    // All 256 still connected: the kernel must agree no thread was
+    // spawned per connection.
+    if let (Some(before), Some(during)) = (baseline, os_thread_count()) {
+        assert_eq!(
+            during, before,
+            "{CONNS} live connections changed the process thread count \
+             ({before} -> {during}); the server must stay at pool size"
+        );
+    }
+
+    drop(clients);
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn client_read_times_out_typed_when_server_goes_silent() {
+    // A stand-in "server" that completes the handshake and then never
+    // answers anything — the shape of a process wedged mid-reply.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let silent = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        let mut r = BufReader::new(stream.try_clone().expect("clone"));
+        let _hello = read_frame(&mut r, 1 << 20).expect("hello");
+        let mut w = stream.try_clone().expect("clone");
+        let map = ShardMap::single_node("stand-in", 1);
+        write_frame(&mut w, &ok_body(0, |out| map.push_wire(out))).expect("handshake reply");
+        // Hold the socket open, reply to nothing.
+        let mut sink = [0u8; 256];
+        while let Ok(n) = r.read(&mut sink) {
+            if n == 0 {
+                break;
+            }
+        }
+    });
+
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .expect("set timeout");
+    let started = Instant::now();
+    let err = client
+        .query("anything", Query::Forecast { horizon: 1 })
+        .expect_err("a silent server must not hang the client");
+    assert!(
+        matches!(err, ClientError::Frame(FrameError::TimedOut)),
+        "expected a typed timeout, got {err}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "timeout took {:?}",
+        started.elapsed()
+    );
+    drop(client);
+    silent.join().expect("stand-in exits");
+}
+
+/// Echo with a deliberately slow forecast, so a pipelined batch is
+/// still settling when the server is killed.
+struct SlowEcho;
+
+impl StreamingFactorizer for SlowEcho {
+    fn name(&self) -> &'static str {
+        "slow-echo"
+    }
+    fn step(&mut self, slice: &ObservedTensor) -> StepOutput {
+        StepOutput {
+            completed: slice.values().clone(),
+            outliers: None,
+        }
+    }
+    fn forecast(&self, h: usize) -> Option<DenseTensor> {
+        std::thread::sleep(Duration::from_millis(30));
+        Some(DenseTensor::full(Shape::new(&[1]), h as f64))
+    }
+}
+
+#[test]
+fn client_errors_promptly_when_server_dies_mid_pipelined_batch() {
+    let fleet = Fleet::new(FleetConfig {
+        shards: 1,
+        queue_capacity: 1024,
+        checkpoint: None,
+        evict_idle_after: None,
+    })
+    .expect("fleet");
+    let ids: Vec<String> = (0..4).map(|i| format!("stream-{i:03}")).collect();
+    for id in &ids {
+        fleet
+            .register(id, ModelHandle::serve(SlowEcho))
+            .expect("register");
+    }
+    let server = Server::bind("127.0.0.1:0", fleet).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .expect("set timeout");
+
+    // Queries in flight...
+    let mut pending = Vec::new();
+    for i in 0..8 {
+        pending.push(
+            client
+                .start_query(&ids[i % ids.len()], Query::Forecast { horizon: 1 })
+                .expect("start"),
+        );
+    }
+    // ...and the server is killed out from under them (crash-faithful
+    // teardown: connections torn down, replies discarded).
+    server.abort();
+
+    let started = Instant::now();
+    let mut failed = false;
+    for qid in pending {
+        match client.finish_query(qid) {
+            Ok(_) => continue, // replies that raced the abort out
+            Err(e) => {
+                // Typed transport failure — timeout, truncation, or a
+                // closed connection — never a hang.
+                failed = true;
+                assert!(
+                    matches!(
+                        e,
+                        ClientError::Frame(_) | ClientError::Io(_) | ClientError::Protocol(_)
+                    ),
+                    "unexpected error shape: {e}"
+                );
+                break;
+            }
+        }
+    }
+    assert!(failed, "every reply arrived from an aborted server");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "client took {:?} to notice the dead server",
+        started.elapsed()
+    );
+}
