@@ -4,6 +4,7 @@
 //! ```text
 //! sofia-cli bench [--json] [--out DIR] [--streams N] [--steps N]
 //!                 [--shards N] [--seed N] [--conns C1,C2,..] [--pipeline Q]
+//!                 [--compare BASELINE] [--gate-pct 20]
 //! ```
 //!
 //! Four passes over the same warm-started synthetic workload:
@@ -30,7 +31,10 @@
 //! `BENCH_net.json` into `--out` (default `.`). The seed pins the
 //! workload — identical streams, models, and slices every run — so
 //! the recorded figures are comparable across machines and commits;
-//! the wall-clock numbers themselves naturally vary.
+//! the wall-clock numbers themselves naturally vary. `--compare
+//! BASELINE` diffs the fresh run against committed baselines and exits
+//! nonzero past the direction-aware `--gate-pct` gate (see
+//! [`crate::compare`]).
 
 use crate::commands::CmdResult;
 use crate::fleet_cmd::{fmt_q, fmt_us, warm_start, FleetOpts};
@@ -63,6 +67,13 @@ pub struct BenchOpts {
     /// Queries kept in flight per connection in the concurrency pass
     /// (`--pipeline`).
     pub pipeline: usize,
+    /// Baseline to gate this run against (`--compare`): a committed
+    /// `BENCH_*.json` report, or a directory holding both. `None`
+    /// skips the gate.
+    pub compare: Option<PathBuf>,
+    /// Regression gate half-width in percent (`--gate-pct`); a gated
+    /// metric moving past it in the bad direction fails the run.
+    pub gate_pct: f64,
 }
 
 impl Default for BenchOpts {
@@ -75,6 +86,8 @@ impl Default for BenchOpts {
             out: PathBuf::from("."),
             conns: vec![1, 64, 1024],
             pipeline: 32,
+            compare: None,
+            gate_pct: 20.0,
         }
     }
 }
@@ -138,6 +151,11 @@ pub fn bench(opts: &BenchOpts, json: bool) -> CmdResult {
             fleet_path.display(),
             net_path.display()
         );
+    }
+    if let Some(baseline) = &opts.compare {
+        // The gate runs after any --json write so a regressing run
+        // still leaves its fresh report behind for inspection.
+        crate::compare::compare(&fleet_report, &net_report, baseline, opts.gate_pct)?;
     }
     Ok(())
 }

@@ -1,0 +1,504 @@
+//! `bench --compare`: gate a fresh benchmark run against committed
+//! baselines (`BENCH_fleet.json` / `BENCH_net.json`), so CI fails on a
+//! perf regression instead of relying on someone eyeballing numbers.
+//!
+//! The gate is **direction-aware**: a throughput metric must not fall
+//! more than the gate percentage below baseline, a latency metric must
+//! not rise more than that above it. Movement in the *good* direction
+//! never fails the build — it is reported, as a hint to re-baseline.
+//! Wall-clock metrics on shared CI hardware are noisy; the default
+//! ±20% gate is deliberately wide enough to catch real regressions
+//! (an accidental allocation on the per-request path, a lost fast
+//! path) without tripping on scheduler jitter.
+//!
+//! The baseline argument is a single report file or a directory
+//! holding both; reports are matched to the fresh run by their
+//! `"bench"` key, and baseline metrics the fresh run did not produce
+//! (e.g. a `--conns` level that was not re-run) are skipped, not
+//! failed — absent fields are tolerated exactly like the wire parsers
+//! tolerate absent blocks.
+
+use std::path::Path;
+
+/// A parsed JSON value — the minimal tree this crate needs to read its
+/// own benchmark reports back. No serde in the workspace, and the
+/// reports are machine-written, so a small total parser is enough; it
+/// still rejects malformed input with a typed message rather than
+/// guessing (a truncated baseline should fail the gate loudly).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Walks an object path (`["ingest", "slices_per_sec"]`).
+    pub(crate) fn get(&self, path: &[&str]) -> Option<&Json> {
+        let mut cur = self;
+        for key in path {
+            let Json::Obj(fields) = cur else { return None };
+            cur = &fields.iter().find(|(k, _)| k == key)?.1;
+        }
+        Some(cur)
+    }
+
+    /// The value as a finite number (`null` and non-numbers are `None`).
+    pub(crate) fn num(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) if v.is_finite() => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    fn str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document (object, array, or scalar).
+pub(crate) fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing JSON content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while bytes
+        .get(*pos)
+        .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+    {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&byte) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected `{}` at byte {pos} of baseline JSON",
+            byte as char
+        ))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_keyword(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+        None => Err("unexpected end of baseline JSON".to_string()),
+    }
+}
+
+fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("bad JSON keyword at byte {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while bytes
+        .get(*pos)
+        .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii digits");
+    text.parse()
+        .map(Json::Num)
+        .map_err(|_| format!("bad JSON number `{text}` at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated JSON string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                // The benchmark reports only ever escape these; anything
+                // fancier (\uXXXX) is out of scope for reading them back.
+                let escaped = match bytes.get(*pos) {
+                    Some(b'"') => '"',
+                    Some(b'\\') => '\\',
+                    Some(b'/') => '/',
+                    Some(b'n') => '\n',
+                    Some(b't') => '\t',
+                    Some(b'r') => '\r',
+                    other => return Err(format!("unsupported JSON escape {other:?}")),
+                };
+                out.push(escaped);
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar, not one byte.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| "non-UTF-8 baseline".to_string())?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        fields.push((key, parse_value(bytes, pos)?));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+        }
+    }
+}
+
+/// Which way a metric is allowed to move.
+#[derive(Clone, Copy)]
+enum Better {
+    /// Throughput-like: falling below baseline is the regression.
+    Higher,
+    /// Latency-like: rising above baseline is the regression.
+    Lower,
+}
+
+/// One gated metric: a path into both reports plus its direction.
+struct GatedMetric {
+    path: &'static [&'static str],
+    better: Better,
+}
+
+const FLEET_GATES: &[GatedMetric] = &[
+    GatedMetric {
+        path: &["ingest", "slices_per_sec"],
+        better: Better::Higher,
+    },
+    GatedMetric {
+        path: &["query", "single_us"],
+        better: Better::Lower,
+    },
+    GatedMetric {
+        path: &["query", "batched_per_item_us"],
+        better: Better::Lower,
+    },
+];
+
+const NET_GATES: &[GatedMetric] = &[
+    GatedMetric {
+        path: &["ingest", "slices_per_sec"],
+        better: Better::Higher,
+    },
+    GatedMetric {
+        path: &["round_trip", "query_us"],
+        better: Better::Lower,
+    },
+    GatedMetric {
+        path: &["round_trip", "stats_us"],
+        better: Better::Lower,
+    },
+];
+
+/// Compares one metric, printing a verdict line; `true` = regression.
+fn check(
+    name: &str,
+    path_text: &str,
+    base: f64,
+    fresh: f64,
+    better: Better,
+    gate_pct: f64,
+) -> bool {
+    if base == 0.0 {
+        println!("bench[compare]: {name} {path_text}: baseline is 0, skipped");
+        return false;
+    }
+    let delta_pct = (fresh - base) / base * 100.0;
+    let regressed = match better {
+        Better::Higher => delta_pct < -gate_pct,
+        Better::Lower => delta_pct > gate_pct,
+    };
+    let improved = match better {
+        Better::Higher => delta_pct > gate_pct,
+        Better::Lower => delta_pct < -gate_pct,
+    };
+    let verdict = if regressed {
+        format!("REGRESSION (gate ±{gate_pct:.0}%)")
+    } else if improved {
+        "ok (improved past the gate — consider re-baselining)".to_string()
+    } else {
+        "ok".to_string()
+    };
+    println!(
+        "bench[compare]: {name} {path_text}: {base:.3} -> {fresh:.3} ({delta_pct:+.1}%) {verdict}"
+    );
+    regressed
+}
+
+/// Diffs the gated metrics of one fresh report against its baseline.
+/// Returns the number of regressions past the gate. Metrics absent on
+/// either side (older baseline, trimmed fresh run) are skipped.
+fn compare_report(name: &str, base: &Json, fresh: &Json, gate_pct: f64) -> usize {
+    let gates = if name == "fleet" {
+        FLEET_GATES
+    } else {
+        NET_GATES
+    };
+    let mut regressions = 0usize;
+    for gate in gates {
+        let (Some(b), Some(f)) = (
+            base.get(gate.path).and_then(Json::num),
+            fresh.get(gate.path).and_then(Json::num),
+        ) else {
+            continue;
+        };
+        if check(name, &gate.path.join("."), b, f, gate.better, gate_pct) {
+            regressions += 1;
+        }
+    }
+    // The concurrency levels live in an array keyed by connection
+    // count; match levels across the two reports and gate the p50
+    // (the 1-conn level is the steady-state round-trip the
+    // zero-allocation request path is accountable to).
+    if let (Some(Json::Arr(base_levels)), Some(Json::Arr(fresh_levels))) = (
+        base.get(&["concurrency", "levels"]),
+        fresh.get(&["concurrency", "levels"]),
+    ) {
+        for bl in base_levels {
+            let Some(conns) = bl.get(&["connections"]).and_then(Json::num) else {
+                continue;
+            };
+            let Some(fl) = fresh_levels
+                .iter()
+                .find(|l| l.get(&["connections"]).and_then(Json::num) == Some(conns))
+            else {
+                println!(
+                    "bench[compare]: {name} concurrency level {conns} \
+                     not in the fresh run, skipped"
+                );
+                continue;
+            };
+            let path = ["per_query_us", "p50"];
+            if let (Some(b), Some(f)) = (
+                bl.get(&path).and_then(Json::num),
+                fl.get(&path).and_then(Json::num),
+            ) {
+                let text = format!("concurrency[{conns}].per_query_us.p50");
+                if check(name, &text, b, f, Better::Lower, gate_pct) {
+                    regressions += 1;
+                }
+            }
+        }
+    }
+    regressions
+}
+
+/// Entry point: gates fresh report bodies against `baseline` (a report
+/// file, or a directory holding `BENCH_fleet.json` / `BENCH_net.json`).
+/// Errors — which exit the CLI nonzero — on any regression past the
+/// gate, on an unreadable or unmatched baseline, and on a malformed
+/// report.
+pub fn compare(
+    fresh_fleet: &str,
+    fresh_net: &str,
+    baseline: &Path,
+    gate_pct: f64,
+) -> Result<(), Box<dyn std::error::Error>> {
+    if !(gate_pct.is_finite() && gate_pct > 0.0) {
+        return Err("--gate-pct must be a positive percentage".into());
+    }
+    let fresh_fleet = parse_json(fresh_fleet)?;
+    let fresh_net = parse_json(fresh_net)?;
+    let baseline_files: Vec<std::path::PathBuf> = if baseline.is_dir() {
+        let files: Vec<_> = ["BENCH_fleet.json", "BENCH_net.json"]
+            .iter()
+            .map(|f| baseline.join(f))
+            .filter(|p| p.is_file())
+            .collect();
+        if files.is_empty() {
+            return Err(format!(
+                "no BENCH_fleet.json / BENCH_net.json under {}",
+                baseline.display()
+            )
+            .into());
+        }
+        files
+    } else {
+        vec![baseline.to_path_buf()]
+    };
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for path in &baseline_files {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+        let base = parse_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let fresh = match base.get(&["bench"]).and_then(Json::str) {
+            Some("fleet") => ("fleet", &fresh_fleet),
+            Some("net") => ("net", &fresh_net),
+            other => {
+                return Err(format!(
+                    "{}: unrecognized bench kind {other:?} (expected \"fleet\" or \"net\")",
+                    path.display()
+                )
+                .into())
+            }
+        };
+        compared += 1;
+        regressions += compare_report(fresh.0, &base, fresh.1, gate_pct);
+    }
+    if regressions > 0 {
+        return Err(format!(
+            "{regressions} metric(s) regressed past the ±{gate_pct:.0}% gate \
+             (re-baseline with `bench --json` if the change is intended)"
+        )
+        .into());
+    }
+    println!("bench[compare]: {compared} baseline report(s), no regression past ±{gate_pct:.0}%");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_committed_style_report() {
+        let doc = r#"{
+  "bench": "net",
+  "seed": 2021,
+  "nested": { "arr": [1, 2.5, null, "x"], "neg": -3.25e1 },
+  "flag": true
+}"#;
+        let v = parse_json(doc).expect("parse");
+        assert_eq!(v.get(&["bench"]).and_then(Json::str), Some("net"));
+        assert_eq!(v.get(&["seed"]).and_then(Json::num), Some(2021.0));
+        assert_eq!(v.get(&["nested", "neg"]).and_then(Json::num), Some(-32.5));
+        let Some(Json::Arr(items)) = v.get(&["nested", "arr"]) else {
+            panic!("array");
+        };
+        assert_eq!(items.len(), 4);
+        assert_eq!(items[2], Json::Null);
+        assert_eq!(v.get(&["flag"]), Some(&Json::Bool(true)));
+        assert_eq!(v.get(&["missing"]), None);
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\": }",
+            "{\"a\": 1,}",
+            "[1 2]",
+            "{\"a\": 1} trailing",
+            "\"unterminated",
+            "nul",
+        ] {
+            assert!(parse_json(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn gate_is_direction_aware() {
+        // Throughput falling 30% regresses; rising 30% does not.
+        assert!(check("t", "x", 100.0, 70.0, Better::Higher, 20.0));
+        assert!(!check("t", "x", 100.0, 130.0, Better::Higher, 20.0));
+        // Latency rising 30% regresses; falling 30% does not.
+        assert!(check("t", "x", 100.0, 130.0, Better::Lower, 20.0));
+        assert!(!check("t", "x", 100.0, 70.0, Better::Lower, 20.0));
+        // Inside the gate either way: fine.
+        assert!(!check("t", "x", 100.0, 85.0, Better::Higher, 20.0));
+        assert!(!check("t", "x", 100.0, 115.0, Better::Lower, 20.0));
+    }
+
+    #[test]
+    fn compare_report_matches_concurrency_levels_by_connection_count() {
+        let base = parse_json(
+            r#"{ "bench": "net",
+                 "ingest": { "slices_per_sec": 1000.0 },
+                 "round_trip": { "query_us": 30.0, "stats_us": 90.0 },
+                 "concurrency": { "levels": [
+                    { "connections": 1, "per_query_us": { "p50": 10.0 } },
+                    { "connections": 64, "per_query_us": { "p50": 400.0 } }
+                 ] } }"#,
+        )
+        .expect("base");
+        // Fresh run only re-ran the 1-conn level, 3x slower: exactly one
+        // regression; the missing 64-conn level is skipped, not failed.
+        let fresh = parse_json(
+            r#"{ "bench": "net",
+                 "ingest": { "slices_per_sec": 990.0 },
+                 "round_trip": { "query_us": 31.0, "stats_us": 80.0 },
+                 "concurrency": { "levels": [
+                    { "connections": 1, "per_query_us": { "p50": 30.0 } }
+                 ] } }"#,
+        )
+        .expect("fresh");
+        assert_eq!(compare_report("net", &base, &fresh, 20.0), 1);
+    }
+}

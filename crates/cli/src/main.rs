@@ -15,15 +15,17 @@
 //!                    [--compare-shards 1,2]
 //! sofia-cli serve    --bind 127.0.0.1:7411 [--advertise ADDR]
 //!                    [--recover true] [--empty true]
-//!                    [--cluster EP0,EP1,...] [fleet workload flags]
+//!                    [--cluster EP0,EP1,...] [--slow-request-us N]
+//!                    [fleet workload flags]
 //! sofia-cli client   --connect 127.0.0.1:7411 [--stats true]
+//!                    [--metrics] [--json | --prom] [--timeout-secs N]
 //!                    [--stream stream-0000] [--query "forecast 4"]
 //!                    [--ingest N] [--top-drift K] [--shutdown true]
 //! sofia-cli cluster  [--nodes 2] [--base-port 7421] [--shards 2]
 //!                    [--checkpoint-dir DIR]
 //! sofia-cli bench    [--json] [--out DIR] [--streams 8] [--steps 60]
 //!                    [--shards 2] [--seed 2021] [--conns 1,64,1024]
-//!                    [--pipeline 32]
+//!                    [--pipeline 32] [--compare BASELINE] [--gate-pct 20]
 //! ```
 //!
 //! Boolean flags (`--stats`, `--shutdown`, `--recover`, `--empty`,
@@ -37,14 +39,19 @@
 //! same warm fleet over TCP (the `sofia-net` data plane) until a client
 //! sends a shutdown frame — or an empty fleet (`--empty`) as one member
 //! of a cluster spec (`--cluster`); `client` drives a remote fleet from
-//! the shell; `cluster` launches N `serve` processes from one spec and
-//! proves sharding + stream migration across them; `bench` runs a
-//! pinned-seed micro-benchmark of both the engine and the TCP plane,
-//! writing `BENCH_fleet.json`/`BENCH_net.json` with `--json`.
+//! the shell (`--metrics` prints the cluster-wide node-health rollup as
+//! a table, JSON, or Prometheus exposition); `cluster` launches N
+//! `serve` processes from one spec and proves sharding + stream
+//! migration across them; `bench` runs a pinned-seed micro-benchmark of
+//! both the engine and the TCP plane, writing
+//! `BENCH_fleet.json`/`BENCH_net.json` with `--json` — and with
+//! `--compare BASELINE` gates the fresh run against committed baselines,
+//! exiting nonzero on a regression past `--gate-pct` (default ±20%).
 
 mod bench_cmd;
 mod cluster_cmd;
 mod commands;
+mod compare;
 mod fleet_cmd;
 mod format;
 mod net_cmd;
@@ -62,12 +69,13 @@ fn usage() -> &'static str {
      [--dims X,Y] [--queue N] [--seed N] [--checkpoint-dir DIR] [--checkpoint-every N] \
      [--evict-idle N] [--mix smf,online-sgd] [--compare-shards A,B]\n  \
      sofia-cli serve --bind ADDR [--advertise ADDR] [--recover true] [--empty true] \
-     [--cluster EP0,EP1,...] [fleet workload flags]\n  \
-     sofia-cli client --connect ADDR [--stats true] [--stream ID] [--query \"forecast 4\"] \
+     [--cluster EP0,EP1,...] [--slow-request-us N] [fleet workload flags]\n  \
+     sofia-cli client --connect ADDR [--stats true] [--metrics] [--json | --prom] \
+     [--timeout-secs N] [--stream ID] [--query \"forecast 4\"] \
      [--ingest N] [--top-drift K] [--shutdown true]\n  \
      sofia-cli cluster [--nodes 2] [--base-port 7421] [--shards 2] [--checkpoint-dir DIR]\n  \
      sofia-cli bench [--json] [--out DIR] [--streams 8] [--steps 60] [--shards 2] [--seed 2021] \
-     [--conns 1,64,1024] [--pipeline 32]\n\
+     [--conns 1,64,1024] [--pipeline 32] [--compare BASELINE] [--gate-pct 20]\n\
      boolean flags may be given bare: --stats means --stats true"
 }
 
@@ -289,10 +297,26 @@ fn main() -> ExitCode {
                     eps
                 }
             };
-            match parse_fleet_opts(&flags) {
-                Ok(opts) => {
-                    net_cmd::serve(&opts, &bind, get("advertise"), recover, &cluster, empty)
+            let slow_request_us = match get("slow-request-us").map(|v| v.parse::<u64>()) {
+                None => None,
+                Some(Ok(us)) => Some(us),
+                Some(Err(_)) => {
+                    return bad_flag(
+                        "slow-request-us",
+                        &get("slow-request-us").unwrap_or_default(),
+                    )
                 }
+            };
+            match parse_fleet_opts(&flags) {
+                Ok(opts) => net_cmd::serve(
+                    &opts,
+                    &bind,
+                    get("advertise"),
+                    recover,
+                    &cluster,
+                    empty,
+                    slow_request_us,
+                ),
                 Err(code) => return code,
             }
         }
@@ -331,6 +355,13 @@ fn main() -> ExitCode {
             if let Some(dir) = get("out") {
                 opts.out = PathBuf::from(dir);
             }
+            if let Some(v) = get("gate-pct") {
+                match v.parse::<f64>() {
+                    Ok(p) if p.is_finite() && p > 0.0 => opts.gate_pct = p,
+                    _ => return bad_flag("gate-pct", &v),
+                }
+            }
+            opts.compare = get("compare").map(PathBuf::from);
             bench_cmd::bench(&opts, json)
         }
         "client" => {
@@ -338,12 +369,22 @@ fn main() -> ExitCode {
                 eprintln!("client needs --connect ADDR\n{}", usage());
                 return ExitCode::from(2);
             };
-            let (stats, shutdown) = match (
-                parse_bool_flag(&flags, "stats"),
-                parse_bool_flag(&flags, "shutdown"),
-            ) {
-                (Ok(s), Ok(d)) => (s, d),
-                (Err(code), _) | (_, Err(code)) => return code,
+            let parsed: Result<Vec<bool>, ExitCode> =
+                ["stats", "shutdown", "metrics", "json", "prom"]
+                    .iter()
+                    .map(|f| parse_bool_flag(&flags, f))
+                    .collect();
+            let [stats, shutdown, metrics, json, prom] = match parsed.as_deref() {
+                Ok([s, d, m, j, p]) => [*s, *d, *m, *j, *p],
+                Ok(_) => unreachable!("five flags parsed"),
+                Err(&code) => return code,
+            };
+            let timeout_secs = match get("timeout-secs").map(|v| v.parse::<u64>()) {
+                None => None,
+                Some(Ok(n)) => Some(n),
+                Some(Err(_)) => {
+                    return bad_flag("timeout-secs", &get("timeout-secs").unwrap_or_default())
+                }
             };
             let ingest = match get("ingest").map(|v| v.parse::<usize>()) {
                 None => 0,
@@ -367,6 +408,10 @@ fn main() -> ExitCode {
             net_cmd::client(&net_cmd::ClientOpts {
                 connect,
                 stats,
+                metrics,
+                json,
+                prom,
+                timeout_secs,
                 stream: get("stream"),
                 query: get("query"),
                 ingest,

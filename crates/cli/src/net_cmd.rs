@@ -3,8 +3,10 @@
 //!
 //! ```text
 //! sofia-cli serve  --bind 127.0.0.1:7411 [--advertise ADDR] [--recover]
-//!                  [--empty] [--cluster EP0,EP1,...] [fleet workload flags]
-//! sofia-cli client --connect 127.0.0.1:7411 [--stats] [--stream ID]
+//!                  [--empty] [--cluster EP0,EP1,...] [--slow-request-us N]
+//!                  [fleet workload flags]
+//! sofia-cli client --connect 127.0.0.1:7411 [--stats] [--metrics]
+//!                  [--json | --prom] [--timeout-secs N] [--stream ID]
 //!                  [--query "forecast 4"] [--ingest N] [--top-drift K]
 //!                  [--shutdown]
 //! ```
@@ -16,9 +18,14 @@
 //! `shutdown` frame; `--cluster` makes the handshake advertise the
 //! deployment spec's full shard map.
 //! `client` connects, runs its requested operations in a fixed order
-//! (stats → ingest → query → top-drift → shutdown, so a query in the
-//! same invocation observes the ingested slices), and prints what came
-//! back. `--top-drift K` sweeps every warm stream with one batched
+//! (stats → metrics → ingest → query → top-drift → shutdown, so a query
+//! in the same invocation observes the ingested slices), and prints
+//! what came back. `--metrics` collects every cluster member's
+//! [`NetStats`] node-health snapshot and prints the per-node rows plus
+//! the fleet-wide merge — as a human table by default, as JSON with
+//! `--json`, or as a Prometheus text exposition with `--prom` (per-node
+//! series only; Prometheus aggregates across label values itself).
+//! `--top-drift K` sweeps every warm stream with one batched
 //! `quantile forecast_error 0.99` — routed through the cluster-capable
 //! path, so it spans all members of a sharded deployment — and prints
 //! the K streams drifting hardest.
@@ -27,8 +34,9 @@ use crate::commands::CmdResult;
 use crate::fleet_cmd::{fmt_q, fmt_us, validate, warm_start, FleetOpts};
 use sofia_datagen::stream::TensorStream;
 use sofia_fleet::{CheckpointPolicy, Fleet, FleetConfig, MetricKind, Query, QueryResponse};
-use sofia_net::{Client, ClusterClient, Server, ServerConfig, ShardMap};
+use sofia_net::{Client, ClusterClient, ClusterMetrics, NetStats, Server, ServerConfig, ShardMap};
 use sofia_tensor::ObservedTensor;
+use std::time::Duration;
 
 /// Builds the serve-side engine config from the shared workload opts.
 fn engine_config(opts: &FleetOpts) -> FleetConfig {
@@ -53,7 +61,9 @@ fn engine_config(opts: &FleetOpts) -> FleetConfig {
 /// this node by when it differs from `bind` (a server bound to
 /// `0.0.0.0` or behind a hostname); the cluster membership check runs
 /// against it. `empty` starts with no warm streams (cluster members
-/// usually receive their streams over the wire).
+/// usually receive their streams over the wire). `slow_request_us`
+/// overrides the slow-request ring threshold (`0` captures every
+/// request — smoke-test mode); `None` keeps the server default.
 pub fn serve(
     opts: &FleetOpts,
     bind: &str,
@@ -61,6 +71,7 @@ pub fn serve(
     recover: bool,
     cluster: &[String],
     empty: bool,
+    slow_request_us: Option<u64>,
 ) -> CmdResult {
     validate(opts)?;
     if recover && opts.checkpoint_dir.is_none() {
@@ -113,10 +124,12 @@ pub fn serve(
     // (`localhost` vs `127.0.0.1`). A plain standalone serve passes
     // None so the server advertises its *resolved* address (an
     // ephemeral `--bind 127.0.0.1:0` must not advertise port 0).
+    let defaults = ServerConfig::default();
     let config = ServerConfig {
         advertise: (advertise.is_some() || !cluster.is_empty()).then(|| advertised.to_string()),
         cluster: (!cluster.is_empty()).then(|| ShardMap::round_robin(cluster, opts.shards)),
-        ..ServerConfig::default()
+        slow_request_us: slow_request_us.unwrap_or(defaults.slow_request_us),
+        ..defaults
     };
     let server = Server::bind_with(bind, fleet, config)?;
     if let Some(map) = (!cluster.is_empty()).then(|| server.shard_map()) {
@@ -147,6 +160,16 @@ pub struct ClientOpts {
     pub connect: String,
     /// Print fleet-wide stats.
     pub stats: bool,
+    /// Collect and print the cluster-wide node-health rollup
+    /// (per-node [`NetStats`] plus the merged fleet view).
+    pub metrics: bool,
+    /// Print `--metrics` as JSON instead of the human table.
+    pub json: bool,
+    /// Print `--metrics` as a Prometheus text exposition.
+    pub prom: bool,
+    /// Reply-read timeout in seconds for the direct connection
+    /// (`0` = block forever); `None` keeps the client default.
+    pub timeout_secs: Option<u64>,
     /// Stream to query/ingest against.
     pub stream: Option<String>,
     /// One-line query wire form (e.g. `forecast 4`, `latest`).
@@ -167,12 +190,25 @@ pub struct ClientOpts {
 
 /// Entry point of `sofia-cli client`.
 pub fn client(opts: &ClientOpts) -> CmdResult {
+    if opts.json && opts.prom {
+        return Err("--json and --prom are mutually exclusive".into());
+    }
+    if (opts.json || opts.prom) && !opts.metrics {
+        return Err("--json/--prom format --metrics output; add --metrics".into());
+    }
+    // Machine-readable metrics modes keep stdout parseable: no banner.
+    let machine = opts.json || opts.prom;
     let mut client = Client::connect_as(&opts.connect, "sofia-cli")?;
-    println!(
-        "client: connected to {} ({} shards in the handshake shard map)",
-        opts.connect,
-        client.shard_map().shards()
-    );
+    if let Some(secs) = opts.timeout_secs {
+        client.set_read_timeout((secs > 0).then(|| Duration::from_secs(secs)))?;
+    }
+    if !machine {
+        println!(
+            "client: connected to {} ({} shards in the handshake shard map)",
+            opts.connect,
+            client.shard_map().shards()
+        );
+    }
 
     if opts.stats {
         let stats = client.stats()?;
@@ -199,6 +235,20 @@ pub fn client(opts: &ClientOpts) -> CmdResult {
             fmt_q(drift.p99()),
             drift.count()
         );
+    }
+
+    if opts.metrics {
+        // The rollup spans every cluster member the handshake map
+        // names, so point-and-ask works against any seed node.
+        let mut cluster = ClusterClient::connect_as(&opts.connect, "sofia-cli")?;
+        let report = cluster.metrics()?;
+        if opts.json {
+            print_metrics_json(&report);
+        } else if opts.prom {
+            print_metrics_prom(&report);
+        } else {
+            print_metrics_human(&report);
+        }
     }
 
     if opts.ingest > 0 {
@@ -329,4 +379,279 @@ fn top_drift(seed: &str, k: usize) -> CmdResult {
         println!("top-drift: #{:<2} {id}  p99 {}", rank + 1, fmt_q(Some(*v)));
     }
     Ok(())
+}
+
+/// Slow-request records printed per view before eliding the rest —
+/// the ring can legitimately hold tens of thousands in smoke mode.
+const MAX_SLOW_PRINTED: usize = 16;
+
+/// The default `--metrics` view: one row per node, then the fleet-wide
+/// merge (counters summed, highwater maxed, latency sketches merged).
+fn print_metrics_human(report: &ClusterMetrics) {
+    for node in &report.nodes {
+        let ep = node.endpoint.as_deref().unwrap_or("?");
+        println!(
+            "metrics: node {ep}: {} accepted / {} closed / {} active; \
+             {} frames decoded, {} decode errors; settle p99 {} over {} requests",
+            node.accepted,
+            node.closed,
+            node.active,
+            node.frames_decoded,
+            node.decode_errors,
+            fmt_us(node.settle_latency.p99()),
+            node.settle_latency.count()
+        );
+    }
+    let m = report.merged();
+    println!(
+        "metrics: fleet: {} accepted / {} closed / {} active connections \
+         across {} node(s)",
+        m.accepted,
+        m.closed,
+        m.active,
+        report.nodes.len()
+    );
+    println!(
+        "metrics: fleet: {} frames decoded, {} decode errors, \
+         {} read-interest drops, write-buffer highwater {} B",
+        m.frames_decoded, m.decode_errors, m.read_interest_drops, m.write_buffer_highwater
+    );
+    println!(
+        "metrics: fleet: {} poll iterations, {} wakeups",
+        m.poll_iterations, m.wakeups
+    );
+    let lat = &m.settle_latency;
+    println!(
+        "metrics: settle latency p50 {} / p99 {} / p999 {} (mean {}) \
+         over {} requests",
+        fmt_us(lat.p50()),
+        fmt_us(lat.p99()),
+        fmt_us(lat.p999()),
+        fmt_us(lat.moments().mean()),
+        lat.count()
+    );
+    println!(
+        "metrics: slow ring: {} record(s) at/over the {} µs threshold \
+         ({} evicted)",
+        m.slow.len(),
+        m.slow_threshold_us,
+        m.slow_dropped
+    );
+    for (i, r) in m.slow.iter().take(MAX_SLOW_PRINTED).enumerate() {
+        println!(
+            "metrics: slow #{:<2} {} {} conn {} {} µs",
+            i + 1,
+            r.verb,
+            r.stream.as_deref().unwrap_or("-"),
+            r.conn,
+            r.latency_us
+        );
+    }
+    if m.slow.len() > MAX_SLOW_PRINTED {
+        println!(
+            "metrics: slow ... {} more (use --json for all)",
+            m.slow.len() - MAX_SLOW_PRINTED
+        );
+    }
+}
+
+/// A string as a JSON string literal (the escapes the wire can carry:
+/// stream ids are percent-encoded upstream, endpoints are addresses).
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// An optional latency quantile as a JSON number or `null`.
+fn jus(v: Option<f64>) -> String {
+    match v {
+        Some(v) if v.is_finite() => format!("{v:.3}"),
+        _ => "null".into(),
+    }
+}
+
+/// One [`NetStats`] as a JSON object, indented for the report layout.
+fn json_stats(s: &NetStats, pad: &str) -> String {
+    let lat = &s.settle_latency;
+    let slow: Vec<String> = s
+        .slow
+        .iter()
+        .map(|r| {
+            format!(
+                "{{ \"verb\": {}, \"stream\": {}, \"conn\": {}, \"latency_us\": {} }}",
+                jstr(&r.verb),
+                r.stream.as_deref().map_or("null".into(), jstr),
+                r.conn,
+                r.latency_us
+            )
+        })
+        .collect();
+    let endpoint = s.endpoint.as_deref().map_or("null".into(), jstr);
+    format!(
+        "{{\n\
+         {pad}  \"endpoint\": {endpoint},\n\
+         {pad}  \"accepted\": {}, \"closed\": {}, \"active\": {},\n\
+         {pad}  \"frames_decoded\": {}, \"decode_errors\": {},\n\
+         {pad}  \"read_interest_drops\": {}, \"write_buffer_highwater\": {},\n\
+         {pad}  \"poll_iterations\": {}, \"wakeups\": {},\n\
+         {pad}  \"settle_latency_us\": {{ \"count\": {}, \"mean\": {}, \
+         \"p50\": {}, \"p99\": {}, \"p999\": {} }},\n\
+         {pad}  \"slow_threshold_us\": {}, \"slow_dropped\": {},\n\
+         {pad}  \"slow\": [{}]\n\
+         {pad}}}",
+        s.accepted,
+        s.closed,
+        s.active,
+        s.frames_decoded,
+        s.decode_errors,
+        s.read_interest_drops,
+        s.write_buffer_highwater,
+        s.poll_iterations,
+        s.wakeups,
+        lat.count(),
+        jus(lat.moments().mean()),
+        jus(lat.p50()),
+        jus(lat.p99()),
+        jus(lat.p999()),
+        s.slow_threshold_us,
+        s.slow_dropped,
+        slow.join(", "),
+    )
+}
+
+/// `--metrics --json`: the full rollup — every node's snapshot plus
+/// the merged fleet view — as one JSON document on stdout.
+fn print_metrics_json(report: &ClusterMetrics) {
+    let nodes: Vec<String> = report
+        .nodes
+        .iter()
+        .map(|n| format!("    {}", json_stats(n, "    ")))
+        .collect();
+    println!(
+        "{{\n  \"nodes\": [\n{}\n  ],\n  \"merged\": {}\n}}",
+        nodes.join(",\n"),
+        json_stats(&report.merged(), "  ")
+    );
+}
+
+/// One Prometheus series: metric name, help text, field reader.
+type PromSeries = (&'static str, &'static str, fn(&NetStats) -> u64);
+
+/// `--metrics --prom`: Prometheus text exposition, one series per node
+/// keyed by the `endpoint` label. Only per-node series are emitted —
+/// Prometheus aggregates across label values itself, and exporting the
+/// merged view alongside would double-count on `sum()`.
+fn print_metrics_prom(report: &ClusterMetrics) {
+    let counters: &[PromSeries] = &[
+        (
+            "sofia_net_connections_accepted_total",
+            "Connections handed from the acceptor to the event loop.",
+            |s| s.accepted,
+        ),
+        (
+            "sofia_net_connections_closed_total",
+            "Connections torn down (EOF, protocol fault, drain, reap).",
+            |s| s.closed,
+        ),
+        (
+            "sofia_net_frames_decoded_total",
+            "Complete frames handed to the request parser.",
+            |s| s.frames_decoded,
+        ),
+        (
+            "sofia_net_decode_errors_total",
+            "Off-protocol input: bad frames, non-UTF-8, malformed bodies.",
+            |s| s.decode_errors,
+        ),
+        (
+            "sofia_net_read_interest_drops_total",
+            "Backpressure transitions that paused reading a connection.",
+            |s| s.read_interest_drops,
+        ),
+        (
+            "sofia_net_poll_iterations_total",
+            "Poll calls across the acceptor and all event-loop workers.",
+            |s| s.poll_iterations,
+        ),
+        (
+            "sofia_net_wakeups_total",
+            "Polls interrupted by an explicit cross-thread wake.",
+            |s| s.wakeups,
+        ),
+        (
+            "sofia_net_slow_requests_dropped_total",
+            "Slow-request records evicted from the bounded ring.",
+            |s| s.slow_dropped,
+        ),
+    ];
+    for (name, help, read) in counters {
+        println!("# HELP {name} {help}");
+        println!("# TYPE {name} counter");
+        for node in &report.nodes {
+            let ep = node.endpoint.as_deref().unwrap_or("?");
+            println!("{name}{{endpoint={}}} {}", jstr(ep), read(node));
+        }
+    }
+    let gauges: &[PromSeries] = &[
+        (
+            "sofia_net_connections_active",
+            "Connections currently owned by event-loop workers.",
+            |s| s.active,
+        ),
+        (
+            "sofia_net_write_buffer_highwater_bytes",
+            "Largest buffered-outgoing-bytes peak any connection reached.",
+            |s| s.write_buffer_highwater,
+        ),
+        (
+            "sofia_net_slow_request_threshold_microseconds",
+            "Slow-request capture threshold.",
+            |s| s.slow_threshold_us,
+        ),
+        (
+            "sofia_net_slow_requests_ringsize",
+            "Slow-request records currently held in the ring.",
+            |s| s.slow.len() as u64,
+        ),
+    ];
+    for (name, help, read) in gauges {
+        println!("# HELP {name} {help}");
+        println!("# TYPE {name} gauge");
+        for node in &report.nodes {
+            let ep = node.endpoint.as_deref().unwrap_or("?");
+            println!("{name}{{endpoint={}}} {}", jstr(ep), read(node));
+        }
+    }
+    let name = "sofia_net_settle_latency_microseconds";
+    println!("# HELP {name} Wire-to-settle latency of settled requests.");
+    println!("# TYPE {name} summary");
+    for node in &report.nodes {
+        let ep = node.endpoint.as_deref().unwrap_or("?");
+        let lat = &node.settle_latency;
+        for (q, v) in [
+            ("0.5", lat.p50()),
+            ("0.99", lat.p99()),
+            ("0.999", lat.p999()),
+        ] {
+            if let Some(v) = v {
+                println!("{name}{{endpoint={},quantile=\"{q}\"}} {v}", jstr(ep));
+            }
+        }
+        println!(
+            "{name}_sum{{endpoint={}}} {}",
+            jstr(ep),
+            lat.moments().sum()
+        );
+        println!("{name}_count{{endpoint={}}} {}", jstr(ep), lat.count());
+    }
 }

@@ -16,6 +16,7 @@
 //!   reading any reply — N requests in flight on one socket, settled in
 //!   order (the server maps them onto `QueryTicket`s internally).
 
+use crate::stats::{parse_net_stats, NetStats};
 use crate::wire::{
     self, parse_fleet_stats, read_frame, split_reply, write_frame, FrameError, ReplyHead, Request,
     ShardMap, MAX_FRAME_BYTES,
@@ -525,6 +526,23 @@ impl Client {
         };
         let mut cur = LineCursor::new(&payload);
         let stats = parse_fleet_stats(&mut cur)?;
+        cur.finish()?;
+        Ok(stats)
+    }
+
+    /// Node-health snapshot of the server this client is connected to:
+    /// network-core counters, the settle-latency summary, and the
+    /// slow-request ring ([`crate::NetStats`]). The parse tolerates
+    /// fields this client predates (and absent ones), exactly like the
+    /// fleet-stats sketch block.
+    pub fn metrics(&mut self) -> Result<NetStats, ClientError> {
+        let id = self.send(|id| Request::Metrics { id })?;
+        let payload = match self.expect_reply(id)? {
+            Ok(p) => p,
+            Err(e) => return Err(ClientError::Fleet(e)),
+        };
+        let mut cur = LineCursor::new(&payload);
+        let stats = parse_net_stats(&mut cur)?;
         cur.finish()?;
         Ok(stats)
     }

@@ -46,6 +46,7 @@
 //! anything.
 
 use crate::client::{Client, ClientError, IngestReport};
+use crate::stats::NetStats;
 use crate::wire::ShardMap;
 use sofia_fleet::{FleetStats, ModelHandle, Query, QueryResponse};
 use sofia_tensor::ObservedTensor;
@@ -255,6 +256,20 @@ impl ClusterClient {
         Ok(FleetStats { shards })
     }
 
+    /// Node-health reports from every endpoint in the map, in
+    /// first-appearance (map) order — the fixed fold order that makes
+    /// [`ClusterMetrics::merged`] bit-reproducible across calls and
+    /// across independent clients reading the same nodes.
+    pub fn metrics(&mut self) -> Result<ClusterMetrics, ClientError> {
+        let mut nodes = Vec::new();
+        for ep in self.broadcast_endpoints() {
+            let mut stats = self.client_for(&ep)?.metrics()?;
+            stats.endpoint = Some(ep);
+            nodes.push(stats);
+        }
+        Ok(ClusterMetrics { nodes })
+    }
+
     /// Reads a stream's checkpoint envelope from its owner (see
     /// [`Client::snapshot`]).
     pub fn snapshot(&mut self, stream: &str) -> Result<String, ClientError> {
@@ -368,5 +383,33 @@ impl ClusterClient {
             Some(e) => Err(e),
             None => Ok(stopped),
         }
+    }
+}
+
+/// A fleet-wide health report: one [`NetStats`] per endpoint (labelled,
+/// in map order) plus a [`ClusterMetrics::merged`] rollup.
+///
+/// Kept per-node because the two views answer different questions:
+/// "which node is hot" needs the partials, "is the fleet healthy"
+/// needs the merge — same split the fleet stats make per shard.
+#[derive(Debug, Clone)]
+pub struct ClusterMetrics {
+    /// One report per endpoint, each with
+    /// [`NetStats::endpoint`] set, in the map's first-appearance order.
+    pub nodes: Vec<NetStats>,
+}
+
+impl ClusterMetrics {
+    /// Folds the per-node reports into one cluster-wide [`NetStats`]
+    /// in node order (see [`NetStats::merge`] for the per-field
+    /// semantics). Folding in the fixed map order makes the merged
+    /// settle-latency moments bit-exact against any other fold of the
+    /// same node reports in the same order — wire forms included.
+    pub fn merged(&self) -> NetStats {
+        let mut out = NetStats::default();
+        for node in &self.nodes {
+            out.merge(node);
+        }
+        out
     }
 }

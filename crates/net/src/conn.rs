@@ -26,6 +26,7 @@
 //!   allocation per settled frame on the hot path.
 
 use crate::server::{dispatch, Shared};
+use crate::stats::SlowRequest;
 use crate::wire::{err_body, ok_body, FrameError};
 use sofia_fleet::protocol::wire as pwire;
 use sofia_fleet::{FleetError, QueryResponse, QueryTicket};
@@ -33,6 +34,8 @@ use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::io::{self, Read as _, Write as _};
 use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::Ordering;
+use std::time::Instant;
 
 /// Longest accepted `#<len>` frame header (shared with the blocking
 /// reader in [`crate::wire`]).
@@ -202,6 +205,20 @@ pub(crate) enum BatchSlot {
     Done(Result<QueryResponse, FleetError>),
 }
 
+/// Per-request observability carried alongside a queued [`Completion`]:
+/// when the complete frame was decoded (the wire-to-settle clock), the
+/// verb, and the stream the request addressed — the stream `String` is
+/// **moved** out of the parsed request, never cloned, so metadata costs
+/// the steady-state path no allocation.
+pub(crate) struct ReqMeta {
+    /// When the request's complete frame came off the decoder.
+    pub(crate) arrived: Instant,
+    /// The request verb (or `error` for protocol-fault replies).
+    pub(crate) verb: &'static str,
+    /// The stream the request addressed, when it addressed one.
+    pub(crate) stream: Option<String>,
+}
+
 /// What one [`Conn::pump`] pass left behind, so the event loop can pick
 /// its poll timeout and know whether to come straight back.
 pub(crate) struct PumpOutcome {
@@ -218,7 +235,7 @@ pub(crate) struct PumpOutcome {
 pub(crate) struct Conn {
     stream: TcpStream,
     decoder: FrameDecoder,
-    pending: VecDeque<Completion>,
+    pending: VecDeque<(Completion, ReqMeta)>,
     write: WriteBuf,
     scratch: String,
     /// Level-triggered readiness hint; starts true (bytes may predate
@@ -231,10 +248,22 @@ pub(crate) struct Conn {
     /// The write side failed; nothing further can reach the peer, so
     /// queued work is dropped and the connection is finished.
     peer_gone: bool,
+    /// Index of the event-loop worker that owns this connection (which
+    /// settle-latency summary slot to observe into).
+    worker: usize,
+    /// Server-unique id, so slow-request records attribute to a socket.
+    conn_id: u64,
+    /// This connection's own write-buffer peak; the shared high-water
+    /// counter is only touched when this grows (bounded publishes per
+    /// connection instead of one atomic per settled frame).
+    write_highwater: u64,
+    /// Whether the read interest is currently dropped for backpressure
+    /// (edge detection for the `read-interest-drops` counter).
+    read_suppressed: bool,
 }
 
 impl Conn {
-    pub(crate) fn new(stream: TcpStream) -> Conn {
+    pub(crate) fn new(stream: TcpStream, worker: usize, conn_id: u64) -> Conn {
         Conn {
             stream,
             decoder: FrameDecoder::default(),
@@ -245,6 +274,10 @@ impl Conn {
             handshook: false,
             read_closed: false,
             peer_gone: false,
+            worker,
+            conn_id,
+            write_highwater: 0,
+            read_suppressed: false,
         }
     }
 
@@ -269,6 +302,17 @@ impl Conn {
     /// queued that a previous write could not flush).
     pub(crate) fn wants_write(&self) -> bool {
         !self.peer_gone && self.write.pending_len() > 0
+    }
+
+    /// Edge-detects the backpressure transition for the
+    /// `read-interest-drops` counter: returns `true` exactly when a
+    /// still-open connection's read interest was *just* dropped
+    /// (write buffer or completion queue over its bound).
+    pub(crate) fn note_read_interest(&mut self, wants_read: bool) -> bool {
+        let suppressed = !wants_read && !self.read_closed;
+        let newly = suppressed && !self.read_suppressed;
+        self.read_suppressed = suppressed;
+        newly
     }
 
     /// Stop reading (server drain): queued replies still settle and
@@ -352,73 +396,111 @@ impl Conn {
                     // Off-protocol peer (oversized/garbage frame): one
                     // typed reply if the handshake happened, then stop
                     // reading — the stream is no longer frame-aligned.
+                    shared.metrics.decode_errors.fetch_add(1, Ordering::Relaxed);
                     if self.handshook {
-                        self.push_ready(err_body(
-                            0,
-                            &FleetError::InvalidQuery {
-                                reason: e.to_string(),
-                            },
-                        ));
+                        self.push_ready(
+                            err_body(
+                                0,
+                                &FleetError::InvalidQuery {
+                                    reason: e.to_string(),
+                                },
+                            ),
+                            "error",
+                        );
                     }
                     self.read_closed = true;
                     break;
                 }
             };
+            // The wire-to-settle clock starts the instant a complete
+            // frame comes off the decoder.
+            let arrived = Instant::now();
             let parsed = match std::str::from_utf8(&self.decoder.bytes()[start..end]) {
                 Ok(body) => crate::wire::Request::from_body(body),
                 Err(_) => {
                     self.decoder.consume(end);
+                    shared.metrics.decode_errors.fetch_add(1, Ordering::Relaxed);
                     if self.handshook {
-                        self.push_ready(err_body(
-                            0,
-                            &FleetError::InvalidQuery {
-                                reason: FrameError::NotUtf8.to_string(),
-                            },
-                        ));
+                        self.push_ready(
+                            err_body(
+                                0,
+                                &FleetError::InvalidQuery {
+                                    reason: FrameError::NotUtf8.to_string(),
+                                },
+                            ),
+                            "error",
+                        );
                     }
                     self.read_closed = true;
                     break;
                 }
             };
             self.decoder.consume(end);
+            shared
+                .metrics
+                .frames_decoded
+                .fetch_add(1, Ordering::Relaxed);
             match parsed {
                 Ok(crate::wire::Request::Hello { .. }) if !self.handshook => {
                     self.handshook = true;
-                    self.push_ready(ok_body(0, |out| shared.map.push_wire(out)));
+                    self.push_ready(ok_body(0, |out| shared.map.push_wire(out)), "hello");
                 }
                 Ok(_) | Err(_) if !self.handshook => {
                     // First frame was well-formed but not a `hello`.
-                    self.push_ready(err_body(
-                        0,
-                        &FleetError::InvalidQuery {
-                            reason: "handshake must be a `hello` frame".to_string(),
-                        },
-                    ));
+                    self.push_ready(
+                        err_body(
+                            0,
+                            &FleetError::InvalidQuery {
+                                reason: "handshake must be a `hello` frame".to_string(),
+                            },
+                        ),
+                        "error",
+                    );
                     self.read_closed = true;
                 }
                 Ok(req) => {
-                    let (completion, keep_going) = dispatch(req, shared);
-                    self.pending.push_back(completion);
+                    let verb = req.verb();
+                    let (completion, stream, keep_going) = dispatch(req, shared);
+                    self.pending.push_back((
+                        completion,
+                        ReqMeta {
+                            arrived,
+                            verb,
+                            stream,
+                        },
+                    ));
                     if !keep_going {
                         self.read_closed = true;
                     }
                 }
                 Err(e) => {
                     // The frame was well-formed, so the stream is still
-                    // aligned: report and keep serving.
-                    self.push_ready(err_body(
-                        0,
-                        &FleetError::InvalidQuery {
-                            reason: e.to_string(),
-                        },
-                    ));
+                    // aligned: report and keep serving (the malformed
+                    // body still counts as a decode error).
+                    shared.metrics.decode_errors.fetch_add(1, Ordering::Relaxed);
+                    self.push_ready(
+                        err_body(
+                            0,
+                            &FleetError::InvalidQuery {
+                                reason: e.to_string(),
+                            },
+                        ),
+                        "error",
+                    );
                 }
             }
         }
     }
 
-    fn push_ready(&mut self, body: String) {
-        self.pending.push_back(Completion::Ready(body));
+    fn push_ready(&mut self, body: String, verb: &'static str) {
+        self.pending.push_back((
+            Completion::Ready(body),
+            ReqMeta {
+                arrived: Instant::now(),
+                verb,
+                stream: None,
+            },
+        ));
     }
 
     /// Settles completions **from the front only** (replies are in
@@ -436,15 +518,16 @@ impl Conn {
             if self.write.pending_len() >= shared.config.write_buffer_bytes {
                 return false;
             }
-            let Some(front) = self.pending.front_mut() else {
+            let Some((front, _)) = self.pending.front_mut() else {
                 return false;
             };
             match front {
                 Completion::Ready(_) => {
-                    let Some(Completion::Ready(body)) = self.pending.pop_front() else {
+                    let Some((Completion::Ready(body), meta)) = self.pending.pop_front() else {
                         unreachable!("front was Ready");
                     };
                     self.write.append_frame(&body);
+                    self.observe_settled(shared, meta);
                 }
                 Completion::Query { id, ticket } => {
                     let Some(result) = ticket.try_take() else {
@@ -461,7 +544,8 @@ impl Conn {
                         }
                     }
                     self.write.append_frame(&self.scratch);
-                    self.pending.pop_front();
+                    let (_, meta) = self.pending.pop_front().expect("front was Query");
+                    self.observe_settled(shared, meta);
                 }
                 Completion::Batch { id, slots } => {
                     let mut all_done = true;
@@ -492,9 +576,41 @@ impl Conn {
                         }
                     }
                     self.write.append_frame(&self.scratch);
-                    self.pending.pop_front();
+                    let (_, meta) = self.pending.pop_front().expect("front was Batch");
+                    self.observe_settled(shared, meta);
                 }
             }
+        }
+    }
+
+    /// A reply's bytes just entered the write buffer: stop the
+    /// wire-to-settle clock, observe the latency into this worker's
+    /// summary slot, update the write-buffer high-water mark (shared
+    /// counter touched only when this connection's own peak grows), and
+    /// capture a slow-request record when the threshold says so — the
+    /// only branch that allocates, and only for requests already past
+    /// the latency threshold.
+    fn observe_settled(&mut self, shared: &Shared, meta: ReqMeta) {
+        let elapsed = meta.arrived.elapsed();
+        let latency_us = elapsed.as_micros() as u64;
+        shared
+            .metrics
+            .observe_settle(self.worker, elapsed.as_secs_f64() * 1e6);
+        let depth = self.write.pending_len() as u64;
+        if depth > self.write_highwater {
+            self.write_highwater = depth;
+            shared
+                .metrics
+                .write_buffer_highwater
+                .fetch_max(depth, Ordering::Relaxed);
+        }
+        if latency_us >= shared.metrics.slow_threshold_us {
+            shared.metrics.record_slow(SlowRequest {
+                verb: meta.verb.to_string(),
+                stream: meta.stream,
+                conn: self.conn_id,
+                latency_us,
+            });
         }
     }
 

@@ -12,11 +12,11 @@
 //!   text) and the request/reply bodies: `hello`, `query`, `batch`,
 //!   `register` (a checkpoint envelope *is* a model's wire form),
 //!   `ingest` (batched slices with sequence numbers and a typed
-//!   backpressure hand-back), `flush`, `stats`, `shutdown`. Floats
-//!   travel as IEEE 754 hex bit patterns, so everything that crosses
-//!   the socket round-trips **bit-exactly**. Every parser is total:
-//!   malformed, truncated, oversized, or non-UTF-8 input is a typed
-//!   error, never a panic.
+//!   backpressure hand-back), `flush`, `stats`, `metrics`, `shutdown`.
+//!   Floats travel as IEEE 754 hex bit patterns, so everything that
+//!   crosses the socket round-trips **bit-exactly**. Every parser is
+//!   total: malformed, truncated, oversized, or non-UTF-8 input is a
+//!   typed error, never a panic.
 //! * [`server`] — [`Server`] wraps a running [`sofia_fleet::Fleet`]:
 //!   one acceptor plus a fixed pool of event-loop threads driving
 //!   nonblocking sockets (readiness via [`poll`], per-connection state
@@ -27,8 +27,16 @@
 //!   O(pool), never O(connections).
 //! * [`poll`] — the std-only readiness layer under the server: a
 //!   level-triggered poller (`ppoll(2)` via a local FFI declaration on
-//!   Linux, a bounded-sleep fallback elsewhere) with a wake pipe, no
-//!   tokio/mio.
+//!   Linux, a bounded-sleep condvar fallback elsewhere — compiled and
+//!   tested on every target) with a wake pipe, no tokio/mio.
+//! * [`stats`] — node-health observability: every layer above feeds a
+//!   [`NetStats`] (connection churn, frames decoded, decode errors,
+//!   backpressure onsets, poll wakeups, and per-request wire-to-settle
+//!   latency as a mergeable [`sofia_sketch::MetricSummary`]), plus a
+//!   bounded slow-request ring ([`ServerConfig::slow_request_us`]).
+//!   Served by the `metrics` verb ([`Client::metrics`]), merged
+//!   fleet-wide by [`ClusterClient::metrics`] — the same
+//!   partializable-aggregate model as the PR 6 stream sketches.
 //! * [`client`] — [`Client`] mirrors the in-process `Fleet` API
 //!   (`query` / `query_batch` / `ingest` / `flush` / `stats` /
 //!   `register`), so tests and the CLI exercise identical semantics
@@ -72,9 +80,11 @@ pub mod cluster;
 mod conn;
 pub mod poll;
 pub mod server;
+pub mod stats;
 pub mod wire;
 
 pub use client::{Client, ClientError, IngestReport, DEFAULT_READ_TIMEOUT};
-pub use cluster::ClusterClient;
+pub use cluster::{ClusterClient, ClusterMetrics};
 pub use server::{Server, ServerConfig};
+pub use stats::{parse_net_stats, push_net_stats, NetStats, SlowRequest};
 pub use wire::{FrameError, Request, ShardMap, MAX_FRAME_BYTES};

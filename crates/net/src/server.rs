@@ -46,6 +46,7 @@
 
 use crate::conn::{BatchSlot, Completion, Conn};
 use crate::poll::{listener_id, socket_id, Event, Interest, Poller, Waker};
+use crate::stats::{push_net_stats, NetMetrics};
 use crate::wire::{err_body, ok_body, push_fleet_stats, Request, ShardMap, MAX_FRAME_BYTES};
 use sofia_fleet::durability::restore_handle;
 use sofia_fleet::{Fleet, FleetError, IngestError};
@@ -121,6 +122,15 @@ pub struct ServerConfig {
     /// Bound on the graceful-shutdown drain: connections whose queued
     /// replies have not settled and flushed by then are torn down.
     pub drain_timeout: Duration,
+    /// Slow-request threshold in microseconds: a request whose
+    /// wire-to-settle latency reaches it is captured in the bounded
+    /// slow-request ring (queryable via the `metrics` verb /
+    /// [`crate::Client::metrics`]). `0` captures every request —
+    /// useful for smoke tests, expensive in allocation terms.
+    pub slow_request_us: u64,
+    /// Capacity of the slow-request ring; the oldest record is evicted
+    /// (and counted in [`crate::NetStats::slow_dropped`]) when full.
+    pub slow_ring_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -132,6 +142,8 @@ impl Default for ServerConfig {
             event_threads: None,
             write_buffer_bytes: 256 * 1024,
             drain_timeout: Duration::from_secs(5),
+            slow_request_us: 10_000,
+            slow_ring_capacity: 64,
         }
     }
 }
@@ -140,6 +152,8 @@ pub(crate) struct Shared {
     pub(crate) fleet: Fleet,
     pub(crate) map: ShardMap,
     pub(crate) config: ServerConfig,
+    /// The live node-health collector behind the `metrics` verb.
+    pub(crate) metrics: NetMetrics,
     /// Tells the acceptor and workers to wind down (gracefully).
     stop: AtomicBool,
     /// Crash-faithful teardown: workers drop connections immediately,
@@ -237,10 +251,12 @@ impl Server {
                     .unwrap_or(1)
             })
             .max(1);
+        let metrics = NetMetrics::new(pool, config.slow_request_us, config.slow_ring_capacity);
         let shared = Arc::new(Shared {
             fleet,
             map,
             config,
+            metrics,
             stop: AtomicBool::new(false),
             hard_stop: AtomicBool::new(false),
             shutdown_requested: AtomicBool::new(false),
@@ -262,7 +278,7 @@ impl Server {
             let worker_shared = Arc::clone(&shared);
             let t = std::thread::Builder::new()
                 .name(format!("sofia-net-loop-{i}"))
-                .spawn(move || worker_loop(worker_shared, poller, inbox))
+                .spawn(move || worker_loop(worker_shared, poller, inbox, i))
                 .expect("spawn event-loop worker");
             threads.push(t);
         }
@@ -397,16 +413,19 @@ fn accept_loop(
     }];
     let mut events: Vec<Event> = Vec::new();
     let mut next = 0usize;
+    let mut seen_wakeups = 0u64;
     while !shared.stop.load(Ordering::Acquire) {
         loop {
             match listener.accept() {
                 Ok((stream, _peer)) => {
+                    shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
                     let _ = stream.set_nodelay(true);
                     // Accepted sockets do not inherit the listener's
                     // nonblocking mode portably, and the event loop is
                     // built on nonblocking I/O: a socket we cannot
                     // configure we must not serve.
                     if stream.set_nonblocking(true).is_err() {
+                        shared.metrics.closed.fetch_add(1, Ordering::Relaxed);
                         continue;
                     }
                     let worker = &workers[next];
@@ -420,27 +439,46 @@ fn accept_loop(
                 Err(_) => break,
             }
         }
+        shared
+            .metrics
+            .poll_iterations
+            .fetch_add(1, Ordering::Relaxed);
         let _ = poller.poll(&interests, ACCEPT_POLL, &mut events);
+        publish_wakeups(&shared, &poller, &mut seen_wakeups);
     }
+}
+
+/// Folds a poller's monotonically growing wake count into the shared
+/// counter (each loop publishes only the delta since its last poll).
+fn publish_wakeups(shared: &Shared, poller: &Poller, seen: &mut u64) {
+    let total = poller.wakeups();
+    shared
+        .metrics
+        .wakeups
+        .fetch_add(total - *seen, Ordering::Relaxed);
+    *seen = total;
 }
 
 /// One event-loop worker: owns a slab of connections and drives their
 /// state machines off readiness events.
-fn worker_loop(shared: Arc<Shared>, mut poller: Poller, inbox: Arc<Inbox>) {
+fn worker_loop(shared: Arc<Shared>, mut poller: Poller, inbox: Arc<Inbox>, worker: usize) {
     let mut conns: Vec<Option<Conn>> = Vec::new();
     let mut interests: Vec<Interest> = Vec::new();
     let mut events: Vec<Event> = Vec::new();
     let mut read_buf = vec![0u8; READ_CHUNK];
     let mut draining = false;
     let mut drain_deadline = Instant::now();
+    let mut seen_wakeups = 0u64;
     loop {
         // Adopt newly accepted connections (slab slot index = token).
         for stream in inbox.drain() {
             if shared.stop.load(Ordering::Acquire) {
                 let _ = stream.shutdown(Shutdown::Both);
+                shared.metrics.closed.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
-            let conn = Conn::new(stream);
+            let conn = Conn::new(stream, worker, shared.metrics.next_conn_id());
+            shared.metrics.active.fetch_add(1, Ordering::Relaxed);
             match conns.iter().position(Option::is_none) {
                 Some(slot) => conns[slot] = Some(conn),
                 None => conns.push(Some(conn)),
@@ -458,6 +496,8 @@ fn worker_loop(shared: Arc<Shared>, mut poller: Poller, inbox: Arc<Inbox>) {
         {
             for conn in conns.iter_mut().flatten() {
                 conn.teardown();
+                shared.metrics.active.fetch_sub(1, Ordering::Relaxed);
+                shared.metrics.closed.fetch_add(1, Ordering::Relaxed);
             }
             conns.clear();
         }
@@ -495,6 +535,8 @@ fn worker_loop(shared: Arc<Shared>, mut poller: Poller, inbox: Arc<Inbox>) {
             if slot.as_ref().is_some_and(Conn::finished) {
                 if let Some(mut conn) = slot.take() {
                     conn.teardown();
+                    shared.metrics.active.fetch_sub(1, Ordering::Relaxed);
+                    shared.metrics.closed.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -508,10 +550,18 @@ fn worker_loop(shared: Arc<Shared>, mut poller: Poller, inbox: Arc<Inbox>) {
         // their read interest here — that is the "stop reading" half of
         // the write-buffer contract.
         interests.clear();
-        for (token, slot) in conns.iter().enumerate() {
+        for (token, slot) in conns.iter_mut().enumerate() {
             let Some(conn) = slot else { continue };
             let read = conn.wants_read(&shared);
             let write = conn.wants_write();
+            // A live connection losing its read interest is the
+            // backpressure contract firing — count each onset.
+            if conn.note_read_interest(read) {
+                shared
+                    .metrics
+                    .read_interest_drops
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             if read || write {
                 interests.push(Interest {
                     token,
@@ -530,11 +580,16 @@ fn worker_loop(shared: Arc<Shared>, mut poller: Poller, inbox: Arc<Inbox>) {
         } else {
             IDLE_POLL
         };
+        shared
+            .metrics
+            .poll_iterations
+            .fetch_add(1, Ordering::Relaxed);
         if poller.poll(&interests, timeout, &mut events).is_err() {
             // Poll failures are not actionable here; back off so a
             // persistent one cannot spin the core.
             std::thread::sleep(Duration::from_millis(1));
         }
+        publish_wakeups(&shared, &poller, &mut seen_wakeups);
         for ev in &events {
             if let Some(Some(conn)) = conns.get_mut(ev.token) {
                 conn.on_event(ev.readable);
@@ -545,13 +600,16 @@ fn worker_loop(shared: Arc<Shared>, mut poller: Poller, inbox: Arc<Inbox>) {
     // inbox drops (the peer sees EOF).
     for stream in inbox.drain() {
         let _ = stream.shutdown(Shutdown::Both);
+        shared.metrics.closed.fetch_add(1, Ordering::Relaxed);
     }
 }
 
 /// Executes one request against the fleet, returning the queued
-/// completion and whether the connection keeps reading (`false` ends it
-/// after the queued reply goes out).
-pub(crate) fn dispatch(req: Request, shared: &Shared) -> (Completion, bool) {
+/// completion, the stream name the request addressed (moved out of the
+/// parsed request so slow-request records never clone), and whether the
+/// connection keeps reading (`false` ends it after the queued reply
+/// goes out).
+pub(crate) fn dispatch(req: Request, shared: &Shared) -> (Completion, Option<String>, bool) {
     let fleet = &shared.fleet;
     match req {
         Request::Hello { .. } => {
@@ -563,6 +621,7 @@ pub(crate) fn dispatch(req: Request, shared: &Shared) -> (Completion, bool) {
                         reason: "duplicate `hello`".to_string(),
                     },
                 )),
+                None,
                 false,
             )
         }
@@ -571,7 +630,7 @@ pub(crate) fn dispatch(req: Request, shared: &Shared) -> (Completion, bool) {
                 Ok(ticket) => Completion::Query { id, ticket },
                 Err(e) => Completion::Ready(err_body(id, &e)),
             };
-            (completion, true)
+            (completion, Some(stream), true)
         }
         Request::QueryBatch { id, items } => {
             let refs: Vec<(&str, sofia_fleet::Query)> =
@@ -589,7 +648,7 @@ pub(crate) fn dispatch(req: Request, shared: &Shared) -> (Completion, bool) {
                 },
                 Err(e) => Completion::Ready(err_body(id, &e)),
             };
-            (completion, true)
+            (completion, None, true)
         }
         Request::Register {
             id,
@@ -619,7 +678,7 @@ pub(crate) fn dispatch(req: Request, shared: &Shared) -> (Completion, bool) {
                 },
                 Err(e) => err_body(id, &e),
             };
-            (Completion::Ready(body), true)
+            (Completion::Ready(body), Some(stream), true)
         }
         Request::Ingest { id, stream, slices } => {
             // Slices apply in seq order. The first backpressure stops
@@ -663,7 +722,7 @@ pub(crate) fn dispatch(req: Request, shared: &Shared) -> (Completion, bool) {
                     })
                 }
             };
-            (Completion::Ready(body), true)
+            (Completion::Ready(body), Some(stream), true)
         }
         Request::Snapshot { id, stream } => {
             // The reply payload IS the checkpoint envelope — exactly
@@ -673,34 +732,46 @@ pub(crate) fn dispatch(req: Request, shared: &Shared) -> (Completion, bool) {
                 Ok(envelope) => ok_body(id, |out| out.push_str(&envelope)),
                 Err(e) => err_body(id, &e),
             };
-            (Completion::Ready(body), true)
+            (Completion::Ready(body), Some(stream), true)
         }
         Request::Deregister { id, stream } => {
             let body = match fleet.deregister(&stream) {
                 Ok(()) => ok_body(id, |_| {}),
                 Err(e) => err_body(id, &e),
             };
-            (Completion::Ready(body), true)
+            (Completion::Ready(body), Some(stream), true)
         }
         Request::Flush { id } => {
             let body = match fleet.flush() {
                 Ok(()) => ok_body(id, |_| {}),
                 Err(e) => err_body(id, &e),
             };
-            (Completion::Ready(body), true)
+            (Completion::Ready(body), None, true)
         }
         Request::Stats { id } => {
             let body = match fleet.fleet_stats() {
                 Ok(stats) => ok_body(id, |out| push_fleet_stats(out, &stats)),
                 Err(e) => err_body(id, &e),
             };
-            (Completion::Ready(body), true)
+            (Completion::Ready(body), None, true)
+        }
+        Request::Metrics { id } => {
+            // The snapshot is taken on the worker thread serving the
+            // request; counters are relaxed-atomic and the settle
+            // summaries fold in fixed worker order, so two nodes'
+            // reports merge bit-exactly regardless of who asks.
+            let stats = shared.metrics.snapshot();
+            (
+                Completion::Ready(ok_body(id, |out| push_net_stats(out, &stats))),
+                None,
+                true,
+            )
         }
         Request::Shutdown { id } => {
             shared.shutdown_requested.store(true, Ordering::Release);
             // Close this connection (after the queued ok flushes);
             // `Server::run` drives the rest.
-            (Completion::Ready(ok_body(id, |_| {})), false)
+            (Completion::Ready(ok_body(id, |_| {})), None, false)
         }
     }
 }

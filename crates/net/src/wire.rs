@@ -28,6 +28,7 @@
 //! deregister <req-id> <stream>         unload + delete the stream here
 //! flush <req-id>                       read-your-writes barrier
 //! stats <req-id>                       fleet-wide statistics
+//! metrics <req-id>                     node-health snapshot (NetStats)
 //! shutdown <req-id>                    graceful server shutdown
 //! ```
 //!
@@ -252,6 +253,13 @@ pub enum Request {
         /// Pipelining id.
         id: u64,
     },
+    /// Node-health snapshot: the serving node's [`crate::NetStats`]
+    /// (network-core counters, settle-latency summary, slow-request
+    /// ring) in its versioned wire form.
+    Metrics {
+        /// Pipelining id.
+        id: u64,
+    },
     /// Ask the server to drain and exit gracefully.
     Shutdown {
         /// Pipelining id.
@@ -272,7 +280,26 @@ impl Request {
             | Request::Deregister { id, .. }
             | Request::Flush { id }
             | Request::Stats { id }
+            | Request::Metrics { id }
             | Request::Shutdown { id } => *id,
+        }
+    }
+
+    /// The request's wire verb as a static string — what the server's
+    /// slow-request ring records without allocating per request.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Hello { .. } => "hello",
+            Request::Query { .. } => "query",
+            Request::QueryBatch { .. } => "batch",
+            Request::Register { .. } => "register",
+            Request::Ingest { .. } => "ingest",
+            Request::Snapshot { .. } => "snapshot",
+            Request::Deregister { .. } => "deregister",
+            Request::Flush { .. } => "flush",
+            Request::Stats { .. } => "stats",
+            Request::Metrics { .. } => "metrics",
+            Request::Shutdown { .. } => "shutdown",
         }
     }
 
@@ -320,6 +347,9 @@ impl Request {
             }
             Request::Stats { id } => {
                 let _ = writeln!(out, "stats {id}");
+            }
+            Request::Metrics { id } => {
+                let _ = writeln!(out, "metrics {id}");
             }
             Request::Shutdown { id } => {
                 let _ = writeln!(out, "shutdown {id}");
@@ -443,6 +473,9 @@ impl Request {
                 id: int(&mut toks, verb, "request id")?,
             },
             "stats" => Request::Stats {
+                id: int(&mut toks, verb, "request id")?,
+            },
+            "metrics" => Request::Metrics {
                 id: int(&mut toks, verb, "request id")?,
             },
             "shutdown" => Request::Shutdown {
@@ -1020,6 +1053,7 @@ mod tests {
             },
             Request::Flush { id: 11 },
             Request::Stats { id: 12 },
+            Request::Metrics { id: 16 },
             Request::Shutdown { id: 13 },
         ];
         for req in requests {
@@ -1076,6 +1110,10 @@ mod tests {
             "flush x",
             "flush 1 2",
             "stats 1\nstray",
+            "metrics",
+            "metrics x",
+            "metrics 1 2",
+            "metrics 1\nstray",
             "hello %f",
             "snapshot",
             "snapshot 1",

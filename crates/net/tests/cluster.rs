@@ -654,3 +654,98 @@ fn cluster_merged_drift_sketches_are_bit_exact_vs_single_process_fleet() {
     server_b.shutdown().expect("b down");
     control.shutdown().expect("control down");
 }
+
+/// The node-health rollup keeps the PR 6 partializable-aggregate
+/// contract at cluster scope: [`ClusterClient::metrics`] fetches one
+/// [`sofia_net::NetStats`] per endpoint in map order, and
+/// [`ClusterMetrics::merged`] folding those reports is **bit-exact**
+/// (settle-latency moment partials compared by `to_bits`) against
+/// folding the same two reports through their wire forms by endpoint
+/// order — serialization is never where determinism goes to die.
+#[test]
+fn cluster_metrics_rollup_is_bit_exact_vs_folding_wire_forms() {
+    use sofia_fleet::protocol::wire::LineCursor;
+    use sofia_net::{parse_net_stats, push_net_stats, NetStats};
+
+    let plain = || FleetConfig {
+        shards: 2,
+        queue_capacity: 64,
+        checkpoint: None,
+        evict_idle_after: None,
+    };
+    let server_a = Server::bind("127.0.0.1:0", Fleet::new(plain()).expect("fleet a")).expect("a");
+    let server_b = Server::bind("127.0.0.1:0", Fleet::new(plain()).expect("fleet b")).expect("b");
+    let ep_a = server_a.local_addr().to_string();
+    let ep_b = server_b.local_addr().to_string();
+    let mut cluster =
+        ClusterClient::from_map(ShardMap::round_robin(&[ep_a.clone(), ep_b.clone()], 2));
+
+    // Traffic on both nodes (flush broadcasts), so both reports carry
+    // real settle-latency observations, not just empty summaries.
+    for _ in 0..5 {
+        cluster.flush().expect("cluster flush");
+    }
+
+    let report = cluster.metrics().expect("cluster metrics");
+    assert_eq!(report.nodes.len(), 2);
+    assert_eq!(
+        report.nodes[0].endpoint.as_deref(),
+        Some(ep_a.as_str()),
+        "reports arrive in map order"
+    );
+    assert_eq!(report.nodes[1].endpoint.as_deref(), Some(ep_b.as_str()));
+    for node in &report.nodes {
+        assert!(node.accepted >= 1, "the router connected to every node");
+        assert!(
+            !node.settle_latency.is_empty(),
+            "{:?} served requests",
+            node.endpoint
+        );
+    }
+
+    let merged = report.merged();
+    assert!(merged.endpoint.is_none(), "a rollup has no single endpoint");
+    assert_eq!(
+        merged.accepted,
+        report.nodes.iter().map(|n| n.accepted).sum::<u64>()
+    );
+    assert_eq!(
+        merged.settle_latency.count(),
+        report
+            .nodes
+            .iter()
+            .map(|n| n.settle_latency.count())
+            .sum::<u64>()
+    );
+
+    // The acceptance bit: fold the SAME per-node reports through their
+    // wire forms, in the same endpoint order, and every settle-latency
+    // moment partial matches `merged` to the bit.
+    let mut folded = NetStats::default();
+    for node in &report.nodes {
+        let mut wire = String::new();
+        push_net_stats(&mut wire, node);
+        let mut cur = LineCursor::new(&wire);
+        let parsed = parse_net_stats(&mut cur).expect("parse node report");
+        cur.finish().expect("report fully consumed");
+        folded.merge(&parsed);
+    }
+    let (m, f) = (
+        merged.settle_latency.moments(),
+        folded.settle_latency.moments(),
+    );
+    assert_eq!(m.count(), f.count());
+    assert_eq!(m.sum().to_bits(), f.sum().to_bits());
+    assert_eq!(m.sum_sq().to_bits(), f.sum_sq().to_bits());
+    assert_eq!(m.min().map(f64::to_bits), f.min().map(f64::to_bits));
+    assert_eq!(m.max().map(f64::to_bits), f.max().map(f64::to_bits));
+    // The exact counters fold identically too, ring included.
+    assert_eq!(merged.accepted, folded.accepted);
+    assert_eq!(merged.frames_decoded, folded.frames_decoded);
+    assert_eq!(merged.write_buffer_highwater, folded.write_buffer_highwater);
+    assert_eq!(merged.slow_threshold_us, folded.slow_threshold_us);
+    assert_eq!(merged.slow, folded.slow);
+
+    server_a.shutdown().expect("a down");
+    server_b.shutdown().expect("b down");
+}

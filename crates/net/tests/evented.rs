@@ -10,7 +10,7 @@
 //!   truncation) instead of hanging on the read side.
 
 use sofia_core::traits::{StepOutput, StreamingFactorizer};
-use sofia_fleet::{Fleet, FleetConfig, ModelHandle, Query, QueryResponse};
+use sofia_fleet::{Fleet, FleetConfig, MetricKind, ModelHandle, Query, QueryResponse};
 use sofia_net::wire::{ok_body, read_frame, write_frame, Request, ShardMap};
 use sofia_net::{Client, ClientError, FrameError, Server, ServerConfig};
 use sofia_tensor::{DenseTensor, ObservedTensor, Shape};
@@ -330,4 +330,175 @@ fn client_errors_promptly_when_server_dies_mid_pipelined_batch() {
         "client took {:?} to notice the dead server",
         started.elapsed()
     );
+}
+
+#[test]
+fn metrics_report_counts_connections_frames_and_settle_latency() {
+    let (fleet, ids) = serving_fleet(2);
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        fleet,
+        ServerConfig {
+            // Threshold 0 captures every request, so this test also
+            // pins the slow-ring path without depending on timing.
+            slow_request_us: 0,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let mut other = Client::connect(server.local_addr()).expect("connect");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    for round in 0..10 {
+        client
+            .query(&ids[round % ids.len()], Query::Forecast { horizon: 1 })
+            .expect("query");
+    }
+    other.flush().expect("flush");
+
+    let stats = client.metrics().expect("metrics");
+    assert!(stats.accepted >= 2, "two live clients: {}", stats.accepted);
+    assert!(stats.active >= 1 && stats.active <= stats.accepted);
+    assert_eq!(stats.decode_errors, 0);
+    // 2 hellos + 10 queries + 1 flush decoded before the metrics frame.
+    assert!(
+        stats.frames_decoded >= 13,
+        "frames_decoded = {}",
+        stats.frames_decoded
+    );
+    assert!(stats.settle_latency.count() >= 11);
+    assert!(
+        stats.settle_latency.p99().is_some(),
+        "a served node has a settle-latency p99"
+    );
+    assert!(stats.poll_iterations > 0);
+    assert!(
+        stats.wakeups >= 1,
+        "adopting a connection wakes the worker's poller"
+    );
+    // Threshold 0: every settled request landed in the ring.
+    assert_eq!(stats.slow_threshold_us, 0);
+    assert!(!stats.slow.is_empty());
+    let q = stats
+        .slow
+        .iter()
+        .find(|r| r.verb == "query")
+        .expect("a captured query record");
+    let q_stream = q.stream.as_ref().expect("queries are stream-addressed");
+    assert!(ids.contains(q_stream), "unexpected stream `{q_stream}`");
+
+    // Counters are monotone: the metrics request itself is traffic.
+    let later = client.metrics().expect("metrics again");
+    assert!(later.frames_decoded > stats.frames_decoded);
+    assert!(later.settle_latency.count() > stats.settle_latency.count());
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn slow_request_ring_captures_requests_past_the_threshold() {
+    let fleet = Fleet::new(FleetConfig {
+        shards: 1,
+        queue_capacity: 64,
+        checkpoint: None,
+        evict_idle_after: None,
+    })
+    .expect("fleet");
+    fleet
+        .register("laggard", ModelHandle::serve(SlowEcho))
+        .expect("register");
+    // SlowEcho's forecast sleeps 30 ms — far past a 20 ms threshold.
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        fleet,
+        ServerConfig {
+            slow_request_us: 20_000,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client
+        .query("laggard", Query::Forecast { horizon: 1 })
+        .expect("slow query");
+
+    let stats = client.metrics().expect("metrics");
+    assert_eq!(stats.slow_threshold_us, 20_000);
+    assert_eq!(stats.slow_dropped, 0);
+    let rec = stats
+        .slow
+        .iter()
+        .find(|r| r.verb == "query")
+        .expect("the 30 ms forecast must be captured");
+    assert_eq!(rec.stream.as_deref(), Some("laggard"));
+    assert!(
+        rec.latency_us >= 20_000,
+        "captured latency {}µs is under the threshold",
+        rec.latency_us
+    );
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn malformed_bodies_count_as_decode_errors() {
+    let (fleet, _ids) = serving_fleet(1);
+    let server = Server::bind("127.0.0.1:0", fleet).expect("bind");
+    let raw = raw_handshaken(&server);
+    let mut w = raw.try_clone().expect("clone");
+    // A well-formed frame whose body is not a request.
+    write_frame(&mut w, "warp 9\n").expect("garbage frame");
+    let mut r = BufReader::new(raw.try_clone().expect("clone"));
+    let reply = read_frame(&mut r, 1 << 20)
+        .expect("err reply")
+        .expect("reply frame");
+    assert!(reply.starts_with("err "), "got `{reply}`");
+
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let stats = client.metrics().expect("metrics");
+    assert!(
+        stats.decode_errors >= 1,
+        "the garbage body must be counted: {}",
+        stats.decode_errors
+    );
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn quantile_on_an_empty_sketch_is_none_over_the_wire() {
+    // Echo streams are registered but never stepped: both metric
+    // sketches are empty, so every quantile is the typed `None`.
+    let (fleet, ids) = serving_fleet(1);
+    let server = Server::bind("127.0.0.1:0", fleet).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let resp = client
+        .query(
+            &ids[0],
+            Query::Quantile {
+                metric: MetricKind::IngestLatency,
+                q: 0.99,
+            },
+        )
+        .expect("quantile query");
+    assert_eq!(resp.expect_quantile(), None);
+
+    // And the literal bytes: the reply payload is `quantile none`.
+    let raw = raw_handshaken(&server);
+    let mut w = raw.try_clone().expect("clone");
+    write_frame(
+        &mut w,
+        &Request::Query {
+            id: 9,
+            stream: ids[0].clone(),
+            query: Query::Quantile {
+                metric: MetricKind::ForecastError,
+                q: 0.5,
+            },
+        }
+        .to_body(),
+    )
+    .expect("raw quantile");
+    let mut r = BufReader::new(raw);
+    let reply = read_frame(&mut r, 1 << 20)
+        .expect("reply")
+        .expect("reply frame");
+    assert_eq!(reply, "ok 9\nquantile none\n");
+    server.shutdown().expect("shutdown");
 }

@@ -43,7 +43,7 @@ pub mod metric;
 pub mod moments;
 pub mod tdigest;
 
-pub use metric::MetricSummary;
+pub use metric::{MetricSummary, METRIC_WIRE_LINES};
 pub use moments::StatsSummary;
 pub use tdigest::TDigest;
 
