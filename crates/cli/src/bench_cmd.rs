@@ -104,6 +104,9 @@ const CONC_TARGET_QUERIES: usize = 16_384;
 /// Migration round-trips timed by the migrate pass (each hop is
 /// flush → snapshot → register → flip → deregister between two nodes).
 const MIGRATE_HOPS: usize = 6;
+/// Streams swept in one `migrate_slot` call by the migrate pass — the
+/// whole-slot move the rebalancer issues, one epoch bump for the lot.
+const SWEEP_STREAMS: usize = 4;
 
 /// Entry point of `sofia-cli bench`.
 pub fn bench(opts: &BenchOpts, json: bool) -> CmdResult {
@@ -507,6 +510,41 @@ fn bench_migrate(
         hops_us.push(t0.elapsed().as_secs_f64() * 1e6);
         here = to;
     }
+
+    // Slot sweep: the whole-route-slot move the rebalancer issues —
+    // every stream of one slot through snapshot → register, then a
+    // single epoch-bumping flip. Runs after the per-stream hops so
+    // those still measure the epoch-free path.
+    let slot = 0usize;
+    let slot_owner = cluster.map().endpoints()[slot].clone();
+    let sweep_to = if slot_owner == addr_a {
+        &addr_b
+    } else {
+        &addr_a
+    };
+    let mut registered = 0usize;
+    for k in 0.. {
+        if registered == SWEEP_STREAMS {
+            break;
+        }
+        let id = format!("sweep-{k:04}");
+        if cluster.map().shard_of(&id) != slot {
+            continue;
+        }
+        cluster
+            .register(&id, &models[0].handle())
+            .map_err(|e| format!("sweep-bench register failed: {e}"))?;
+        registered += 1;
+    }
+    let t0 = Instant::now();
+    let swept = cluster
+        .migrate_slot(slot, sweep_to)
+        .map_err(|e| format!("sweep-bench migrate_slot failed: {e}"))?;
+    let sweep_us = t0.elapsed().as_secs_f64() * 1e6;
+    if swept < SWEEP_STREAMS {
+        return Err(format!("sweep moved {swept} of {SWEEP_STREAMS} streams").into());
+    }
+
     server_a.shutdown()?;
     server_b.shutdown()?;
     let _ = std::fs::remove_dir_all(&base);
@@ -519,11 +557,19 @@ fn bench_migrate(
          mean {mean:.0}us, min {min:.0}us, max {max:.0}us per \
          flush+snapshot+register+flip+deregister"
     );
+    println!(
+        "bench[net/migrate]: slot sweep of {swept} streams in {sweep_us:.0}us \
+         ({:.0}us/stream, one epoch bump)",
+        sweep_us / swept as f64
+    );
     Ok(format!(
-        "{{ \"hops\": {MIGRATE_HOPS}, \"hop_us\": {{ \"mean\": {}, \"min\": {}, \"max\": {} }} }}",
+        "{{ \"hops\": {MIGRATE_HOPS}, \"hop_us\": {{ \"mean\": {}, \"min\": {}, \"max\": {} }}, \
+         \"slot_sweep\": {{ \"streams\": {swept}, \"sweep_us\": {}, \"per_stream_us\": {} }} }}",
         jnum(mean),
         jnum(min),
         jnum(max),
+        jnum(sweep_us),
+        jnum(sweep_us / swept as f64),
     ))
 }
 

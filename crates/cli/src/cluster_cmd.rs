@@ -6,8 +6,15 @@
 //!
 //! ```text
 //! sofia-cli cluster [--nodes 2] [--base-port 7421] [--shards 2]
-//!                   [--checkpoint-dir DIR]
+//!                   [--checkpoint-dir DIR] [--rebalance]
 //! ```
+//!
+//! With `--rebalance` the smoke grows a fault-and-recovery chapter: one
+//! node is SIGKILLed and restarted with `--recover`, a deliberately
+//! skewed stream population makes another node hot, and
+//! [`ClusterClient::rebalance`] is asserted to move at least one route
+//! slot off it — after which **every** stream must still answer through
+//! the router.
 //!
 //! Each node is a real OS process (`sofia-cli serve --empty true
 //! --cluster <all endpoints>`) with its own fleet, its own checkpoint
@@ -41,6 +48,8 @@ pub struct ClusterOpts {
     /// Base checkpoint directory (`node-<i>` per node); a temp
     /// directory when omitted.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Run the kill → restart → skew → rebalance chapter too.
+    pub rebalance: bool,
 }
 
 impl Default for ClusterOpts {
@@ -50,6 +59,7 @@ impl Default for ClusterOpts {
             base_port: 7421,
             shards: 2,
             checkpoint_dir: None,
+            rebalance: false,
         }
     }
 }
@@ -277,6 +287,20 @@ pub fn cluster(opts: &ClusterOpts) -> CmdResult {
         merged.steps()
     );
 
+    // --- Optional autonomy chapter: kill a node, recover it, skew the
+    // load, and prove the rebalancer moves slots while every stream
+    // keeps answering.
+    if opts.rebalance {
+        rebalance_phase(
+            &mut router,
+            &endpoints,
+            &mut guard,
+            &base_dir,
+            opts,
+            stream_id,
+        )?;
+    }
+
     // --- Cluster-wide graceful shutdown, then reap the processes.
     let stopped = router.shutdown_all()?;
     println!("cluster: {stopped} nodes acknowledged shutdown");
@@ -285,5 +309,146 @@ pub fn cluster(opts: &ClusterOpts) -> CmdResult {
         let _ = std::fs::remove_dir_all(&base_dir);
     }
     println!("cluster: register -> shard-miss -> migrate -> bit-exact forecast -> clean shutdown all proven");
+    Ok(())
+}
+
+/// The `--rebalance` chapter: SIGKILL one node and restart it with
+/// `--recover`, register a deliberately skewed population on the first
+/// node, then assert [`ClusterClient::rebalance`] moves at least one
+/// route slot off it and that **every** stream still answers through
+/// the router afterwards.
+fn rebalance_phase(
+    router: &mut ClusterClient,
+    endpoints: &[String],
+    guard: &mut NodeGuard,
+    base_dir: &std::path::Path,
+    opts: &ClusterOpts,
+    demo_stream: &str,
+) -> CmdResult {
+    // --- Kill the last node hard (no drain, no final checkpoints) and
+    // bring it back from its checkpoint directory — the restart path a
+    // real deployment takes after a crash.
+    let victim = endpoints.last().expect("at least 2 nodes").clone();
+    let pos = guard
+        .children
+        .iter()
+        .position(|(ep, _)| *ep == victim)
+        .ok_or("victim process not found")?;
+    let (_, mut child) = guard.children.remove(pos);
+    child.kill()?;
+    child.wait()?;
+    println!("cluster: killed node {victim} (SIGKILL)");
+    let node_idx = endpoints.len() - 1;
+    let dir = base_dir.join(format!("node-{node_idx}"));
+    let exe = std::env::current_exe()?;
+    let spec = endpoints.join(",");
+    let child = std::process::Command::new(&exe)
+        .args([
+            "serve",
+            "--bind",
+            &victim,
+            "--recover",
+            "true",
+            "--shards",
+            &opts.shards.to_string(),
+            "--cluster",
+            &spec,
+            "--checkpoint-dir",
+            dir.to_str().ok_or("unrepresentable checkpoint path")?,
+            "--checkpoint-every",
+            "2",
+        ])
+        .spawn()?;
+    guard.children.push((victim.clone(), child));
+    {
+        let (ep, child) = guard.children.last_mut().expect("just pushed");
+        let ep = ep.clone();
+        await_node(&ep, child, Duration::from_secs(30))?;
+    }
+    router.disconnect(&victim);
+    println!("cluster: node {victim} restarted with --recover");
+
+    // --- Skew: a population of streams whose ids all hash to slots the
+    // first node owns, fed enough traffic to make it the hot node.
+    let hot = endpoints[0].clone();
+    let period = 4;
+    let mut hot_streams: Vec<String> = Vec::new();
+    for i in 0.. {
+        if hot_streams.len() == 6 {
+            break;
+        }
+        if i == 10_000 {
+            return Err("could not find 6 stream ids hashing to the first node".into());
+        }
+        let id = format!("hot-{i:03}");
+        if router.endpoint_of(&id) == hot {
+            hot_streams.push(id);
+        }
+    }
+    for (i, stream) in hot_streams.iter().enumerate() {
+        let source = SeasonalStream::paper_fig2(&[6, 5], 2, period, 3000 + i as u64);
+        let startup: Vec<ObservedTensor> = (0..3 * period)
+            .map(|t| ObservedTensor::fully_observed(source.clean_slice(t)))
+            .collect();
+        let model = ModelHandle::durable(Smf::init(&startup, 2, period, 0.1, 3000 + i as u64));
+        router.register(stream, &model)?;
+        let slices: Vec<ObservedTensor> = (3 * period..3 * period + 16)
+            .map(|t| ObservedTensor::fully_observed(source.clean_slice(t)))
+            .collect();
+        router.ingest_blocking(stream, slices)?;
+    }
+    router.flush()?;
+    println!(
+        "cluster: skewed the load — {} streams ({} steps each) on {hot}",
+        hot_streams.len(),
+        16
+    );
+
+    // --- Rebalance and prove it moved something.
+    let report = router.rebalance()?;
+    for (ep, load) in &report.endpoint_load {
+        let p99 = report
+            .settle_p99_us
+            .iter()
+            .find(|(e, _)| e == ep)
+            .and_then(|(_, p)| *p)
+            .map(|v| format!("{v:.0}"))
+            .unwrap_or_else(|| "-".to_string());
+        println!("cluster:   load {ep}: {load:.0} (settle p99 {p99} us)");
+    }
+    for m in &report.moves {
+        println!(
+            "cluster:   moved slot {} ({} streams, load {:.0}) {} -> {}",
+            m.slot, m.streams, m.load, m.from, m.to
+        );
+    }
+    println!(
+        "cluster: rebalance skew {:.2} -> {:.2} in {} moves (epoch {})",
+        report.skew_before,
+        report.skew_after,
+        report.moves.len(),
+        router.map().epoch()
+    );
+    if report.moves.is_empty() {
+        return Err("rebalance moved no slots off the hot node".into());
+    }
+
+    // --- Every stream — migrated demo, skew population — still
+    // answers through the router.
+    let mut all: Vec<&str> = vec![demo_stream];
+    all.extend(hot_streams.iter().map(String::as_str));
+    for stream in all {
+        let steps = router
+            .query(stream, Query::StreamStats)?
+            .expect_stream_stats()
+            .steps;
+        if steps == 0 {
+            return Err(format!("stream `{stream}` answered with zero steps").into());
+        }
+    }
+    println!(
+        "cluster: all {} streams answer after kill + recover + rebalance",
+        1 + hot_streams.len()
+    );
     Ok(())
 }

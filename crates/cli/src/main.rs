@@ -22,7 +22,7 @@
 //!                    [--stream stream-0000] [--query "forecast 4"]
 //!                    [--ingest N] [--top-drift K] [--shutdown true]
 //! sofia-cli cluster  [--nodes 2] [--base-port 7421] [--shards 2]
-//!                    [--checkpoint-dir DIR]
+//!                    [--checkpoint-dir DIR] [--rebalance]
 //! sofia-cli bench    [--json] [--out DIR] [--streams 8] [--steps 60]
 //!                    [--shards 2] [--seed 2021] [--conns 1,64,1024]
 //!                    [--pipeline 32] [--compare BASELINE] [--gate-pct 20]
@@ -73,7 +73,8 @@ fn usage() -> &'static str {
      sofia-cli client --connect ADDR [--stats true] [--metrics] [--json | --prom] \
      [--timeout-secs N] [--stream ID] [--query \"forecast 4\"] \
      [--ingest N] [--top-drift K] [--shutdown true]\n  \
-     sofia-cli cluster [--nodes 2] [--base-port 7421] [--shards 2] [--checkpoint-dir DIR]\n  \
+     sofia-cli cluster [--nodes 2] [--base-port 7421] [--shards 2] [--checkpoint-dir DIR] \
+     [--rebalance]\n  \
      sofia-cli bench [--json] [--out DIR] [--streams 8] [--steps 60] [--shards 2] [--seed 2021] \
      [--conns 1,64,1024] [--pipeline 32] [--compare BASELINE] [--gate-pct 20]\n\
      boolean flags may be given bare: --stats means --stats true"
@@ -329,6 +330,10 @@ fn main() -> ExitCode {
                 return code;
             }
             opts.checkpoint_dir = get("checkpoint-dir").map(PathBuf::from);
+            opts.rebalance = match parse_bool_flag(&flags, "rebalance") {
+                Ok(r) => r,
+                Err(code) => return code,
+            };
             cluster_cmd::cluster(&opts)
         }
         "bench" => {

@@ -35,6 +35,22 @@ pub enum FleetError {
         /// Parser diagnostic.
         reason: String,
     },
+    /// The request carried a shard-map epoch that does not match the
+    /// serving node's — the fencing reject of the cluster layer. The
+    /// payload is the **server's** epoch, so the router can tell whether
+    /// it is behind (adopt the server's map) or ahead (push its own).
+    StaleEpoch {
+        /// The epoch of the map the serving node currently holds.
+        epoch: u64,
+    },
+    /// The serving node's ownership lease for the stream's route slot
+    /// has lapsed (or was revoked): it refuses to serve the slot until
+    /// the lease is renewed, so a re-homed stream can never be written
+    /// by two nodes at once.
+    LeaseExpired {
+        /// The route slot whose lease lapsed.
+        slot: u64,
+    },
 }
 
 impl fmt::Display for FleetError {
@@ -53,6 +69,12 @@ impl fmt::Display for FleetError {
             FleetError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
             FleetError::Corrupt { stream, reason } => {
                 write!(f, "corrupt checkpoint for stream `{stream}`: {reason}")
+            }
+            FleetError::StaleEpoch { epoch } => {
+                write!(f, "stale shard-map epoch (server holds epoch {epoch})")
+            }
+            FleetError::LeaseExpired { slot } => {
+                write!(f, "ownership lease for route slot {slot} has lapsed")
             }
         }
     }

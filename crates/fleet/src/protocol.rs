@@ -909,6 +909,8 @@ pub mod wire {
                 FleetError::Corrupt { stream, reason } => {
                     format!("corrupt {} {reason}", encode_stream_id(stream))
                 }
+                FleetError::StaleEpoch { epoch } => format!("stale-epoch {epoch}"),
+                FleetError::LeaseExpired { slot } => format!("lease-expired {slot}"),
             }
         }
 
@@ -941,6 +943,16 @@ pub mod wire {
                         reason: reason.to_string(),
                     })
                 }
+                "stale-epoch" => Ok(FleetError::StaleEpoch {
+                    epoch: rest
+                        .parse()
+                        .map_err(|_| WireError::new(format!("bad epoch `{rest}`")))?,
+                }),
+                "lease-expired" => Ok(FleetError::LeaseExpired {
+                    slot: rest
+                        .parse()
+                        .map_err(|_| WireError::new(format!("bad slot `{rest}`")))?,
+                }),
                 other => Err(WireError::new(format!("unknown error code `{other}`"))),
             }
         }
@@ -1335,6 +1347,8 @@ mod tests {
                 stream: "s/1".into(),
                 reason: "bad header".into(),
             },
+            FleetError::StaleEpoch { epoch: u64::MAX },
+            FleetError::LeaseExpired { slot: 7 },
         ];
         for e in errors {
             let line = e.to_wire();
@@ -1365,11 +1379,20 @@ mod tests {
                     assert_eq!(a, b);
                     assert_eq!(ra, rb);
                 }
+                (FleetError::StaleEpoch { epoch: a }, FleetError::StaleEpoch { epoch: b }) => {
+                    assert_eq!(a, b)
+                }
+                (FleetError::LeaseExpired { slot: a }, FleetError::LeaseExpired { slot: b }) => {
+                    assert_eq!(a, b)
+                }
                 _ => {}
             }
         }
         assert!(FleetError::from_wire("not-an-error").is_err());
         assert!(FleetError::from_wire("").is_err());
+        assert!(FleetError::from_wire("stale-epoch").is_err());
+        assert!(FleetError::from_wire("stale-epoch x").is_err());
+        assert!(FleetError::from_wire("lease-expired -1").is_err());
     }
 
     #[test]

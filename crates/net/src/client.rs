@@ -111,6 +111,11 @@ pub struct Client {
     next_id: u64,
     next_seq: u64,
     max_frame: usize,
+    /// The map a `stale-epoch` reject carried, kept until someone takes
+    /// it. The typed error itself stays a plain [`FleetError`] (the
+    /// fleet crate knows nothing of shard maps), so the routing layer
+    /// picks the map up through [`Client::take_stale_map`] instead.
+    stale_map: Option<ShardMap>,
 }
 
 impl Client {
@@ -134,6 +139,7 @@ impl Client {
             next_id: 1,
             next_seq: 1,
             max_frame: MAX_FRAME_BYTES,
+            stale_map: None,
         };
         let hello = Request::Hello {
             client: name.to_string(),
@@ -162,6 +168,30 @@ impl Client {
     /// [`crate::ClusterClient`] bootstraps from one seed.
     pub fn shard_map(&self) -> &ShardMap {
         &self.map
+    }
+
+    /// Replaces this client's routing map — the adoption half of the
+    /// stale-epoch protocol: when a server's reject carries a newer map
+    /// ([`Client::take_stale_map`]), the router installs it here so
+    /// later requests stamp the new epoch.
+    pub fn adopt_map(&mut self, map: ShardMap) {
+        self.map = map;
+    }
+
+    /// The shard map the last `stale-epoch` reject carried, if any —
+    /// taking it clears the slot. A reject doubles as a map hand-off:
+    /// the server that refused the request also tells the client what
+    /// the world looks like now.
+    pub fn take_stale_map(&mut self) -> Option<ShardMap> {
+        self.stale_map.take()
+    }
+
+    /// The epoch to stamp on fenced requests: `None` while the map is
+    /// still at epoch 0 (the pre-autonomy world — no token on the wire,
+    /// no fencing on the server), `Some` once any ownership change
+    /// bumped it.
+    fn fence_epoch(&self) -> Option<u64> {
+        (self.map.epoch() > 0).then(|| self.map.epoch())
     }
 
     /// Caps the frames this client accepts **and** sizes its ingest
@@ -208,7 +238,19 @@ impl Client {
         let (head, payload) = split_reply(&body)?;
         match head {
             ReplyHead::Ok(got) if got == id => Ok(Ok(payload.to_string())),
-            ReplyHead::Err(got, e) if got == id => Ok(Err(e)),
+            ReplyHead::Err(got, e) if got == id => {
+                // A stale-epoch reject carries the server's current map
+                // as its payload; stash it for the routing layer.
+                if matches!(e, FleetError::StaleEpoch { .. }) && !payload.is_empty() {
+                    let mut cur = LineCursor::new(payload);
+                    if let Ok(map) = ShardMap::parse(&mut cur) {
+                        if cur.finish().is_ok() {
+                            self.stale_map = Some(map);
+                        }
+                    }
+                }
+                Ok(Err(e))
+            }
             ReplyHead::Ok(got) | ReplyHead::Err(got, _) => Err(ClientError::Protocol(format!(
                 "reply {got} arrived while waiting for {id} (replies are in request order)"
             ))),
@@ -219,7 +261,13 @@ impl Client {
     /// `fleet.query(id, query)?.wait()`.
     pub fn query(&mut self, stream: &str, query: Query) -> Result<QueryResponse, ClientError> {
         let stream = stream.to_string();
-        let id = self.send(|id| Request::Query { id, stream, query })?;
+        let epoch = self.fence_epoch();
+        let id = self.send(|id| Request::Query {
+            id,
+            epoch,
+            stream,
+            query,
+        })?;
         match self.expect_reply(id)? {
             Ok(payload) => {
                 let mut cur = LineCursor::new(&payload);
@@ -243,7 +291,8 @@ impl Client {
             .iter()
             .map(|(s, q)| (s.to_string(), q.clone()))
             .collect();
-        let id = self.send(|id| Request::QueryBatch { id, items })?;
+        let epoch = self.fence_epoch();
+        let id = self.send(|id| Request::QueryBatch { id, epoch, items })?;
         let payload = match self.expect_reply(id)? {
             Ok(p) => p,
             Err(e) => return Err(ClientError::Fleet(e)),
@@ -302,7 +351,13 @@ impl Client {
     /// request id to pass to [`Client::finish_query`].
     pub fn start_query(&mut self, stream: &str, query: Query) -> Result<u64, ClientError> {
         let stream = stream.to_string();
-        self.send(|id| Request::Query { id, stream, query })
+        let epoch = self.fence_epoch();
+        self.send(|id| Request::Query {
+            id,
+            epoch,
+            stream,
+            query,
+        })
     }
 
     /// Reads the reply to a [`Client::start_query`] id. Replies arrive
@@ -343,8 +398,10 @@ impl Client {
     pub fn register_envelope(&mut self, stream: &str, envelope: &str) -> Result<bool, ClientError> {
         let stream = stream.to_string();
         let envelope = envelope.to_string();
+        let epoch = self.fence_epoch();
         let id = self.send(|id| Request::Register {
             id,
+            epoch,
             stream,
             envelope,
         })?;
@@ -376,7 +433,8 @@ impl Client {
     /// [`Client::flush`] first.
     pub fn snapshot(&mut self, stream: &str) -> Result<String, ClientError> {
         let stream = stream.to_string();
-        let id = self.send(|id| Request::Snapshot { id, stream })?;
+        let epoch = self.fence_epoch();
+        let id = self.send(|id| Request::Snapshot { id, epoch, stream })?;
         match self.expect_reply(id)? {
             Ok(envelope) => Ok(envelope),
             Err(e) => Err(ClientError::Fleet(e)),
@@ -388,7 +446,8 @@ impl Client {
     /// resurrect it. The final step of a migration hand-off.
     pub fn deregister(&mut self, stream: &str) -> Result<(), ClientError> {
         let stream = stream.to_string();
-        let id = self.send(|id| Request::Deregister { id, stream })?;
+        let epoch = self.fence_epoch();
+        let id = self.send(|id| Request::Deregister { id, epoch, stream })?;
         match self.expect_reply(id)? {
             Ok(_) => Ok(()),
             Err(e) => Err(ClientError::Fleet(e)),
@@ -446,7 +505,7 @@ impl Client {
                 bytes += est;
             }
             let id = self.fresh_id();
-            let body = wire::ingest_body(id, stream, &remaining[..count]);
+            let body = wire::ingest_body(id, self.fence_epoch(), stream, &remaining[..count]);
             write_frame(&mut self.writer, &body)?;
             let payload = match self.expect_reply(id)? {
                 Ok(p) => p,
@@ -545,6 +604,84 @@ impl Client {
         let stats = parse_net_stats(&mut cur)?;
         cur.finish()?;
         Ok(stats)
+    }
+
+    /// Pushes a shard map at the server. The server installs it iff its
+    /// epoch is **strictly newer** than the one it holds (and answers
+    /// `stale-epoch` otherwise) — the coordinator's tool for propagating
+    /// an ownership change, and the retry path's tool for bringing a
+    /// server that fell behind up to date.
+    pub fn remap(&mut self, map: &ShardMap) -> Result<(), ClientError> {
+        let map = map.clone();
+        let id = self.send(|id| Request::Remap { id, map })?;
+        match self.expect_reply(id)? {
+            Ok(_) => Ok(()),
+            Err(e) => Err(ClientError::Fleet(e)),
+        }
+    }
+
+    /// Grants (or renews) the server's ownership lease on one route
+    /// slot for `ttl_ms` milliseconds. The first grant flips the server
+    /// into lease-managed mode: from then on it refuses slots without
+    /// an unexpired lease ([`FleetError::LeaseExpired`]).
+    pub fn lease_grant(&mut self, slot: u64, ttl_ms: u64) -> Result<(), ClientError> {
+        let id = self.send(|id| Request::LeaseGrant { id, slot, ttl_ms })?;
+        match self.expect_reply(id)? {
+            Ok(_) => Ok(()),
+            Err(e) => Err(ClientError::Fleet(e)),
+        }
+    }
+
+    /// Revokes the server's lease on `slot` immediately (fencing it
+    /// ahead of a re-home). Returns whether a lease was actually held.
+    pub fn lease_revoke(&mut self, slot: u64) -> Result<bool, ClientError> {
+        let id = self.send(|id| Request::LeaseRevoke { id, slot })?;
+        match self.expect_reply(id)? {
+            Ok(payload) => {
+                let mut cur = LineCursor::new(&payload);
+                let held = match cur.next("held marker")? {
+                    "held true" => true,
+                    "held false" => false,
+                    other => {
+                        return Err(ClientError::Protocol(format!("bad revoke reply `{other}`")))
+                    }
+                };
+                cur.finish()?;
+                Ok(held)
+            }
+            Err(e) => Err(ClientError::Fleet(e)),
+        }
+    }
+
+    /// Lists the stream ids this server currently holds, optionally
+    /// restricted to the streams this client's map routes to `slot`.
+    /// The enumeration a slot migration sweeps over.
+    pub fn stream_ids(&mut self, slot: Option<u64>) -> Result<Vec<String>, ClientError> {
+        let id = self.send(|id| Request::Streams { id, slot })?;
+        let payload = match self.expect_reply(id)? {
+            Ok(p) => p,
+            Err(e) => return Err(ClientError::Fleet(e)),
+        };
+        let mut cur = LineCursor::new(&payload);
+        let head = cur.next("streams header")?;
+        let n: usize = head
+            .strip_prefix("streams ")
+            .and_then(|d| d.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("bad streams header `{head}`")))?;
+        let mut ids = Vec::with_capacity(n);
+        for _ in 0..n {
+            let line = cur.next("stream line")?;
+            let enc = line
+                .strip_prefix("stream ")
+                .ok_or_else(|| ClientError::Protocol(format!("bad stream line `{line}`")))?;
+            ids.push(
+                wire::decode_stream_id(enc).ok_or_else(|| {
+                    ClientError::Protocol(format!("undecodable stream id `{enc}`"))
+                })?,
+            );
+        }
+        cur.finish()?;
+        Ok(ids)
     }
 
     /// Asks the server to shut down gracefully (drain queues, write

@@ -29,28 +29,141 @@
 //! 5. `deregister` the old copy — unloaded *and* its checkpoint file
 //!    deleted, so a restart of the source cannot resurrect it.
 //!
-//! ## A minimal single-writer coordinator — deliberately no consensus
+//! Since the cluster-autonomy revision a migration also **bumps the
+//! map's epoch** and pushes the new map at every member (`remap`), so
+//! servers learn ownership changes instead of serving from a launch-time
+//! table forever.
+//!
+//! ## Slot migration and rebalancing
+//!
+//! [`ClusterClient::migrate_slot`] moves a whole route slot — every
+//! stream the slot's hash routes to its owner — through the same
+//! flush → snapshot → register sweep, then flips the slot's owner
+//! ([`ShardMap::set_slot_owner`]) and bumps the epoch **exactly once**,
+//! and finally deregisters the source copies. A failure before the flip
+//! rolls back (target copies deregistered, map untouched); a failure
+//! after the flip rolls *forward* — the map already names the new
+//! owner, and any stale copy left on a dead source is fenced the moment
+//! that source learns the current epoch.
+//! [`ClusterClient::rebalance`] drives slot migrations from load: it
+//! merges per-endpoint ingest counters, queue depths, and settle-latency
+//! p99s, then moves the hottest slots off the hottest node until every
+//! node is within a configurable skew of the mean.
+//!
+//! ## A minimal single-writer coordinator — fenced, not consensual
 //!
 //! The `ClusterClient` performing a migration is the coordinator, and
-//! the correctness argument is single-writer: while a stream is being
-//! moved, no other client may ingest into it (slices raced between
-//! steps 1 and 5 land on the source after its snapshot was taken and
-//! are lost to the target). Likewise, other routers learn the flipped
-//! entry only by rebuilding their map — the launch-time table served in
-//! every member's handshake ([`crate::ServerConfig::cluster`]) is not
-//! updated retroactively. Membership changes follow the same
-//! philosophy: a crashed node is restarted and re-attached with
-//! [`ClusterClient::repoint`] by whoever operates the cluster. This is
-//! the smallest thing that is honest: ownership is consistent because
-//! exactly one writer changes it, not because the processes agree on
-//! anything.
+//! the correctness argument is still single-writer: exactly one
+//! coordinator changes ownership at a time (while a stream is being
+//! moved, no other client may ingest into it — slices raced between
+//! the snapshot and the flip land on the source and are lost to the
+//! target). What the autonomy revision adds is **fencing**, which makes
+//! the single-writer assumption *checkable at the servers* instead of
+//! purely contractual:
+//!
+//! * every routed request carries the sender's map epoch, and a server
+//!   holding a different epoch refuses with a typed `stale-epoch` reply
+//!   that carries its own map — one reject doubles as a map hand-off;
+//! * the router retries exactly once, transparently: a server that fell
+//!   behind is brought up to date (`remap`) and re-asked; a server that
+//!   is ahead hands the newer map over, the router adopts it, re-routes,
+//!   and re-asks ([`ClusterClient`] does this inside every routed call);
+//! * a node partitioned away from its coordinator stops serving on its
+//!   own once its ownership **leases** lapse ([`Client::lease_grant`],
+//!   [`sofia_fleet::LeaseTable`]) — the refusal that closes the
+//!   dual-writer window a migration the node never heard about would
+//!   otherwise open.
+//!
+//! Membership changes keep the same philosophy: a crashed node is
+//! restarted and re-attached with [`ClusterClient::repoint`] +
+//! [`ClusterClient::publish_map`] by whoever operates the cluster.
+//! Ownership is consistent because exactly one writer changes it — the
+//! epochs are how everyone else finds out, promptly and safely.
 
 use crate::client::{Client, ClientError, IngestReport};
 use crate::stats::NetStats;
 use crate::wire::ShardMap;
-use sofia_fleet::{FleetStats, ModelHandle, Query, QueryResponse};
+use sofia_fleet::{FleetError, FleetStats, ModelHandle, Query, QueryResponse};
 use sofia_tensor::ObservedTensor;
 use std::collections::HashMap;
+
+/// One boundary of a slot migration, reported to
+/// [`ClusterClient::migrate_slot_observed`] as the sweep crosses it —
+/// the hook a fault-injection harness uses to kill a node at a precise
+/// point in the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationStep<'a> {
+    /// The source flushed: every acknowledged slice is now visible to
+    /// the snapshots about to be taken.
+    Flushed,
+    /// One stream's checkpoint envelope was read from the source.
+    Snapshotted(&'a str),
+    /// One stream's envelope was registered (and persisted) on the
+    /// target; the source still owns routing.
+    Registered(&'a str),
+    /// The map flipped: the slot's owner is the target, the epoch
+    /// bumped to `epoch`, and the new map was pushed at the members.
+    Flipped {
+        /// The epoch the flip established.
+        epoch: u64,
+    },
+    /// One stream's stale copy was deregistered from the source.
+    Deregistered(&'a str),
+}
+
+/// Tuning for [`ClusterClient::rebalance_with`].
+#[derive(Debug, Clone)]
+pub struct RebalanceOptions {
+    /// A node is overloaded when its load exceeds `skew ×` the mean
+    /// endpoint load; rebalancing stops once no node is. Must be > 1.
+    pub skew: f64,
+    /// Upper bound on slot migrations per call (each sweeps every
+    /// stream of one slot).
+    pub max_moves: usize,
+}
+
+impl Default for RebalanceOptions {
+    fn default() -> RebalanceOptions {
+        RebalanceOptions {
+            skew: 1.25,
+            max_moves: 4,
+        }
+    }
+}
+
+/// One slot migration performed by [`ClusterClient::rebalance`].
+#[derive(Debug, Clone)]
+pub struct SlotMove {
+    /// The route slot that moved.
+    pub slot: usize,
+    /// The endpoint it moved off.
+    pub from: String,
+    /// The endpoint it moved to.
+    pub to: String,
+    /// Streams swept.
+    pub streams: usize,
+    /// The slot's estimated load (total steps of its streams) at the
+    /// time of the move.
+    pub load: f64,
+}
+
+/// What [`ClusterClient::rebalance`] saw and did.
+#[derive(Debug, Clone)]
+pub struct RebalanceReport {
+    /// Per-endpoint load (steps + queue depth summed over the node's
+    /// shards) *before* any move, in map order.
+    pub endpoint_load: Vec<(String, f64)>,
+    /// Per-endpoint settle-latency p99 (µs) before any move, in map
+    /// order; `None` for a node that has settled nothing yet.
+    pub settle_p99_us: Vec<(String, Option<f64>)>,
+    /// The migrations performed, in order.
+    pub moves: Vec<SlotMove>,
+    /// max/mean endpoint load before the first move.
+    pub skew_before: f64,
+    /// Estimated max/mean endpoint load after the last move (load
+    /// model: a slot's stream-step total travels with the slot).
+    pub skew_after: f64,
+}
 
 /// A routing client over many `sofia-net` servers sharing one
 /// [`ShardMap`].
@@ -117,10 +230,14 @@ impl ClusterClient {
         self.map.endpoint_of(stream)
     }
 
-    /// The connection to `endpoint`, dialing it on first use.
+    /// The connection to `endpoint`, dialing it on first use. A fresh
+    /// connection adopts the **router's** map (not its handshake map):
+    /// the router's routing decisions and the epoch its requests carry
+    /// must agree, and the router's map is the authoritative one.
     fn client_for(&mut self, endpoint: &str) -> Result<&mut Client, ClientError> {
         if !self.conns.contains_key(endpoint) {
-            let client = Client::connect_as(endpoint, &self.name)?;
+            let mut client = Client::connect_as(endpoint, &self.name)?;
+            client.adopt_map(self.map.clone());
             self.conns.insert(endpoint.to_string(), client);
         }
         Ok(self.conns.get_mut(endpoint).expect("just inserted"))
@@ -132,9 +249,86 @@ impl ClusterClient {
         self.client_for(&ep)
     }
 
-    /// One typed query, routed to the stream's owner.
+    /// Re-installs the router's map into every cached connection so the
+    /// epoch their requests stamp tracks every map change. Call after
+    /// any mutation of `self.map`.
+    fn sync_conns(&mut self) {
+        for conn in self.conns.values_mut() {
+            conn.adopt_map(self.map.clone());
+        }
+    }
+
+    /// Settles a `stale-epoch` reject from `endpoint` so the operation
+    /// can be retried: a server that fell **behind** is brought up to
+    /// date by pushing the router's map at it; a server that is
+    /// **ahead** (or holds a different view at the same epoch — a flip
+    /// this router missed) hands its map over in the reject payload,
+    /// and the router adopts it. Either way the two ends agree
+    /// afterwards.
+    fn reconcile(&mut self, endpoint: &str) -> Result<(), ClientError> {
+        let server_map = self
+            .conns
+            .get_mut(endpoint)
+            .and_then(Client::take_stale_map);
+        let Some(server_map) = server_map else {
+            return Err(ClientError::Protocol(format!(
+                "`{endpoint}` rejected with stale-epoch but its reply carried no map"
+            )));
+        };
+        if server_map.epoch() < self.map.epoch() {
+            let map = self.map.clone();
+            self.client_for(endpoint)?.remap(&map)?;
+        } else {
+            self.map = server_map;
+            self.sync_conns();
+        }
+        Ok(())
+    }
+
+    /// Runs one stream-routed operation with the transparent
+    /// stale-epoch retry: route, send, and on a `stale-epoch` reject
+    /// reconcile maps with the rejecting server ([`Self::reconcile`]),
+    /// re-route, and retry **exactly once**. Any other error — including
+    /// a second stale-epoch, which under one coordinator cannot happen —
+    /// surfaces unchanged.
+    fn fenced<T>(
+        &mut self,
+        stream: &str,
+        mut op: impl FnMut(&mut Client, &str) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let ep = self.map.endpoint_of(stream).to_string();
+        match op(self.client_for(&ep)?, stream) {
+            Err(ClientError::Fleet(FleetError::StaleEpoch { .. })) => {
+                self.reconcile(&ep)?;
+                let ep = self.map.endpoint_of(stream).to_string();
+                op(self.client_for(&ep)?, stream)
+            }
+            other => other,
+        }
+    }
+
+    /// [`Self::fenced`] pinned to one endpoint — for coordination verbs
+    /// (`snapshot` on a migration source, `deregister` of a stale copy)
+    /// that must reach a *specific* server regardless of routing. The
+    /// retry re-asks the same endpoint after reconciling.
+    fn fenced_at<T>(
+        &mut self,
+        endpoint: &str,
+        mut op: impl FnMut(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        match op(self.client_for(endpoint)?) {
+            Err(ClientError::Fleet(FleetError::StaleEpoch { .. })) => {
+                self.reconcile(endpoint)?;
+                op(self.client_for(endpoint)?)
+            }
+            other => other,
+        }
+    }
+
+    /// One typed query, routed to the stream's owner (with the
+    /// transparent stale-epoch retry — see the module docs).
     pub fn query(&mut self, stream: &str, query: Query) -> Result<QueryResponse, ClientError> {
-        self.owner(stream)?.query(stream, query)
+        self.fenced(stream, |client, s| client.query(s, query.clone()))
     }
 
     /// Many queries over many streams: requests are grouped by owning
@@ -147,6 +341,26 @@ impl ClusterClient {
         &mut self,
         requests: &[(&str, Query)],
     ) -> Result<Vec<Result<QueryResponse, sofia_fleet::FleetError>>, ClientError> {
+        match self.query_batch_once(requests) {
+            Ok(out) => Ok(out),
+            // A batch is fenced at its head: one group answering
+            // `stale-epoch` rejects whole. Reconcile with the rejecting
+            // server, re-group under the agreed map, retry once.
+            Err((ep, ClientError::Fleet(FleetError::StaleEpoch { .. }))) => {
+                self.reconcile(&ep)?;
+                self.query_batch_once(requests).map_err(|(_, e)| e)
+            }
+            Err((_, e)) => Err(e),
+        }
+    }
+
+    /// One routing+send pass of [`Self::query_batch`]; an error is
+    /// tagged with the endpoint it came from so the retry can
+    /// reconcile with the right server.
+    fn query_batch_once(
+        &mut self,
+        requests: &[(&str, Query)],
+    ) -> Result<Vec<Result<QueryResponse, sofia_fleet::FleetError>>, (String, ClientError)> {
         // Group request indices by endpoint, preserving request order
         // within each group (and a deterministic endpoint order).
         let mut groups: Vec<(String, Vec<usize>)> = Vec::new();
@@ -164,7 +378,10 @@ impl ClusterClient {
                 .iter()
                 .map(|&i| (requests[i].0, requests[i].1.clone()))
                 .collect();
-            let answers = self.client_for(&ep)?.query_batch(&sub)?;
+            let answers = self
+                .client_for(&ep)
+                .and_then(|client| client.query_batch(&sub))
+                .map_err(|e| (ep.clone(), e))?;
             for (&i, answer) in idxs.iter().zip(answers) {
                 out[i] = Some(answer);
             }
@@ -179,22 +396,45 @@ impl ClusterClient {
     /// model's checkpoint envelope (see [`Client::register`]); returns
     /// whether the owner persisted it on arrival.
     pub fn register(&mut self, stream: &str, model: &ModelHandle) -> Result<bool, ClientError> {
-        self.owner(stream)?.register(stream, model)
+        self.fenced(stream, |client, s| client.register(s, model))
     }
 
     /// [`ClusterClient::register`] from raw envelope text.
     pub fn register_envelope(&mut self, stream: &str, envelope: &str) -> Result<bool, ClientError> {
-        self.owner(stream)?.register_envelope(stream, envelope)
+        self.fenced(stream, |client, s| client.register_envelope(s, envelope))
     }
 
     /// Batched, seq-tagged ingest routed to the stream's owner; the
     /// backpressure hand-back semantics are [`Client::ingest`]'s.
+    ///
+    /// On a `stale-epoch` reject the slices are retried (once) against
+    /// the reconciled owner. A reject precedes any application — the
+    /// server fences before touching its fleet — so the retry cannot
+    /// double-apply, *provided* no other coordinator migrates the
+    /// stream mid-call (the single-writer contract; see module docs).
+    /// While the map sits at epoch 0 no fencing is possible and the
+    /// hot path stays clone-free.
     pub fn ingest(
         &mut self,
         stream: &str,
         slices: Vec<ObservedTensor>,
     ) -> Result<IngestReport, ClientError> {
-        self.owner(stream)?.ingest(stream, slices)
+        if self.map.epoch() == 0 {
+            return self.owner(stream)?.ingest(stream, slices);
+        }
+        let retry = slices.clone();
+        let ep = self.map.endpoint_of(stream).to_string();
+        match self
+            .client_for(&ep)
+            .and_then(|client| client.ingest(stream, slices))
+        {
+            Err(ClientError::Fleet(FleetError::StaleEpoch { .. })) => {
+                self.reconcile(&ep)?;
+                let ep = self.map.endpoint_of(stream).to_string();
+                self.client_for(&ep)?.ingest(stream, retry)
+            }
+            other => other,
+        }
     }
 
     /// Blocking ingest (retries the rejected tail in order) routed to
@@ -204,7 +444,15 @@ impl ClusterClient {
         stream: &str,
         slices: Vec<ObservedTensor>,
     ) -> Result<u64, ClientError> {
-        self.owner(stream)?.ingest_blocking(stream, slices)
+        let mut report = self.ingest(stream, slices)?;
+        let mut retries = 0;
+        while !report.rejected.is_empty() {
+            retries += 1;
+            std::thread::yield_now();
+            let tail: Vec<ObservedTensor> = report.rejected.into_iter().map(|(_, s)| s).collect();
+            report = self.ingest(stream, tail)?;
+        }
+        Ok(retries)
     }
 
     /// The map's endpoints, owned — broadcast operations iterate these
@@ -273,14 +521,14 @@ impl ClusterClient {
     /// Reads a stream's checkpoint envelope from its owner (see
     /// [`Client::snapshot`]).
     pub fn snapshot(&mut self, stream: &str) -> Result<String, ClientError> {
-        self.owner(stream)?.snapshot(stream)
+        self.fenced(stream, |client, s| client.snapshot(s))
     }
 
     /// Removes a stream from its owner and drops its override entry if
     /// one existed (a later registration of the same id routes by hash
     /// again).
     pub fn deregister(&mut self, stream: &str) -> Result<(), ClientError> {
-        self.owner(stream)?.deregister(stream)?;
+        self.fenced(stream, |client, s| client.deregister(s))?;
         self.map.clear_override(stream);
         Ok(())
     }
@@ -306,20 +554,17 @@ impl ClusterClient {
         }
         // 1–2: barrier, then read the envelope (bit-exact, includes
         // every acknowledged slice).
-        let envelope = {
-            let source = self.client_for(&from)?;
-            source.flush()?;
-            source.snapshot(stream)?
-        };
+        self.fenced_at(&from, Client::flush)?;
+        let envelope = self.fenced_at(&from, |source| source.snapshot(stream))?;
         // 3: the envelope IS the registration payload on the target,
         // which persists it before acknowledging (or reports that it
         // cannot).
-        let durable = self.client_for(to)?.register_envelope(stream, &envelope)?;
+        let durable = self.fenced_at(to, |target| target.register_envelope(stream, &envelope))?;
         if !durable {
             // Deleting the source's (possibly only) durable copy on the
             // word of a target that persisted nothing would let a
             // target crash destroy the stream everywhere. Roll back.
-            let _ = self.client_for(to)?.deregister(stream);
+            let _ = self.fenced_at(to, |target| target.deregister(stream));
             return Err(ClientError::Protocol(format!(
                 "target `{to}` did not persist `{stream}` (no checkpoint policy); \
                  migration aborted, the source still serves the stream"
@@ -334,18 +579,302 @@ impl ClusterClient {
         } else {
             self.map.set_override(stream, to);
         }
+        // Once the cluster is in the epoch era (any slot flip or
+        // publish bumped past 0), an override flip must be published
+        // too: fenced requests for this stream would otherwise bounce
+        // between the members' ownership views. At epoch 0 nothing
+        // fences, so the pre-autonomy contract — other routers learn
+        // the entry by rebuilding their map — stands unchanged.
+        if self.map.epoch() > 0 {
+            self.publish_map();
+        }
         // 5: unload the old copy; its checkpoint file goes with it, so
         // a source restart cannot resurrect the stream.
-        self.client_for(&from)?.deregister(stream)?;
+        self.fenced_at(&from, |source| source.deregister(stream))?;
         Ok(())
+    }
+
+    /// Bumps the map's epoch and pushes the result at every member
+    /// (`remap`), returning the new epoch. **Best-effort** by design: a
+    /// member that is down or unreachable simply misses the push — its
+    /// fence answers `stale-epoch` on the next request it sees, and the
+    /// transparent retry hands it the map then. Callers that changed
+    /// the map (flip, repoint) call this exactly once per change.
+    pub fn publish_map(&mut self) -> u64 {
+        let epoch = self.map.bump_epoch();
+        self.sync_conns();
+        let map = self.map.clone();
+        for ep in self.broadcast_endpoints() {
+            let _ = self.client_for(&ep).and_then(|client| client.remap(&map));
+        }
+        epoch
+    }
+
+    /// Moves a whole route slot to another endpoint: every stream the
+    /// slot's hash routes to its current owner is swept through
+    /// flush → snapshot → register, then the slot's owner flips and the
+    /// epoch bumps **exactly once**, then the source copies are
+    /// deregistered. Returns the number of streams moved.
+    ///
+    /// Failure semantics follow the flip: before it, everything rolls
+    /// **back** (target copies deregistered, map untouched, source
+    /// still serving); after it, everything rolls **forward** — the map
+    /// already names the new owner, the new owner already holds every
+    /// stream durably, and a stale copy left on an unreachable source
+    /// is fenced the moment that source learns the current epoch.
+    ///
+    /// Streams with an override entry are skipped: their routing does
+    /// not follow the slot, so the flip neither moves nor strands them.
+    pub fn migrate_slot(&mut self, slot: usize, to: &str) -> Result<usize, ClientError> {
+        self.migrate_slot_observed(slot, to, |_| {})
+    }
+
+    /// [`Self::migrate_slot`] reporting each protocol boundary to
+    /// `observe` as it is crossed — the hook the fault-injection
+    /// harness uses to kill a node at a precise step.
+    pub fn migrate_slot_observed(
+        &mut self,
+        slot: usize,
+        to: &str,
+        mut observe: impl FnMut(MigrationStep<'_>),
+    ) -> Result<usize, ClientError> {
+        let slots = self.map.endpoints().len();
+        if slot >= slots {
+            return Err(ClientError::Protocol(format!(
+                "slot {slot} out of range (map has {slots} slots)"
+            )));
+        }
+        let from = self.map.endpoints()[slot].clone();
+        if from == to {
+            return Err(ClientError::Protocol(format!(
+                "slot {slot} is already owned by `{to}`"
+            )));
+        }
+        // Enumerate the slot's hashed population on the source, minus
+        // override-routed streams (their routing ignores the flip).
+        // Filtering happens against the *router's* map: the server's
+        // own slot filter reflects the server's map, whose slot count
+        // need not match (a plainly-bound member holds a single-node
+        // map until a `remap` reaches it).
+        let mut streams = self.fenced_at(&from, |source| source.stream_ids(None))?;
+        streams.retain(|s| {
+            self.map.shard_of(s) == slot && !self.map.overrides().contains_key(s.as_str())
+        });
+        // Flush once: every acknowledged slice is in the snapshots.
+        self.fenced_at(&from, Client::flush)?;
+        observe(MigrationStep::Flushed);
+        // Copy phase (pre-flip, rolls back): snapshot each stream and
+        // register it durably on the target. The source still owns
+        // routing, so readers are served throughout.
+        let mut registered: Vec<&str> = Vec::with_capacity(streams.len());
+        for stream in &streams {
+            let result = self
+                .fenced_at(&from, |source| source.snapshot(stream))
+                .inspect(|_| observe(MigrationStep::Snapshotted(stream)))
+                .and_then(|envelope| {
+                    self.fenced_at(to, |target| target.register_envelope(stream, &envelope))
+                });
+            match result {
+                Ok(true) => {
+                    observe(MigrationStep::Registered(stream));
+                    registered.push(stream);
+                }
+                Ok(false) => {
+                    self.rollback_slot_copies(to, &registered);
+                    return Err(ClientError::Protocol(format!(
+                        "target `{to}` did not persist `{stream}` (no checkpoint \
+                         policy); slot migration aborted, the source still serves \
+                         every stream"
+                    )));
+                }
+                Err(e) => {
+                    self.rollback_slot_copies(to, &registered);
+                    return Err(e);
+                }
+            }
+        }
+        // The flip: one ownership change, one epoch bump, one push.
+        self.map.set_slot_owner(slot, to);
+        let epoch = self.publish_map();
+        observe(MigrationStep::Flipped { epoch });
+        // Cleanup phase (post-flip, rolls forward): unload the stale
+        // source copies. A failure here — say the source died — leaves
+        // fenced garbage, not an unreachable stream.
+        for stream in &streams {
+            if self
+                .fenced_at(&from, |source| source.deregister(stream))
+                .is_ok()
+            {
+                observe(MigrationStep::Deregistered(stream));
+            }
+        }
+        Ok(streams.len())
+    }
+
+    /// Pre-flip rollback of [`Self::migrate_slot_observed`]: deregister
+    /// the target copies already made (the source's copies — files
+    /// included — were never touched). Best-effort: the copies hold no
+    /// routing either way.
+    fn rollback_slot_copies(&mut self, to: &str, registered: &[&str]) {
+        for stream in registered {
+            let _ = self.fenced_at(to, |target| target.deregister(stream));
+        }
+    }
+
+    /// [`Self::rebalance_with`] under [`RebalanceOptions::default`].
+    pub fn rebalance(&mut self) -> Result<RebalanceReport, ClientError> {
+        self.rebalance_with(RebalanceOptions::default())
+    }
+
+    /// Load-aware slot rebalancing: measures per-endpoint load (steps +
+    /// queue depth summed over each node's shards, with settle-latency
+    /// p99s recorded alongside), then repeatedly migrates the hottest
+    /// *movable* slot off the hottest node onto the coldest one until
+    /// no node exceeds `skew ×` the mean load (or `max_moves` is
+    /// spent). A slot is movable when shifting its load strictly
+    /// shrinks the hot–cold gap — the guard that keeps one giant slot
+    /// from ping-ponging between nodes forever.
+    ///
+    /// Slot load is estimated as the total steps of the slot's streams
+    /// (read via per-stream [`Query::StreamStats`]); steps travel with
+    /// a migrated stream (checkpoint envelopes carry the counter), so
+    /// the estimate stays meaningful across moves.
+    pub fn rebalance_with(
+        &mut self,
+        opts: RebalanceOptions,
+    ) -> Result<RebalanceReport, ClientError> {
+        let skew_of = |load: &[(String, f64)]| -> f64 {
+            let total: f64 = load.iter().map(|(_, l)| l).sum();
+            let mean = total / load.len() as f64;
+            let max = load.iter().map(|(_, l)| *l).fold(0.0, f64::max);
+            if mean > 0.0 {
+                max / mean
+            } else {
+                1.0
+            }
+        };
+        // Measure: per-endpoint load in map order, p99s alongside.
+        let stats = self.stats()?;
+        let mut load: Vec<(String, f64)> = self
+            .broadcast_endpoints()
+            .into_iter()
+            .map(|ep| (ep, 0.0))
+            .collect();
+        for shard in &stats.shards {
+            let Some(ep) = &shard.endpoint else { continue };
+            if let Some(entry) = load.iter_mut().find(|(e, _)| e == ep) {
+                entry.1 += shard.steps as f64 + shard.queue_depth as f64;
+            }
+        }
+        let settle_p99_us: Vec<(String, Option<f64>)> = self
+            .metrics()?
+            .nodes
+            .iter()
+            .map(|node| {
+                (
+                    node.endpoint.clone().unwrap_or_default(),
+                    node.settle_latency.p99(),
+                )
+            })
+            .collect();
+        let endpoint_load = load.clone();
+        let skew_before = skew_of(&load);
+        let mut moves = Vec::new();
+        while moves.len() < opts.max_moves && load.len() > 1 {
+            let total: f64 = load.iter().map(|(_, l)| l).sum();
+            if total <= 0.0 {
+                break;
+            }
+            let mean = total / load.len() as f64;
+            let hot_i = (0..load.len())
+                .max_by(|&a, &b| load[a].1.total_cmp(&load[b].1))
+                .expect("non-empty");
+            let cold_i = (0..load.len())
+                .min_by(|&a, &b| load[a].1.total_cmp(&load[b].1))
+                .expect("non-empty");
+            if load[hot_i].1 <= opts.skew * mean {
+                break;
+            }
+            let hot = load[hot_i].0.clone();
+            let cold = load[cold_i].0.clone();
+            // The hottest slot on the hot node whose departure strictly
+            // shrinks the hot–cold gap.
+            let headroom = load[hot_i].1 - load[cold_i].1;
+            let owners = self.map.endpoints().to_vec();
+            // One enumeration per round, grouped by the *router's* slot
+            // hash (the server's own slot filter reflects the server's
+            // map, which may lag behind this one).
+            let mut hot_streams = self.fenced_at(&hot, |c| c.stream_ids(None))?;
+            hot_streams.retain(|s| !self.map.overrides().contains_key(s.as_str()));
+            let mut by_slot: Vec<Vec<String>> = vec![Vec::new(); owners.len()];
+            for stream in hot_streams {
+                let slot = self.map.shard_of(&stream);
+                by_slot[slot].push(stream);
+            }
+            let mut best: Option<(usize, f64, usize)> = None;
+            for (slot, owner) in owners.iter().enumerate() {
+                if owner != &hot {
+                    continue;
+                }
+                let streams = &by_slot[slot];
+                if streams.is_empty() {
+                    continue;
+                }
+                let requests: Vec<(&str, Query)> = streams
+                    .iter()
+                    .map(|s| (s.as_str(), Query::StreamStats))
+                    .collect();
+                let slot_load: f64 = self
+                    .query_batch(&requests)?
+                    .into_iter()
+                    .filter_map(Result::ok)
+                    .map(|resp| match resp {
+                        QueryResponse::StreamStats(st) => st.steps as f64,
+                        _ => 0.0,
+                    })
+                    .sum();
+                if slot_load <= 0.0 || slot_load >= headroom {
+                    continue;
+                }
+                if best.is_none_or(|(_, l, _)| slot_load > l) {
+                    best = Some((slot, slot_load, streams.len()));
+                }
+            }
+            let Some((slot, slot_load, streams)) = best else {
+                break;
+            };
+            self.migrate_slot(slot, &cold)?;
+            moves.push(SlotMove {
+                slot,
+                from: hot,
+                to: cold,
+                streams,
+                load: slot_load,
+            });
+            load[hot_i].1 -= slot_load;
+            load[cold_i].1 += slot_load;
+        }
+        let skew_after = skew_of(&load);
+        Ok(RebalanceReport {
+            endpoint_load,
+            settle_p99_us,
+            moves,
+            skew_before,
+            skew_after,
+        })
     }
 
     /// Follows a restarted node to its new address: rewrites every map
     /// entry owned by `from` (slots and overrides) to `to` and drops
-    /// the dead connection. Returns how many entries changed.
+    /// the dead connection. Returns how many entries changed. The epoch
+    /// does not bump here — call [`Self::publish_map`] after the
+    /// re-attachment is complete to fence out anyone still holding the
+    /// dead address.
     pub fn repoint(&mut self, from: &str, to: &str) -> usize {
         self.conns.remove(from);
-        self.map.repoint(from, to)
+        let changed = self.map.repoint(from, to);
+        self.sync_conns();
+        changed
     }
 
     /// Drops the cached connection to an endpoint (it is re-dialed on

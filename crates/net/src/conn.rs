@@ -443,7 +443,10 @@ impl Conn {
             match parsed {
                 Ok(crate::wire::Request::Hello { .. }) if !self.handshook => {
                     self.handshook = true;
-                    self.push_ready(ok_body(0, |out| shared.map.push_wire(out)), "hello");
+                    self.push_ready(
+                        ok_body(0, |out| shared.map.read().expect("map lock").push_wire(out)),
+                        "hello",
+                    );
                 }
                 Ok(_) | Err(_) if !self.handshook => {
                     // First frame was well-formed but not a `hello`.

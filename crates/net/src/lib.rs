@@ -54,7 +54,16 @@
 //!   streams between processes (flush → `snapshot` the checkpoint
 //!   envelope → `register` it on the target → flip the map entry →
 //!   `deregister` the old copy) — a minimal single-writer coordinator,
-//!   deliberately without consensus.
+//!   deliberately without consensus. Since the cluster-autonomy
+//!   revision the map carries an **epoch**: routed requests stamp it,
+//!   servers fence stale senders with a typed `stale-epoch` reply that
+//!   carries the current map, and the router retries transparently.
+//!   Ownership is additionally guarded by per-slot **leases**
+//!   ([`sofia_fleet::LeaseTable`], the `lease` verb), whole route slots
+//!   migrate atomically ([`ClusterClient::migrate_slot`], one epoch
+//!   bump per flip), and [`ClusterClient::rebalance`] moves the
+//!   hottest slots off the hottest node until the fleet is within a
+//!   configurable load skew.
 //!
 //! ## Loopback in five lines
 //!
@@ -84,7 +93,9 @@ pub mod stats;
 pub mod wire;
 
 pub use client::{Client, ClientError, IngestReport, DEFAULT_READ_TIMEOUT};
-pub use cluster::{ClusterClient, ClusterMetrics};
+pub use cluster::{
+    ClusterClient, ClusterMetrics, MigrationStep, RebalanceOptions, RebalanceReport, SlotMove,
+};
 pub use server::{Server, ServerConfig};
 pub use stats::{parse_net_stats, push_net_stats, NetStats, SlowRequest};
 pub use wire::{FrameError, Request, ShardMap, MAX_FRAME_BYTES};

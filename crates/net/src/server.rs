@@ -49,11 +49,11 @@ use crate::poll::{listener_id, socket_id, Event, Interest, Poller, Waker};
 use crate::stats::{push_net_stats, NetMetrics};
 use crate::wire::{err_body, ok_body, push_fleet_stats, Request, ShardMap, MAX_FRAME_BYTES};
 use sofia_fleet::durability::restore_handle;
-use sofia_fleet::{Fleet, FleetError, IngestError};
+use sofia_fleet::{Fleet, FleetError, IngestError, LeaseTable};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -150,7 +150,21 @@ impl Default for ServerConfig {
 
 pub(crate) struct Shared {
     pub(crate) fleet: Fleet,
-    pub(crate) map: ShardMap,
+    /// The ownership table this node serves and fences by. Behind a
+    /// lock because a `remap` frame replaces it at runtime; the
+    /// request path takes short read guards only.
+    pub(crate) map: RwLock<ShardMap>,
+    /// The name this node goes by in shard maps — ownership fencing
+    /// compares map entries against it.
+    pub(crate) advertise: String,
+    /// Per-slot ownership leases (non-enforcing until the first
+    /// `lease grant` frame arrives).
+    pub(crate) lease: Mutex<LeaseTable>,
+    /// Mirror of [`LeaseTable::enforcing`] readable without the lock —
+    /// the request path's fast-out. Only ever flips false -> true, so a
+    /// relaxed load racing the very first grant at worst serves one
+    /// request as if it had arrived a moment earlier.
+    pub(crate) lease_enforcing: AtomicBool,
     pub(crate) config: ServerConfig,
     /// The live node-health collector behind the `metrics` verb.
     pub(crate) metrics: NetMetrics,
@@ -241,7 +255,7 @@ impl Server {
                 }
                 map
             }
-            None => ShardMap::single_node(advertised, fleet.shards()),
+            None => ShardMap::single_node(&advertised, fleet.shards()),
         };
         let pool = config
             .event_threads
@@ -254,7 +268,10 @@ impl Server {
         let metrics = NetMetrics::new(pool, config.slow_request_us, config.slow_ring_capacity);
         let shared = Arc::new(Shared {
             fleet,
-            map,
+            map: RwLock::new(map),
+            advertise: advertised,
+            lease: Mutex::new(LeaseTable::new()),
+            lease_enforcing: AtomicBool::new(false),
             config,
             metrics,
             stop: AtomicBool::new(false),
@@ -304,9 +321,10 @@ impl Server {
         self.addr
     }
 
-    /// The ownership table clients receive at handshake.
+    /// The ownership table clients receive at handshake (a snapshot —
+    /// a concurrent `remap` frame may replace the live one).
     pub fn shard_map(&self) -> ShardMap {
-        self.shared().map.clone()
+        self.shared().map.read().expect("map lock").clone()
     }
 
     /// Whether a client has asked the server to shut down.
@@ -604,6 +622,76 @@ fn worker_loop(shared: Arc<Shared>, mut poller: Poller, inbox: Arc<Inbox>, worke
     }
 }
 
+/// Builds the `stale-epoch` err reply: the typed error line carrying
+/// the server's epoch, followed by the server's full current map as the
+/// payload — so one reject is also the map hand-off that lets the
+/// sender catch up without another round trip.
+fn stale_epoch_body(id: u64, map: &ShardMap) -> String {
+    let mut body = err_body(id, &FleetError::StaleEpoch { epoch: map.epoch() });
+    map.push_wire(&mut body);
+    body
+}
+
+/// The cluster fencing gate, applied before a stream-addressed request
+/// touches the fleet. Returns the reject reply body, or `None` when
+/// the request may proceed.
+///
+/// * **Epoch fencing** — a request carrying an `@<epoch>` token is
+///   *fenced*: any mismatch with the server's map epoch (older *or*
+///   newer — a newer sender should push its map via `remap` first) is
+///   a `stale-epoch` reject carrying the current map. Epoch-free
+///   requests skip this gate; that is the pre-autonomy compatibility
+///   contract.
+/// * **Ownership fencing** (`serve_path` verbs: `query`, `ingest`) — a
+///   fenced request for a stream this node does not own under its own
+///   map is rejected even at matching epochs. This is what keeps a
+///   restarted node's stale copies unreachable after a post-flip
+///   crash: once the node learns the current map, fenced requests for
+///   migrated streams bounce to the real owner.
+/// * **Leases** (`serve_path` verbs, fenced or not) — once the node is
+///   lease-enforcing, a slot without an unexpired lease answers
+///   `lease-expired` regardless of what any map says (the node may
+///   simply not have heard about a re-homing yet).
+///
+/// Coordination verbs (`register`, `snapshot`, `deregister`) get epoch
+/// fencing only: a migration legitimately registers on the target
+/// before the flip and deregisters from the source after it, and must
+/// be able to drain a node whose lease lapsed.
+/// The common case — an epoch-free request to a non-enforcing node —
+/// costs one relaxed atomic load and touches no lock: the pre-autonomy
+/// hot path stays the pre-autonomy hot path, at any connection count.
+fn fence(
+    shared: &Shared,
+    id: u64,
+    epoch: Option<u64>,
+    stream: Option<&str>,
+    serve_path: bool,
+) -> Option<String> {
+    if let Some(e) = epoch {
+        let map = shared.map.read().expect("map lock");
+        if e != map.epoch() {
+            return Some(stale_epoch_body(id, &map));
+        }
+        if serve_path {
+            if let Some(stream) = stream {
+                if map.endpoint_of(stream) != shared.advertise {
+                    return Some(stale_epoch_body(id, &map));
+                }
+            }
+        }
+    }
+    if serve_path && shared.lease_enforcing.load(Ordering::Relaxed) {
+        if let Some(stream) = stream {
+            let slot = shared.map.read().expect("map lock").shard_of(stream) as u64;
+            let lease = shared.lease.lock().expect("lease lock");
+            if !lease.permits(slot, Instant::now()) {
+                return Some(err_body(id, &FleetError::LeaseExpired { slot }));
+            }
+        }
+    }
+    None
+}
+
 /// Executes one request against the fleet, returning the queued
 /// completion, the stream name the request addressed (moved out of the
 /// parsed request so slow-request records never clone), and whether the
@@ -625,14 +713,28 @@ pub(crate) fn dispatch(req: Request, shared: &Shared) -> (Completion, Option<Str
                 false,
             )
         }
-        Request::Query { id, stream, query } => {
+        Request::Query {
+            id,
+            epoch,
+            stream,
+            query,
+        } => {
+            if let Some(reject) = fence(shared, id, epoch, Some(&stream), true) {
+                return (Completion::Ready(reject), Some(stream), true);
+            }
             let completion = match fleet.query(&stream, query) {
                 Ok(ticket) => Completion::Query { id, ticket },
                 Err(e) => Completion::Ready(err_body(id, &e)),
             };
             (completion, Some(stream), true)
         }
-        Request::QueryBatch { id, items } => {
+        Request::QueryBatch { id, epoch, items } => {
+            // Batches are fenced at the head only (items may span
+            // slots); per-stream ownership/lease misses surface as the
+            // owning node's item errors on retry paths.
+            if let Some(reject) = fence(shared, id, epoch, None, false) {
+                return (Completion::Ready(reject), None, true);
+            }
             let refs: Vec<(&str, sofia_fleet::Query)> =
                 items.iter().map(|(s, q)| (s.as_str(), q.clone())).collect();
             let completion = match fleet.query_batch_tickets(&refs) {
@@ -652,9 +754,13 @@ pub(crate) fn dispatch(req: Request, shared: &Shared) -> (Completion, Option<Str
         }
         Request::Register {
             id,
+            epoch,
             stream,
             envelope,
         } => {
+            if let Some(reject) = fence(shared, id, epoch, Some(&stream), false) {
+                return (Completion::Ready(reject), Some(stream), true);
+            }
             let registered = restore_handle(&stream, &envelope)
                 .and_then(|handle| fleet.register(&stream, handle));
             let body = match registered {
@@ -680,7 +786,15 @@ pub(crate) fn dispatch(req: Request, shared: &Shared) -> (Completion, Option<Str
             };
             (Completion::Ready(body), Some(stream), true)
         }
-        Request::Ingest { id, stream, slices } => {
+        Request::Ingest {
+            id,
+            epoch,
+            stream,
+            slices,
+        } => {
+            if let Some(reject) = fence(shared, id, epoch, Some(&stream), true) {
+                return (Completion::Ready(reject), Some(stream), true);
+            }
             // Slices apply in seq order. The first backpressure stops
             // the batch — applying later slices would reorder the
             // stream — and every unapplied seq is handed back, exactly
@@ -724,7 +838,10 @@ pub(crate) fn dispatch(req: Request, shared: &Shared) -> (Completion, Option<Str
             };
             (Completion::Ready(body), Some(stream), true)
         }
-        Request::Snapshot { id, stream } => {
+        Request::Snapshot { id, epoch, stream } => {
+            if let Some(reject) = fence(shared, id, epoch, Some(&stream), false) {
+                return (Completion::Ready(reject), Some(stream), true);
+            }
             // The reply payload IS the checkpoint envelope — exactly
             // what a `register` frame on another server accepts, so
             // snapshot → register → deregister moves a stream.
@@ -734,12 +851,71 @@ pub(crate) fn dispatch(req: Request, shared: &Shared) -> (Completion, Option<Str
             };
             (Completion::Ready(body), Some(stream), true)
         }
-        Request::Deregister { id, stream } => {
+        Request::Deregister { id, epoch, stream } => {
+            if let Some(reject) = fence(shared, id, epoch, Some(&stream), false) {
+                return (Completion::Ready(reject), Some(stream), true);
+            }
             let body = match fleet.deregister(&stream) {
                 Ok(()) => ok_body(id, |_| {}),
                 Err(e) => err_body(id, &e),
             };
             (Completion::Ready(body), Some(stream), true)
+        }
+        Request::Remap { id, map: new_map } => {
+            // Strictly-greater-epoch installs only: equal or older maps
+            // are the sender's problem (it gets the current map back in
+            // the reject and can adopt it instead).
+            let mut map = shared.map.write().expect("map lock");
+            let body = if new_map.epoch() > map.epoch() {
+                *map = new_map;
+                ok_body(id, |_| {})
+            } else {
+                stale_epoch_body(id, &map)
+            };
+            (Completion::Ready(body), None, true)
+        }
+        Request::LeaseGrant { id, slot, ttl_ms } => {
+            shared.lease.lock().expect("lease lock").grant(
+                slot,
+                Duration::from_millis(ttl_ms),
+                Instant::now(),
+            );
+            shared.lease_enforcing.store(true, Ordering::Relaxed);
+            (Completion::Ready(ok_body(id, |_| {})), None, true)
+        }
+        Request::LeaseRevoke { id, slot } => {
+            let held = shared.lease.lock().expect("lease lock").revoke(slot);
+            shared.lease_enforcing.store(true, Ordering::Relaxed);
+            let body = ok_body(id, |out| {
+                use std::fmt::Write as _;
+                let _ = writeln!(out, "held {held}");
+            });
+            (Completion::Ready(body), None, true)
+        }
+        Request::Streams { id, slot } => {
+            // Slot membership is judged by this node's own map, which
+            // may lag the coordinator's (a plainly-bound node holds a
+            // single-node map until a `remap` arrives) — which is why
+            // the sweep coordinator fetches the unfiltered list and
+            // groups by its *own* map's hash instead.
+            let map = shared.map.read().expect("map lock");
+            let ids: Vec<String> = fleet
+                .stream_ids()
+                .into_iter()
+                .filter(|s| match slot {
+                    Some(want) => map.shard_of(s) as u64 == want,
+                    None => true,
+                })
+                .collect();
+            drop(map);
+            let body = ok_body(id, |out| {
+                use std::fmt::Write as _;
+                let _ = writeln!(out, "streams {}", ids.len());
+                for s in &ids {
+                    let _ = writeln!(out, "stream {}", crate::wire::encode_stream_id(s));
+                }
+            });
+            (Completion::Ready(body), None, true)
         }
         Request::Flush { id } => {
             let body = match fleet.flush() {

@@ -26,11 +26,23 @@
 //! ingest <req-id> <stream> <n>         n blocks `seq <s>` + shape/data/bits
 //! snapshot <req-id> <stream>           read the model as an envelope (migration)
 //! deregister <req-id> <stream>         unload + delete the stream here
+//! remap <req-id>                       rest of body = shard-map block to install
+//! lease <req-id> grant <slot> <ttl-ms> grant/renew a slot ownership lease
+//! lease <req-id> revoke <slot>         fence a slot off immediately
+//! streams <req-id> [slot <s>]          list held stream ids (slot enumeration)
 //! flush <req-id>                       read-your-writes barrier
 //! stats <req-id>                       fleet-wide statistics
 //! metrics <req-id>                     node-health snapshot (NetStats)
 //! shutdown <req-id>                    graceful server shutdown
 //! ```
+//!
+//! The six stream-addressed verbs (`query`, `batch`, `register`,
+//! `ingest`, `snapshot`, `deregister`) accept an optional `@<epoch>`
+//! token immediately after the request id — the sender's shard-map
+//! epoch, which makes the request **fenced** (see [`crate::cluster`]).
+//! `@` never appears in a percent-encoded id, so the token is
+//! unambiguous; requests without it are the pre-autonomy wire form,
+//! byte-identical in both directions.
 //!
 //! Server → client bodies: `ok <req-id>` followed by the reply payload,
 //! or `err <req-id> <fleet-error…>` ([`FleetError::to_wire`]). Replies
@@ -190,6 +202,12 @@ pub enum Request {
     Query {
         /// Pipelining id, echoed by the reply.
         id: u64,
+        /// The sender's shard-map epoch (`None` on an epoch-free
+        /// request — pre-autonomy clients, or a map still at epoch 0).
+        /// A carried epoch makes the request **fenced**: the server
+        /// rejects it with `stale-epoch` when the epoch mismatches or
+        /// its map says another node owns the stream.
+        epoch: Option<u64>,
         /// Target stream.
         stream: String,
         /// The request, exactly as the in-process plane types it.
@@ -200,6 +218,9 @@ pub enum Request {
     QueryBatch {
         /// Pipelining id.
         id: u64,
+        /// The sender's shard-map epoch (fencing; see
+        /// [`Request::Query`]).
+        epoch: Option<u64>,
         /// `(stream, query)` items, in reply order.
         items: Vec<(String, Query)>,
     },
@@ -209,6 +230,9 @@ pub enum Request {
     Register {
         /// Pipelining id.
         id: u64,
+        /// The sender's shard-map epoch (fencing; see
+        /// [`Request::Query`]).
+        epoch: Option<u64>,
         /// Stream id to register.
         stream: String,
         /// The checkpoint envelope, byte-for-byte.
@@ -219,6 +243,9 @@ pub enum Request {
     Ingest {
         /// Pipelining id.
         id: u64,
+        /// The sender's shard-map epoch (fencing; see
+        /// [`Request::Query`]).
+        epoch: Option<u64>,
         /// Target stream.
         stream: String,
         /// `(seq, slice)` in ingest order.
@@ -231,6 +258,9 @@ pub enum Request {
     Snapshot {
         /// Pipelining id.
         id: u64,
+        /// The sender's shard-map epoch (fencing; see
+        /// [`Request::Query`]).
+        epoch: Option<u64>,
         /// Stream to export.
         stream: String,
     },
@@ -240,8 +270,50 @@ pub enum Request {
     Deregister {
         /// Pipelining id.
         id: u64,
+        /// The sender's shard-map epoch (fencing; see
+        /// [`Request::Query`]).
+        epoch: Option<u64>,
         /// Stream to remove.
         stream: String,
+    },
+    /// Install a newer shard map on the serving node (the payload is a
+    /// full shard-map block). The server adopts it iff its epoch is
+    /// **strictly greater** than the one it holds and answers
+    /// `stale-epoch` otherwise — this is how maps self-propagate after
+    /// a migration or a node restart.
+    Remap {
+        /// Pipelining id.
+        id: u64,
+        /// The map to install.
+        map: ShardMap,
+    },
+    /// Grant (or renew) this node's ownership lease on a route slot
+    /// for `ttl_ms` milliseconds ([`sofia_fleet::LeaseTable`]). The
+    /// first grant flips the node to lease-enforcing.
+    LeaseGrant {
+        /// Pipelining id.
+        id: u64,
+        /// Route slot the lease covers.
+        slot: u64,
+        /// Lease duration from the server's receipt, in milliseconds.
+        ttl_ms: u64,
+    },
+    /// Revoke this node's lease on a route slot immediately (the
+    /// coordinator is about to re-home it).
+    LeaseRevoke {
+        /// Pipelining id.
+        id: u64,
+        /// Route slot to fence off.
+        slot: u64,
+    },
+    /// List the stream ids this node currently holds, optionally
+    /// restricted to one route slot of the server's map — the slot
+    /// enumeration a slot-granularity migration sweeps over.
+    Streams {
+        /// Pipelining id.
+        id: u64,
+        /// Restrict the listing to this route slot.
+        slot: Option<u64>,
     },
     /// Read-your-writes barrier ([`sofia_fleet::Fleet::flush`] over TCP).
     Flush {
@@ -278,6 +350,10 @@ impl Request {
             | Request::Ingest { id, .. }
             | Request::Snapshot { id, .. }
             | Request::Deregister { id, .. }
+            | Request::Remap { id, .. }
+            | Request::LeaseGrant { id, .. }
+            | Request::LeaseRevoke { id, .. }
+            | Request::Streams { id, .. }
             | Request::Flush { id }
             | Request::Stats { id }
             | Request::Metrics { id }
@@ -296,6 +372,9 @@ impl Request {
             Request::Ingest { .. } => "ingest",
             Request::Snapshot { .. } => "snapshot",
             Request::Deregister { .. } => "deregister",
+            Request::Remap { .. } => "remap",
+            Request::LeaseGrant { .. } | Request::LeaseRevoke { .. } => "lease",
+            Request::Streams { .. } => "streams",
             Request::Flush { .. } => "flush",
             Request::Stats { .. } => "stats",
             Request::Metrics { .. } => "metrics",
@@ -311,37 +390,82 @@ impl Request {
             Request::Hello { client } => {
                 let _ = writeln!(out, "hello {}", encode_stream_id(client));
             }
-            Request::Query { id, stream, query } => {
+            Request::Query {
+                id,
+                epoch,
+                stream,
+                query,
+            } => {
                 let _ = writeln!(
                     out,
-                    "query {id} {} {}",
+                    "query {id}{} {} {}",
+                    epoch_token(*epoch),
                     encode_stream_id(stream),
                     query.to_wire()
                 );
             }
-            Request::QueryBatch { id, items } => {
-                let _ = writeln!(out, "batch {id} {}", items.len());
+            Request::QueryBatch { id, epoch, items } => {
+                let _ = writeln!(out, "batch {id}{} {}", epoch_token(*epoch), items.len());
                 for (stream, query) in items {
                     let _ = writeln!(out, "{} {}", encode_stream_id(stream), query.to_wire());
                 }
             }
             Request::Register {
                 id,
+                epoch,
                 stream,
                 envelope,
             } => {
-                let _ = writeln!(out, "register {id} {}", encode_stream_id(stream));
+                let _ = writeln!(
+                    out,
+                    "register {id}{} {}",
+                    epoch_token(*epoch),
+                    encode_stream_id(stream)
+                );
                 out.push_str(envelope);
             }
-            Request::Ingest { id, stream, slices } => {
-                out.push_str(&ingest_body(*id, stream, slices));
+            Request::Ingest {
+                id,
+                epoch,
+                stream,
+                slices,
+            } => {
+                out.push_str(&ingest_body(*id, *epoch, stream, slices));
             }
-            Request::Snapshot { id, stream } => {
-                let _ = writeln!(out, "snapshot {id} {}", encode_stream_id(stream));
+            Request::Snapshot { id, epoch, stream } => {
+                let _ = writeln!(
+                    out,
+                    "snapshot {id}{} {}",
+                    epoch_token(*epoch),
+                    encode_stream_id(stream)
+                );
             }
-            Request::Deregister { id, stream } => {
-                let _ = writeln!(out, "deregister {id} {}", encode_stream_id(stream));
+            Request::Deregister { id, epoch, stream } => {
+                let _ = writeln!(
+                    out,
+                    "deregister {id}{} {}",
+                    epoch_token(*epoch),
+                    encode_stream_id(stream)
+                );
             }
+            Request::Remap { id, map } => {
+                let _ = writeln!(out, "remap {id}");
+                map.push_wire(&mut out);
+            }
+            Request::LeaseGrant { id, slot, ttl_ms } => {
+                let _ = writeln!(out, "lease {id} grant {slot} {ttl_ms}");
+            }
+            Request::LeaseRevoke { id, slot } => {
+                let _ = writeln!(out, "lease {id} revoke {slot}");
+            }
+            Request::Streams { id, slot } => match slot {
+                Some(s) => {
+                    let _ = writeln!(out, "streams {id} slot {s}");
+                }
+                None => {
+                    let _ = writeln!(out, "streams {id}");
+                }
+            },
             Request::Flush { id } => {
                 let _ = writeln!(out, "flush {id}");
             }
@@ -376,7 +500,25 @@ impl Request {
             tok.parse()
                 .map_err(|_| WireError::new(format!("bad {what} `{tok}`")))
         }
-        let mut toks = head.split_whitespace();
+        // The optional `@<epoch>` fencing token right after the request
+        // id. `@` never appears in a percent-encoded stream id, so the
+        // token is unambiguous; its absence is the epoch-free
+        // pre-autonomy form.
+        fn epoch(
+            toks: &mut std::iter::Peekable<std::str::SplitWhitespace<'_>>,
+        ) -> Result<Option<u64>, WireError> {
+            match toks.peek() {
+                Some(tok) if tok.starts_with('@') => {
+                    let tok = toks.next().expect("peeked");
+                    tok[1..]
+                        .parse()
+                        .map(Some)
+                        .map_err(|_| WireError::new(format!("bad epoch token `{tok}`")))
+                }
+                _ => Ok(None),
+            }
+        }
+        let mut toks = head.split_whitespace().peekable();
         let verb = toks.next().ok_or_else(|| WireError::new("empty request"))?;
         let req = match verb {
             "hello" => {
@@ -388,16 +530,26 @@ impl Request {
             }
             "query" => {
                 let id = int(&mut toks, verb, "request id")?;
+                let epoch = epoch(&mut toks)?;
                 let stream = toks
                     .next()
                     .and_then(decode_stream_id)
                     .ok_or_else(|| WireError::new("query needs a stream id"))?;
                 let line: Vec<&str> = toks.collect();
                 let query = Query::from_wire_line(&line.join(" "))?;
-                return finish_single_line(rest, Request::Query { id, stream, query });
+                return finish_single_line(
+                    rest,
+                    Request::Query {
+                        id,
+                        epoch,
+                        stream,
+                        query,
+                    },
+                );
             }
             "batch" => {
                 let id = int(&mut toks, verb, "request id")?;
+                let epoch = epoch(&mut toks)?;
                 let n = int(&mut toks, verb, "item count")? as usize;
                 if n > MAX_BATCH_ITEMS {
                     return Err(WireError::new(format!(
@@ -416,10 +568,11 @@ impl Request {
                     items.push((stream, Query::from_wire_line(query_line)?));
                 }
                 cur.finish()?;
-                return Ok(Request::QueryBatch { id, items });
+                return Ok(Request::QueryBatch { id, epoch, items });
             }
             "register" => {
                 let id = int(&mut toks, verb, "request id")?;
+                let epoch = epoch(&mut toks)?;
                 let stream = toks
                     .next()
                     .and_then(decode_stream_id)
@@ -428,12 +581,14 @@ impl Request {
                 // (its payload must stay bit-exact).
                 return Ok(Request::Register {
                     id,
+                    epoch,
                     stream,
                     envelope: rest.to_string(),
                 });
             }
             "ingest" => {
                 let id = int(&mut toks, verb, "request id")?;
+                let epoch = epoch(&mut toks)?;
                 let stream = toks
                     .next()
                     .and_then(decode_stream_id)
@@ -455,19 +610,67 @@ impl Request {
                     slices.push((seq, wire::parse_observed(&mut cur)?));
                 }
                 cur.finish()?;
-                return Ok(Request::Ingest { id, stream, slices });
+                return Ok(Request::Ingest {
+                    id,
+                    epoch,
+                    stream,
+                    slices,
+                });
             }
             "snapshot" | "deregister" => {
                 let id = int(&mut toks, verb, "request id")?;
+                let epoch = epoch(&mut toks)?;
                 let stream = toks
                     .next()
                     .and_then(decode_stream_id)
                     .ok_or_else(|| WireError::new(format!("`{verb}` needs a stream id")))?;
                 if verb == "snapshot" {
-                    Request::Snapshot { id, stream }
+                    Request::Snapshot { id, epoch, stream }
                 } else {
-                    Request::Deregister { id, stream }
+                    Request::Deregister { id, epoch, stream }
                 }
+            }
+            "remap" => {
+                let id = int(&mut toks, verb, "request id")?;
+                if toks.next().is_some() {
+                    return Err(WireError::new(format!("trailing token in `{head}`")));
+                }
+                // The payload is a full shard-map block.
+                let mut cur = LineCursor::new(rest);
+                let map = ShardMap::parse(&mut cur)?;
+                cur.finish()?;
+                return Ok(Request::Remap { id, map });
+            }
+            "lease" => {
+                let id = int(&mut toks, verb, "request id")?;
+                match toks.next() {
+                    Some("grant") => {
+                        let slot = int(&mut toks, verb, "slot")?;
+                        let ttl_ms = int(&mut toks, verb, "lease ttl")?;
+                        Request::LeaseGrant { id, slot, ttl_ms }
+                    }
+                    Some("revoke") => Request::LeaseRevoke {
+                        id,
+                        slot: int(&mut toks, verb, "slot")?,
+                    },
+                    other => {
+                        return Err(WireError::new(format!(
+                            "bad lease action `{}`",
+                            other.unwrap_or("")
+                        )))
+                    }
+                }
+            }
+            "streams" => {
+                let id = int(&mut toks, verb, "request id")?;
+                let slot = match toks.next() {
+                    None => None,
+                    Some("slot") => Some(int(&mut toks, verb, "slot")?),
+                    Some(other) => {
+                        return Err(WireError::new(format!("bad streams clause `{other}`")))
+                    }
+                };
+                Request::Streams { id, slot }
             }
             "flush" => Request::Flush {
                 id: int(&mut toks, verb, "request id")?,
@@ -497,12 +700,18 @@ pub const MAX_BATCH_ITEMS: usize = 65_536;
 /// Serializes an `ingest` frame body from **borrowed** slices, so a
 /// client can keep the originals as its backpressure hand-back source
 /// without cloning the tensors ([`Request::to_body`] delegates here).
-pub fn ingest_body(id: u64, stream: &str, slices: &[(u64, ObservedTensor)]) -> String {
+pub fn ingest_body(
+    id: u64,
+    epoch: Option<u64>,
+    stream: &str,
+    slices: &[(u64, ObservedTensor)],
+) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "ingest {id} {} {}",
+        "ingest {id}{} {} {}",
+        epoch_token(epoch),
         encode_stream_id(stream),
         slices.len()
     );
@@ -511,6 +720,16 @@ pub fn ingest_body(id: u64, stream: &str, slices: &[(u64, ObservedTensor)]) -> S
         wire::push_observed(&mut out, slice);
     }
     out
+}
+
+/// The head-line form of an optional fencing epoch: ` @<e>` (with its
+/// leading separator) when carried, nothing when epoch-free — so
+/// epoch-free requests stay byte-identical to the pre-autonomy wire.
+fn epoch_token(epoch: Option<u64>) -> String {
+    match epoch {
+        Some(e) => format!(" @{e}"),
+        None => String::new(),
+    }
 }
 
 /// Upper bound (in bytes) of one slice's encoded ingest block: the
@@ -598,10 +817,18 @@ pub fn split_reply(body: &str) -> Result<(ReplyHead, &str), WireError> {
 /// A slot count need not match any server's internal shard count: slots
 /// route *between* processes; each fleet re-hashes over its own shards
 /// internally.
+///
+/// Since the cluster-autonomy revision the map also carries an
+/// **epoch** — a monotonically increasing version number bumped on
+/// every ownership change (slot flip, repoint). Routed requests carry
+/// the sender's epoch and servers fence on it (see the module docs of
+/// [`crate::cluster`]); a map fresh out of a constructor is epoch 0,
+/// which is also what the epoch-free pre-autonomy wire form parses as.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardMap {
     endpoints: Vec<String>,
     overrides: std::collections::BTreeMap<String, String>,
+    epoch: u64,
 }
 
 impl ShardMap {
@@ -612,6 +839,7 @@ impl ShardMap {
         ShardMap {
             endpoints: vec![endpoint; shards],
             overrides: std::collections::BTreeMap::new(),
+            epoch: 0,
         }
     }
 
@@ -624,6 +852,7 @@ impl ShardMap {
         ShardMap {
             endpoints,
             overrides: std::collections::BTreeMap::new(),
+            epoch: 0,
         }
     }
 
@@ -642,12 +871,38 @@ impl ShardMap {
                 .map(|i| endpoints[i % endpoints.len()].clone())
                 .collect(),
             overrides: std::collections::BTreeMap::new(),
+            epoch: 0,
         }
     }
 
     /// Number of route slots.
     pub fn shards(&self) -> usize {
         self.endpoints.len()
+    }
+
+    /// The map's fencing epoch. Two maps at the same epoch are expected
+    /// to be identical; a higher epoch always supersedes a lower one.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Sets the epoch outright (used when adopting a peer's newer map).
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// Advances the epoch by one and returns the new value — called
+    /// exactly once per ownership change.
+    pub fn bump_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Reassigns route slot `slot` to a new owner — the map half of a
+    /// slot-granularity migration. The caller bumps the epoch.
+    pub fn set_slot_owner(&mut self, slot: usize, endpoint: impl Into<String>) {
+        assert!(slot < self.endpoints.len(), "slot {slot} out of range");
+        self.endpoints[slot] = endpoint.into();
     }
 
     /// Endpoint owning each slot.
@@ -724,23 +979,22 @@ impl ShardMap {
         changed
     }
 
-    /// Appends the map's wire form. With no overrides this is exactly
-    /// the original single-header form (`shardmap <n>` + one `endpoint`
-    /// line per slot), byte-identical to what pre-cluster servers sent;
-    /// overrides extend the header to `shardmap <n> overrides <m>` and
-    /// append one `override` line each.
+    /// Appends the map's wire form. The header is
+    /// `shardmap <n> [epoch <e>] [overrides <m>]` with each clause
+    /// omitted when zero/empty — so an epoch-0, override-free map emits
+    /// exactly the original single-header form, byte-identical to what
+    /// pre-cluster servers sent, and any map re-emits byte-identically
+    /// after a parse.
     pub fn push_wire(&self, out: &mut String) {
         use std::fmt::Write as _;
-        if self.overrides.is_empty() {
-            let _ = writeln!(out, "shardmap {}", self.endpoints.len());
-        } else {
-            let _ = writeln!(
-                out,
-                "shardmap {} overrides {}",
-                self.endpoints.len(),
-                self.overrides.len()
-            );
+        let _ = write!(out, "shardmap {}", self.endpoints.len());
+        if self.epoch > 0 {
+            let _ = write!(out, " epoch {}", self.epoch);
         }
+        if !self.overrides.is_empty() {
+            let _ = write!(out, " overrides {}", self.overrides.len());
+        }
+        out.push('\n');
         for (i, ep) in self.endpoints.iter().enumerate() {
             let _ = writeln!(out, "endpoint {i} {}", encode_stream_id(ep));
         }
@@ -754,9 +1008,11 @@ impl ShardMap {
         }
     }
 
-    /// Parses the block written by [`ShardMap::push_wire`] — both the
-    /// extended form and the plain pre-cluster handshake form (no
-    /// `overrides` clause, no `override` lines).
+    /// Parses the block written by [`ShardMap::push_wire`] — every
+    /// clause combination, including the plain pre-autonomy handshake
+    /// forms: no `epoch` clause parses as epoch 0 (the pre-epoch PR 5
+    /// form), no `overrides` clause as no overrides (the pre-cluster
+    /// PR 4 form).
     pub fn parse(cur: &mut LineCursor<'_>) -> Result<ShardMap, WireError> {
         let head = cur.next("shardmap header")?;
         let bad = || WireError::new(format!("bad shardmap header `{head}`"));
@@ -770,7 +1026,17 @@ impl ShardMap {
                 .ok_or_else(bad)
         };
         let n = parse_count(toks.next()).and_then(|n| if n > 0 { Ok(n) } else { Err(bad()) })?;
-        let m = match toks.next() {
+        let mut clause = toks.next();
+        let epoch = match clause {
+            Some("epoch") => {
+                // Epochs are versions, not sizes: the full u64 range.
+                let e = toks.next().and_then(|d| d.parse().ok()).ok_or_else(bad)?;
+                clause = toks.next();
+                e
+            }
+            _ => 0,
+        };
+        let m = match clause {
             None => 0,
             Some("overrides") => parse_count(toks.next())?,
             Some(_) => return Err(bad()),
@@ -805,6 +1071,7 @@ impl ShardMap {
         Ok(ShardMap {
             endpoints,
             overrides,
+            epoch,
         })
     }
 }
@@ -1016,40 +1283,87 @@ mod tests {
 
     #[test]
     fn requests_round_trip() {
+        let mut remap_map = ShardMap::round_robin(&["h0:1".into(), "h 1:2".into()], 2);
+        remap_map.set_epoch(9);
+        remap_map.set_override("moved α", "h 1:2");
         let requests = vec![
             Request::Hello {
                 client: "bench client/1".into(),
             },
             Request::Query {
                 id: 7,
+                epoch: None,
+                stream: "sensor net/α".into(),
+                query: Query::Forecast { horizon: 12 },
+            },
+            Request::Query {
+                id: 7,
+                epoch: Some(3),
                 stream: "sensor net/α".into(),
                 query: Query::Forecast { horizon: 12 },
             },
             Request::QueryBatch {
                 id: 8,
+                epoch: None,
                 items: vec![
                     ("a".into(), Query::Latest),
                     ("b c".into(), Query::StreamStats),
                     ("d".into(), Query::OutlierMask),
                 ],
             },
+            Request::QueryBatch {
+                id: 8,
+                epoch: Some(u64::MAX),
+                items: vec![("a".into(), Query::Latest)],
+            },
             Request::Register {
                 id: 9,
+                epoch: None,
+                stream: "new stream".into(),
+                envelope: "sofia-checkpoint v2\nmodel demo\nsteps 3\npayload line\n".into(),
+            },
+            Request::Register {
+                id: 9,
+                epoch: Some(2),
                 stream: "new stream".into(),
                 envelope: "sofia-checkpoint v2\nmodel demo\nsteps 3\npayload line\n".into(),
             },
             Request::Ingest {
                 id: 10,
+                epoch: None,
                 stream: "s".into(),
                 slices: vec![(41, slice(1.5)), (42, slice(-2.0))],
             },
+            Request::Ingest {
+                id: 10,
+                epoch: Some(1),
+                stream: "s".into(),
+                slices: vec![(41, slice(1.5))],
+            },
             Request::Snapshot {
                 id: 14,
+                epoch: Some(5),
                 stream: "mig/α".into(),
             },
             Request::Deregister {
                 id: 15,
+                epoch: None,
                 stream: "mig/α".into(),
+            },
+            Request::Remap {
+                id: 17,
+                map: remap_map,
+            },
+            Request::LeaseGrant {
+                id: 18,
+                slot: 3,
+                ttl_ms: 1500,
+            },
+            Request::LeaseRevoke { id: 19, slot: 0 },
+            Request::Streams { id: 20, slot: None },
+            Request::Streams {
+                id: 21,
+                slot: Some(2),
             },
             Request::Flush { id: 11 },
             Request::Stats { id: 12 },
@@ -1064,16 +1378,18 @@ mod tests {
                 (
                     Request::Ingest {
                         id: a,
+                        epoch: ea,
                         stream: sa,
                         slices: xa,
                     },
                     Request::Ingest {
                         id: b,
+                        epoch: eb,
                         stream: sb,
                         slices: xb,
                     },
                 ) => {
-                    assert_eq!((a, sa), (b, sb));
+                    assert_eq!((a, ea, sa), (b, eb, sb));
                     assert_eq!(xa.len(), xb.len());
                     for ((qa, ta), (qb, tb)) in xa.iter().zip(xb) {
                         assert_eq!(qa, qb);
@@ -1085,6 +1401,34 @@ mod tests {
             }
             assert_eq!(req.id(), back.id());
         }
+    }
+
+    /// Epoch-free requests and epoch-carrying requests both have pinned
+    /// head-line forms: the former byte-identical to the pre-autonomy
+    /// wire (an old server keeps parsing a new client and vice versa),
+    /// the latter with the `@<epoch>` token in its documented position.
+    #[test]
+    fn request_head_lines_are_pinned_with_and_without_epoch() {
+        let pre_autonomy = Request::Query {
+            id: 7,
+            epoch: None,
+            stream: "sensor-7".into(),
+            query: Query::Latest,
+        };
+        assert_eq!(pre_autonomy.to_body(), "query 7 sensor-7 latest\n");
+        let fenced = Request::Query {
+            id: 7,
+            epoch: Some(3),
+            stream: "sensor-7".into(),
+            query: Query::Latest,
+        };
+        assert_eq!(fenced.to_body(), "query 7 @3 sensor-7 latest\n");
+        assert_eq!(
+            ingest_body(12, None, "s", &[]),
+            "ingest 12 s 0\n",
+            "epoch-free ingest head is the pre-autonomy form"
+        );
+        assert_eq!(ingest_body(12, Some(4), "s", &[]), "ingest 12 @4 s 0\n");
     }
 
     #[test]
@@ -1099,6 +1443,34 @@ mod tests {
             "query 1 s bogus",
             "query 1 %zz latest",
             "query 1 s latest\ntrailing payload",
+            "query 1 @ s latest",
+            "query 1 @x s latest",
+            "query 1 @-3 s latest",
+            "query 1 @2",
+            "batch 1 @y 1\na latest",
+            "remap",
+            "remap x",
+            "remap 1 extra\nshardmap 1\nendpoint 0 a",
+            "remap 1",
+            "remap 1\nshardmap 0",
+            "remap 1\nshardmap 1\nendpoint 0 a\nstray",
+            "lease 1",
+            "lease 1 grant",
+            "lease 1 grant x 5",
+            "lease 1 grant 0",
+            "lease 1 grant 0 x",
+            "lease 1 grant 0 5 extra",
+            "lease 1 revoke",
+            "lease 1 revoke 0 extra",
+            "lease 1 renew 0 5",
+            "lease 1 grant 0 5\nstray",
+            "streams",
+            "streams x",
+            "streams 1 slot",
+            "streams 1 slot x",
+            "streams 1 slot 2 extra",
+            "streams 1 bogus",
+            "streams 1\nstray",
             "batch 1 2\na latest",
             "batch 1 2\na latest\nb forecast 1\nextra",
             "batch 1 999999999",
@@ -1178,6 +1550,12 @@ mod tests {
             "shardmap 1 overrides x",
             "shardmap 1 overrides 1 extra",
             "shardmap 1 bogus 1",
+            "shardmap 1 epoch",
+            "shardmap 1 epoch x",
+            "shardmap 1 epoch -2",
+            "shardmap 1 epoch 3 bogus 1",
+            "shardmap 1 epoch 3 overrides",
+            "shardmap 1 overrides 0 epoch 3",
             "shardmap 1 overrides 1\nendpoint 0 a\noverride onlyonetoken",
             "shardmap 1 overrides 1\nendpoint 0 a\noverride %zz b",
             "shardmap 1 overrides 2\nendpoint 0 a\noverride s b",
@@ -1250,10 +1628,84 @@ mod tests {
         cur.finish().unwrap();
         assert_eq!(map, ShardMap::single_node("127.0.0.1:7411", 2));
         assert!(map.overrides().is_empty());
+        assert_eq!(map.epoch(), 0, "the epoch-free form parses as epoch 0");
 
         let mut out = String::new();
         map.push_wire(&mut out);
-        assert_eq!(out, legacy, "override-free wire form is unchanged");
+        assert_eq!(out, legacy, "epoch-0, override-free wire form is unchanged");
+    }
+
+    #[test]
+    fn shard_map_epoch_clause_round_trips_and_slot_flips_reassign() {
+        let mut map = ShardMap::round_robin(&["a:1".into(), "b:2".into()], 1);
+        map.set_epoch(7);
+        map.set_slot_owner(0, "b:2");
+        let mut out = String::new();
+        map.push_wire(&mut out);
+        assert!(out.starts_with("shardmap 2 epoch 7\n"), "{out}");
+        let mut cur = LineCursor::new(&out);
+        let back = ShardMap::parse(&mut cur).unwrap();
+        cur.finish().unwrap();
+        assert_eq!(back, map);
+        assert_eq!(back.epoch(), 7);
+        assert_eq!(back.endpoints(), ["b:2", "b:2"]);
+        assert_eq!(back.clone().bump_epoch(), 8);
+
+        // Epoch + overrides together, clause order pinned.
+        map.set_override("moved", "a:1");
+        let mut both = String::new();
+        map.push_wire(&mut both);
+        assert!(
+            both.starts_with("shardmap 2 epoch 7 overrides 1\n"),
+            "{both}"
+        );
+        let mut cur = LineCursor::new(&both);
+        assert_eq!(ShardMap::parse(&mut cur).unwrap(), map);
+    }
+
+    mod shard_map_epoch_property {
+        //! The satellite acceptance property: the epoch-carrying wire
+        //! form round-trips emit → parse → emit **byte-identically**
+        //! over arbitrary epochs and overrides (epoch 0 exercises the
+        //! clause-free back-compat form along the way).
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            #[test]
+            fn epoch_carrying_map_round_trips_byte_identically(
+                epoch in 0u64..u64::MAX,
+                slots in 1usize..9,
+                overrides in 0usize..5,
+                seed in 0u64..1_000,
+            ) {
+                let endpoints: Vec<String> = (0..slots)
+                    .map(|i| format!("host {}:7{:02}", (seed + i as u64) % 4, i))
+                    .collect();
+                let mut map = ShardMap::from_endpoints(endpoints);
+                map.set_epoch(epoch);
+                for k in 0..overrides {
+                    map.set_override(
+                        format!("stream {seed}/{k}"),
+                        format!("override-host:{}", seed % 7),
+                    );
+                }
+
+                let mut wire = String::new();
+                map.push_wire(&mut wire);
+                let mut cur = LineCursor::new(&wire);
+                let back = ShardMap::parse(&mut cur).expect("emitted maps parse");
+                cur.finish().expect("no trailing lines");
+                prop_assert_eq!(&back, &map);
+                prop_assert_eq!(back.epoch(), epoch);
+
+                let mut again = String::new();
+                back.push_wire(&mut again);
+                prop_assert_eq!(again, wire, "emit → parse → emit is byte-identical");
+            }
+        }
     }
 
     #[allow(deprecated)]

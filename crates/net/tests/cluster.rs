@@ -749,3 +749,211 @@ fn cluster_metrics_rollup_is_bit_exact_vs_folding_wire_forms() {
     server_a.shutdown().expect("a down");
     server_b.shutdown().expect("b down");
 }
+
+/// The stale-client acceptance scenario over real sockets: a router
+/// bootstrapped at epoch *n* keeps working after the coordinator moves
+/// a slot (epoch *n+1*) behind its back — the old owner answers with a
+/// typed `stale-epoch` reject carrying the current map, the client
+/// adopts it and retries once, the answer is bit-exact, and the
+/// client's map epoch is observed to advance. No operator, no restart.
+#[test]
+fn stale_client_is_fenced_then_rerouted_transparently() {
+    let dir_a = tempdir("stale-a");
+    let dir_b = tempdir("stale-b");
+    let server_a = Server::bind(
+        "127.0.0.1:0",
+        Fleet::new(node_config(&dir_a)).expect("fleet a"),
+    )
+    .expect("a");
+    let server_b = Server::bind(
+        "127.0.0.1:0",
+        Fleet::new(node_config(&dir_b)).expect("fleet b"),
+    )
+    .expect("b");
+    let ep_a = server_a.local_addr().to_string();
+    let ep_b = server_b.local_addr().to_string();
+    let mut coordinator =
+        ClusterClient::from_map(ShardMap::round_robin(&[ep_a.clone(), ep_b.clone()], 2));
+
+    // One stream hashed onto slot 0 (A-owned), fed and flushed.
+    let id = (0..)
+        .map(|k| format!("fence-{k}"))
+        .find(|id| coordinator.map().shard_of(id) == 0)
+        .expect("some id hashes to slot 0");
+    let (startup, streamed) = slices(0);
+    coordinator
+        .register(&id, &handle(0, &startup))
+        .expect("register");
+    coordinator
+        .ingest_blocking(&id, streamed)
+        .expect("pre-move traffic");
+    coordinator.flush().expect("barrier");
+
+    // First move (A → B) so a freshly bootstrapped client holds a map
+    // that is epoch-carrying but about to go stale.
+    assert!(coordinator.migrate_slot(0, &ep_b).expect("first move") >= 1);
+    assert_eq!(coordinator.map().epoch(), 1);
+    let mut stale = ClusterClient::connect(ep_a.as_str()).expect("bootstrap at epoch 1");
+    assert_eq!(stale.map().epoch(), 1, "member handshake carried the epoch");
+    let before = forecast_bits(
+        stale
+            .query(&id, Query::Forecast { horizon: 3 })
+            .expect("serves while current"),
+    );
+    let old_map = stale.map().clone();
+
+    // Second move (B → A, epoch 2) that `stale` never hears about.
+    coordinator.migrate_slot(0, &ep_a).expect("second move");
+    assert_eq!(coordinator.map().epoch(), 2);
+    let reference = forecast_bits(
+        coordinator
+            .query(&id, Query::Forecast { horizon: 3 })
+            .expect("authoritative answer"),
+    );
+
+    // The raw wire contract first: a connection stamping the old epoch
+    // gets the typed reject, and the reject's payload IS the current
+    // map — the hand-off that makes the retry possible.
+    {
+        let mut old = Client::connect(server_b.local_addr()).expect("direct b");
+        old.adopt_map(old_map);
+        match old.query(&id, Query::StreamStats) {
+            Err(ClientError::Fleet(FleetError::StaleEpoch { epoch })) => {
+                assert_eq!(epoch, 2, "reject names the server's epoch")
+            }
+            other => panic!("expected the typed stale-epoch, got {other:?}"),
+        }
+        let pushed = old
+            .take_stale_map()
+            .expect("reject carries the current map");
+        assert_eq!(pushed.epoch(), 2);
+        assert_eq!(pushed.endpoint_of(&id), ep_a);
+    }
+
+    // The router recovers on its own: fenced at B, one transparent
+    // retry at A, bit-exact answer, map epoch advanced.
+    let after = forecast_bits(
+        stale
+            .query(&id, Query::Forecast { horizon: 3 })
+            .expect("transparent reroute"),
+    );
+    assert_eq!(after, reference, "rerouted answer vs authoritative");
+    assert_eq!(after, before, "the round trip preserved the model bits");
+    assert_eq!(stale.map().epoch(), 2, "the client's map advanced");
+    assert_eq!(stale.map().endpoint_of(&id), ep_a);
+
+    server_a.shutdown().expect("a down");
+    server_b.shutdown().expect("b down");
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+/// Lease-managed ownership over real sockets: the first grant flips the
+/// node to enforcing (table-wide), a lapsed or revoked slot refuses the
+/// serve path with the typed `lease-expired` — *before* any state
+/// changes, so a refused ingest is never half-applied — while the
+/// coordination path (`snapshot`) stays open so a lapsed node can still
+/// be drained. Renewal resumes service exactly where it stopped.
+#[test]
+fn lapsed_lease_refuses_serving_until_regranted() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Fleet::new(FleetConfig {
+            shards: 2,
+            queue_capacity: 64,
+            checkpoint: None,
+            evict_idle_after: None,
+        })
+        .expect("fleet"),
+    )
+    .expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("client");
+
+    let id = "leased-stream";
+    let (startup, streamed) = slices(0);
+    client.register(id, &handle(0, &startup)).expect("register");
+    client
+        .ingest(id, streamed[..2].to_vec())
+        .expect("unmanaged ingest");
+    client.flush().expect("barrier");
+    let slot = client.shard_map().shard_of(id) as u64;
+
+    // Active lease: the slot serves. Enforcement is table-wide — a
+    // stream on any *other* slot is refused before the fleet even
+    // looks it up (the lease fence outranks UnknownStream).
+    client.lease_grant(slot, 80).expect("grant");
+    let stats = client
+        .query(id, Query::StreamStats)
+        .expect("active lease serves")
+        .expect_stream_stats();
+    assert_eq!(stats.steps, 2);
+    let other = (0..)
+        .map(|k| format!("other-{k}"))
+        .find(|s| client.shard_map().shard_of(s) as u64 != slot)
+        .expect("some id hashes elsewhere");
+    let other_slot = client.shard_map().shard_of(&other) as u64;
+    match client.query(&other, Query::StreamStats) {
+        Err(ClientError::Fleet(FleetError::LeaseExpired { slot: s })) => {
+            assert_eq!(s, other_slot, "refusal names the lapsed slot")
+        }
+        other => panic!("ungranted slot must lapse, got {other:?}"),
+    }
+
+    // Past the deadline: query AND ingest are refused with the typed
+    // error; the snapshot drain path still answers.
+    std::thread::sleep(std::time::Duration::from_millis(160));
+    match client.query(id, Query::StreamStats) {
+        Err(ClientError::Fleet(FleetError::LeaseExpired { slot: s })) => assert_eq!(s, slot),
+        other => panic!("lapsed lease must refuse queries, got {other:?}"),
+    }
+    match client.ingest(id, streamed[2..4].to_vec()) {
+        Err(ClientError::Fleet(FleetError::LeaseExpired { slot: s })) => assert_eq!(s, slot),
+        other => panic!("lapsed lease must refuse ingest, got {other:?}"),
+    }
+    let envelope = client.snapshot(id).expect("drain path stays open");
+    assert!(!envelope.is_empty());
+
+    // Renewal resumes service; the step count proves the refused
+    // ingest never touched the model.
+    client.lease_grant(slot, 60_000).expect("renew");
+    let stats = client
+        .query(id, Query::StreamStats)
+        .expect("renewed lease serves")
+        .expect_stream_stats();
+    assert_eq!(stats.steps, 2, "the refused ingest was never applied");
+    client
+        .ingest(id, streamed[2..4].to_vec())
+        .expect("resumed ingest");
+    client.flush().expect("barrier");
+    assert_eq!(
+        client
+            .query(id, Query::StreamStats)
+            .expect("served")
+            .expect_stream_stats()
+            .steps,
+        4
+    );
+
+    // Revocation fences immediately (no waiting out a ttl) and reports
+    // whether a lease was actually held; a re-grant restores service.
+    assert!(client.lease_revoke(slot).expect("revoke"), "lease was held");
+    assert!(
+        !client.lease_revoke(slot).expect("second revoke"),
+        "second revoke finds nothing"
+    );
+    match client.query(id, Query::StreamStats) {
+        Err(ClientError::Fleet(FleetError::LeaseExpired { slot: s })) => assert_eq!(s, slot),
+        other => panic!("revoked slot must refuse, got {other:?}"),
+    }
+    client.lease_grant(slot, 60_000).expect("re-grant");
+    assert_eq!(
+        client
+            .query(id, Query::StreamStats)
+            .expect("restored")
+            .expect_stream_stats()
+            .steps,
+        4
+    );
+
+    server.shutdown().expect("down");
+}

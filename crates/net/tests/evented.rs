@@ -103,6 +103,7 @@ fn slowloris_dribble_does_not_starve_other_clients() {
         let stream = raw_handshaken(&server);
         let body = Request::Query {
             id: 100 + i as u64,
+            epoch: None,
             stream: ids[i % ids.len()].clone(),
             query: Query::Forecast { horizon: 1 },
         }
@@ -486,6 +487,7 @@ fn quantile_on_an_empty_sketch_is_none_over_the_wire() {
         &mut w,
         &Request::Query {
             id: 9,
+            epoch: None,
             stream: ids[0].clone(),
             query: Query::Quantile {
                 metric: MetricKind::ForecastError,
